@@ -1,0 +1,49 @@
+"""Figures 4(a) and 4(b): admission rate and total user payoff.
+
+Regenerates the capacity-15,000 sharing sweep and checks the paper's
+qualitative claims while timing the sweep machinery.
+"""
+
+from conftest import write_artifact
+
+from repro.experiments.figures import figure4a, figure4b
+from repro.experiments.harness import run_sharing_sweep
+
+
+def test_fig4a_admission_rate(benchmark, scale, sweep_15k):
+    figure = benchmark.pedantic(
+        lambda: figure4a(scale, sweep=sweep_15k),
+        rounds=3, iterations=1)
+    write_artifact("figure4a.txt", figure.render())
+    # Paper: "All mechanisms admit more queries as the degree of
+    # sharing increases" and Two-price admits the least.
+    for name in ("CAF", "CAT", "Two-price"):
+        series = [v for _, v in figure.series(name)]
+        assert series[-1] >= series[0] - 0.05
+    for degree in scale.degrees:
+        tp = figure.sweep.cell("Two-price", degree).admission_rate
+        assert tp <= figure.sweep.cell("CAF", degree).admission_rate + 1e-9
+
+
+def test_fig4b_total_user_payoff(benchmark, scale, sweep_15k):
+    figure = benchmark.pedantic(
+        lambda: figure4b(scale, sweep=sweep_15k),
+        rounds=3, iterations=1)
+    write_artifact("figure4b.txt", figure.render())
+    # Paper: density mechanisms beat Two-price on payoff; CAF+ tops.
+    for degree in scale.degrees:
+        tp = figure.sweep.cell("Two-price", degree).total_user_payoff
+        for name in ("CAF", "CAF+", "CAT", "CAT+"):
+            assert figure.sweep.cell(
+                name, degree).total_user_payoff >= tp - 1e-9
+        assert (figure.sweep.cell("CAF+", degree).total_user_payoff
+                >= figure.sweep.cell("CAF", degree).total_user_payoff
+                - 1e-6)
+
+
+def test_fig4_sweep_cost(benchmark, scale):
+    """Times one full sweep point set (the unit of Figure 4 work)."""
+    benchmark.pedantic(
+        lambda: run_sharing_sweep(
+            scale, 15_000.0, mechanisms=("CAF", "CAT", "Two-price")),
+        rounds=1, iterations=1)

@@ -1,0 +1,76 @@
+"""Figures 4(c)–(f): system profit as capacity sweeps 5K → 20K.
+
+The reproduction target is the *shape*: density mechanisms lead at low
+sharing, Two-price rises with sharing and takes over, and the
+crossover point slides toward lower degrees of sharing as capacity
+grows ("the picture as a whole seems to shift ... to the lower end").
+"""
+
+import pytest
+from conftest import write_artifact
+
+from repro.experiments.figures import figure4_profit
+from repro.experiments.harness import run_sharing_sweep
+
+LABELS = {5_000.0: "c", 10_000.0: "d", 15_000.0: "e", 20_000.0: "f"}
+
+
+def crossover_degree(figure) -> float:
+    """First sweep degree where Two-price's profit beats CAT's."""
+    for degree in figure.sweep.scale.degrees:
+        tp = figure.sweep.cell("Two-price", degree).profit
+        cat = figure.sweep.cell("CAT", degree).profit
+        if tp > cat:
+            return degree
+    return float("inf")
+
+
+@pytest.fixture(scope="module")
+def profit_figures(scale, sweep_15k, sweep_5k):
+    figures = {}
+    for capacity in (5_000.0, 10_000.0, 15_000.0, 20_000.0):
+        if capacity == 15_000.0:
+            sweep = sweep_15k
+        elif capacity == 5_000.0:
+            sweep = sweep_5k
+        else:
+            sweep = run_sharing_sweep(scale, capacity)
+        figures[capacity] = figure4_profit(capacity, scale, sweep=sweep)
+    return figures
+
+
+@pytest.mark.parametrize("capacity", [5_000.0, 10_000.0, 15_000.0,
+                                      20_000.0])
+def test_fig4_profit_series(benchmark, scale, profit_figures, capacity):
+    figure = profit_figures[capacity]
+    benchmark.pedantic(figure.render, rounds=3, iterations=1)
+    write_artifact(f"figure4{LABELS[capacity]}_profit.txt",
+                   figure.render())
+    # Two-price's profit improves with sharing at every capacity.
+    series = [v for _, v in figure.series("Two-price")]
+    assert series[-1] >= series[0] - 1e-6
+
+
+def test_density_mechanisms_lead_at_low_sharing(profit_figures):
+    """At degree 1 of the overloaded capacity, CAF/CAT beat Two-price."""
+    figure = profit_figures[5_000.0]
+    degree = figure.sweep.scale.degrees[0]
+    tp = figure.sweep.cell("Two-price", degree).profit
+    assert figure.sweep.cell("CAF", degree).profit > tp
+    assert figure.sweep.cell("CAT", degree).profit > tp
+
+
+def test_two_price_wins_at_high_sharing(profit_figures):
+    figure = profit_figures[5_000.0]
+    degree = figure.sweep.scale.degrees[-1]
+    tp = figure.sweep.cell("Two-price", degree).profit
+    assert tp >= figure.sweep.cell("CAF", degree).profit
+    assert tp >= figure.sweep.cell("CAT", degree).profit
+
+
+def test_crossover_shifts_left_as_capacity_grows(profit_figures):
+    """Figure 4(c)→(f): the CAT/Two-price crossover degree is
+    non-increasing in capacity."""
+    crossovers = [crossover_degree(profit_figures[c])
+                  for c in (5_000.0, 10_000.0, 15_000.0, 20_000.0)]
+    assert crossovers == sorted(crossovers, reverse=True)

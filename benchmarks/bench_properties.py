@@ -1,0 +1,19 @@
+"""Tables I / V: the property-verification battery as a bench.
+
+Times the empirical Table I verification (misreport search + sybil
+attack search across mechanisms) and writes the verdict table.
+"""
+
+from conftest import write_artifact
+
+from repro.gametheory.properties import render_verdicts, verify_properties
+
+
+def test_table1_property_battery(benchmark):
+    verdicts = benchmark.pedantic(
+        lambda: verify_properties(
+            num_instances=2, num_queries=40, users_per_instance=6,
+            attack_attempts=8, seed=0),
+        rounds=1, iterations=1)
+    write_artifact("table1_properties.txt", render_verdicts(verdicts))
+    assert all(v.consistent for v in verdicts)

@@ -1,0 +1,18 @@
+"""Churn timeline bench: cumulative revenue per mechanism over weeks
+of daily auctions (the Section II business loop at steady state)."""
+
+from conftest import write_artifact
+
+from repro.experiments.timeline import ChurnConfig, run_timeline
+
+
+def test_churn_timeline(benchmark, scale):
+    config = ChurnConfig(periods=15, arrivals_per_period=10,
+                         catalogue_size=30, capacity=50.0)
+    result = benchmark.pedantic(
+        lambda: run_timeline(("CAF", "CAT", "Two-price"), config,
+                             seed=scale.seed),
+        rounds=1, iterations=1)
+    write_artifact("timeline.txt", result.render())
+    for name in ("CAF", "CAT", "Two-price"):
+        assert result.cumulative_revenue(name) > 0

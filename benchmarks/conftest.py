@@ -1,0 +1,54 @@
+"""Shared fixtures for the benchmark suite.
+
+Benchmarks default to a reduced, shape-preserving scale so the whole
+suite runs in minutes; override with ``REPRO_SETS`` / ``REPRO_QUERIES``
+/ ``REPRO_DEGREES`` to approach the paper's 50×2000 setup.  Every
+bench writes the regenerated table/figure to ``benchmarks/out/`` so
+the series survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.harness import ExperimentScale, run_sharing_sweep
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def default_scale() -> ExperimentScale:
+    """Benchmark scale: env-overridable, small by default."""
+    return ExperimentScale(
+        num_sets=int(os.environ.get("REPRO_SETS", "2")),
+        num_queries=int(os.environ.get("REPRO_QUERIES", "150")),
+        degrees=tuple(
+            int(d) for d in os.environ.get(
+                "REPRO_DEGREES", "1,2,4,8,16,32,60").split(",")),
+        seed=int(os.environ.get("REPRO_SEED", "2010")),
+    )
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    return default_scale()
+
+
+@pytest.fixture(scope="session")
+def sweep_15k(scale):
+    """The capacity-15,000 sweep shared by Figures 4(a)/(b)/(e)."""
+    return run_sharing_sweep(scale, 15_000.0)
+
+
+@pytest.fixture(scope="session")
+def sweep_5k(scale):
+    """The capacity-5,000 sweep (Figure 4(c), persistently overloaded)."""
+    return run_sharing_sweep(scale, 5_000.0)
+
+
+def write_artifact(name: str, text: str) -> None:
+    """Persist a rendered table under benchmarks/out/."""
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / name).write_text(text + "\n")

@@ -1,0 +1,92 @@
+"""Query-level admission control vs. tuple-level load shedding.
+
+The paper's introduction positions its contribution against the
+classic DSMS overload response: "most data stream admission control
+(load shedding) algorithms work at the tuple level ... we believe that
+focusing on the query level is equally important."  This example makes
+the contrast concrete on one overloaded workload:
+
+* **admission control** (CAT auction): the high-value queries win, get
+  a complete, undegraded result stream, and the provider collects
+  revenue;
+* **tuple shedding** (admit everyone, drop the overload fraction):
+  every query runs, every query's results are silently degraded, and
+  nobody pays anything.
+
+Run:  python examples/admission_vs_shedding.py
+"""
+
+from repro.core import make_mechanism
+from repro.dsms import (
+    ContinuousQuery,
+    SelectOperator,
+    run_shedding_comparison,
+)
+from repro.dsms.streams import SyntheticStream
+from repro.utils.tables import format_table
+
+TICKS = 40
+RATE = 12
+CAPACITY = 30.0
+
+
+def make_sources():
+    return [SyntheticStream("events", rate=RATE, poisson=False, seed=3)]
+
+
+def make_queries():
+    queries = []
+    for index, bid in enumerate([80.0, 55.0, 35.0, 20.0, 10.0]):
+        sel = SelectOperator(
+            f"filter_{index}", "events", lambda t: True,
+            cost_per_tuple=1.0, selectivity_estimate=1.0)
+        queries.append(ContinuousQuery(
+            f"client_{index}", (sel,), sink_id=f"filter_{index}",
+            bid=bid, owner=f"client_{index}"))
+    return queries
+
+
+def main() -> None:
+    queries = make_queries()
+    demand = RATE * len(queries)
+    print(f"{len(queries)} clients, per-query load {RATE}, total demand "
+          f"{demand} vs. capacity {CAPACITY:g} "
+          f"({demand / CAPACITY:.1f}x overloaded)")
+    comparison = run_shedding_comparison(
+        make_sources, queries, capacity=CAPACITY,
+        mechanism=make_mechanism("CAT"), ticks=TICKS)
+
+    full_stream = RATE * TICKS
+    rows = []
+    for query in queries:
+        qid = query.query_id
+        admitted = qid in comparison.admission_winner_ids
+        rows.append([
+            qid,
+            f"${query.bid:g}",
+            ("%d (100%%)" % full_stream) if admitted else "rejected",
+            "%d (%.0f%%)" % (
+                comparison.shedding_delivered[qid],
+                100 * comparison.shedding_delivered[qid] / full_stream),
+        ])
+    print()
+    print(format_table(
+        ["client", "bid", "admission control delivers",
+         "tuple shedding delivers"],
+        rows,
+        title=f"Results over {TICKS} ticks "
+              f"(full stream = {full_stream} tuples)"))
+    print()
+    print(f"admission-control revenue: "
+          f"${comparison.admission_revenue:.2f}   "
+          f"(shedding collects $0.00)")
+    print(f"tuples dropped by the shedder: "
+          f"{comparison.shedding_dropped}")
+    print()
+    print("Query-level admission gives paying clients a complete result")
+    print("stream and the provider a revenue stream; tuple-level")
+    print("shedding silently degrades every client equally, for free.")
+
+
+if __name__ == "__main__":
+    main()

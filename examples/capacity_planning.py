@@ -1,0 +1,59 @@
+"""Energy-aware capacity planning (Section VII).
+
+"It might be more profitable not to fully utilize the available
+capacity": sweeps candidate capacities for a stock-monitoring tenant
+mix, prices each with an energy model, and reports the most beneficial
+capacity per mechanism — cheap energy favours big servers, pricey
+energy favours smaller, better-priced ones.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro.cloud import EnergyModel, evaluate_capacities
+from repro.core import make_mechanism
+from repro.utils.tables import format_table
+from repro.workload import stock_monitoring
+
+
+def main() -> None:
+    instance = stock_monitoring(num_traders=40, capacity=120.0, seed=7)
+    candidates = [40, 60, 80, 100, 120, 150, 180]
+    print(f"tenant mix: {instance.num_queries} trader queries, total "
+          f"demand {instance.total_demand():.0f} units")
+
+    for label, model in [
+        ("cheap energy (idle 0.05/u, dynamic 0.10/u)", EnergyModel()),
+        ("pricey energy (idle 1.50/u, dynamic 0.50/u)",
+         EnergyModel(idle_cost_per_unit=1.5, dynamic_cost_per_unit=0.5)),
+    ]:
+        print()
+        print(label)
+        rows = []
+        for name in ("CAT", "CAF", "GV"):
+            choices = evaluate_capacities(
+                make_mechanism(name), instance, candidates, model)
+            best = max(choices, key=lambda c: c.net_profit)
+            rows.append([
+                name, best.capacity, best.profit, best.energy_cost,
+                best.net_profit,
+            ])
+        print(format_table(
+            ["mechanism", "best capacity", "revenue", "energy",
+             "net profit"],
+            rows, precision=2))
+
+    print()
+    print("full CAT sweep under pricey energy:")
+    model = EnergyModel(idle_cost_per_unit=1.5, dynamic_cost_per_unit=0.5)
+    rows = [
+        [c.capacity, c.profit, c.energy_cost, c.net_profit]
+        for c in evaluate_capacities(
+            make_mechanism("CAT"), instance, candidates, model)
+    ]
+    print(format_table(
+        ["capacity", "revenue", "energy", "net profit"], rows,
+        precision=2))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Quickstart: the paper's Example 1 under every mechanism.
+
+Builds the three-query instance of Figures 1–2 (operators A–E, one
+shared operator, server capacity 10) and runs every admission
+mechanism on it, printing winners, payments, and the Section VI
+metrics.  The CAR/CAF/CAT rows reproduce the worked payments of
+Sections IV-A/B/C ($10+$60, $30+$40, $50+$60).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import make_mechanism
+from repro.utils.tables import format_table
+from repro.workload import example1
+
+
+def main() -> None:
+    instance = example1()
+    print("Example 1: queries q1={A,B} q2={A,C} q3={D,E}, "
+          f"capacity {instance.capacity:g}")
+    print(f"bids: " + ", ".join(
+        f"{q.query_id}=${q.bid:g}" for q in instance.queries))
+    print()
+
+    rows = []
+    for name in ("CAR", "CAF", "CAF+", "CAT", "CAT+", "GV",
+                 "Two-price", "OPT_C"):
+        kwargs = {"seed": 0} if name == "Two-price" else {}
+        outcome = make_mechanism(name, **kwargs).run(instance)
+        payments = ", ".join(
+            f"{qid}=${outcome.payment(qid):.2f}"
+            for qid in sorted(outcome.winner_ids)) or "(nobody)"
+        rows.append([
+            name,
+            ",".join(sorted(outcome.winner_ids)) or "-",
+            payments,
+            outcome.profit,
+            f"{100 * outcome.utilization:.0f}%",
+        ])
+    print(format_table(
+        ["mechanism", "winners", "payments", "profit", "util"],
+        rows, precision=2))
+
+    print()
+    print("Note how CAT extracts the most profit here while remaining")
+    print("strategyproof AND sybil-immune — the paper's recommendation.")
+
+
+if __name__ == "__main__":
+    main()

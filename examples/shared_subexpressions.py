@@ -1,0 +1,84 @@
+"""Building queries fluently and detecting shared subexpressions.
+
+The paper's sharing premise: "many CQs are monitoring a few hot
+streams, and many of the CQs are similar, but not identical."  Users
+author queries independently (here, with :class:`QueryBuilder`); the
+common-subexpression detector notices that their filter steps are the
+same computation, rewrites them onto one operator, and the fair-share
+loads — and therefore the CAF auction — change accordingly.
+
+Run:  python examples/shared_subexpressions.py
+"""
+
+from repro.core import make_mechanism
+from repro.core.loads import static_fair_share_load, total_load
+from repro.dsms import QueryBuilder, QueryPlanCatalog, canonicalize
+from repro.dsms.load import auction_instance_from_catalog
+from repro.utils.tables import format_table
+
+RATES = {"quotes": 10.0}
+
+
+def build_queries():
+    """Five analysts; three share the same 'hot volume' filter."""
+    queries = []
+    for index, (bid, threshold) in enumerate(
+            [(60.0, 5000), (45.0, 5000), (30.0, 5000),
+             (50.0, 9000), (20.0, 1000)]):
+        query = (
+            QueryBuilder(f"analyst{index}", bid=bid,
+                         owner=f"analyst{index}")
+            .source("quotes")
+            .where(lambda t, th=threshold: t.value("volume") > th,
+                   cost=0.8, selectivity=0.4,
+                   share_key=f"volume>{threshold}")
+            .sliding_aggregate("price", max, window=5, cost=0.5)
+            .build())
+        queries.append(query)
+    return queries
+
+
+def main() -> None:
+    raw = build_queries()
+    report = canonicalize(raw)
+    print(f"common-subexpression detection merged "
+          f"{report.merged_operators} operator(s)")
+
+    raw_instance = auction_instance_from_catalog(
+        QueryPlanCatalog(build_queries()), RATES, capacity=20.0)
+    shared_instance = auction_instance_from_catalog(
+        QueryPlanCatalog(report.queries), RATES, capacity=20.0)
+
+    rows = []
+    for query in raw_instance.queries:
+        qid = query.query_id
+        rows.append([
+            qid,
+            f"${query.bid:g}",
+            total_load(raw_instance, query),
+            static_fair_share_load(raw_instance, query),
+            static_fair_share_load(
+                shared_instance, shared_instance.query(qid)),
+        ])
+    print()
+    print(format_table(
+        ["query", "bid", "total load", "fair share (raw)",
+         "fair share (shared)"],
+        rows, precision=2,
+        title="Loads before/after sharing detection"))
+
+    print()
+    for label, instance in (("without sharing detection", raw_instance),
+                            ("with sharing detection", shared_instance)):
+        outcome = make_mechanism("CAF").run(instance)
+        print(f"CAF {label}: winners "
+              f"{sorted(outcome.winner_ids)}, profit "
+              f"${outcome.profit:.2f}, demand "
+              f"{instance.total_demand():.1f}/{instance.capacity:g}")
+    print()
+    print("Detected sharing lowers the analysts' fair-share loads and")
+    print("shrinks total demand, so more queries fit the same server.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Multi-period subscription auctions (Section VII).
+
+Offers day / week / month subscription categories, partitions capacity
+across them, and runs an independent CAT auction per category each
+day, reclaiming the capacity of expiring subscriptions — the paper's
+proposed extension to heterogeneous subscription lengths.
+
+Run:  python examples/subscriptions_demo.py
+"""
+
+import numpy as np
+
+from repro.cloud import (
+    DEFAULT_CATEGORIES,
+    SubscriptionRequest,
+    SubscriptionScheduler,
+)
+from repro.core import make_mechanism
+from repro.core.model import Operator, Query
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    # A catalogue of twelve operators; queries draw 1–3 each, so hot
+    # operators get shared across subscribers.
+    operators = {
+        f"op{i}": Operator(f"op{i}", float(rng.integers(1, 6)))
+        for i in range(12)
+    }
+    scheduler = SubscriptionScheduler(
+        operators,
+        total_capacity=30.0,
+        mechanism_factory=lambda name: make_mechanism("CAT"),
+        categories=DEFAULT_CATEGORIES,
+    )
+
+    categories = [c.name for c in DEFAULT_CATEGORIES]
+    next_id = 0
+    rows = []
+    for day in range(1, 15):
+        requests = []
+        for _ in range(int(rng.integers(2, 6))):
+            count = int(rng.integers(1, 4))
+            picks = rng.choice(12, size=count, replace=False)
+            query = Query(
+                query_id=f"s{next_id}",
+                operator_ids=tuple(f"op{int(i)}" for i in picks),
+                bid=float(np.round(rng.uniform(5, 60), 2)),
+                owner=f"client{next_id}",
+            )
+            category = categories[int(rng.integers(0, len(categories)))]
+            requests.append(SubscriptionRequest(query, category))
+            next_id += 1
+        result = scheduler.run_day(requests)
+        rows.append([
+            day,
+            len(requests),
+            len(result.admitted),
+            len(result.expired),
+            result.revenue,
+            scheduler.occupied_capacity(),
+            len(scheduler.active),
+        ])
+
+    print(format_table(
+        ["day", "requests", "admitted", "expired", "revenue",
+         "occupied", "active subs"],
+        rows, precision=2,
+        title="Two weeks of day/week/month subscription auctions "
+              "(capacity 30, CAT per category)"))
+    print()
+    print(f"total revenue over the fortnight: "
+          f"${scheduler.total_revenue():.2f}")
+    print("Each category's auction is independently strategyproof, so")
+    print("the composed scheme remains bid-strategyproof (Section VII);")
+    print("gaming *category choice* across periods stays open, as the")
+    print("paper notes.")
+
+
+if __name__ == "__main__":
+    main()

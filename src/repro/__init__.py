@@ -1,0 +1,86 @@
+"""repro — Admission Control Mechanisms for Continuous Queries in the Cloud.
+
+A full reproduction of Chung et al. (ICDE 2010): auction-based admission
+control for continuous queries submitted to a capacity-limited DSMS
+"cloud", with operator sharing between queries.
+
+Packages:
+
+* :mod:`repro.core` — the auction model and all mechanisms (CAR, CAF,
+  CAF+, CAT, CAT+, GV, Two-price, Random, OPT_C).
+* :mod:`repro.workload` — the Table III workload generator, including
+  the operator-splitting procedure for varying the degree of sharing,
+  and the lying workloads of Figure 5.
+* :mod:`repro.gametheory` — strategyproofness and sybil-immunity
+  analysis tools, with the paper's constructive attacks.
+* :mod:`repro.dsms` — an Aurora-style stream engine substrate that can
+  actually run admitted queries (shared operators, connection points,
+  transition phase).
+* :mod:`repro.cloud` — the DSMS-center: billing, daily auction cycles,
+  multi-period subscriptions and energy-aware capacity selection
+  (Section VII extensions).
+* :mod:`repro.experiments` — the harness regenerating every table and
+  figure of the evaluation.
+
+Quickstart::
+
+    from repro import AuctionInstance, make_mechanism
+    from repro.workload import example1
+
+    instance = example1()
+    outcome = make_mechanism("CAT").run(instance)
+    print(outcome.winner_ids, outcome.profit)
+"""
+
+from repro.core import (
+    CAF,
+    CAFPlus,
+    CAR,
+    CAT,
+    CATPlus,
+    AuctionInstance,
+    AuctionOutcome,
+    GreedyByValuation,
+    Mechanism,
+    Operator,
+    OptimalConstantPrice,
+    PAPER_MECHANISMS,
+    Query,
+    RandomAdmission,
+    TwoPrice,
+    make_mechanism,
+    optimal_constant_pricing,
+    register_mechanism,
+    registered_mechanisms,
+    remaining_load,
+    static_fair_share_load,
+    total_load,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AuctionInstance",
+    "AuctionOutcome",
+    "CAF",
+    "CAFPlus",
+    "CAR",
+    "CAT",
+    "CATPlus",
+    "GreedyByValuation",
+    "Mechanism",
+    "Operator",
+    "OptimalConstantPrice",
+    "PAPER_MECHANISMS",
+    "Query",
+    "RandomAdmission",
+    "TwoPrice",
+    "__version__",
+    "make_mechanism",
+    "optimal_constant_pricing",
+    "register_mechanism",
+    "registered_mechanisms",
+    "remaining_load",
+    "static_fair_share_load",
+    "total_load",
+]

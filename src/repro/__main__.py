@@ -1,0 +1,133 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``run``        run a mechanism on a JSON instance file
+``generate``   generate a Table III workload instance to JSON
+``report``     regenerate the paper's tables and figures
+``verify``     run the Table I property-verification battery
+
+Examples::
+
+    python -m repro generate --queries 100 --sharing 8 -o wl.json
+    python -m repro run CAT wl.json
+    python -m repro run Two-price wl.json --seed 7 -o outcome.json
+    python -m repro report
+    python -m repro verify
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.core import make_mechanism
+from repro.io import (
+    load_instance,
+    outcome_to_dict,
+    save_instance,
+    save_outcome,
+)
+from repro.workload.generator import WorkloadConfig, WorkloadGenerator
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    instance = load_instance(args.instance)
+    kwargs = {}
+    if args.mechanism.lower() in ("two-price", "random"):
+        kwargs["seed"] = args.seed
+    mechanism = make_mechanism(args.mechanism, **kwargs)
+    outcome = mechanism.run(instance)
+    document = outcome_to_dict(outcome)
+    if args.output:
+        save_outcome(outcome, args.output)
+    print(json.dumps(document, indent=2))
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    config = WorkloadConfig().scaled(args.queries)
+    generator = WorkloadGenerator(config=config, seed=args.seed)
+    instance = generator.instance(
+        max_sharing=args.sharing,
+        capacity=args.capacity,
+    )
+    save_instance(instance, args.output)
+    print(f"wrote {instance.num_queries} queries / "
+          f"{len(instance.operators)} operators "
+          f"(demand {instance.total_demand():.1f}, capacity "
+          f"{instance.capacity:g}) to {args.output}")
+    return 0
+
+
+def _cmd_report(_args: argparse.Namespace) -> int:
+    from repro.experiments.report import full_report
+
+    print(full_report().render())
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.gametheory.properties import (
+        render_verdicts,
+        verify_properties,
+    )
+
+    verdicts = verify_properties(seed=args.seed)
+    print(render_verdicts(verdicts))
+    return 0 if all(v.consistent for v in verdicts) else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Admission-control auctions for continuous queries "
+                    "(ICDE 2010 reproduction)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser(
+        "run", help="run a mechanism on a JSON instance")
+    run.add_argument("mechanism",
+                     help="CAR, CAF, CAF+, CAT, CAT+, GV, Two-price, "
+                          "Random, OPT_C, k-unit, knapsack")
+    run.add_argument("instance", help="path to an instance JSON file")
+    run.add_argument("--seed", type=int, default=0,
+                     help="seed for randomized mechanisms")
+    run.add_argument("-o", "--output", default=None,
+                     help="also write the outcome JSON here")
+    run.set_defaults(handler=_cmd_run)
+
+    generate = commands.add_parser(
+        "generate", help="generate a Table III workload instance")
+    generate.add_argument("--queries", type=int, default=200)
+    generate.add_argument("--sharing", type=int, default=8,
+                          help="maximum degree of operator sharing")
+    generate.add_argument("--capacity", type=float, default=None,
+                          help="server capacity (default: paper ratio)")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("-o", "--output", default="instance.json")
+    generate.set_defaults(handler=_cmd_generate)
+
+    report = commands.add_parser(
+        "report", help="regenerate the paper's tables and figures")
+    report.set_defaults(handler=_cmd_report)
+
+    verify = commands.add_parser(
+        "verify", help="run the Table I property battery")
+    verify.add_argument("--seed", type=int, default=0)
+    verify.set_defaults(handler=_cmd_verify)
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

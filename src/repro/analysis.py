@@ -1,0 +1,173 @@
+"""Instance and outcome analysis helpers.
+
+The questions a DSMS-center operator actually asks of this library —
+"what does my workload look like?", "how do the mechanisms compare on
+*my* instance?", "where does the profit come from?" — packaged as
+functions returning plain data plus an ASCII rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.core.loads import static_fair_share_load, total_load
+from repro.core.mechanism import make_mechanism
+from repro.core.model import AuctionInstance
+from repro.core.result import AuctionOutcome
+from repro.utils.tables import format_table
+
+
+@dataclass(frozen=True)
+class InstanceProfile:
+    """Structural summary of an auction instance."""
+
+    num_queries: int
+    num_operators: int
+    capacity: float
+    total_demand: float
+    overload_factor: float
+    max_sharing_degree: int
+    mean_sharing_degree: float
+    mean_query_total_load: float
+    mean_query_fair_share_load: float
+    min_bid: float
+    max_bid: float
+    mean_bid: float
+
+    def render(self) -> str:
+        rows = [
+            ["queries", self.num_queries],
+            ["operators", self.num_operators],
+            ["capacity", self.capacity],
+            ["total demand", self.total_demand],
+            ["overload factor", self.overload_factor],
+            ["max sharing degree", self.max_sharing_degree],
+            ["mean sharing degree", self.mean_sharing_degree],
+            ["mean C^T per query", self.mean_query_total_load],
+            ["mean C^SF per query", self.mean_query_fair_share_load],
+            ["bids (min / mean / max)",
+             f"{self.min_bid:.2f} / {self.mean_bid:.2f} / "
+             f"{self.max_bid:.2f}"],
+        ]
+        return format_table(["property", "value"], rows, precision=2,
+                            title="Instance profile")
+
+
+def describe_instance(instance: AuctionInstance) -> InstanceProfile:
+    """Summarize the workload structure the mechanisms will face."""
+    used_operators = [op_id for op_id in instance.operators
+                      if instance.sharing_degree(op_id) > 0]
+    degrees = [instance.sharing_degree(op_id)
+               for op_id in used_operators]
+    totals = [total_load(instance, q) for q in instance.queries]
+    fair_shares = [static_fair_share_load(instance, q)
+                   for q in instance.queries]
+    bids = [q.bid for q in instance.queries]
+    demand = instance.total_demand()
+    n = max(instance.num_queries, 1)
+    return InstanceProfile(
+        num_queries=instance.num_queries,
+        num_operators=len(used_operators),
+        capacity=instance.capacity,
+        total_demand=demand,
+        overload_factor=demand / instance.capacity,
+        max_sharing_degree=max(degrees, default=0),
+        mean_sharing_degree=(sum(degrees) / len(degrees)
+                             if degrees else 0.0),
+        mean_query_total_load=sum(totals) / n,
+        mean_query_fair_share_load=sum(fair_shares) / n,
+        min_bid=min(bids, default=0.0),
+        max_bid=max(bids, default=0.0),
+        mean_bid=sum(bids) / n if bids else 0.0,
+    )
+
+
+@dataclass(frozen=True)
+class MechanismComparison:
+    """Side-by-side Section VI metrics on one instance."""
+
+    instance: AuctionInstance
+    outcomes: dict[str, AuctionOutcome]
+
+    def render(self) -> str:
+        rows = []
+        for name in sorted(self.outcomes):
+            outcome = self.outcomes[name]
+            rows.append([
+                name,
+                len(outcome.winner_ids),
+                outcome.profit,
+                outcome.total_user_payoff,
+                outcome.admission_rate,
+                outcome.utilization,
+            ])
+        return format_table(
+            ["mechanism", "winners", "profit", "user payoff",
+             "admission", "utilization"],
+            rows, precision=3,
+            title="Mechanism comparison")
+
+    def best_for(self, metric: str) -> str:
+        """Name of the mechanism maximizing *metric* on this instance."""
+        return max(self.outcomes,
+                   key=lambda name: getattr(self.outcomes[name], metric))
+
+
+def compare_mechanisms(
+    instance: AuctionInstance,
+    mechanisms: Sequence[str] = ("CAF", "CAF+", "CAT", "CAT+", "GV",
+                                 "Two-price"),
+    seed: int = 0,
+) -> MechanismComparison:
+    """Run several mechanisms on *instance* and collect their metrics."""
+    outcomes: dict[str, AuctionOutcome] = {}
+    for name in mechanisms:
+        kwargs = ({"seed": seed}
+                  if name.lower() in ("two-price", "random") else {})
+        outcomes[name] = make_mechanism(name, **kwargs).run(instance)
+    return MechanismComparison(instance=instance, outcomes=outcomes)
+
+
+@dataclass(frozen=True)
+class ProfitBreakdown:
+    """Where an outcome's profit comes from."""
+
+    mechanism: str
+    profit: float
+    winners: int
+    mean_payment: float
+    max_payment: float
+    top_decile_share: float  # fraction of profit paid by top 10% payers
+
+    def render(self) -> str:
+        rows = [
+            ["profit", self.profit],
+            ["winners", self.winners],
+            ["mean payment", self.mean_payment],
+            ["max payment", self.max_payment],
+            ["top-decile payment share", self.top_decile_share],
+        ]
+        return format_table(
+            ["property", "value"], rows, precision=3,
+            title=f"Profit breakdown — {self.mechanism}")
+
+
+def profit_breakdown(outcome: AuctionOutcome) -> ProfitBreakdown:
+    """Decompose an outcome's profit over its paying winners."""
+    payments = sorted(
+        (outcome.payment(qid) for qid in outcome.winner_ids),
+        reverse=True)
+    winners = len(payments)
+    profit = sum(payments)
+    top = max(1, winners // 10) if winners else 0
+    top_share = (sum(payments[:top]) / profit
+                 if profit > 0 and top else 0.0)
+    return ProfitBreakdown(
+        mechanism=outcome.mechanism,
+        profit=profit,
+        winners=winners,
+        mean_payment=profit / winners if winners else 0.0,
+        max_payment=payments[0] if payments else 0.0,
+        top_decile_share=top_share,
+    )

@@ -1,0 +1,39 @@
+"""The DSMS-center business layer: billing, subscriptions, energy,
+and the auction-driven service orchestrator."""
+
+from repro.cloud.billing import BillingLedger, Invoice
+from repro.cloud.center import DSMSCenter, PeriodReport
+from repro.cloud.gaming import GamingOutcome, simulate_category_gaming
+from repro.cloud.energy import (
+    CapacityChoice,
+    EnergyModel,
+    best_capacity,
+    evaluate_capacities,
+)
+from repro.cloud.subscriptions import (
+    DEFAULT_CATEGORIES,
+    ActiveSubscription,
+    DailyResult,
+    SubscriptionCategory,
+    SubscriptionRequest,
+    SubscriptionScheduler,
+)
+
+__all__ = [
+    "ActiveSubscription",
+    "BillingLedger",
+    "CapacityChoice",
+    "DEFAULT_CATEGORIES",
+    "DSMSCenter",
+    "DailyResult",
+    "EnergyModel",
+    "GamingOutcome",
+    "Invoice",
+    "PeriodReport",
+    "simulate_category_gaming",
+    "SubscriptionCategory",
+    "SubscriptionRequest",
+    "SubscriptionScheduler",
+    "best_capacity",
+    "evaluate_capacities",
+]

@@ -1,0 +1,94 @@
+"""Energy-aware capacity selection (Section VII).
+
+"Different levels of system operation incur different energy costs.
+This can be coupled with the observation that it might be more
+profitable not to fully utilize the available capacity. ... an
+extension is to decide what is the most beneficial capacity for a
+given auction, while considering both the profit as well as the
+savings from energy reduction."
+
+:class:`EnergyModel` prices operating a server at a given offered
+capacity and realized load; :func:`best_capacity` sweeps candidate
+capacities, runs the auction at each, and maximizes net profit
+(auction revenue minus energy cost).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.core.mechanism import Mechanism
+from repro.core.model import AuctionInstance
+from repro.utils.validation import require_non_negative
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Affine-plus-dynamic energy cost model.
+
+    * ``idle_cost_per_unit`` — cost of *provisioning* a unit of
+      capacity for the period (powered, cooled, even if unused);
+    * ``dynamic_cost_per_unit`` — additional cost per unit of capacity
+      actually *used* by admitted queries.
+
+    This is the standard "idle + proportional" server power shape; any
+    convex refinement can subclass and override :meth:`cost`.
+    """
+
+    idle_cost_per_unit: float = 0.05
+    dynamic_cost_per_unit: float = 0.10
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.idle_cost_per_unit, "idle cost")
+        require_non_negative(self.dynamic_cost_per_unit, "dynamic cost")
+
+    def cost(self, offered_capacity: float, used_capacity: float) -> float:
+        """Energy cost of offering *offered_capacity* and using part."""
+        return (self.idle_cost_per_unit * offered_capacity
+                + self.dynamic_cost_per_unit * used_capacity)
+
+
+@dataclass(frozen=True)
+class CapacityChoice:
+    """One candidate capacity's economics."""
+
+    capacity: float
+    profit: float
+    energy_cost: float
+
+    @property
+    def net_profit(self) -> float:
+        """Auction revenue minus energy cost."""
+        return self.profit - self.energy_cost
+
+
+def evaluate_capacities(
+    mechanism: Mechanism,
+    instance: AuctionInstance,
+    capacities: Sequence[float],
+    energy_model: EnergyModel,
+) -> list[CapacityChoice]:
+    """Run the auction at each candidate capacity and price the energy."""
+    choices = []
+    for capacity in capacities:
+        outcome = mechanism.run(instance.with_capacity(capacity))
+        energy = energy_model.cost(capacity, outcome.used_capacity)
+        choices.append(CapacityChoice(
+            capacity=capacity,
+            profit=outcome.profit,
+            energy_cost=energy,
+        ))
+    return choices
+
+
+def best_capacity(
+    mechanism: Mechanism,
+    instance: AuctionInstance,
+    capacities: Sequence[float],
+    energy_model: EnergyModel,
+) -> CapacityChoice:
+    """The net-profit-maximizing candidate capacity."""
+    choices = evaluate_capacities(
+        mechanism, instance, capacities, energy_model)
+    return max(choices, key=lambda choice: choice.net_profit)

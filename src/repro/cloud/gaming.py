@@ -1,0 +1,120 @@
+"""Subscription-category gaming — Section VII's open problem, simulated.
+
+"A user who wants to run a CQ for one month in July may instead bid
+for a two month subscription starting in June if she believes demand
+is low enough in June to get charged a sufficiently low price."
+The per-category auctions are each bid-strategyproof, but *category
+choice across time* is a new strategic dimension; the paper leaves
+guarding it as future work.  This module demonstrates the gap: it
+compares a client's total cost under the honest plan (subscribe for
+July) versus the gaming plan (subscribe for June+July during the June
+lull), under a demand profile the client believes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Callable, Mapping, Sequence
+
+from repro.cloud.subscriptions import (
+    SubscriptionCategory,
+    SubscriptionRequest,
+    SubscriptionScheduler,
+)
+from repro.core.mechanism import Mechanism
+from repro.core.model import Operator, Query
+
+
+@dataclass(frozen=True)
+class GamingOutcome:
+    """Cost comparison of the honest and gaming subscription plans."""
+
+    honest_cost: float
+    honest_served: bool
+    gaming_cost: float
+    gaming_served: bool
+
+    @property
+    def gaming_profitable(self) -> bool:
+        """True when subscribing early-and-long is strictly cheaper
+        (while still getting served in the period the user wants)."""
+        if not self.gaming_served:
+            return False
+        if not self.honest_served:
+            return True
+        return self.gaming_cost < self.honest_cost - 1e-9
+
+
+def _run_plan(
+    operators: Mapping[str, Operator],
+    capacity: float,
+    mechanism_factory: Callable[[str], Mechanism],
+    categories: Sequence[SubscriptionCategory],
+    background: Mapping[int, Sequence[SubscriptionRequest]],
+    client_requests: Mapping[int, SubscriptionRequest],
+    horizon: int,
+    target_days: Sequence[int],
+) -> tuple[float, bool]:
+    """Run the scheduler for *horizon* days; return the client's total
+    cost and whether she was actively served on every target day."""
+    scheduler = SubscriptionScheduler(
+        operators, capacity, mechanism_factory, categories)
+    cost = 0.0
+    served_days: set[int] = set()
+    client_ids = {r.query.query_id for r in client_requests.values()}
+    for day in range(1, horizon + 1):
+        requests = list(background.get(day, ()))
+        if day in client_requests:
+            requests.append(client_requests[day])
+        scheduler.run_day(requests)
+        for subscription in scheduler.active:
+            if subscription.query.query_id in client_ids:
+                served_days.add(day)
+        for result in scheduler.history[-1:]:
+            for admitted in result.admitted:
+                if admitted.query.query_id in client_ids:
+                    cost += admitted.payment
+    served = all(
+        any(d >= target for d in served_days if d >= target)
+        and target in served_days
+        for target in target_days
+    )
+    return cost, served
+
+
+def simulate_category_gaming(
+    operators: Mapping[str, Operator],
+    capacity: float,
+    mechanism_factory: Callable[[str], Mechanism],
+    categories: Sequence[SubscriptionCategory],
+    background: Mapping[int, Sequence[SubscriptionRequest]],
+    client_query: Query,
+    honest_day: int,
+    honest_category: str,
+    gaming_day: int,
+    gaming_category: str,
+    horizon: int,
+    target_days: Sequence[int],
+) -> GamingOutcome:
+    """Compare the honest and gaming plans for one client.
+
+    *background* maps day → the other users' requests (identical under
+    both plans).  The honest plan submits ``client_query`` on
+    *honest_day* in *honest_category*; the gaming plan submits it on
+    *gaming_day* in the longer *gaming_category*.  ``target_days`` are
+    the days the client genuinely needs service.
+    """
+    honest_cost, honest_served = _run_plan(
+        operators, capacity, mechanism_factory, categories, background,
+        {honest_day: SubscriptionRequest(client_query, honest_category)},
+        horizon, target_days)
+    gaming_cost, gaming_served = _run_plan(
+        operators, capacity, mechanism_factory, categories, background,
+        {gaming_day: SubscriptionRequest(client_query, gaming_category)},
+        horizon, target_days)
+    return GamingOutcome(
+        honest_cost=honest_cost,
+        honest_served=honest_served,
+        gaming_cost=gaming_cost,
+        gaming_served=gaming_served,
+    )

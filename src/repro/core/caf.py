@@ -1,0 +1,50 @@
+"""CAF and CAF+ — admission by static fair-share load (Section IV-B).
+
+The fair-share mechanisms rank queries by bid per unit of *static
+fair-share load* ``C^SF_i`` (Definition 3): each operator's load is
+split evenly over all submitted queries that contain it.  Intuitively
+CAF "operates as though there will be maximal operator sharing among
+the accepted queries".
+
+Both are strategyproof (Theorems 4 and 7) but **universally vulnerable
+to sybil attack** (Theorem 15): faking low-value queries that share
+your operators deflates your fair-share load, improves your rank and
+lowers your payment — see :func:`repro.gametheory.attacks.fair_share_attack`.
+"""
+
+from __future__ import annotations
+
+from repro.core.density import DensityMechanism, SkipOverDensityMechanism
+from repro.core.loads import static_fair_share_load
+
+
+class CAF(DensityMechanism):
+    """CQ Admission based on Fair-share load (Algorithm 1).
+
+    Stop-at-first greedy over ``b_i / C^SF_i`` priorities; every winner
+    pays the first loser's fair-share density times her own fair-share
+    load.
+    """
+
+    name = "CAF"
+    bid_strategyproof = True
+    sybil_immune = False
+    profit_guarantee = False
+    load_measure = staticmethod(static_fair_share_load)
+
+
+class CAFPlus(SkipOverDensityMechanism):
+    """CAF+ — the aggressive fair-share mechanism (Algorithm 2).
+
+    Skips over queries that do not fit and keeps admitting lighter ones;
+    winners pay by the movement-window rule.  Admits the most queries of
+    any mechanism in the paper's evaluation, at the price of the lowest
+    per-query payments (Figure 4) and a quadratic payment computation
+    (Table IV).
+    """
+
+    name = "CAF+"
+    bid_strategyproof = True
+    sybil_immune = False
+    profit_guarantee = False
+    load_measure = staticmethod(static_fair_share_load)

@@ -1,0 +1,52 @@
+"""CAT and CAT+ — admission by total load (Section IV-C).
+
+The total-load mechanisms rank queries by bid per unit of *total load*
+``C^T_i`` (the plain sum of the query's operator loads), i.e. they
+operate "as though there will be minimal or no operator sharing among
+the accepted queries".  A query's total load cannot be manipulated by
+other users' behaviour, which is what buys CAT its robustness:
+
+* **CAT** is strategyproof (Theorem 8) *and* sybil-immune — in fact
+  sybil-strategyproof (Theorem 19).  It is the paper's recommended
+  mechanism: the only one with both game-theoretic properties, and the
+  best profit trade-off in the evaluation.
+* **CAT+** is strategyproof (Theorem 9) but **not** sybil-immune
+  (Theorem 17): a fake high-density query can push a competitor out of
+  capacity range while costing the attacker almost nothing — the
+  worked attack of Table II, reproduced by
+  :func:`repro.gametheory.attacks.cat_plus_table2_attack`.
+"""
+
+from __future__ import annotations
+
+from repro.core.density import DensityMechanism, SkipOverDensityMechanism
+from repro.core.loads import total_load
+
+
+class CAT(DensityMechanism):
+    """CQ Admission based on Total load (stop-at-first).
+
+    Identical to CAF with every incidence of ``C^SF`` replaced by
+    ``C^T`` (Section IV-C): stop-at-first greedy over ``b_i / C^T_i``,
+    first-loser pricing.
+    """
+
+    name = "CAT"
+    bid_strategyproof = True
+    sybil_immune = True
+    profit_guarantee = False
+    load_measure = staticmethod(total_load)
+
+
+class CATPlus(SkipOverDensityMechanism):
+    """CAT+ — the aggressive total-load mechanism.
+
+    Skip-over admission with movement-window payments, in total-load
+    units.
+    """
+
+    name = "CAT+"
+    bid_strategyproof = True
+    sybil_immune = False
+    profit_guarantee = False
+    load_measure = staticmethod(total_load)

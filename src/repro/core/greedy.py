@@ -1,0 +1,126 @@
+"""The shared greedy selection scheme behind CAF/CAF+/CAT/CAT+/GV.
+
+All of the paper's deterministic mechanisms follow one pattern
+(Section IV):
+
+1. sort queries in non-increasing *priority* (bid per unit of some load
+   measure — or the raw bid, for GV), and then
+2. admit queries until the server is full.
+
+They differ in (a) the load measure defining priority, and (b) whether
+the walk **stops at the first query that does not fit** (CAF, CAT, GV)
+or **skips over** too-heavy queries and keeps scanning (CAF+, CAT+).
+The capacity test always charges a query its *remaining* (marginal)
+load given the winners admitted so far — shared operators already
+running are free.
+
+This module implements that scheme once, parameterized, and returns a
+:class:`GreedySelection` describing the pass so payment rules can be
+layered on top.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from collections.abc import Callable, Sequence
+
+from repro.core.loads import LoadTracker
+from repro.core.model import AuctionInstance, Query
+
+#: Maps (instance, query) -> the load measure used for priorities.
+LoadMeasure = Callable[[AuctionInstance, Query], float]
+
+
+def priority_of(bid: float, load: float) -> float:
+    """Profit density ``bid / load``; infinite when the load is zero.
+
+    A zero-load query consumes nothing, so any positive bid makes it
+    infinitely dense; it sorts first and is always admitted.
+    """
+    if load == 0:
+        return math.inf
+    return bid / load
+
+
+def priority_order(
+    instance: AuctionInstance,
+    load_measure: LoadMeasure,
+) -> list[Query]:
+    """Queries sorted by non-increasing density under *load_measure*.
+
+    Ties are broken by query id so runs are deterministic; the paper
+    breaks ties arbitrarily.
+    """
+    def sort_key(query: Query) -> tuple[float, str]:
+        load = load_measure(instance, query)
+        return (-priority_of(query.bid, load), query.query_id)
+
+    return sorted(instance.queries, key=sort_key)
+
+
+@dataclass
+class GreedySelection:
+    """Record of one greedy admission pass.
+
+    * ``order`` — the full priority list the pass walked.
+    * ``winners`` — admitted queries, in admission order.
+    * ``first_loser`` — for stop-at-first passes, the query that ended
+      the walk (``None`` if everything fit).  For skip-over passes, the
+      first query in priority order that was skipped.
+    * ``tracker`` — final load state (used capacity, running operators).
+    """
+
+    order: list[Query]
+    winners: list[Query] = field(default_factory=list)
+    first_loser: Query | None = None
+    tracker: LoadTracker | None = None
+
+    @property
+    def winner_ids(self) -> set[str]:
+        """Ids of the admitted queries."""
+        return {q.query_id for q in self.winners}
+
+    def is_winner(self, query_id: str) -> bool:
+        """True if *query_id* was admitted by this pass."""
+        return query_id in self.winner_ids
+
+
+def greedy_admit(
+    instance: AuctionInstance,
+    order: Sequence[Query],
+    skip_over: bool,
+) -> GreedySelection:
+    """Admit queries from *order* until the server is full.
+
+    With ``skip_over=False`` the pass stops at the first query whose
+    marginal load does not fit (the CAF/CAT/GV rule: "the algorithm
+    stops as soon as the next CQ does not fit within server capacity").
+    With ``skip_over=True`` it records that query as the first loser but
+    keeps scanning for lighter queries that still fit (CAF+/CAT+).
+    """
+    tracker = LoadTracker(instance)
+    selection = GreedySelection(order=list(order), tracker=tracker)
+    for query in order:
+        if tracker.try_admit(query):
+            selection.winners.append(query)
+            continue
+        if selection.first_loser is None:
+            selection.first_loser = query
+        if not skip_over:
+            break
+    return selection
+
+
+def admits_query(
+    instance: AuctionInstance,
+    order: Sequence[Query],
+    skip_over: bool,
+    query_id: str,
+) -> bool:
+    """True if a greedy pass over *order* admits *query_id*.
+
+    Convenience used by the movement-window payment rule, which re-runs
+    the selection with one query artificially repositioned.
+    """
+    return greedy_admit(instance, order, skip_over).is_winner(query_id)

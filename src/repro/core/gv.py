@@ -1,0 +1,49 @@
+"""GV — Greedy-by-Valuation (Section IV-D).
+
+The simplest strategyproof mechanism in the paper: ignore loads
+entirely, sort queries by bid, admit the maximal fitting prefix, and
+charge every winner the bid of the first losing query (a ``(k+1)``-st
+price rule).  GV is the deterministic skeleton the randomized Two-price
+mechanism is built on; on its own it "does not admit a profit
+guarantee", and in the paper's experiments it "echoes the behavior of
+Two-price" (Section VI-A), which our benches confirm.
+"""
+
+from __future__ import annotations
+
+from repro.core.greedy import greedy_admit
+from repro.core.mechanism import Mechanism
+from repro.core.model import AuctionInstance, Query
+
+
+def bid_order(instance: AuctionInstance) -> list[Query]:
+    """Queries sorted by non-increasing bid, ties broken by id."""
+    return sorted(instance.queries, key=lambda q: (-q.bid, q.query_id))
+
+
+class GreedyByValuation(Mechanism):
+    """Sort by bid, admit the fitting prefix, charge the first loser's bid.
+
+    Strategyproof: allocation is monotone in the bid, and the first
+    loser's bid is exactly each winner's critical value (with loads
+    playing no role in payments, there is nothing to manipulate by
+    misreporting operators either).
+    """
+
+    name = "GV"
+    bid_strategyproof = True
+    sybil_immune = False
+    profit_guarantee = False
+
+    def _select(self, instance: AuctionInstance):
+        order = bid_order(instance)
+        selection = greedy_admit(instance, order, skip_over=False)
+        lost = selection.first_loser
+        details: dict[str, object] = {
+            "bid_order": [q.query_id for q in order],
+            "first_loser": None if lost is None else lost.query_id,
+        }
+        price = 0.0 if lost is None else lost.bid
+        details["price"] = price
+        payments = {q.query_id: price for q in selection.winners}
+        return payments, details

@@ -1,0 +1,122 @@
+"""Mechanism base class and registry.
+
+Every admission-control mechanism maps an :class:`AuctionInstance` to an
+:class:`AuctionOutcome` (winners + payments).  Mechanisms read only the
+public part of a query — operators and bid — never the private
+valuation; the base class enforces that by handing subclasses a
+*sealed* view where ``valuation`` is replaced by the bid.
+
+A module-level registry maps mechanism names (``"CAF"``, ``"CAT+"``,
+``"Two-price"``, ...) to factories so experiments can be configured by
+name.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Callable, Mapping
+
+from repro.core.model import AuctionInstance, Query
+from repro.core.result import AuctionOutcome
+
+
+class Mechanism(abc.ABC):
+    """Base class for admission-control auction mechanisms.
+
+    Subclasses implement :meth:`_select`, returning the winner→payment
+    mapping plus a diagnostics dictionary.  :meth:`run` wraps it with
+    capacity validation and outcome construction.
+    """
+
+    #: Human-readable mechanism name (matches the paper's).
+    name: str = "mechanism"
+
+    #: Whether the paper proves the mechanism bid-strategyproof.
+    bid_strategyproof: bool = True
+
+    #: Whether the paper proves the mechanism sybil-immune.
+    sybil_immune: bool = False
+
+    #: Whether the mechanism carries a provable profit guarantee.
+    profit_guarantee: bool = False
+
+    def run(self, instance: AuctionInstance) -> AuctionOutcome:
+        """Run the auction on *instance* and return the outcome.
+
+        The outcome is validated against server capacity; a mechanism
+        that over-admits is a bug, not a modelling choice.
+        """
+        payments, details = self._select(self._seal(instance))
+        outcome = AuctionOutcome(
+            instance=instance,
+            payments=payments,
+            mechanism=self.name,
+            details=details,
+        )
+        outcome.validate_capacity()
+        return outcome
+
+    @staticmethod
+    def _seal(instance: AuctionInstance) -> AuctionInstance:
+        """Hide private valuations from the mechanism.
+
+        Returns a copy of *instance* where each query's valuation equals
+        its bid.  Mechanisms therefore cannot accidentally peek at the
+        truth, which keeps manipulation experiments honest: what a user
+        *submits* is all the system ever sees.
+        """
+        queries = tuple(
+            q if q.valuation is None or q.valuation == q.bid else Query(
+                query_id=q.query_id,
+                operator_ids=q.operator_ids,
+                bid=q.bid,
+                valuation=q.bid,
+                owner=q.owner,
+            )
+            for q in instance.queries
+        )
+        return AuctionInstance._from_validated(instance, queries)
+
+    @abc.abstractmethod
+    def _select(
+        self, instance: AuctionInstance
+    ) -> tuple[dict[str, float], dict[str, object]]:
+        """Choose winners and payments; return (payments, details)."""
+
+    def properties(self) -> dict[str, bool]:
+        """The Table I property row for this mechanism."""
+        return {
+            "strategyproof": self.bid_strategyproof,
+            "sybil_immune": self.sybil_immune,
+            "profit_guarantee": self.profit_guarantee,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+_REGISTRY: dict[str, Callable[[], Mechanism]] = {}
+
+
+def register_mechanism(name: str, factory: Callable[[], Mechanism]) -> None:
+    """Register a mechanism *factory* under *name* (case-insensitive)."""
+    _REGISTRY[name.lower()] = factory
+
+
+def make_mechanism(name: str, **kwargs: object) -> Mechanism:
+    """Instantiate a registered mechanism by name.
+
+    ``kwargs`` are forwarded to the factory, letting callers configure
+    e.g. the Two-price seed: ``make_mechanism("two-price", seed=7)``.
+    """
+    try:
+        factory = _REGISTRY[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown mechanism {name!r}; known: {known}") from None
+    return factory(**kwargs)  # type: ignore[call-arg]
+
+
+def registered_mechanisms() -> Mapping[str, Callable[[], Mechanism]]:
+    """Read-only view of the registry (name → factory)."""
+    return dict(_REGISTRY)

@@ -1,0 +1,42 @@
+"""Random admission baseline (Section VI, Table IV).
+
+"A randomly admitting algorithm, which picks queries at random and
+stops at the first query that does not fit in the remaining capacity."
+The paper uses it purely as a runtime baseline; it charges nothing
+(it has no pricing rule), so its profit is zero and every admitted
+user's payoff equals her valuation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.greedy import greedy_admit
+from repro.core.mechanism import Mechanism
+from repro.core.model import AuctionInstance
+from repro.utils.rng import spawn_rng
+
+
+class RandomAdmission(Mechanism):
+    """Admit a uniformly random prefix of queries; charge nothing."""
+
+    name = "Random"
+    bid_strategyproof = True  # Bids are ignored entirely.
+    sybil_immune = False
+    profit_guarantee = False
+
+    def __init__(
+        self, seed: "int | np.random.Generator | None" = None
+    ) -> None:
+        self._rng = spawn_rng(seed)
+
+    def _select(self, instance: AuctionInstance):
+        order = [instance.queries[i]
+                 for i in self._rng.permutation(instance.num_queries)]
+        selection = greedy_admit(instance, order, skip_over=False)
+        payments = {q.query_id: 0.0 for q in selection.winners}
+        details = {
+            "first_loser": (None if selection.first_loser is None
+                            else selection.first_loser.query_id),
+        }
+        return payments, details

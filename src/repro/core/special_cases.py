@@ -1,0 +1,98 @@
+"""The special-case auctions of Section III ("Relevant Background").
+
+The paper situates the CQ auction among classical problems:
+
+* **no sharing, equal loads, room for k queries** → auctioning ``k``
+  identical goods; charging the ``(k+1)``-st highest bid is the
+  classic bid-strategyproof rule (Vickrey's second-price auction when
+  ``k = 1``) — :class:`KUnitAuction`;
+* **no sharing, unequal loads** → the Knapsack Auction of Aggarwal &
+  Hartline — :class:`KnapsackAuction`, the greedy-by-density
+  ``(k+1)``-price variant, which is exactly what CAT degenerates to
+  when no operator is shared (verified in the tests).
+
+These exist as first-class mechanisms so the reductions in Section III
+are executable: the test-suite checks that CAT ≡ KnapsackAuction on
+sharing-free instances and that KnapsackAuction ≡ KUnitAuction on
+equal-load instances.
+"""
+
+from __future__ import annotations
+
+from repro.core.greedy import greedy_admit, priority_of, priority_order
+from repro.core.loads import total_load
+from repro.core.mechanism import Mechanism
+from repro.core.model import AuctionInstance
+
+
+class KUnitAuction(Mechanism):
+    """k identical goods, (k+1)-st price.
+
+    Capacity and per-query loads define ``k`` implicitly: with every
+    query costing the same load ``c``, the server holds
+    ``k = floor(capacity / c)`` queries.  The k highest bidders win and
+    pay the (k+1)-st bid (0 if fewer than k+1 bidders).  Requires an
+    equal-load, sharing-free instance.
+    """
+
+    name = "k-unit"
+    bid_strategyproof = True
+    sybil_immune = False
+    profit_guarantee = False
+
+    def _select(self, instance: AuctionInstance):
+        loads = {total_load(instance, q) for q in instance.queries}
+        if len(loads) > 1:
+            raise ValueError(
+                "k-unit auction requires equal query loads; got "
+                f"{sorted(loads)}")
+        if instance.max_sharing_degree() > 1:
+            raise ValueError("k-unit auction requires no sharing")
+        load = loads.pop() if loads else 1.0
+        k = (instance.num_queries if load == 0
+             else int(instance.capacity / load + 1e-9))
+        ordered = sorted(instance.queries,
+                         key=lambda q: (-q.bid, q.query_id))
+        winners = ordered[:k]
+        price = ordered[k].bid if len(ordered) > k else 0.0
+        payments = {q.query_id: price for q in winners}
+        details = {"k": k, "price": price}
+        return payments, details
+
+
+class KnapsackAuction(Mechanism):
+    """Greedy-by-density knapsack auction, (k+1)-price style.
+
+    Sort by bid per unit load, admit the maximal fitting prefix, and
+    charge every winner the first loser's density times the winner's
+    load — the natural monotone greedy from Aggarwal & Hartline's
+    knapsack-auction setting.  Identical to CAT except that it
+    *requires* a sharing-free instance (with sharing, "the processing
+    load required of each query is not clear cut" and this reduction
+    no longer applies).
+    """
+
+    name = "knapsack"
+    bid_strategyproof = True
+    sybil_immune = False
+    profit_guarantee = False
+
+    def _select(self, instance: AuctionInstance):
+        if instance.max_sharing_degree() > 1:
+            raise ValueError(
+                "knapsack auction requires no operator sharing")
+        order = priority_order(instance, total_load)
+        selection = greedy_admit(instance, order, skip_over=False)
+        lost = selection.first_loser
+        details: dict[str, object] = {
+            "first_loser": None if lost is None else lost.query_id,
+        }
+        if lost is None:
+            return {q.query_id: 0.0 for q in selection.winners}, details
+        price_per_unit = priority_of(lost.bid, total_load(instance, lost))
+        details["price_per_unit_load"] = price_per_unit
+        payments = {
+            q.query_id: total_load(instance, q) * price_per_unit
+            for q in selection.winners
+        }
+        return payments, details

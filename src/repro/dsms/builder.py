@@ -1,0 +1,209 @@
+"""Fluent construction of continuous queries.
+
+Hand-assembling operator DAGs (pick ids, wire inputs, remember the
+sink) is mechanical; the builder does it:
+
+>>> query = (QueryBuilder("trader7", bid=42.0, owner="alice")
+...          .source("quotes")
+...          .where(lambda t: t.value("volume") > 5000,
+...                 cost=0.3, selectivity=0.5, share_key="vol>5000")
+...          .sliding_aggregate("price", max, window=4,
+...                             share_key="max_price")
+...          .build())
+
+Operator ids are derived from the query id and step index; pass
+``share_key`` on any step to make it eligible for common-subexpression
+sharing (:mod:`repro.dsms.sharing_detector`), which rewrites equal
+steps across users' queries onto one operator.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.dsms.operators import (
+    AggregateOperator,
+    JoinOperator,
+    MapOperator,
+    ProjectOperator,
+    SelectOperator,
+    StreamOperator,
+    UnionOperator,
+)
+from repro.dsms.plan import ContinuousQuery
+from repro.dsms.tuples import StreamTuple
+from repro.dsms.windows import (
+    DistinctOperator,
+    SlidingAggregateOperator,
+    TopKOperator,
+)
+from repro.utils.validation import require
+
+
+class QueryBuilder:
+    """Accumulates a linear (optionally joining) operator pipeline."""
+
+    def __init__(
+        self,
+        query_id: str,
+        bid: float = 0.0,
+        valuation: float | None = None,
+        owner: str | None = None,
+    ) -> None:
+        self._query_id = query_id
+        self._bid = bid
+        self._valuation = valuation
+        self._owner = owner
+        self._operators: list[StreamOperator] = []
+        self._head: str | None = None
+        self._step = 0
+
+    # ------------------------------------------------------------------
+    # Pipeline steps
+    # ------------------------------------------------------------------
+
+    def _next_id(self, kind: str) -> str:
+        self._step += 1
+        return f"{self._query_id}.{self._step}.{kind}"
+
+    def _require_head(self) -> str:
+        require(self._head is not None,
+                "call .source(<stream>) before adding operators")
+        return self._head
+
+    def _push(self, op: StreamOperator) -> "QueryBuilder":
+        self._operators.append(op)
+        self._head = op.op_id
+        return self
+
+    def source(self, stream_name: str) -> "QueryBuilder":
+        """Start the pipeline from a stream."""
+        require(self._head is None, "source() must be the first step")
+        self._head = stream_name
+        return self
+
+    def where(
+        self,
+        predicate: Callable[[StreamTuple], bool],
+        cost: float = 1.0,
+        selectivity: float = 0.5,
+        share_key: object = None,
+    ) -> "QueryBuilder":
+        """Filter tuples by *predicate*."""
+        return self._push(SelectOperator(
+            self._next_id("where"), self._require_head(), predicate,
+            cost_per_tuple=cost, selectivity_estimate=selectivity,
+            share_key=share_key))
+
+    def project(self, attributes: Sequence[str],
+                cost: float = 0.2) -> "QueryBuilder":
+        """Keep only the named payload attributes."""
+        return self._push(ProjectOperator(
+            self._next_id("project"), self._require_head(),
+            attributes, cost_per_tuple=cost))
+
+    def map(self, transform, cost: float = 0.5,
+            share_key: object = None) -> "QueryBuilder":
+        """Transform each payload with *transform*."""
+        return self._push(MapOperator(
+            self._next_id("map"), self._require_head(), transform,
+            cost_per_tuple=cost, share_key=share_key))
+
+    def aggregate(
+        self,
+        attribute: str,
+        aggregate,
+        window: int = 5,
+        group_by=None,
+        cost: float = 1.5,
+        share_key: object = None,
+    ) -> "QueryBuilder":
+        """Tumbling-window aggregate."""
+        return self._push(AggregateOperator(
+            self._next_id("agg"), self._require_head(), attribute,
+            aggregate, window=window, group_by=group_by,
+            cost_per_tuple=cost, share_key=share_key))
+
+    def sliding_aggregate(
+        self,
+        attribute: str,
+        aggregate,
+        window: int = 5,
+        group_by=None,
+        cost: float = 2.0,
+        share_key: object = None,
+    ) -> "QueryBuilder":
+        """Sliding-window aggregate (one output per tick)."""
+        return self._push(SlidingAggregateOperator(
+            self._next_id("slide"), self._require_head(), attribute,
+            aggregate, window=window, group_by=group_by,
+            cost_per_tuple=cost, share_key=share_key))
+
+    def distinct(self, key, window: int = 10, cost: float = 0.5,
+                 share_key: object = None) -> "QueryBuilder":
+        """Deduplicate by *key* over a sliding window."""
+        return self._push(DistinctOperator(
+            self._next_id("distinct"), self._require_head(), key,
+            window=window, cost_per_tuple=cost, share_key=share_key))
+
+    def top_k(self, score, k: int = 3, window: int = 5,
+              cost: float = 1.0, share_key: object = None) -> "QueryBuilder":
+        """Keep the top-k tuples by *score* over a sliding window."""
+        return self._push(TopKOperator(
+            self._next_id("topk"), self._require_head(), score,
+            k=k, window=window, cost_per_tuple=cost,
+            share_key=share_key))
+
+    def join(
+        self,
+        other: "QueryBuilder",
+        left_key,
+        right_key,
+        window: int = 5,
+        cost: float = 3.0,
+        selectivity: float = 0.3,
+        share_key: object = None,
+    ) -> "QueryBuilder":
+        """Join this pipeline's head with *other*'s head.
+
+        *other* must be a builder whose pipeline is complete up to its
+        head; its operators are absorbed into this query.
+        """
+        left = self._require_head()
+        right = other._require_head()
+        self._operators.extend(other._operators)
+        join_op = JoinOperator(
+            self._next_id("join"), left, right,
+            left_key=left_key, right_key=right_key,
+            window=window, cost_per_tuple=cost,
+            selectivity_estimate=selectivity, share_key=share_key)
+        return self._push(join_op)
+
+    def union(self, other: "QueryBuilder",
+              cost: float = 0.1) -> "QueryBuilder":
+        """Merge this pipeline's head with *other*'s head."""
+        left = self._require_head()
+        right = other._require_head()
+        self._operators.extend(other._operators)
+        return self._push(UnionOperator(
+            self._next_id("union"), [left, right],
+            cost_per_tuple=cost))
+
+    # ------------------------------------------------------------------
+    # Finalization
+    # ------------------------------------------------------------------
+
+    def build(self) -> ContinuousQuery:
+        """Finalize into a :class:`ContinuousQuery` (sink = head)."""
+        head = self._require_head()
+        require(self._operators and head == self._operators[-1].op_id
+                or any(op.op_id == head for op in self._operators),
+                "pipeline has no operators — add at least one step")
+        return ContinuousQuery(
+            query_id=self._query_id,
+            operators=tuple(self._operators),
+            sink_id=head,
+            bid=self._bid,
+            valuation=self._valuation,
+            owner=self._owner,
+        )

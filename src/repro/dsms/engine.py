@@ -1,0 +1,297 @@
+"""The stream engine: shared execution, connection points, transition.
+
+A discrete-tick simulator of the paper's Aurora-style query network
+(Section II).  Each tick:
+
+1. every source emits its arrivals;
+2. operators execute **once each** in topological order, regardless of
+   how many admitted queries share them (this is the shared processing
+   that the admission mechanisms price);
+3. each query's sink output is appended to its result log;
+4. per-operator work (input tuples × cost) is metered for load
+   measurement.
+
+The **transition phase** (end-of-subscription-period replanning)
+follows the paper: upstream *connection points* hold arriving tuples,
+the in-flight tuples of the subnetworks being modified are drained
+through their downstream connection points, the planner applies the
+query changes, and the held tuples are input before newly arriving
+ones — so continuing queries observe a gap-free stream.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+from repro.dsms.load import LoadMeter
+from repro.dsms.metrics import EngineReport
+from repro.dsms.operators import AggregateOperator
+from repro.dsms.plan import ContinuousQuery, QueryPlanCatalog
+from repro.dsms.streams import StreamSource
+from repro.dsms.tuples import StreamTuple
+from repro.utils.validation import ValidationError, require
+
+
+class ConnectionPoint:
+    """An ingress buffer that can hold tuples during a transition."""
+
+    def __init__(self, stream_name: str) -> None:
+        self.stream_name = stream_name
+        self._held: list[StreamTuple] = []
+        self.holding = False
+
+    def accept(self, batch: Sequence[StreamTuple]) -> list[StreamTuple]:
+        """Pass *batch* through, or buffer it while holding."""
+        if self.holding:
+            self._held.extend(batch)
+            return []
+        return list(batch)
+
+    def release(self) -> list[StreamTuple]:
+        """Stop holding and return everything buffered, in order."""
+        self.holding = False
+        held, self._held = self._held, []
+        return held
+
+    @property
+    def held_count(self) -> int:
+        """Number of tuples currently held."""
+        return len(self._held)
+
+
+class StreamEngine:
+    """Executes admitted continuous queries over the sources.
+
+    ``capacity`` (optional) is the work budget per tick in the same
+    units the auction uses; the engine never refuses work — admission
+    control is the auction's job — but it meters overload so tests can
+    assert that admitted sets respect capacity on average.
+    """
+
+    def __init__(
+        self,
+        sources: Iterable[StreamSource],
+        capacity: float | None = None,
+    ) -> None:
+        self._sources: dict[str, StreamSource] = {}
+        for source in sources:
+            if source.name in self._sources:
+                raise ValidationError(
+                    f"duplicate stream name {source.name!r}")
+            self._sources[source.name] = source
+        self.capacity = capacity
+        self.catalog = QueryPlanCatalog()
+        self.meter = LoadMeter()
+        self.report = EngineReport(capacity=capacity)
+        self.results: dict[str, list[StreamTuple]] = {}
+        self._connection_points = {
+            name: ConnectionPoint(name) for name in self._sources}
+        self._tick = 0
+        self._in_transition = False
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+
+    def admit(self, query: ContinuousQuery) -> None:
+        """Register *query* for execution (validates stream inputs)."""
+        self.catalog.add(query)
+        missing = self.catalog.stream_names() - set(self._sources)
+        if missing:
+            self.catalog.remove(query.query_id)
+            raise ValidationError(
+                f"query {query.query_id!r} references unknown "
+                f"streams {sorted(missing)}")
+        self.results.setdefault(query.query_id, [])
+
+    def remove(self, query_id: str) -> ContinuousQuery:
+        """Deregister a query (its result log is kept)."""
+        return self.catalog.remove(query_id)
+
+    @property
+    def admitted_ids(self) -> set[str]:
+        """Ids of the currently admitted queries."""
+        return set(self.catalog.queries)
+
+    @property
+    def current_tick(self) -> int:
+        """The index of the last executed tick."""
+        return self._tick
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(self, ticks: int) -> EngineReport:
+        """Execute *ticks* ticks; returns the cumulative report."""
+        require(not self._in_transition,
+                "cannot run while a transition is open")
+        for _ in range(ticks):
+            self._execute_tick()
+        return self.report
+
+    def _execute_tick(self) -> None:
+        self._tick += 1
+        arrivals: dict[str, list[StreamTuple]] = {}
+        source_count = 0
+        for name, source in self._sources.items():
+            emitted = source.emit(self._tick)
+            source_count += len(emitted)
+            point = self._connection_points[name]
+            arrivals[name] = point.accept(emitted)
+        self._process(arrivals, source_count)
+
+    def _process(
+        self,
+        arrivals: Mapping[str, list[StreamTuple]],
+        source_count: int,
+    ) -> None:
+        outputs: dict[str, list[StreamTuple]] = {
+            name: list(batch) for name, batch in arrivals.items()}
+        work_by_op: dict[str, float] = {}
+        for op in self.catalog.topological_order():
+            batches = {name: outputs.get(name, []) for name in op.inputs}
+            work_by_op[op.op_id] = op.work(batches)
+            outputs[op.op_id] = op.execute(batches)
+        self.meter.record_tick(work_by_op)
+        delivered: dict[str, int] = {}
+        for query_id, query in self.catalog.queries.items():
+            produced = outputs.get(query.sink_id, [])
+            self.results[query_id].extend(produced)
+            delivered[query_id] = len(produced)
+        self.report.merge_tick(
+            source_count, sum(work_by_op.values()), delivered)
+
+    # ------------------------------------------------------------------
+    # Transition phase (Section II)
+    # ------------------------------------------------------------------
+
+    def begin_transition(self) -> None:
+        """Start holding arriving tuples at the connection points."""
+        require(not self._in_transition, "transition already open")
+        self._in_transition = True
+        for point in self._connection_points.values():
+            point.holding = True
+
+    def hold_tick(self) -> None:
+        """Let one tick of arrivals accumulate at the connection points.
+
+        Models wall-clock time passing while the planner works: sources
+        emit, nothing executes, nothing is lost.
+        """
+        require(self._in_transition, "no open transition")
+        self._tick += 1
+        held = 0
+        for name, source in self._sources.items():
+            emitted = source.emit(self._tick)
+            held += len(emitted)
+            self._connection_points[name].accept(emitted)
+
+    def drain(
+        self, query_ids: Iterable[str] | None = None
+    ) -> dict[str, int]:
+        """Flush in-flight tuples of the (to-be-modified) subnetworks.
+
+        Stateful operators belonging to *query_ids* (default: all
+        admitted queries) emit their buffered partial results to the
+        queries' logs, so nothing in their queues is silently dropped
+        by the replanning.  Returns drained-tuple counts per query.
+        """
+        require(self._in_transition, "no open transition")
+        targets = (set(self.catalog.queries) if query_ids is None
+                   else set(query_ids))
+        drained: dict[str, int] = {}
+        flushed: dict[str, list[StreamTuple]] = {}
+        for op in self.catalog.topological_order():
+            if isinstance(op, AggregateOperator) and op.pending_tuples():
+                used_by = set(self.catalog.queries_containing(op.op_id))
+                if used_by & targets:
+                    flushed[op.op_id] = self._flush_aggregate(op)
+        for query_id in targets:
+            query = self.catalog.queries[query_id]
+            produced = flushed.get(query.sink_id, [])
+            self.results[query_id].extend(produced)
+            drained[query_id] = len(produced)
+        return drained
+
+    @staticmethod
+    def _flush_aggregate(op: AggregateOperator) -> list[StreamTuple]:
+        """Force a partial-window emission from an aggregate operator."""
+        buffered = list(op._buffer)
+        if not buffered:
+            return []
+        groups: dict[object, list[StreamTuple]] = {}
+        for t in buffered:
+            key = op._group_by(t) if op._group_by else None
+            groups.setdefault(key, []).append(t)
+        output = []
+        tick = max(t.tick for t in buffered)
+        for key, members in groups.items():
+            values = [t.value(op._attribute) for t in members]
+            payload = {
+                "group": key,
+                "value": op._aggregate(values),
+                "count": len(members),
+                "partial": True,
+            }
+            origin = tuple(o for t in members for o in t.origin)
+            output.append(StreamTuple(
+                stream=op.op_id, tick=tick, payload=payload,
+                origin=origin))
+        op._buffer.clear()
+        op._window_start = None
+        return output
+
+    def end_transition(
+        self,
+        add: Sequence[ContinuousQuery] = (),
+        remove: Sequence[str] = (),
+    ) -> None:
+        """Apply the plan changes and replay the held tuples.
+
+        The held tuples are input *before* newly arriving tuples (they
+        form the first post-transition tick), preserving stream order
+        for continuing queries.
+        """
+        require(self._in_transition, "no open transition")
+        for query_id in remove:
+            self.remove(query_id)
+        for query in add:
+            self.admit(query)
+        released = {
+            name: point.release()
+            for name, point in self._connection_points.items()
+        }
+        self._in_transition = False
+        held_count = sum(len(batch) for batch in released.values())
+        if held_count:
+            self._tick += 1
+            self._process(released, 0)
+
+    def transition(
+        self,
+        add: Sequence[ContinuousQuery] = (),
+        remove: Sequence[str] = (),
+        hold_ticks: int = 1,
+    ) -> None:
+        """Convenience: the full transition-phase sequence."""
+        self.begin_transition()
+        drain_targets = set(remove)
+        if drain_targets:
+            self.drain(drain_targets)
+        for _ in range(hold_ticks):
+            self.hold_tick()
+        self.end_transition(add=add, remove=remove)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def held_tuples(self) -> int:
+        """Tuples currently held across all connection points."""
+        return sum(p.held_count
+                   for p in self._connection_points.values())
+
+    def measured_loads(self) -> dict[str, float]:
+        """Mean measured work per tick for every operator."""
+        return self.meter.measured_loads()

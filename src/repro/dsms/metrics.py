@@ -1,0 +1,55 @@
+"""Engine run reports: throughput, work, utilization."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Mapping
+
+
+@dataclass
+class EngineReport:
+    """Accumulated statistics of an engine run.
+
+    ``work_per_tick`` is the mean aggregate work executed per tick —
+    the engine-side counterpart of the auction's "used capacity"; with
+    a configured capacity, ``utilization`` normalizes it and
+    ``overload_ticks`` counts ticks whose work exceeded capacity.
+    """
+
+    ticks: int = 0
+    source_tuples: int = 0
+    delivered_tuples: Mapping[str, int] = field(default_factory=dict)
+    total_work: float = 0.0
+    capacity: float | None = None
+    overload_ticks: int = 0
+
+    @property
+    def work_per_tick(self) -> float:
+        """Mean work per tick over the run."""
+        if self.ticks == 0:
+            return 0.0
+        return self.total_work / self.ticks
+
+    @property
+    def utilization(self) -> float | None:
+        """Mean work as a fraction of capacity (None if unlimited)."""
+        if self.capacity is None or self.ticks == 0:
+            return None
+        return self.work_per_tick / self.capacity
+
+    def merge_tick(
+        self,
+        source_count: int,
+        work: float,
+        delivered: Mapping[str, int],
+    ) -> None:
+        """Fold one tick's numbers into the report."""
+        self.ticks += 1
+        self.source_tuples += source_count
+        self.total_work += work
+        if self.capacity is not None and work > self.capacity:
+            self.overload_ticks += 1
+        merged = dict(self.delivered_tuples)
+        for query_id, count in delivered.items():
+            merged[query_id] = merged.get(query_id, 0) + count
+        self.delivered_tuples = merged

@@ -1,0 +1,268 @@
+"""Operator scheduling under a per-tick work budget.
+
+The base :class:`~repro.dsms.engine.StreamEngine` executes every
+operator fully each tick — fine when the admission auction keeps
+aggregate load within capacity, but the Aurora-style systems the paper
+builds on (and cites: Sharaf et al.'s operator-scheduling metrics)
+process tuples through *bounded* CPU with queues between operators.
+:class:`ScheduledEngine` models exactly that:
+
+* each operator owns an input **queue** per input;
+* each tick has a **work budget** (the capacity); a pluggable
+  :class:`SchedulingPolicy` decides which operator runs next and how
+  many queued tuples it may consume;
+* unconsumed tuples wait — queue lengths and **tuple latency** (ticks
+  from source arrival to sink emission) become measurable.
+
+This gives the library the back-pressure story behind the paper's
+admission control: an over-admitted system doesn't crash, it builds
+queues and latency without bound — which is why you price admission in
+the first place (``tests/dsms/test_scheduler.py`` demonstrates both
+regimes).
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import deque
+from dataclasses import dataclass
+from collections.abc import Iterable, Sequence
+
+from repro.dsms.operators import StreamOperator
+from repro.dsms.plan import ContinuousQuery, QueryPlanCatalog
+from repro.dsms.streams import StreamSource
+from repro.dsms.tuples import StreamTuple
+from repro.utils.validation import ValidationError, require
+
+
+class SchedulingPolicy(abc.ABC):
+    """Orders the runnable operators within a tick."""
+
+    name = "policy"
+
+    @abc.abstractmethod
+    def order(
+        self,
+        operators: Sequence[StreamOperator],
+        queue_lengths: dict[str, int],
+    ) -> list[StreamOperator]:
+        """Operators in the order they should be offered work."""
+
+
+class RoundRobinPolicy(SchedulingPolicy):
+    """Cycles through the operators, rotating the head each tick."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._offset = 0
+
+    def order(self, operators, queue_lengths):
+        if not operators:
+            return []
+        rotation = self._offset % len(operators)
+        self._offset += 1
+        return list(operators[rotation:]) + list(operators[:rotation])
+
+
+class LongestQueueFirstPolicy(SchedulingPolicy):
+    """Serves the operator with the most queued input first."""
+
+    name = "longest-queue-first"
+
+    def order(self, operators, queue_lengths):
+        return sorted(
+            operators,
+            key=lambda op: (-queue_lengths.get(op.op_id, 0), op.op_id))
+
+
+class CheapestFirstPolicy(SchedulingPolicy):
+    """Serves cheap operators first (max tuples drained per unit work,
+    the throughput-greedy policy)."""
+
+    name = "cheapest-first"
+
+    def order(self, operators, queue_lengths):
+        return sorted(operators,
+                      key=lambda op: (op.cost_per_tuple, op.op_id))
+
+
+@dataclass
+class LatencyStats:
+    """Accumulated sink-delivery latency in ticks."""
+
+    total: float = 0.0
+    count: int = 0
+    maximum: int = 0
+
+    def record(self, latency: int) -> None:
+        self.total += latency
+        self.count += 1
+        self.maximum = max(self.maximum, latency)
+
+    @property
+    def mean(self) -> float:
+        """Mean latency (0 when nothing was delivered)."""
+        return self.total / self.count if self.count else 0.0
+
+
+class ScheduledEngine:
+    """A bounded-work engine with per-operator input queues."""
+
+    def __init__(
+        self,
+        sources: Iterable[StreamSource],
+        capacity: float,
+        policy: SchedulingPolicy | None = None,
+    ) -> None:
+        require(capacity > 0, "capacity must be positive")
+        self._sources: dict[str, StreamSource] = {}
+        for source in sources:
+            if source.name in self._sources:
+                raise ValidationError(
+                    f"duplicate stream name {source.name!r}")
+            self._sources[source.name] = source
+        self.capacity = float(capacity)
+        self.policy = policy or RoundRobinPolicy()
+        self.catalog = QueryPlanCatalog()
+        self.results: dict[str, list[StreamTuple]] = {}
+        self.latency: dict[str, LatencyStats] = {}
+        # op id -> input name -> queue of (arrival tick, tuple)
+        self._queues: dict[str, dict[str, deque]] = {}
+        self._tick = 0
+        self.work_done = 0.0
+        self.ticks_run = 0
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+
+    def admit(self, query: ContinuousQuery) -> None:
+        """Register *query* and allocate queues for its operators."""
+        self.catalog.add(query)
+        missing = self.catalog.stream_names() - set(self._sources)
+        if missing:
+            self.catalog.remove(query.query_id)
+            raise ValidationError(
+                f"query {query.query_id!r} references unknown "
+                f"streams {sorted(missing)}")
+        self.results.setdefault(query.query_id, [])
+        self.latency.setdefault(query.query_id, LatencyStats())
+        for op in self.catalog.operators.values():
+            queues = self._queues.setdefault(op.op_id, {})
+            for name in op.inputs:
+                queues.setdefault(name, deque())
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def queue_length(self, op_id: str) -> int:
+        """Total queued tuples across an operator's inputs."""
+        return sum(len(q) for q in self._queues.get(op_id, {}).values())
+
+    def total_queued(self) -> int:
+        """Tuples waiting anywhere in the network."""
+        return sum(self.queue_length(op_id) for op_id in self._queues)
+
+    def run(self, ticks: int) -> None:
+        """Execute *ticks* budget-bounded ticks."""
+        for _ in range(ticks):
+            self._execute_tick()
+
+    def _execute_tick(self) -> None:
+        self._tick += 1
+        self.ticks_run += 1
+        # 1. Source arrivals enter the queues of consuming operators.
+        arrivals = {name: source.emit(self._tick)
+                    for name, source in self._sources.items()}
+        for op in self.catalog.operators.values():
+            for name in op.inputs:
+                if name in arrivals:
+                    queue = self._queues[op.op_id][name]
+                    for t in arrivals[name]:
+                        queue.append((self._tick, t))
+
+        # 2. Spend the work budget according to the policy.  Multiple
+        # passes let downstream operators consume what upstream ones
+        # emitted this same tick, until the budget or the queues run
+        # out.
+        budget = self.capacity
+        progressed = True
+        while budget > 1e-12 and progressed:
+            progressed = False
+            operators = [op for op in self.catalog.topological_order()
+                         if self.queue_length(op.op_id) > 0]
+            queue_lengths = {op.op_id: self.queue_length(op.op_id)
+                             for op in operators}
+            for op in self.policy.order(operators, queue_lengths):
+                if budget <= 1e-12:
+                    break
+                consumed, emitted = self._run_operator(op, budget)
+                if consumed:
+                    progressed = True
+                    budget -= consumed * op.cost_per_tuple
+                    self.work_done += consumed * op.cost_per_tuple
+                    self._route(op, emitted)
+
+    def _run_operator(
+        self, op: StreamOperator, budget: float
+    ) -> tuple[int, list[StreamTuple]]:
+        """Drain as much of *op*'s queues as the budget allows."""
+        if op.cost_per_tuple <= 0:
+            affordable = self.queue_length(op.op_id)
+        else:
+            affordable = int(budget / op.cost_per_tuple)
+        if affordable <= 0:
+            return 0, []
+        batches: dict[str, list[StreamTuple]] = {}
+        consumed = 0
+        for name, queue in self._queues[op.op_id].items():
+            take = min(len(queue), affordable - consumed)
+            batch = []
+            for _ in range(take):
+                _arrival, t = queue.popleft()
+                batch.append(t)
+            batches[name] = batch
+            consumed += take
+            if consumed >= affordable:
+                break
+        if consumed == 0:
+            return 0, []
+        emitted = op.execute(batches)
+        return consumed, emitted
+
+    def _route(self, op: StreamOperator,
+               emitted: list[StreamTuple]) -> None:
+        """Deliver an operator's output to consumers and sinks."""
+        if not emitted:
+            return
+        for downstream in self.catalog.operators.values():
+            if op.op_id in downstream.inputs:
+                queue = self._queues[downstream.op_id][op.op_id]
+                for t in emitted:
+                    queue.append((self._tick, t))
+        for query_id, query in self.catalog.queries.items():
+            if query.sink_id == op.op_id:
+                stats = self.latency[query_id]
+                for t in emitted:
+                    self.results[query_id].append(t)
+                    birth = min(
+                        (int(origin.split("@")[1].split("#")[0])
+                         for origin in t.origin
+                         if "@" in origin),
+                        default=self._tick)
+                    stats.record(self._tick - birth)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def mean_work_per_tick(self) -> float:
+        """Average work actually executed per tick."""
+        return self.work_done / self.ticks_run if self.ticks_run else 0.0
+
+    def mean_latency(self, query_id: str) -> float:
+        """Mean delivery latency of *query_id*'s results, in ticks."""
+        return self.latency[query_id].mean

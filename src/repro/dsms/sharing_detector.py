@@ -1,0 +1,134 @@
+"""Common-subexpression detection — the machinery that *creates* sharing.
+
+The paper's premise (Section II): "many CQs are monitoring a few hot
+streams, and many of the CQs are similar, but not identical", so the
+system shares operator processing between them.  Queries, however,
+arrive from independent users who name their operators independently;
+somebody has to notice that two SELECTs over the same stream with the
+same parameters are the same computation.  This module is that
+somebody:
+
+* every operator gets a structural :func:`operator_signature` — its
+  type, its (rewritten) inputs, its cost, and a parameter fingerprint
+  supplied at construction;
+* :func:`canonicalize` rewrites a batch of queries bottom-up, mapping
+  equal-signature operators to one canonical id, so the catalog's
+  merge-by-id sharing kicks in automatically.
+
+Predicates and functions are compared by their *parameter fingerprint*
+(``share_key``), not by Python object identity: two users' "volume >
+5000" filters share iff they declare the same key.  Operators without
+a ``share_key`` are conservatively treated as private.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable, Sequence
+
+from repro.dsms.operators import StreamOperator
+from repro.dsms.plan import ContinuousQuery
+
+
+def operator_signature(
+    op: StreamOperator,
+    resolved_inputs: Sequence[str],
+) -> "str | None":
+    """Structural identity of *op*, or ``None`` when unshareable.
+
+    *resolved_inputs* are the operator's inputs after upstream
+    canonicalization, so equality is transitive through a pipeline.
+    """
+    share_key = getattr(op, "share_key", None)
+    if share_key is None:
+        return None
+    return "|".join([
+        type(op).__name__,
+        ",".join(resolved_inputs),
+        f"{op.cost_per_tuple:.12g}",
+        str(share_key),
+    ])
+
+
+@dataclass(frozen=True)
+class CanonicalizationReport:
+    """What the detector rewrote."""
+
+    queries: tuple[ContinuousQuery, ...]
+    merged_operators: int
+    canonical_ids: dict[str, str]  # original id -> canonical id
+
+
+def canonicalize(
+    queries: Iterable[ContinuousQuery],
+) -> CanonicalizationReport:
+    """Rewrite *queries* so structurally-equal operators share one id.
+
+    Operators are processed in each query's dependency order; an
+    operator whose signature was seen before (in any query) is replaced
+    by the first-seen operator object, and downstream inputs are
+    rewritten to the canonical id.  Unshareable operators (no
+    ``share_key``) keep their original ids, uniquified per query owner
+    to avoid accidental collisions.
+    """
+    signature_to_op: dict[str, StreamOperator] = {}
+    canonical_ids: dict[str, str] = {}
+    merged = 0
+    rewritten_queries: list[ContinuousQuery] = []
+
+    for query in queries:
+        by_id = {op.op_id: op for op in query.operators}
+        # Resolve in dependency order within the query.
+        resolved: dict[str, str] = {}
+        new_ops: dict[str, StreamOperator] = {}
+
+        def resolve(op: StreamOperator) -> str:
+            if op.op_id in resolved:
+                return resolved[op.op_id]
+            inputs = [
+                resolve(by_id[name]) if name in by_id else name
+                for name in op.inputs
+            ]
+            signature = operator_signature(op, inputs)
+            nonlocal merged
+            if signature is None:
+                # Private operator: keep it, but re-home it onto the
+                # canonical upstream ids.
+                canonical = op
+                if tuple(inputs) != op.inputs:
+                    op.inputs = tuple(inputs)
+                canonical_id = op.op_id
+            elif signature in signature_to_op:
+                canonical = signature_to_op[signature]
+                canonical_id = canonical.op_id
+                if canonical_id != op.op_id:
+                    merged += 1
+            else:
+                # First sighting: re-home the operator onto the
+                # resolved inputs if upstream ids changed.
+                canonical = op
+                if tuple(inputs) != op.inputs:
+                    op.inputs = tuple(inputs)
+                signature_to_op[signature] = canonical
+                canonical_id = canonical.op_id
+            resolved[op.op_id] = canonical_id
+            canonical_ids[op.op_id] = canonical_id
+            new_ops[canonical_id] = canonical
+            return canonical_id
+
+        for op in query.operators:
+            resolve(op)
+        rewritten_queries.append(ContinuousQuery(
+            query_id=query.query_id,
+            operators=tuple(new_ops.values()),
+            sink_id=resolved[query.sink_id],
+            bid=query.bid,
+            valuation=query.valuation,
+            owner=query.owner,
+        ))
+
+    return CanonicalizationReport(
+        queries=tuple(rewritten_queries),
+        merged_operators=merged,
+        canonical_ids=canonical_ids,
+    )

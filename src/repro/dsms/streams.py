@@ -1,0 +1,131 @@
+"""Synthetic stream sources.
+
+The paper's motivating streams (stock quotes, news stories, sensor
+readings) are modelled as seeded synthetic generators emitting a batch
+of tuples per engine tick.  Rates may be constant or stochastic; every
+source is deterministic given its seed, so engine runs are
+reproducible.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Callable, Mapping
+
+import numpy as np
+
+from repro.dsms.tuples import StreamTuple
+from repro.utils.rng import spawn_rng
+from repro.utils.validation import require_non_negative
+
+
+class StreamSource(abc.ABC):
+    """A named source emitting tuples per tick."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.emitted = 0
+
+    @abc.abstractmethod
+    def _generate(self, tick: int) -> list[StreamTuple]:
+        """Produce this tick's tuples (subclass hook)."""
+
+    def emit(self, tick: int) -> list[StreamTuple]:
+        """Tuples arriving on this stream during *tick*."""
+        batch = self._generate(tick)
+        self.emitted += len(batch)
+        return batch
+
+    @abc.abstractmethod
+    def expected_rate(self) -> float:
+        """Mean tuples per tick (drives analytic load estimation)."""
+
+
+class SyntheticStream(StreamSource):
+    """General synthetic source: Poisson arrivals, generated payloads.
+
+    ``payload_fn(rng, tick, index)`` builds each tuple's payload; the
+    default emits an empty record.  ``rate`` is the Poisson mean per
+    tick (``poisson=False`` makes it an exact constant batch size).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        rate: float,
+        payload_fn: "Callable[[np.random.Generator, int, int], Mapping[str, object]] | None" = None,
+        seed: "int | np.random.Generator | None" = 0,
+        poisson: bool = True,
+    ) -> None:
+        super().__init__(name)
+        require_non_negative(rate, f"rate of stream {name!r}")
+        self._rate = float(rate)
+        self._payload_fn = payload_fn
+        self._rng = spawn_rng(seed)
+        self._poisson = poisson
+
+    def _generate(self, tick: int) -> list[StreamTuple]:
+        if self._poisson:
+            count = int(self._rng.poisson(self._rate))
+        else:
+            count = int(round(self._rate))
+        batch = []
+        for index in range(count):
+            payload = ({} if self._payload_fn is None
+                       else dict(self._payload_fn(self._rng, tick, index)))
+            batch.append(StreamTuple(
+                stream=self.name, tick=tick, payload=payload,
+                origin=(f"{self.name}@{tick}#{index}",)))
+        return batch
+
+    def expected_rate(self) -> float:
+        return self._rate
+
+
+def stock_quotes(
+    name: str = "quotes",
+    rate: float = 20.0,
+    symbols: tuple[str, ...] = ("AAA", "BBB", "CCC", "DDD"),
+    seed: "int | np.random.Generator | None" = 0,
+) -> SyntheticStream:
+    """A stock-quote stream: symbol, price, and trade volume."""
+    def payload(rng: np.random.Generator, _tick: int, _i: int):
+        return {
+            "symbol": symbols[int(rng.integers(0, len(symbols)))],
+            "price": float(np.round(rng.lognormal(3.0, 0.5), 2)),
+            "volume": int(rng.integers(1, 10_000)),
+        }
+    return SyntheticStream(name, rate, payload, seed=seed)
+
+
+def news_stories(
+    name: str = "news",
+    rate: float = 5.0,
+    companies: tuple[str, ...] = ("AAA", "BBB", "CCC", "DDD", "EEE"),
+    seed: "int | np.random.Generator | None" = 1,
+) -> SyntheticStream:
+    """A news stream: mentioned company and a public-listing flag."""
+    def payload(rng: np.random.Generator, _tick: int, _i: int):
+        return {
+            "company": companies[int(rng.integers(0, len(companies)))],
+            "public": bool(rng.random() < 0.8),
+            "sentiment": float(np.round(rng.uniform(-1, 1), 3)),
+        }
+    return SyntheticStream(name, rate, payload, seed=seed)
+
+
+def sensor_readings(
+    name: str = "sensors",
+    rate: float = 10.0,
+    num_sensors: int = 8,
+    seed: "int | np.random.Generator | None" = 2,
+) -> SyntheticStream:
+    """An environmental-sensor stream: sensor id and a measurement."""
+    def payload(rng: np.random.Generator, tick: int, _i: int):
+        sensor = int(rng.integers(0, num_sensors))
+        base = 20.0 + 5.0 * np.sin(tick / 10.0 + sensor)
+        return {
+            "sensor": sensor,
+            "temperature": float(np.round(base + rng.normal(0, 1), 2)),
+        }
+    return SyntheticStream(name, rate, payload, seed=seed)

@@ -1,0 +1,180 @@
+"""Additional window operators: sliding aggregates, distinct, top-k.
+
+The paper's stock-monitoring motivation ("many aggregate CQs will be
+defined on few indexes, with similar aggregate functions, but different
+joins and different windows") needs more window shapes than the core
+tumbling aggregate.  These follow the same :class:`StreamOperator`
+contract (batch in, batch out, per-tuple cost, selectivity estimate),
+so plans, sharing, load estimation and the engine all apply unchanged.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable
+
+from repro.dsms.operators import StreamOperator
+from repro.dsms.tuples import StreamTuple
+from repro.utils.validation import require_positive
+
+
+class SlidingAggregateOperator(StreamOperator):
+    """Sliding-window aggregate: one output per tick over the last
+    ``window`` ticks of input (grouped, optionally)."""
+
+    def __init__(
+        self,
+        op_id: str,
+        input_name: str,
+        attribute: str,
+        aggregate: Callable[[list[object]], object],
+        window: int = 5,
+        group_by: "Callable[[StreamTuple], object] | None" = None,
+        cost_per_tuple: float = 2.0,
+        share_key: object = None,
+    ) -> None:
+        super().__init__(
+            op_id, [input_name], cost_per_tuple,
+            share_key=(None if share_key is None
+                       else (share_key, window, attribute)))
+        require_positive(window, f"window of {op_id!r}")
+        self._attribute = attribute
+        self._aggregate = aggregate
+        self._window = int(window)
+        self._group_by = group_by
+        self._buffer: deque[StreamTuple] = deque()
+        self._last_tick = 0
+
+    def _process(self, batches):
+        incoming = list(batches.get(self.inputs[0], ()))
+        if incoming:
+            self._last_tick = max(t.tick for t in incoming)
+        self._buffer.extend(incoming)
+        horizon = self._last_tick - self._window + 1
+        while self._buffer and self._buffer[0].tick < horizon:
+            self._buffer.popleft()
+        if not self._buffer:
+            return []
+        groups: dict[object, list[StreamTuple]] = {}
+        for t in self._buffer:
+            key = self._group_by(t) if self._group_by else None
+            groups.setdefault(key, []).append(t)
+        output = []
+        for key, members in groups.items():
+            values = [t.value(self._attribute) for t in members]
+            output.append(StreamTuple(
+                stream=self.op_id,
+                tick=self._last_tick,
+                payload={"group": key,
+                         "value": self._aggregate(values),
+                         "count": len(members)},
+                origin=tuple(o for t in members for o in t.origin),
+            ))
+        return output
+
+    def selectivity(self) -> float:
+        # Roughly one output per group per tick; a single-group stream
+        # maps rate r to rate 1, so 1/max(window, 1) is conservative.
+        return 1.0 / self._window
+
+    def reset(self) -> None:
+        super().reset()
+        self._buffer.clear()
+        self._last_tick = 0
+
+    def pending_tuples(self) -> int:
+        return len(self._buffer)
+
+
+class DistinctOperator(StreamOperator):
+    """Deduplication on a key over a sliding tick window."""
+
+    def __init__(
+        self,
+        op_id: str,
+        input_name: str,
+        key: Callable[[StreamTuple], object],
+        window: int = 10,
+        cost_per_tuple: float = 0.5,
+        share_key: object = None,
+    ) -> None:
+        super().__init__(
+            op_id, [input_name], cost_per_tuple,
+            share_key=(None if share_key is None
+                       else (share_key, window)))
+        require_positive(window, f"window of {op_id!r}")
+        self._key = key
+        self._window = int(window)
+        self._seen: dict[object, int] = {}
+
+    def _process(self, batches):
+        output = []
+        for t in batches.get(self.inputs[0], ()):
+            horizon = t.tick - self._window
+            key = self._key(t)
+            last = self._seen.get(key)
+            if last is None or last <= horizon:
+                output.append(t)
+            self._seen[key] = t.tick
+        return output
+
+    def selectivity(self) -> float:
+        return 0.5
+
+    def reset(self) -> None:
+        super().reset()
+        self._seen.clear()
+
+
+class TopKOperator(StreamOperator):
+    """Emits, each tick, the current top-k tuples by a score within a
+    sliding window (think: the k hottest stocks right now)."""
+
+    def __init__(
+        self,
+        op_id: str,
+        input_name: str,
+        score: Callable[[StreamTuple], float],
+        k: int = 3,
+        window: int = 5,
+        cost_per_tuple: float = 1.0,
+        share_key: object = None,
+    ) -> None:
+        super().__init__(
+            op_id, [input_name], cost_per_tuple,
+            share_key=(None if share_key is None
+                       else (share_key, k, window)))
+        require_positive(k, f"k of {op_id!r}")
+        require_positive(window, f"window of {op_id!r}")
+        self._score = score
+        self._k = int(k)
+        self._window = int(window)
+        self._buffer: deque[StreamTuple] = deque()
+        self._last_tick = 0
+
+    def _process(self, batches):
+        incoming = list(batches.get(self.inputs[0], ()))
+        if incoming:
+            self._last_tick = max(t.tick for t in incoming)
+        self._buffer.extend(incoming)
+        horizon = self._last_tick - self._window + 1
+        while self._buffer and self._buffer[0].tick < horizon:
+            self._buffer.popleft()
+        if not incoming:
+            return []
+        ranked = sorted(self._buffer, key=self._score, reverse=True)
+        return [
+            t.derive(payload={**t.payload, "rank": rank + 1})
+            for rank, t in enumerate(ranked[:self._k])
+        ]
+
+    def selectivity(self) -> float:
+        return min(1.0, self._k / max(self._window, 1))
+
+    def reset(self) -> None:
+        super().reset()
+        self._buffer.clear()
+        self._last_tick = 0
+
+    def pending_tuples(self) -> int:
+        return len(self._buffer)

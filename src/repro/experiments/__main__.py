@@ -1,0 +1,6 @@
+"""CLI entry point: ``python -m repro.experiments`` prints the report."""
+
+from repro.experiments.report import full_report
+
+if __name__ == "__main__":
+    print(full_report().render())

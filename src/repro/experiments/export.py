@@ -1,0 +1,86 @@
+"""CSV export of experiment series.
+
+The harness renders ASCII for the terminal; anyone re-plotting the
+figures wants machine-readable series.  ``export_sweep`` /
+``export_figure5`` / ``export_report`` write tidy CSV (one row per
+(mechanism, degree) observation, with means and standard deviations),
+loadable by pandas/gnuplot/anything.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.experiments.figures import FigureResult
+from repro.experiments.harness import SweepResult
+from repro.experiments.lying import FIGURE5_SERIES, Figure5Result
+
+#: Metrics exported for every sweep cell.
+SWEEP_METRICS = ("profit", "admission_rate", "total_user_payoff",
+                 "utilization", "runtime_ms")
+
+
+def export_sweep(sweep: SweepResult, path: "str | Path") -> Path:
+    """Write a sharing sweep as tidy CSV; returns the path."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        header = ["capacity", "mechanism", "degree", "samples"]
+        for metric in SWEEP_METRICS:
+            header.extend([metric, f"{metric}_std"])
+        writer.writerow(header)
+        for (mechanism, degree), cell in sorted(sweep.cells.items()):
+            row: list[object] = [
+                sweep.capacity_label, mechanism, degree, cell.samples]
+            for metric in SWEEP_METRICS:
+                row.extend([getattr(cell, metric), cell.std(metric)])
+            writer.writerow(row)
+    return path
+
+
+def export_figure(figure: FigureResult, path: "str | Path") -> Path:
+    """Write one figure's (degree × mechanism) matrix as CSV."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["degree", *figure.mechanisms])
+        for row in figure.rows():
+            writer.writerow(row)
+    return path
+
+
+def export_figure5(result: Figure5Result, path: "str | Path") -> Path:
+    """Write the Figure 5 profit series as CSV."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["degree", *FIGURE5_SERIES])
+        for degree in result.scale.degrees:
+            writer.writerow([
+                degree,
+                *(result.cell(series, degree).profit
+                  for series in FIGURE5_SERIES),
+            ])
+    return path
+
+
+def export_report(report, directory: "str | Path") -> list[Path]:
+    """Write every series of a :class:`FullReport` under *directory*."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = [
+        export_figure(report.figure_4a, directory / "figure4a.csv"),
+        export_figure(report.figure_4b, directory / "figure4b.csv"),
+    ]
+    labels = ("c", "d", "e", "f")
+    for label, figure in zip(labels, report.profit_figures):
+        written.append(export_figure(
+            figure, directory / f"figure4{label}_profit.csv"))
+    written.append(export_figure5(
+        report.figure_5, directory / "figure5.csv"))
+    if report.figure_5_overloaded is not None:
+        written.append(export_figure5(
+            report.figure_5_overloaded,
+            directory / "figure5_overloaded.csv"))
+    return written

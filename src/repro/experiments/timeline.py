@@ -1,0 +1,181 @@
+"""Multi-period churn simulation: revenue over time per mechanism.
+
+The paper's system model re-auctions "at the end of each subscription
+period, say a day" (Section II), with the client population churning:
+new queries arrive, served clients re-bid, unserved ones eventually
+walk away.  This experiment runs that timeline for each mechanism on
+identical arrival sequences and reports per-period and cumulative
+revenue, admissions, and client retention — the business view the
+single-shot Figure 4 numbers summarize.
+
+Dynamics per period (all seeded):
+
+* ``arrivals_per_period`` new queries arrive, drawing operators from a
+  shared catalogue (hot operators get shared, per the Zipf popularity)
+  and bids from the Table III rank profile;
+* every still-present query participates in the auction (truthfully);
+* winners stay for the next period with probability ``retention``;
+  losers leave with probability ``loser_departure``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.mechanism import Mechanism
+from repro.core.model import AuctionInstance, Operator, Query
+from repro.experiments.harness import mechanism_factory
+from repro.utils.rng import derive_seed, spawn_rng
+from repro.utils.tables import format_table
+from repro.workload.zipf import BoundedZipf
+
+
+@dataclass(frozen=True)
+class ChurnConfig:
+    """Knobs of the churn timeline."""
+
+    periods: int = 20
+    arrivals_per_period: int = 12
+    catalogue_size: int = 40
+    max_operator_load: int = 10
+    load_skew: float = 1.0
+    operator_popularity_skew: float = 1.0
+    operators_per_query: int = 3
+    max_bid: float = 100.0
+    bid_skew: float = 0.5
+    capacity: float = 60.0
+    retention: float = 0.85
+    loser_departure: float = 0.5
+
+
+@dataclass
+class PeriodRecord:
+    """One period's business numbers for one mechanism."""
+
+    period: int
+    candidates: int
+    admitted: int
+    revenue: float
+    utilization: float
+
+
+@dataclass
+class TimelineResult:
+    """The full timeline for a set of mechanisms."""
+
+    config: ChurnConfig
+    records: dict[str, list[PeriodRecord]] = field(default_factory=dict)
+
+    def cumulative_revenue(self, mechanism: str) -> float:
+        """Total revenue a mechanism collected over the timeline."""
+        return sum(r.revenue for r in self.records[mechanism])
+
+    def render(self) -> str:
+        mechanisms = sorted(self.records)
+        rows = []
+        for mechanism in mechanisms:
+            records = self.records[mechanism]
+            rows.append([
+                mechanism,
+                self.cumulative_revenue(mechanism),
+                sum(r.admitted for r in records) / len(records),
+                sum(r.candidates for r in records) / len(records),
+                sum(r.utilization for r in records) / len(records),
+            ])
+        return format_table(
+            ["mechanism", "total revenue", "mean admitted",
+             "mean candidates", "mean util"],
+            rows, precision=2,
+            title=(f"Churn timeline — {self.config.periods} periods, "
+                   f"{self.config.arrivals_per_period} arrivals/period, "
+                   f"capacity {self.config.capacity:g}"))
+
+
+class _ClientPopulation:
+    """Generates identical arrival sequences for every mechanism."""
+
+    def __init__(self, config: ChurnConfig, seed: int) -> None:
+        self._config = config
+        rng = spawn_rng(derive_seed(seed, "catalogue"))
+        load_dist = BoundedZipf(config.max_operator_load,
+                                config.load_skew)
+        self.operators = {
+            f"op{i}": Operator(f"op{i}",
+                               float(load_dist.sample(rng)))
+            for i in range(config.catalogue_size)
+        }
+        popularity = BoundedZipf(config.catalogue_size,
+                                 config.operator_popularity_skew)
+        self._popularity = popularity
+        self._seed = seed
+        self._next_rank = 1
+
+    def arrivals(self, period: int) -> list[Query]:
+        """The new queries arriving at *period* (deterministic)."""
+        config = self._config
+        rng = spawn_rng(derive_seed(self._seed, "arrivals", period))
+        queries = []
+        for index in range(config.arrivals_per_period):
+            ops: set[str] = set()
+            while len(ops) < config.operators_per_query:
+                pick = int(self._popularity.sample(rng)) - 1
+                ops.add(f"op{pick}")
+            # Bids follow the rank profile globally across the run, so
+            # late arrivals are not systematically richer.
+            rank = rng.integers(
+                1, config.periods * config.arrivals_per_period + 1)
+            bid = config.max_bid * float(rank) ** (-config.bid_skew)
+            queries.append(Query(
+                query_id=f"p{period}a{index}",
+                operator_ids=tuple(sorted(ops)),
+                bid=bid,
+                owner=f"client_p{period}a{index}",
+            ))
+        return queries
+
+
+def run_timeline(
+    mechanisms: Sequence[str] = ("CAF", "CAT", "Two-price"),
+    config: ChurnConfig | None = None,
+    seed: int = 0,
+) -> TimelineResult:
+    """Run the churn timeline for each mechanism on identical arrivals."""
+    config = config or ChurnConfig()
+    result = TimelineResult(config=config)
+    for name in mechanisms:
+        population = _ClientPopulation(config, seed)
+        departure_rng = spawn_rng(derive_seed(seed, "departures", name))
+        present: dict[str, Query] = {}
+        records: list[PeriodRecord] = []
+        for period in range(1, config.periods + 1):
+            for query in population.arrivals(period):
+                present[query.query_id] = query
+            instance = AuctionInstance(
+                population.operators,
+                tuple(present.values()),
+                config.capacity,
+            )
+            mechanism: Mechanism = mechanism_factory(
+                name, derive_seed(seed, "mech", name, period))
+            outcome = mechanism.run(instance)
+            records.append(PeriodRecord(
+                period=period,
+                candidates=instance.num_queries,
+                admitted=len(outcome.winner_ids),
+                revenue=outcome.profit,
+                utilization=outcome.utilization,
+            ))
+            # Churn: winners mostly stay, losers mostly leave.
+            survivors: dict[str, Query] = {}
+            for query_id, query in present.items():
+                if outcome.is_winner(query_id):
+                    if departure_rng.random() < config.retention:
+                        survivors[query_id] = query
+                elif departure_rng.random() >= config.loser_departure:
+                    survivors[query_id] = query
+            present = survivors
+        result.records[name] = records
+    return result

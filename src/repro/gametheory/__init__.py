@@ -1,0 +1,69 @@
+"""Game-theoretic analysis: strategyproofness, critical values, sybil
+attacks and the paper's property tables."""
+
+from repro.gametheory.attacks import (
+    TableIIScenario,
+    TwoPriceCoinScenario,
+    cat_plus_table2_attack,
+    coin_two_price_factory,
+    fair_share_attack,
+    two_price_coin_attack,
+)
+from repro.gametheory.critical_value import critical_value, wins_at_bid
+from repro.gametheory.monotonicity import (
+    MonotonicityViolation,
+    check_bid_monotonicity,
+    check_subset_monotonicity,
+    scan_monotonicity,
+)
+from repro.gametheory.properties import (
+    TABLE_I,
+    PropertyVerdict,
+    render_verdicts,
+    verify_properties,
+)
+from repro.gametheory.strategyproof import (
+    Misreport,
+    find_profitable_misreport,
+    scan_strategyproofness,
+)
+from repro.gametheory.sybil import (
+    AttackAssessment,
+    ImmunityViolation,
+    SybilAttack,
+    assess_attack,
+    check_immunity_characterization,
+    random_attack,
+    search_combined_attack,
+    search_sybil_attack,
+)
+
+__all__ = [
+    "AttackAssessment",
+    "ImmunityViolation",
+    "Misreport",
+    "MonotonicityViolation",
+    "PropertyVerdict",
+    "SybilAttack",
+    "TABLE_I",
+    "TableIIScenario",
+    "TwoPriceCoinScenario",
+    "assess_attack",
+    "cat_plus_table2_attack",
+    "check_bid_monotonicity",
+    "check_immunity_characterization",
+    "check_subset_monotonicity",
+    "coin_two_price_factory",
+    "critical_value",
+    "fair_share_attack",
+    "find_profitable_misreport",
+    "random_attack",
+    "render_verdicts",
+    "scan_monotonicity",
+    "scan_strategyproofness",
+    "search_combined_attack",
+    "search_sybil_attack",
+    "two_price_coin_attack",
+    "verify_properties",
+    "wins_at_bid",
+]

@@ -1,0 +1,174 @@
+"""The paper's constructive sybil attacks (Section V).
+
+Three canned attacks, each matching a theorem:
+
+* :func:`fair_share_attack` — Theorem 15's universal attack on CAF and
+  CAF+: fake negligible-value queries sharing the attacker's operators
+  deflate her static fair-share load, improving her rank and cutting
+  her payment.
+* :func:`cat_plus_table2_attack` — the Table II instance defeating
+  CAT+ (Theorem 17): a fake with infinitesimal load and high density
+  squeezes a competitor out of the remaining capacity.
+* :func:`two_price_coin_attack` — Section V-C's instance against the
+  coin-flip variant of Two-price, which violates property 2 of the
+  sybil-immunity characterization: the attacker's expected *payment*
+  drops by more than the fakes' expected charges.  (The payoff-level
+  attack proving Theorem 20 for the even-partition mechanism is in the
+  companion thesis [18]; :func:`repro.gametheory.sybil.search_sybil_attack`
+  provides a randomized search over such instances.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.model import AuctionInstance, Operator, Query
+from repro.core.two_price import TwoPrice
+from repro.gametheory.sybil import SybilAttack
+
+
+def fair_share_attack(
+    instance: AuctionInstance,
+    query_id: str,
+    num_fakes: int = 4,
+    fake_bid: float = 1e-6,
+) -> SybilAttack:
+    """Theorem 15's attack: fakes share *query_id*'s operators.
+
+    Each fake duplicates the target query's operator set and bids a
+    negligible amount, so the fakes themselves are never in danger of
+    winning (and owing payments) while every shared operator's
+    fair-share divisor grows by *num_fakes*.
+    """
+    target = instance.query(query_id)
+    attacker = target.owner_id
+    fakes = tuple(
+        Query(
+            query_id=f"__fs_fake_{query_id}_{index}",
+            operator_ids=target.operator_ids,
+            bid=fake_bid,
+            valuation=0.0,
+            owner=attacker,
+        )
+        for index in range(num_fakes)
+    )
+    return SybilAttack(attacker=attacker, fake_queries=fakes)
+
+
+@dataclass(frozen=True)
+class TableIIScenario:
+    """The ingredients of the paper's Table II attack on CAT+."""
+
+    honest_instance: AuctionInstance
+    attack: SybilAttack
+    attacker: str
+    epsilon: float
+
+
+def cat_plus_table2_attack(epsilon: float = 1e-3) -> TableIIScenario:
+    """Build Table II: user 2 defeats CAT+ with fake "user 3".
+
+    Without the fake: priorities are 100 (user 1) and 98.9 (user 2);
+    CAT+ admits user 1, capacity is exhausted, user 2 loses (payoff 0).
+    With the fake (valuation ``100ε + ε``, load ``ε``, priority
+    ``> 100``): round 1 picks the fake, user 1 no longer fits, user 2
+    is picked next.  User 2 pays 0 (nobody ranks below her), the fake
+    pays ``100ε``, so user 2's payoff becomes ``89 − 100ε > 0``.
+    """
+    operators = {
+        "o1": Operator("o1", 1.0),
+        "o2": Operator("o2", 0.9),
+    }
+    honest = AuctionInstance(
+        operators=operators,
+        queries=(
+            Query("u1", ("o1",), bid=100.0, owner="user1"),
+            Query("u2", ("o2",), bid=89.0, owner="user2"),
+        ),
+        capacity=1.0,
+    )
+    fake = Query(
+        query_id="u3",
+        operator_ids=("o3",),
+        bid=100.0 * epsilon + epsilon,
+        valuation=0.0,
+        owner="user2",
+    )
+    attack = SybilAttack(
+        attacker="user2",
+        fake_queries=(fake,),
+        fake_operators=(Operator("o3", epsilon),),
+    )
+    return TableIIScenario(
+        honest_instance=honest,
+        attack=attack,
+        attacker="user2",
+        epsilon=epsilon,
+    )
+
+
+@dataclass(frozen=True)
+class TwoPriceCoinScenario:
+    """Section V-C's instance against coin-partition Two-price."""
+
+    honest_instance: AuctionInstance
+    attack: SybilAttack
+    attacker: str
+    #: Analytic expected payment of the attacker before the attack.
+    expected_payment_before: float
+    #: Analytic expected total charge (attacker + fake) after.
+    expected_payment_after: float
+
+
+def two_price_coin_attack(
+    high_value: float = 100.0,
+    low_value: float = 10.0,
+    num_low: int = 6,
+    epsilon: float = 0.01,
+) -> TwoPriceCoinScenario:
+    """Build Section V-C's payment-reduction attack instance.
+
+    User 1 (valuation ``b = high_value``) shares ``H`` with ``nc``
+    users of valuation ``c = low_value``; loads exactly fill capacity.
+    The fake bids ``d = c + ε`` with load equal to the combined load of
+    the ``c``-users, kicking them out of ``H``.  Under the coin-flip
+    partition the attacker's expected payment falls from
+    ``c(1 − (1/2)^nc)`` to ``d/2`` while the fake's expected charge is
+    0 — violating property 2 of the immunity characterization.
+    """
+    if not low_value < high_value:
+        raise ValueError("low_value must be below high_value")
+    operators = {"op_u1": Operator("op_u1", 1.0)}
+    queries = [Query("u1", ("op_u1",), bid=high_value, owner="user1")]
+    for index in range(num_low):
+        op = Operator(f"op_c{index}", 1.0)
+        operators[op.op_id] = op
+        queries.append(Query(
+            f"c{index}", (op.op_id,), bid=low_value,
+            owner=f"lowbidder{index}"))
+    honest = AuctionInstance(
+        operators=operators,
+        queries=tuple(queries),
+        capacity=float(1 + num_low),
+    )
+    fake_value = low_value + epsilon
+    attack = SybilAttack(
+        attacker="user1",
+        fake_queries=(Query(
+            "fake", ("op_fake",), bid=fake_value,
+            valuation=0.0, owner="user1"),),
+        fake_operators=(Operator("op_fake", float(num_low)),),
+    )
+    miss_probability = 0.5 ** num_low
+    return TwoPriceCoinScenario(
+        honest_instance=honest,
+        attack=attack,
+        attacker="user1",
+        expected_payment_before=low_value * (1.0 - miss_probability),
+        expected_payment_after=fake_value / 2.0,
+    )
+
+
+def coin_two_price_factory(run_seed: int) -> TwoPrice:
+    """Factory for coin-partition Two-price (for expectation runs)."""
+    return TwoPrice(seed=run_seed, partition_mode="coin")

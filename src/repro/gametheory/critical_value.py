@@ -1,0 +1,62 @@
+"""Critical values — the payment characterization of Section III.
+
+In a single-parameter setting, a monotone allocation rule gives every
+user a *critical value* ``c_i``: bidding above it wins, below it loses
+(Nisan's characterization, [14] in the paper).  A mechanism is
+bid-strategyproof iff it is monotone and charges every winner exactly
+her critical value.  This module estimates critical values empirically
+by bisection, which the strategyproofness tests compare against the
+mechanisms' actual payments.
+"""
+
+from __future__ import annotations
+
+from repro.core.mechanism import Mechanism
+from repro.core.model import AuctionInstance
+
+
+def wins_at_bid(
+    mechanism: Mechanism,
+    instance: AuctionInstance,
+    query_id: str,
+    bid: float,
+) -> bool:
+    """Does *query_id* win when it bids *bid* (everything else fixed)?"""
+    outcome = mechanism.run(instance.with_bid(query_id, bid))
+    return outcome.is_winner(query_id)
+
+
+def critical_value(
+    mechanism: Mechanism,
+    instance: AuctionInstance,
+    query_id: str,
+    upper: float | None = None,
+    tolerance: float = 1e-6,
+    max_iterations: int = 80,
+) -> float | None:
+    """Bisection estimate of *query_id*'s critical value.
+
+    Assumes the allocation is monotone in the bid (verified separately
+    by :mod:`repro.gametheory.monotonicity`); for a non-monotone rule
+    the returned number is just *a* transition point.
+
+    Returns ``None`` when the user loses even at *upper* (no winning
+    bid below the probed range exists), and ``0.0`` when she wins even
+    at bid 0.
+    """
+    if upper is None:
+        upper = max(2.0 * instance.max_valuation(), 1.0)
+    if not wins_at_bid(mechanism, instance, query_id, upper):
+        return None
+    if wins_at_bid(mechanism, instance, query_id, 0.0):
+        return 0.0
+    low, high = 0.0, upper
+    for _ in range(max_iterations):
+        if high - low <= tolerance:
+            break
+        middle = (low + high) / 2.0
+        if wins_at_bid(mechanism, instance, query_id, middle):
+            high = middle
+        else:
+            low = middle
+    return high

@@ -1,0 +1,137 @@
+"""Monotonicity checks (the allocation half of strategyproofness).
+
+Section III: in a single-parameter setting an allocation rule is
+*monotone* if a winning bidder keeps winning when she raises her bid.
+For single-minded-bidder (SMB) auctions, Lehmann et al.'s extended
+monotonicity also requires that a winner keeps winning when she asks
+for a **strict subset** of her query's operators.  Both checks are
+implemented empirically: they probe a mechanism on perturbed copies of
+an instance and report any violation found (a *certificate*, usable
+directly in a failing test).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+import numpy as np
+
+from repro.core.mechanism import Mechanism
+from repro.core.model import AuctionInstance, Query
+from repro.utils.rng import spawn_rng
+
+
+@dataclass(frozen=True)
+class MonotonicityViolation:
+    """Certificate that an allocation rule is not monotone.
+
+    The user won the auction bidding ``winning_bid`` (with operator set
+    ``winning_operators``) but lost bidding ``losing_bid`` (with
+    ``losing_operators``) although the latter is at least as favorable
+    — a higher bid, or the same bid with a subset of the operators.
+    """
+
+    query_id: str
+    winning_bid: float
+    losing_bid: float
+    winning_operators: tuple[str, ...]
+    losing_operators: tuple[str, ...]
+
+
+def check_bid_monotonicity(
+    mechanism: Mechanism,
+    instance: AuctionInstance,
+    query_id: str,
+    raises: tuple[float, ...] = (1.01, 1.5, 2.0, 10.0),
+) -> MonotonicityViolation | None:
+    """If *query_id* currently wins, verify raising the bid keeps it
+    winning; returns a violation certificate or ``None``."""
+    baseline = mechanism.run(instance)
+    query = instance.query(query_id)
+    if not baseline.is_winner(query_id):
+        return None
+    for factor in raises:
+        raised = max(query.bid * factor, query.bid + 1e-6)
+        outcome = mechanism.run(instance.with_bid(query_id, raised))
+        if not outcome.is_winner(query_id):
+            return MonotonicityViolation(
+                query_id=query_id,
+                winning_bid=query.bid,
+                losing_bid=raised,
+                winning_operators=query.operator_ids,
+                losing_operators=query.operator_ids,
+            )
+    return None
+
+
+def check_subset_monotonicity(
+    mechanism: Mechanism,
+    instance: AuctionInstance,
+    query_id: str,
+    max_subsets: int = 32,
+) -> MonotonicityViolation | None:
+    """SMB monotonicity: a winner asking for a strict subset of her
+    operators (same bid) must still win.
+
+    Only proper non-empty subsets are meaningful; at most *max_subsets*
+    are probed (smallest drops first).
+    """
+    baseline = mechanism.run(instance)
+    query = instance.query(query_id)
+    if not baseline.is_winner(query_id) or len(query.operator_ids) <= 1:
+        return None
+    probed = 0
+    for drop_count in range(1, len(query.operator_ids)):
+        for dropped in combinations(query.operator_ids, drop_count):
+            if probed >= max_subsets:
+                return None
+            probed += 1
+            kept = tuple(
+                op for op in query.operator_ids if op not in dropped)
+            reduced = Query(
+                query_id=query.query_id,
+                operator_ids=kept,
+                bid=query.bid,
+                valuation=query.true_value,
+                owner=query.owner,
+            )
+            modified = instance.without_queries(
+                [query_id]).with_queries([reduced])
+            outcome = mechanism.run(modified)
+            if not outcome.is_winner(query_id):
+                return MonotonicityViolation(
+                    query_id=query_id,
+                    winning_bid=query.bid,
+                    losing_bid=query.bid,
+                    winning_operators=query.operator_ids,
+                    losing_operators=kept,
+                )
+    return None
+
+
+def scan_monotonicity(
+    mechanism: Mechanism,
+    instance: AuctionInstance,
+    seed: "int | np.random.Generator | None" = 0,
+    sample: int | None = None,
+    include_subsets: bool = False,
+) -> list[MonotonicityViolation]:
+    """Probe (a sample of) the instance's winners for violations."""
+    rng = spawn_rng(seed)
+    baseline = mechanism.run(instance)
+    winner_ids = sorted(baseline.winner_ids)
+    if sample is not None and sample < len(winner_ids):
+        picks = rng.choice(len(winner_ids), size=sample, replace=False)
+        winner_ids = [winner_ids[int(i)] for i in picks]
+    violations: list[MonotonicityViolation] = []
+    for query_id in winner_ids:
+        violation = check_bid_monotonicity(mechanism, instance, query_id)
+        if violation is not None:
+            violations.append(violation)
+        if include_subsets:
+            violation = check_subset_monotonicity(
+                mechanism, instance, query_id)
+            if violation is not None:
+                violations.append(violation)
+    return violations

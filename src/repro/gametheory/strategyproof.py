@@ -1,0 +1,147 @@
+"""Empirical strategyproofness verification.
+
+A mechanism is bid-strategyproof when no user can raise her payoff
+``v_i − p_i`` by bidding something other than her true valuation.  This
+module searches for profitable misreports: it re-runs a mechanism on
+bid-perturbed copies of an instance and compares the manipulating
+user's payoff against truthful play.  A returned
+:class:`Misreport` is a concrete counterexample (as CAR admits, by
+design); ``None`` means the search found nothing (as CAF/CAF+/CAT/CAT+/
+GV/Two-price should yield on every instance).
+
+For randomized mechanisms the comparison uses the *expected* payoff
+over a configurable number of runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.core.mechanism import Mechanism
+from repro.core.model import AuctionInstance
+from repro.utils.rng import spawn_rng
+
+
+@dataclass(frozen=True)
+class Misreport:
+    """Certificate of a profitable deviation from truthful bidding."""
+
+    query_id: str
+    truthful_bid: float
+    strategic_bid: float
+    truthful_payoff: float
+    strategic_payoff: float
+
+    @property
+    def gain(self) -> float:
+        """Payoff improvement obtained by the misreport."""
+        return self.strategic_payoff - self.truthful_payoff
+
+
+def candidate_bids(
+    instance: AuctionInstance,
+    query_id: str,
+    rng: np.random.Generator,
+    extra: int = 8,
+) -> list[float]:
+    """Deviation bids worth probing for *query_id*.
+
+    Mixes structured candidates (fractions and multiples of the true
+    value, bids straddling other users' bids) with random draws; all
+    are non-negative and differ from the truthful bid.
+    """
+    truth = instance.query(query_id).true_value
+    others = sorted({q.bid for q in instance.queries
+                     if q.query_id != query_id})
+    candidates = {truth * f for f in
+                  (0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99,
+                   1.01, 1.1, 1.5, 2.0, 4.0)}
+    for bid in others[:6] + others[-6:]:
+        candidates.add(max(bid - 1e-3, 0.0))
+        candidates.add(bid + 1e-3)
+    high = max(instance.max_valuation(), truth, 1.0)
+    candidates.update(float(b) for b in rng.uniform(0, 2 * high, size=extra))
+    return sorted(c for c in candidates if c >= 0 and c != truth)
+
+
+def expected_payoff(
+    mechanism_factory: Callable[[int], Mechanism],
+    instance: AuctionInstance,
+    query_id: str,
+    runs: int,
+) -> float:
+    """Mean payoff of *query_id* over *runs* mechanism instantiations.
+
+    ``mechanism_factory(seed)`` must build the mechanism with the given
+    randomness seed; deterministic mechanisms can ignore it.
+    """
+    total = 0.0
+    for run in range(runs):
+        outcome = mechanism_factory(run).run(instance)
+        total += outcome.payoff(query_id)
+    return total / runs
+
+
+def find_profitable_misreport(
+    mechanism: "Mechanism | Callable[[int], Mechanism]",
+    instance: AuctionInstance,
+    query_id: str,
+    seed: "int | np.random.Generator | None" = 0,
+    runs: int = 1,
+    tolerance: float = 1e-7,
+    bids: Sequence[float] | None = None,
+) -> Misreport | None:
+    """Search deviation bids for a profitable one.
+
+    *instance* is taken as the truthful profile for *query_id* (the
+    query's ``true_value`` is its bid unless a valuation is set).  Pass
+    ``runs > 1`` with a factory for randomized mechanisms.
+    """
+    rng = spawn_rng(seed)
+    if isinstance(mechanism, Mechanism):
+        factory: Callable[[int], Mechanism] = lambda _run: mechanism
+    else:
+        factory = mechanism
+    truthful_instance = instance.with_bid(
+        query_id, instance.query(query_id).true_value)
+    truthful = expected_payoff(factory, truthful_instance, query_id, runs)
+    probe_bids = (list(bids) if bids is not None
+                  else candidate_bids(instance, query_id, rng))
+    truth = instance.query(query_id).true_value
+    for bid in probe_bids:
+        deviated = truthful_instance.with_bid(query_id, bid)
+        payoff = expected_payoff(factory, deviated, query_id, runs)
+        if payoff > truthful + tolerance:
+            return Misreport(
+                query_id=query_id,
+                truthful_bid=truth,
+                strategic_bid=bid,
+                truthful_payoff=truthful,
+                strategic_payoff=payoff,
+            )
+    return None
+
+
+def scan_strategyproofness(
+    mechanism: "Mechanism | Callable[[int], Mechanism]",
+    instance: AuctionInstance,
+    seed: "int | np.random.Generator | None" = 0,
+    sample: int | None = None,
+    runs: int = 1,
+) -> list[Misreport]:
+    """Search every (or a sample of) user(s) for profitable misreports."""
+    rng = spawn_rng(seed)
+    query_ids = [q.query_id for q in instance.queries]
+    if sample is not None and sample < len(query_ids):
+        picks = rng.choice(len(query_ids), size=sample, replace=False)
+        query_ids = [query_ids[int(i)] for i in picks]
+    found: list[Misreport] = []
+    for query_id in query_ids:
+        misreport = find_profitable_misreport(
+            mechanism, instance, query_id, seed=rng, runs=runs)
+        if misreport is not None:
+            found.append(misreport)
+    return found

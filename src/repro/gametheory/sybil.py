@@ -1,0 +1,308 @@
+"""Sybil attacks and the sybil-immunity characterizations (Section V).
+
+A *sybil attack* submits additional fake, zero-value queries under
+forged identities to manipulate the mechanism.  The attacker is
+responsible for her fakes' payments, so her payoff is the aggregate
+over all her identities: real queries contribute ``v_i − p_i`` when
+admitted; fakes contribute ``−p_i``.
+
+This module provides the attack representation, payoff accounting,
+a randomized attack search (used to corroborate CAT's immunity,
+Theorem 19), and checks for the paper's two characterizations:
+
+* sybil immunity ⟺ (1) added queries never turn a loser into a winner
+  with positive payoff, and (2) any payment reduction ``δ`` that added
+  queries cause a winner is covered by at least ``δ`` charged to those
+  added queries;
+* sybil-strategyproofness ⟺ bid-strategyproof and added users cannot
+  decrease anyone's critical value by more than the added users' total
+  payments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.core.mechanism import Mechanism
+from repro.core.model import AuctionInstance, Operator, Query
+from repro.utils.rng import spawn_rng
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class SybilAttack:
+    """A set of fake queries (and any fresh fake operators) an attacker
+    adds to the submitted pool.
+
+    Every fake query must carry the attacker as ``owner`` and a zero
+    valuation — the attacker does not value the fakes, she only pays
+    for them if they win.
+    """
+
+    attacker: str
+    fake_queries: tuple[Query, ...]
+    fake_operators: tuple[Operator, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        require(len(self.fake_queries) > 0,
+                "a sybil attack needs at least one fake query")
+        for query in self.fake_queries:
+            require(query.owner == self.attacker,
+                    f"fake query {query.query_id!r} must be owned by "
+                    f"the attacker {self.attacker!r}")
+            require(query.true_value == 0.0,
+                    f"fake query {query.query_id!r} must have zero "
+                    f"valuation (it is worthless to the attacker)")
+
+    def apply(self, instance: AuctionInstance) -> AuctionInstance:
+        """The attacked instance: original plus the fake queries."""
+        return instance.with_queries(
+            self.fake_queries, self.fake_operators)
+
+
+@dataclass(frozen=True)
+class AttackAssessment:
+    """Payoff comparison with and without an attack."""
+
+    attacker: str
+    baseline_payoff: float
+    attacked_payoff: float
+
+    @property
+    def gain(self) -> float:
+        """Attacker's payoff improvement (positive ⇒ attack profits)."""
+        return self.attacked_payoff - self.baseline_payoff
+
+    @property
+    def profitable(self) -> bool:
+        """True when the attack strictly increases the payoff."""
+        return self.gain > 1e-9
+
+
+def assess_attack(
+    mechanism: "Mechanism | Callable[[int], Mechanism]",
+    instance: AuctionInstance,
+    attack: SybilAttack,
+    runs: int = 1,
+) -> AttackAssessment:
+    """Compare the attacker's payoff with and without *attack*.
+
+    For randomized mechanisms pass a factory and ``runs > 1``; payoffs
+    are then averaged over seeds (the paper's notion of profitable
+    attacks on Two-price is in expectation).
+    """
+    if isinstance(mechanism, Mechanism):
+        factory: Callable[[int], Mechanism] = lambda _run: mechanism
+    else:
+        factory = mechanism
+    attacked_instance = attack.apply(instance)
+    baseline_total = 0.0
+    attacked_total = 0.0
+    for run in range(runs):
+        baseline_total += factory(run).run(
+            instance).owner_payoff(attack.attacker)
+        attacked_total += factory(run).run(
+            attacked_instance).owner_payoff(attack.attacker)
+    return AttackAssessment(
+        attacker=attack.attacker,
+        baseline_payoff=baseline_total / runs,
+        attacked_payoff=attacked_total / runs,
+    )
+
+
+def random_attack(
+    instance: AuctionInstance,
+    attacker: str,
+    rng: np.random.Generator,
+    index: int,
+) -> SybilAttack:
+    """One random sybil attack for *attacker*.
+
+    Mixes the known attack shapes: fakes that share the attacker's
+    operators with negligible bids (the fair-share attack), fakes with
+    tiny fresh operators and high density (the CAT+ attack), and
+    arbitrary-bid fakes.
+    """
+    owned_ops: list[str] = []
+    for query in instance.queries:
+        if query.owner_id == attacker:
+            owned_ops.extend(query.operator_ids)
+    num_fakes = int(rng.integers(1, 4))
+    fakes: list[Query] = []
+    fresh_ops: list[Operator] = []
+    for fake_index in range(num_fakes):
+        fake_id = f"__sybil_{attacker}_{index}_{fake_index}"
+        style = rng.integers(0, 3)
+        if style == 0 and owned_ops:
+            # Share (a subset of) the attacker's own operators.
+            count = int(rng.integers(1, len(owned_ops) + 1))
+            picks = rng.choice(len(owned_ops), size=count, replace=False)
+            op_ids = tuple(dict.fromkeys(
+                owned_ops[int(i)] for i in picks))
+            bid = float(rng.uniform(0, 0.01))
+        elif style == 1:
+            # Tiny fresh operator, bid chosen for high density.
+            op = Operator(f"__sybil_op_{attacker}_{index}_{fake_index}",
+                          float(rng.uniform(1e-4, 1e-2)))
+            fresh_ops.append(op)
+            op_ids = (op.op_id,)
+            bid = float(rng.uniform(0, instance.max_valuation() * 1.5))
+        else:
+            # Random existing operators, arbitrary bid.
+            all_ops = list(instance.operators)
+            count = int(rng.integers(1, min(3, len(all_ops)) + 1))
+            picks = rng.choice(len(all_ops), size=count, replace=False)
+            op_ids = tuple(all_ops[int(i)] for i in picks)
+            bid = float(rng.uniform(0, instance.max_valuation()))
+        fakes.append(Query(
+            query_id=fake_id,
+            operator_ids=op_ids,
+            bid=bid,
+            valuation=0.0,
+            owner=attacker,
+        ))
+    return SybilAttack(
+        attacker=attacker,
+        fake_queries=tuple(fakes),
+        fake_operators=tuple(fresh_ops),
+    )
+
+
+def search_sybil_attack(
+    mechanism: "Mechanism | Callable[[int], Mechanism]",
+    instance: AuctionInstance,
+    attacker: str,
+    attempts: int = 50,
+    seed: "int | np.random.Generator | None" = 0,
+    runs: int = 1,
+) -> tuple[SybilAttack, AttackAssessment] | None:
+    """Randomized search for a profitable sybil attack by *attacker*.
+
+    Returns the first profitable ``(attack, assessment)`` pair found,
+    or ``None``.  Never finding one (over many instances and attackers)
+    is the empirical corroboration of CAT's sybil immunity.
+    """
+    rng = spawn_rng(seed)
+    for index in range(attempts):
+        attack = random_attack(instance, attacker, rng, index)
+        assessment = assess_attack(mechanism, instance, attack, runs=runs)
+        if assessment.profitable:
+            return attack, assessment
+    return None
+
+
+# ----------------------------------------------------------------------
+# Characterization checks
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ImmunityViolation:
+    """Which property of the sybil-immunity characterization failed."""
+
+    property_violated: int  # 1 or 2
+    description: str
+
+
+def check_immunity_characterization(
+    mechanism: Mechanism,
+    instance: AuctionInstance,
+    attack: SybilAttack,
+) -> ImmunityViolation | None:
+    """Check the two-property characterization against one attack.
+
+    Property 1: the added queries must not turn a loser into a winner
+    with positive payoff.  Property 2: if a winner's payment drops by
+    ``δ``, the added queries must be charged at least ``δ`` in total.
+    Violating either opens the door to a profitable attack.
+    """
+    before = mechanism.run(instance)
+    after = mechanism.run(attack.apply(instance))
+    fake_ids = {q.query_id for q in attack.fake_queries}
+
+    for query in instance.queries:
+        qid = query.query_id
+        if (not before.is_winner(qid) and after.is_winner(qid)
+                and query.true_value - after.payment(qid) > 1e-9):
+            return ImmunityViolation(
+                property_violated=1,
+                description=(
+                    f"loser {qid!r} became a winner with positive "
+                    f"payoff {query.true_value - after.payment(qid):.6g}"),
+            )
+
+    fake_charges = sum(after.payment(qid) for qid in fake_ids)
+    for query in instance.queries:
+        qid = query.query_id
+        if before.is_winner(qid) and after.is_winner(qid):
+            reduction = before.payment(qid) - after.payment(qid)
+            if reduction > fake_charges + 1e-9:
+                return ImmunityViolation(
+                    property_violated=2,
+                    description=(
+                        f"winner {qid!r}'s payment fell by "
+                        f"{reduction:.6g} while the fakes were charged "
+                        f"only {fake_charges:.6g}"),
+                )
+    return None
+
+
+# ----------------------------------------------------------------------
+# Sybil-strategyproofness (Definition 18)
+# ----------------------------------------------------------------------
+
+def search_combined_attack(
+    mechanism: "Mechanism | Callable[[int], Mechanism]",
+    instance: AuctionInstance,
+    attacker: str,
+    attempts: int = 30,
+    bid_factors: tuple[float, ...] = (0.25, 0.5, 0.75, 0.9, 1.1, 1.5),
+    seed: "int | np.random.Generator | None" = 0,
+    runs: int = 1,
+) -> tuple[SybilAttack, float, AttackAssessment] | None:
+    """Search for a *combined* attack: fake queries plus a lie about
+    the attacker's own valuation (Definition 18's strategy space).
+
+    Returns ``(attack, lying_bid_factor, assessment)`` for the first
+    profitable combination (payoffs always measured against truthful,
+    attack-free play), or ``None``.  CAT surviving this search is the
+    empirical face of Theorem 19's sybil-strategyproofness.
+    """
+    rng = spawn_rng(seed)
+    if isinstance(mechanism, Mechanism):
+        factory: Callable[[int], Mechanism] = lambda _run: mechanism
+    else:
+        factory = mechanism
+    own_queries = [q for q in instance.queries
+                   if q.owner_id == attacker]
+    if not own_queries:
+        return None
+    baseline = 0.0
+    for run in range(runs):
+        baseline += factory(run).run(instance).owner_payoff(attacker)
+    baseline /= runs
+
+    for index in range(attempts):
+        attack = random_attack(instance, attacker, rng, index)
+        for factor in (1.0, *bid_factors):
+            manipulated = instance
+            if factor != 1.0:
+                for query in own_queries:
+                    manipulated = manipulated.with_bid(
+                        query.query_id, query.true_value * factor)
+            attacked_instance = attack.apply(manipulated)
+            total = 0.0
+            for run in range(runs):
+                total += factory(run).run(
+                    attacked_instance).owner_payoff(attacker)
+            payoff = total / runs
+            if payoff > baseline + 1e-9:
+                assessment = AttackAssessment(
+                    attacker=attacker,
+                    baseline_payoff=baseline,
+                    attacked_payoff=payoff,
+                )
+                return attack, factor, assessment
+    return None

@@ -1,0 +1,108 @@
+"""JSON (de)serialization of auction instances and outcomes.
+
+A downstream user needs to move instances in and out of the library —
+to pin a regression case, to auction real workloads exported from
+another system, or to archive an outcome for billing audits.  The
+format is deliberately plain JSON:
+
+```json
+{
+  "capacity": 10.0,
+  "operators": {"A": 4.0, "B": 1.0},
+  "queries": [
+    {"id": "q1", "operators": ["A", "B"], "bid": 55.0,
+     "valuation": 60.0, "owner": "alice"}
+  ]
+}
+```
+
+``valuation`` and ``owner`` are optional, exactly as in the model.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.model import AuctionInstance, Operator, Query
+from repro.core.result import AuctionOutcome
+from repro.utils.validation import ValidationError
+
+
+def instance_to_dict(instance: AuctionInstance) -> dict:
+    """Plain-JSON-able representation of *instance*."""
+    queries = []
+    for query in instance.queries:
+        entry: dict[str, object] = {
+            "id": query.query_id,
+            "operators": list(query.operator_ids),
+            "bid": query.bid,
+        }
+        if query.valuation is not None:
+            entry["valuation"] = query.valuation
+        if query.owner is not None:
+            entry["owner"] = query.owner
+        queries.append(entry)
+    return {
+        "capacity": instance.capacity,
+        "operators": {op_id: op.load
+                      for op_id, op in sorted(instance.operators.items())},
+        "queries": queries,
+    }
+
+
+def instance_from_dict(payload: dict) -> AuctionInstance:
+    """Parse the :func:`instance_to_dict` format (with validation)."""
+    try:
+        capacity = float(payload["capacity"])
+        operator_items = payload["operators"].items()
+        query_entries = payload["queries"]
+    except (KeyError, AttributeError, TypeError) as exc:
+        raise ValidationError(
+            f"malformed instance document: {exc!r}") from exc
+    operators = {
+        op_id: Operator(op_id, float(load))
+        for op_id, load in operator_items
+    }
+    queries = []
+    for entry in query_entries:
+        try:
+            queries.append(Query(
+                query_id=entry["id"],
+                operator_ids=tuple(entry["operators"]),
+                bid=float(entry["bid"]),
+                valuation=(float(entry["valuation"])
+                           if "valuation" in entry else None),
+                owner=entry.get("owner"),
+            ))
+        except KeyError as exc:
+            raise ValidationError(
+                f"query entry missing field {exc}") from exc
+    return AuctionInstance(operators, tuple(queries), capacity)
+
+
+def save_instance(instance: AuctionInstance, path: "str | Path") -> None:
+    """Write *instance* as JSON to *path*."""
+    Path(path).write_text(
+        json.dumps(instance_to_dict(instance), indent=2) + "\n")
+
+
+def load_instance(path: "str | Path") -> AuctionInstance:
+    """Read an instance JSON document from *path*."""
+    return instance_from_dict(json.loads(Path(path).read_text()))
+
+
+def outcome_to_dict(outcome: AuctionOutcome) -> dict:
+    """Plain-JSON-able representation of *outcome* (audit record)."""
+    return {
+        "mechanism": outcome.mechanism,
+        "payments": {qid: outcome.payment(qid)
+                     for qid in sorted(outcome.winner_ids)},
+        "metrics": outcome.summary(),
+    }
+
+
+def save_outcome(outcome: AuctionOutcome, path: "str | Path") -> None:
+    """Write *outcome*'s audit record as JSON to *path*."""
+    Path(path).write_text(
+        json.dumps(outcome_to_dict(outcome), indent=2) + "\n")

@@ -1,0 +1,20 @@
+"""Shared utilities: seeded RNG helpers, validation, and ASCII tables."""
+
+from repro.utils.rng import derive_seed, spawn_rng
+from repro.utils.tables import format_table
+from repro.utils.validation import (
+    ValidationError,
+    require,
+    require_non_negative,
+    require_positive,
+)
+
+__all__ = [
+    "ValidationError",
+    "derive_seed",
+    "format_table",
+    "require",
+    "require_non_negative",
+    "require_positive",
+    "spawn_rng",
+]

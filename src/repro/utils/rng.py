@@ -1,0 +1,40 @@
+"""Deterministic random-number helpers.
+
+Everything stochastic in the library (workload generation, the Two-price
+mechanism's random partition, the random-admission baseline) accepts
+either an integer seed or a ``numpy.random.Generator``.  These helpers
+normalize the two and derive independent child seeds so that experiment
+repetitions are reproducible yet uncorrelated.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+SeedLike = "int | np.random.Generator | None"
+
+
+def spawn_rng(seed: "int | np.random.Generator | None") -> np.random.Generator:
+    """Return a ``numpy`` Generator from *seed*.
+
+    ``None`` yields a nondeterministic generator, an ``int`` a seeded
+    one, and an existing ``Generator`` is passed through unchanged.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def derive_seed(base_seed: int, *labels: object) -> int:
+    """Derive a stable 63-bit child seed from *base_seed* and *labels*.
+
+    Used to give each workload set / sharing degree / repetition its own
+    independent stream while staying reproducible across runs and
+    machines (the derivation is a SHA-256 hash, not Python's salted
+    ``hash``).
+    """
+    text = ":".join([str(base_seed), *map(str, labels)])
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") >> 1

@@ -1,0 +1,53 @@
+"""Workload generation: Table III, sharing sweeps, lying, scenarios."""
+
+from repro.workload.generator import (
+    PAPER_CAPACITIES,
+    PAPER_SHARING_DEGREES,
+    WorkloadConfig,
+    WorkloadGenerator,
+    workload_sets,
+)
+from repro.workload.lying import (
+    AGGRESSIVE_LYING,
+    MODERATE_LYING,
+    LyingProfile,
+    apply_lying,
+    lying_fraction,
+)
+from repro.workload.scenarios import (
+    example1,
+    sensor_network,
+    stock_monitoring,
+    table2_instance,
+    web_alerts,
+)
+from repro.workload.sharing import (
+    average_query_total_load,
+    sharing_profile,
+    split_degree,
+    with_max_sharing,
+)
+from repro.workload.zipf import BoundedZipf
+
+__all__ = [
+    "AGGRESSIVE_LYING",
+    "BoundedZipf",
+    "LyingProfile",
+    "MODERATE_LYING",
+    "PAPER_CAPACITIES",
+    "PAPER_SHARING_DEGREES",
+    "WorkloadConfig",
+    "WorkloadGenerator",
+    "apply_lying",
+    "average_query_total_load",
+    "example1",
+    "lying_fraction",
+    "sensor_network",
+    "sharing_profile",
+    "split_degree",
+    "stock_monitoring",
+    "table2_instance",
+    "web_alerts",
+    "with_max_sharing",
+    "workload_sets",
+]

@@ -1,0 +1,105 @@
+"""Strategic-lying workloads for the CAR experiment (Figure 5).
+
+CAR is the paper's only non-strategyproof mechanism, so users facing it
+may profit by under-bidding.  The paper simulates this: a user whose
+query shares many operators (low ``C^SF_i / C^T_i`` ratio) submits an
+*alternative bid* — her valuation times a *lying factor* — with some
+probability.  Two parameterizations are evaluated:
+
+* **moderate lying (ML)** — ratio threshold 0.25, P(lie) 0.5, factor 0.5;
+* **aggressive lying (AL)** — ratio threshold 0.35, P(lie) 0.7, factor 0.3.
+
+The transformed instances keep every user's *valuation* intact, so
+profits and payoffs remain comparable against the truthful runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.loads import static_fair_share_load, total_load
+from repro.core.model import AuctionInstance, Query
+from repro.utils.rng import spawn_rng
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class LyingProfile:
+    """A strategic-bidding population profile.
+
+    A user lies (submits ``valuation * lying_factor``) when her
+    fair-share-to-total-load ratio is below *ratio_threshold*, with
+    probability *lying_probability*.
+    """
+
+    name: str
+    ratio_threshold: float
+    lying_probability: float
+    lying_factor: float
+
+    def __post_init__(self) -> None:
+        require(0 <= self.lying_probability <= 1,
+                "lying probability must be in [0, 1]")
+        require(0 < self.lying_factor <= 1,
+                "lying factor must be in (0, 1]")
+        require(self.ratio_threshold >= 0,
+                "ratio threshold must be >= 0")
+
+
+#: Figure 5's "CAR-ML" workload parameters.
+MODERATE_LYING = LyingProfile(
+    name="ML", ratio_threshold=0.25, lying_probability=0.5,
+    lying_factor=0.5)
+
+#: Figure 5's "CAR-AL" workload parameters.
+AGGRESSIVE_LYING = LyingProfile(
+    name="AL", ratio_threshold=0.35, lying_probability=0.7,
+    lying_factor=0.3)
+
+
+def apply_lying(
+    instance: AuctionInstance,
+    profile: LyingProfile,
+    seed: "int | np.random.Generator | None" = None,
+) -> AuctionInstance:
+    """Return *instance* with strategic under-bids applied.
+
+    Queries keep their true valuations; only submitted bids change, and
+    only for users whose sharing makes lying attractive under *profile*.
+    """
+    rng = spawn_rng(seed)
+    queries: list[Query] = []
+    for query in instance.queries:
+        total = total_load(instance, query)
+        if total == 0:
+            ratio = 1.0
+        else:
+            ratio = static_fair_share_load(instance, query) / total
+        lies = (ratio < profile.ratio_threshold
+                and rng.random() < profile.lying_probability)
+        if lies:
+            queries.append(Query(
+                query_id=query.query_id,
+                operator_ids=query.operator_ids,
+                bid=query.true_value * profile.lying_factor,
+                valuation=query.true_value,
+                owner=query.owner,
+            ))
+        else:
+            queries.append(query)
+    return AuctionInstance(instance.operators, tuple(queries),
+                           instance.capacity)
+
+
+def lying_fraction(
+    truthful: AuctionInstance, lying: AuctionInstance
+) -> float:
+    """Fraction of users whose submitted bid differs from their valuation."""
+    liars = sum(
+        1 for q in lying.queries if q.bid != q.true_value
+    )
+    if truthful.num_queries == 0:
+        return 0.0
+    return liars / truthful.num_queries

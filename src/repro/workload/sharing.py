@@ -1,0 +1,135 @@
+"""Varying the degree of sharing by operator splitting (Section VI-A).
+
+The paper keeps the *average query load* constant while sweeping the
+maximum degree of sharing: it generates the workload once at the
+highest degree (60) and derives lower-degree variants by **splitting**
+highly-shared operators — each split part is a fresh operator with the
+*same load* as the original, and the queries that shared the original
+are partitioned among the parts.  Every query therefore keeps exactly
+the same number of operators and the same total load ``C^T``; only the
+sharing structure (and hence the instance's aggregate demand) changes.
+
+The paper's worked example splits a degree-8 operator into degrees
+``4, 2, 1, 1`` "to generate an input instance of maximum degree of
+sharing 7": successive halving, capped at the target degree.
+:func:`split_degree` reproduces that rule exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.model import AuctionInstance, Operator, Query
+from repro.utils.rng import spawn_rng
+from repro.utils.validation import require
+
+
+def split_degree(degree: int, target: int) -> list[int]:
+    """Split *degree* into parts of at most *target*, by halving.
+
+    Matches the paper's example (8 at target 7 → ``[4, 2, 1, 1]``): at
+    each step the next part is ``min(target, remaining // 2)`` and the
+    final unit closes the sum.  Degrees already within the target are
+    returned unsplit.
+
+    >>> split_degree(8, 7)
+    [4, 2, 1, 1]
+    >>> split_degree(8, 3)
+    [3, 2, 1, 1, 1]
+    >>> split_degree(5, 60)
+    [5]
+    """
+    require(degree >= 1, f"degree must be >= 1, got {degree}")
+    require(target >= 1, f"target must be >= 1, got {target}")
+    if degree <= target:
+        return [degree]
+    parts: list[int] = []
+    remaining = degree
+    while remaining > 1:
+        part = min(target, max(1, remaining // 2))
+        parts.append(part)
+        remaining -= part
+    parts.append(remaining)  # the final unit (remaining == 1)
+    return parts
+
+
+def with_max_sharing(
+    instance: AuctionInstance,
+    target: int,
+    seed: "int | np.random.Generator | None" = None,
+) -> AuctionInstance:
+    """Derive an instance whose max degree of sharing is at most *target*.
+
+    Operators whose sharing degree exceeds *target* are split per
+    :func:`split_degree`; the sharing queries are shuffled (seeded) and
+    partitioned among the parts.  Bids, valuations, owners, per-query
+    operator counts and total loads are all preserved.
+    """
+    rng = spawn_rng(seed)
+    operators: dict[str, Operator] = {}
+    # Maps query id -> replacement operator ids (accumulated per query).
+    reassignment: dict[str, dict[str, str]] = {
+        q.query_id: {} for q in instance.queries}
+    sharers: dict[str, list[str]] = {op_id: [] for op_id in instance.operators}
+    for query in instance.queries:
+        for op_id in query.operator_ids:
+            sharers[op_id].append(query.query_id)
+
+    for op_id, operator in instance.operators.items():
+        degree = len(sharers[op_id])
+        if degree <= target:
+            operators[op_id] = operator
+            continue
+        parts = split_degree(degree, target)
+        shuffled = list(sharers[op_id])
+        rng.shuffle(shuffled)
+        cursor = 0
+        for index, part in enumerate(parts):
+            part_id = f"{op_id}~s{index}"
+            operators[part_id] = Operator(part_id, operator.load)
+            for qid in shuffled[cursor:cursor + part]:
+                reassignment[qid][op_id] = part_id
+            cursor += part
+
+    queries = tuple(
+        Query(
+            query_id=q.query_id,
+            operator_ids=tuple(
+                reassignment[q.query_id].get(op_id, op_id)
+                for op_id in q.operator_ids
+            ),
+            bid=q.bid,
+            valuation=q.valuation,
+            owner=q.owner,
+        )
+        for q in instance.queries
+    )
+    return AuctionInstance(operators, queries, instance.capacity)
+
+
+def sharing_profile(instance: AuctionInstance) -> dict[int, int]:
+    """Histogram: sharing degree → number of operators at that degree.
+
+    Operators referenced by no query are excluded (degree 0 entries are
+    bookkeeping artifacts, not workload).
+    """
+    profile: dict[int, int] = {}
+    for op_id in instance.operators:
+        degree = instance.sharing_degree(op_id)
+        if degree > 0:
+            profile[degree] = profile.get(degree, 0) + 1
+    return profile
+
+
+def average_query_total_load(instance: AuctionInstance) -> float:
+    """Mean total load ``C^T`` over the submitted queries.
+
+    The quantity the paper holds constant across the sharing sweep.
+    """
+    from repro.core.loads import total_load
+
+    if not instance.queries:
+        return 0.0
+    return sum(
+        total_load(instance, q) for q in instance.queries
+    ) / instance.num_queries

@@ -1,0 +1,57 @@
+"""Bounded Zipf sampling (the paper's workload distributions).
+
+Table III draws every workload quantity from a *bounded* Zipf
+distribution: value ``k`` in ``1..max`` has probability proportional to
+``k^{-s}`` where ``s`` is the "skewness" parameter.  Bids use
+``max=100, s=0.5``; operator loads ``max=10, s=1``; operator sharing
+degrees ``max=1..60, s=1``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import spawn_rng
+from repro.utils.validation import require, require_non_negative
+
+
+class BoundedZipf:
+    """Zipf distribution over ``{1, ..., maximum}`` with exponent *s*.
+
+    ``P(k) = k^{-s} / H`` where ``H`` normalizes over the support.
+    ``s = 0`` degenerates to the uniform distribution; larger ``s``
+    concentrates mass on small values.
+    """
+
+    def __init__(self, maximum: int, skew: float) -> None:
+        require(maximum >= 1, f"Zipf maximum must be >= 1, got {maximum}")
+        require_non_negative(skew, "Zipf skew")
+        self.maximum = int(maximum)
+        self.skew = float(skew)
+        support = np.arange(1, self.maximum + 1, dtype=float)
+        weights = support ** (-self.skew)
+        self._probabilities = weights / weights.sum()
+        self._support = support.astype(int)
+
+    def sample(
+        self,
+        rng: "int | np.random.Generator | None",
+        size: int | None = None,
+    ) -> "int | np.ndarray":
+        """Draw one value (``size=None``) or an array of *size* values."""
+        generator = spawn_rng(rng)
+        drawn = generator.choice(
+            self._support, size=size, p=self._probabilities)
+        if size is None:
+            return int(drawn)
+        return drawn
+
+    def pmf(self, k: int) -> float:
+        """Probability of value *k* (0 outside the support)."""
+        if not 1 <= k <= self.maximum:
+            return 0.0
+        return float(self._probabilities[k - 1])
+
+    def mean(self) -> float:
+        """Expected value of the distribution."""
+        return float((self._support * self._probabilities).sum())

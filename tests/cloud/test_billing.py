@@ -1,0 +1,46 @@
+"""Billing ledger tests."""
+
+import pytest
+
+from repro.cloud.billing import BillingLedger
+from repro.core import make_mechanism
+from repro.workload import example1
+
+
+@pytest.fixture
+def outcome():
+    return make_mechanism("CAT").run(example1())
+
+
+class TestBillingLedger:
+    def test_bill_outcome_revenue(self, outcome):
+        ledger = BillingLedger()
+        revenue = ledger.bill_outcome(1, outcome)
+        assert revenue == pytest.approx(110.0)
+        assert ledger.total_revenue() == pytest.approx(110.0)
+
+    def test_invoices_carry_owner(self, outcome):
+        ledger = BillingLedger()
+        ledger.bill_outcome(1, outcome)
+        owners = {inv.query_id: inv.owner for inv in ledger.invoices}
+        assert owners == {"q1": "q1", "q2": "q2"}
+
+    def test_revenue_by_period(self, outcome):
+        ledger = BillingLedger()
+        ledger.bill_outcome(1, outcome)
+        ledger.bill_outcome(2, outcome)
+        assert ledger.revenue_by_period() == {
+            1: pytest.approx(110.0), 2: pytest.approx(110.0)}
+
+    def test_owner_balance_aggregates_fakes(self):
+        """Sybil accounting: the owner pays for all her identities."""
+        from repro.gametheory.attacks import cat_plus_table2_attack
+
+        scenario = cat_plus_table2_attack(epsilon=1e-3)
+        attacked = scenario.attack.apply(scenario.honest_instance)
+        outcome = make_mechanism("CAT+").run(attacked)
+        ledger = BillingLedger()
+        ledger.bill_outcome(1, outcome)
+        # user2 pays 0 for her real query + 100ε for the fake.
+        assert ledger.owner_balance("user2") == pytest.approx(0.1)
+        assert len(ledger.invoices_for("user2")) == 2

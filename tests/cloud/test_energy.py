@@ -1,0 +1,57 @@
+"""Energy model and capacity-selection tests (Section VII)."""
+
+import pytest
+
+from repro.cloud.energy import (
+    EnergyModel,
+    best_capacity,
+    evaluate_capacities,
+)
+from repro.core import make_mechanism
+from repro.utils.validation import ValidationError
+from repro.workload import example1, stock_monitoring
+
+
+class TestEnergyModel:
+    def test_cost_shape(self):
+        model = EnergyModel(idle_cost_per_unit=2.0,
+                            dynamic_cost_per_unit=1.0)
+        assert model.cost(10.0, 4.0) == pytest.approx(24.0)
+
+    def test_zero_costs_allowed(self):
+        assert EnergyModel(0.0, 0.0).cost(100.0, 50.0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            EnergyModel(idle_cost_per_unit=-1.0)
+
+
+class TestCapacitySelection:
+    def test_evaluates_all_candidates(self):
+        choices = evaluate_capacities(
+            make_mechanism("CAT"), example1(), [5, 10, 15],
+            EnergyModel())
+        assert [c.capacity for c in choices] == [5, 10, 15]
+
+    def test_best_maximizes_net_profit(self):
+        model = EnergyModel(idle_cost_per_unit=1.0,
+                            dynamic_cost_per_unit=0.5)
+        choices = evaluate_capacities(
+            make_mechanism("CAT"), example1(), [5, 10, 15, 20], model)
+        best = best_capacity(
+            make_mechanism("CAT"), example1(), [5, 10, 15, 20], model)
+        assert best.net_profit == max(c.net_profit for c in choices)
+
+    def test_expensive_energy_prefers_smaller_capacity(self):
+        """The Section VII observation: it can be more profitable not
+        to provision (and utilize) full capacity."""
+        instance = stock_monitoring()
+        cheap = best_capacity(
+            make_mechanism("CAT"), instance, [60, 90, 120, 150],
+            EnergyModel(idle_cost_per_unit=0.0,
+                        dynamic_cost_per_unit=0.0))
+        pricey = best_capacity(
+            make_mechanism("CAT"), instance, [60, 90, 120, 150],
+            EnergyModel(idle_cost_per_unit=3.0,
+                        dynamic_cost_per_unit=1.0))
+        assert pricey.capacity <= cheap.capacity

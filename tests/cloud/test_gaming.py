@@ -1,0 +1,79 @@
+"""Subscription-category gaming tests (Section VII's open problem)."""
+
+import pytest
+
+from repro.cloud.gaming import simulate_category_gaming
+from repro.cloud.subscriptions import (
+    SubscriptionCategory,
+    SubscriptionRequest,
+)
+from repro.core import make_mechanism
+from repro.core.model import Operator, Query
+
+CATEGORIES = (
+    SubscriptionCategory("short", 5, 0.5),
+    SubscriptionCategory("long", 10, 0.5),
+)
+
+OPERATORS = {
+    "client_op": Operator("client_op", 2.0),
+    "rival_op": Operator("rival_op", 2.0),
+    "rival_op2": Operator("rival_op2", 2.0),
+}
+
+
+def rival(day_query_id, bid):
+    return SubscriptionRequest(
+        Query(day_query_id, ("rival_op",), bid=bid), "short")
+
+
+class TestCategoryGaming:
+    def test_gaming_profits_when_late_demand_is_high(self):
+        """The paper's June/July story: demand (and hence prices) spike
+        in the client's target window, so subscribing early-and-long at
+        lull prices is strictly cheaper."""
+        # Background: nothing on early days; fierce competition from
+        # day 6 (the client's target window).
+        background = {
+            day: [rival(f"r{day}a", 90.0),
+                  SubscriptionRequest(
+                      Query(f"r{day}b", ("rival_op2",), bid=80.0),
+                      "short")]
+            for day in (6, 7)
+        }
+        outcome = simulate_category_gaming(
+            OPERATORS,
+            capacity=8.0,
+            mechanism_factory=lambda name: make_mechanism("CAT"),
+            categories=CATEGORIES,
+            background=background,
+            client_query=Query("client", ("client_op",), bid=40.0),
+            honest_day=6, honest_category="short",
+            gaming_day=1, gaming_category="long",
+            horizon=10,
+            target_days=(6, 7),
+        )
+        # Gaming: admitted alone on day 1, pays 0, holds capacity
+        # through the target days.
+        assert outcome.gaming_served
+        assert outcome.gaming_cost == pytest.approx(0.0)
+        assert outcome.gaming_profitable or not outcome.honest_served
+
+    def test_gaming_pointless_without_demand_swing(self):
+        """Flat demand: the long subscription buys nothing."""
+        background = {}
+        outcome = simulate_category_gaming(
+            OPERATORS,
+            capacity=8.0,
+            mechanism_factory=lambda name: make_mechanism("CAT"),
+            categories=CATEGORIES,
+            background=background,
+            client_query=Query("client", ("client_op",), bid=40.0),
+            honest_day=6, honest_category="short",
+            gaming_day=1, gaming_category="long",
+            horizon=10,
+            target_days=(6, 7),
+        )
+        assert outcome.honest_served
+        assert outcome.honest_cost == pytest.approx(0.0)
+        assert not outcome.gaming_profitable

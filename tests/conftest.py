@@ -1,0 +1,65 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import make_mechanism
+from repro.workload import WorkloadConfig, WorkloadGenerator, example1
+
+#: Deterministic mechanisms (safe to instantiate without a seed).
+DETERMINISTIC_MECHANISMS = ("CAR", "CAF", "CAF+", "CAT", "CAT+", "GV",
+                            "OPT_C")
+
+#: Every registered mechanism name with the kwargs to instantiate it.
+ALL_MECHANISMS = {
+    "CAR": {},
+    "CAF": {},
+    "CAF+": {},
+    "CAT": {},
+    "CAT+": {},
+    "GV": {},
+    "OPT_C": {},
+    "Two-price": {"seed": 0},
+    "Random": {"seed": 0},
+}
+
+
+@pytest.fixture
+def example_instance():
+    """The paper's Example 1 (Figures 1–2)."""
+    return example1()
+
+
+@pytest.fixture
+def small_generator():
+    """A small seeded workload generator (fast tests)."""
+    config = WorkloadConfig(num_queries=60, max_sharing=8,
+                            capacity=450.0)
+    return WorkloadGenerator(config=config, seed=42)
+
+
+@pytest.fixture
+def medium_instance(small_generator):
+    """A 60-query instance at moderate sharing."""
+    return small_generator.instance(max_sharing=6)
+
+
+def build_mechanism(name: str, seed: int = 0):
+    """Instantiate mechanism *name* with a deterministic seed."""
+    kwargs = dict(ALL_MECHANISMS[name])
+    if "seed" in kwargs:
+        kwargs["seed"] = seed
+    return make_mechanism(name, **kwargs)
+
+
+@pytest.fixture(params=sorted(ALL_MECHANISMS))
+def any_mechanism(request):
+    """Parametrized over every registered mechanism."""
+    return build_mechanism(request.param)
+
+
+@pytest.fixture(params=DETERMINISTIC_MECHANISMS)
+def deterministic_mechanism(request):
+    """Parametrized over the deterministic mechanisms."""
+    return build_mechanism(request.param)

@@ -1,0 +1,57 @@
+"""Unit tests for CAR beyond the worked example."""
+
+import pytest
+
+from repro.core import make_mechanism
+from repro.core.model import AuctionInstance, Operator, Query
+
+
+class TestCARMechanics:
+    def test_zero_remaining_load_admitted_free(self):
+        # q1 fully contained in q0: once q0 wins, q1's remaining load
+        # is 0, its priority infinite, and it is admitted at price 0.
+        operators = {"a": Operator("a", 4.0), "b": Operator("b", 2.0)}
+        queries = (
+            Query("q0", ("a", "b"), bid=30.0),
+            Query("q1", ("a",), bid=1.0),
+            Query("q2", ("b",), bid=9.0),
+        )
+        instance = AuctionInstance(operators, queries, capacity=6.0)
+        outcome = make_mechanism("CAR").run(instance)
+        assert outcome.winner_ids == {"q0", "q1", "q2"}
+        assert outcome.payment("q1") == 0.0
+        assert outcome.payment("q2") == 0.0
+
+    def test_no_loser_means_free_service(self):
+        operators = {"a": Operator("a", 1.0), "b": Operator("b", 1.0)}
+        queries = (Query("q0", ("a",), bid=5.0),
+                   Query("q1", ("b",), bid=3.0))
+        instance = AuctionInstance(operators, queries, capacity=10.0)
+        outcome = make_mechanism("CAR").run(instance)
+        assert outcome.winner_ids == {"q0", "q1"}
+        assert outcome.profit == 0.0
+
+    def test_payment_uses_remaining_load_at_admission(self, example_instance):
+        outcome = make_mechanism("CAR").run(example_instance)
+        loads = outcome.details["admission_remaining_loads"]
+        assert loads == {"q2": 6.0, "q1": 1.0}
+
+    def test_not_bid_strategyproof_certificate(self, example_instance):
+        """The Section IV-A manipulation: q2 under-bids so it is chosen
+        *after* q1, shrinking its remaining load from 6 to 2."""
+        truthful = make_mechanism("CAR").run(example_instance)
+        assert truthful.payment("q2") == pytest.approx(60.0)
+        lying = make_mechanism("CAR").run(
+            example_instance.with_bid("q2", 36.0))
+        assert lying.is_winner("q2")
+        # Now q1 (priority 11) precedes q2 (36/6 = 6 ... chosen later);
+        # q2's remaining load drops to C = 2 units → payment 20.
+        assert lying.payment("q2") < 60.0
+        payoff_truthful = 72.0 - truthful.payment("q2")
+        payoff_lying = 72.0 - lying.payment("q2")
+        assert payoff_lying > payoff_truthful
+
+    def test_respects_capacity(self, small_generator):
+        instance = small_generator.instance(max_sharing=5)
+        outcome = make_mechanism("CAR").run(instance)
+        assert outcome.used_capacity <= instance.capacity + 1e-6

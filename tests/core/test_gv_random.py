@@ -1,0 +1,95 @@
+"""Unit tests for GV and the random-admission baseline."""
+
+import pytest
+
+from repro.core import make_mechanism
+from repro.core.model import AuctionInstance, Operator, Query
+
+
+def chain(loads, bids, capacity):
+    operators = {f"o{i}": Operator(f"o{i}", load)
+                 for i, load in enumerate(loads)}
+    queries = tuple(Query(f"q{i}", (f"o{i}",), bid=bid)
+                    for i, bid in enumerate(bids))
+    return AuctionInstance(operators, queries, capacity)
+
+
+class TestGV:
+    def test_admits_by_bid_charges_first_loser(self):
+        instance = chain([2, 2, 2, 2], [40, 30, 20, 10], capacity=6)
+        outcome = make_mechanism("GV").run(instance)
+        assert outcome.winner_ids == {"q0", "q1", "q2"}
+        assert all(outcome.payment(q) == 10 for q in outcome.winner_ids)
+        assert outcome.details["first_loser"] == "q3"
+
+    def test_no_loser_free(self):
+        instance = chain([1, 1], [5, 4], capacity=10)
+        outcome = make_mechanism("GV").run(instance)
+        assert outcome.profit == 0.0
+
+    def test_stops_at_first_too_big(self):
+        # Highest bid doesn't fit: nobody is admitted even though
+        # smaller queries would fit (stop-at-first semantics).
+        instance = chain([20, 1], [100, 50], capacity=10)
+        outcome = make_mechanism("GV").run(instance)
+        assert outcome.winner_ids == set()
+
+    def test_payment_below_winner_bids(self):
+        instance = chain([2, 2, 2, 2], [40, 30, 20, 10], capacity=6)
+        outcome = make_mechanism("GV").run(instance)
+        for qid in outcome.winner_ids:
+            assert outcome.payment(qid) <= instance.query(qid).bid
+
+
+class TestRandomAdmission:
+    def test_charges_nothing(self, medium_instance):
+        outcome = make_mechanism("Random", seed=1).run(medium_instance)
+        assert outcome.profit == 0.0
+        assert len(outcome.winner_ids) > 0
+
+    def test_seeded_reproducibility(self, medium_instance):
+        first = make_mechanism("Random", seed=9).run(medium_instance)
+        second = make_mechanism("Random", seed=9).run(medium_instance)
+        assert first.winner_ids == second.winner_ids
+
+    def test_different_seeds_differ(self, medium_instance):
+        # Tighten capacity so the admitted prefix actually varies.
+        tight = medium_instance.with_capacity(
+            medium_instance.total_demand() * 0.3)
+        outcomes = {
+            frozenset(make_mechanism("Random", seed=s)
+                      .run(tight).winner_ids)
+            for s in range(6)
+        }
+        assert len(outcomes) > 1
+
+    def test_respects_capacity(self, medium_instance):
+        for seed in range(5):
+            outcome = make_mechanism("Random", seed=seed).run(
+                medium_instance)
+            assert outcome.used_capacity <= medium_instance.capacity + 1e-6
+
+
+class TestRegistry:
+    def test_unknown_mechanism(self):
+        with pytest.raises(KeyError):
+            make_mechanism("nope")
+
+    def test_case_insensitive(self):
+        assert make_mechanism("cat").name == "CAT"
+        assert make_mechanism("Caf+").name == "CAF+"
+
+    def test_all_registered(self):
+        from repro.core import registered_mechanisms
+        names = set(registered_mechanisms())
+        assert {"car", "caf", "caf+", "cat", "cat+", "gv",
+                "two-price", "random", "opt_c"} <= names
+
+    def test_properties_rows(self):
+        assert make_mechanism("CAT").properties() == {
+            "strategyproof": True, "sybil_immune": True,
+            "profit_guarantee": False}
+        assert make_mechanism("Two-price").properties() == {
+            "strategyproof": True, "sybil_immune": False,
+            "profit_guarantee": True}
+        assert make_mechanism("CAR").properties()["strategyproof"] is False

@@ -1,0 +1,85 @@
+"""Unit tests for the three load measures and the tracker."""
+
+import pytest
+
+from repro.core.loads import (
+    LoadTracker,
+    remaining_load,
+    static_fair_share_load,
+    total_load,
+)
+from repro.workload import example1
+
+
+@pytest.fixture
+def instance():
+    return example1()
+
+
+class TestTotalLoad:
+    def test_example1_values(self, instance):
+        # C^T: q1 = A+B = 5, q2 = A+C = 6, q3 = D+E = 10 (Section IV-C).
+        assert total_load(instance, instance.query("q1")) == 5.0
+        assert total_load(instance, instance.query("q2")) == 6.0
+        assert total_load(instance, instance.query("q3")) == 10.0
+
+
+class TestStaticFairShare:
+    def test_example1_values(self, instance):
+        # C^SF: A shared by 2 → q1 = 4/2+1 = 3, q2 = 4/2+2 = 4
+        # (Section IV-B's worked numbers).
+        assert static_fair_share_load(
+            instance, instance.query("q1")) == pytest.approx(3.0)
+        assert static_fair_share_load(
+            instance, instance.query("q2")) == pytest.approx(4.0)
+        assert static_fair_share_load(
+            instance, instance.query("q3")) == pytest.approx(10.0)
+
+    def test_fair_share_never_exceeds_total(self, instance):
+        for query in instance.queries:
+            assert (static_fair_share_load(instance, query)
+                    <= total_load(instance, query) + 1e-12)
+
+
+class TestRemainingLoad:
+    def test_nothing_admitted_equals_total(self, instance):
+        q1 = instance.query("q1")
+        assert remaining_load(instance, q1, set()) == total_load(
+            instance, q1)
+
+    def test_shared_operator_excluded(self, instance):
+        # With q2's operators (A, C) running, q1 only adds B = 1.
+        q1 = instance.query("q1")
+        assert remaining_load(instance, q1, {"A", "C"}) == 1.0
+
+    def test_fully_covered_query_is_free(self, instance):
+        q1 = instance.query("q1")
+        assert remaining_load(instance, q1, {"A", "B"}) == 0.0
+
+
+class TestLoadTracker:
+    def test_admission_accumulates_union(self, instance):
+        tracker = LoadTracker(instance)
+        assert tracker.used_capacity == 0.0
+        added = tracker.admit(instance.query("q2"))
+        assert added == 6.0
+        added = tracker.admit(instance.query("q1"))
+        assert added == 1.0  # A already running
+        assert tracker.used_capacity == 7.0
+
+    def test_fits_respects_marginal(self, instance):
+        tracker = LoadTracker(instance)
+        tracker.admit(instance.query("q2"))
+        assert tracker.fits(instance.query("q1"))       # +1 → 7
+        assert not tracker.fits(instance.query("q3"))   # +10 → 16
+
+    def test_try_admit(self, instance):
+        tracker = LoadTracker(instance)
+        assert tracker.try_admit(instance.query("q3"))   # 10 = capacity
+        assert not tracker.try_admit(instance.query("q1"))
+        assert tracker.used_capacity == 10.0
+
+    def test_running_operator_ids(self, instance):
+        tracker = LoadTracker(instance)
+        tracker.admit(instance.query("q1"))
+        assert tracker.running_operator_ids == frozenset({"A", "B"})

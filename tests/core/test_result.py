@@ -1,0 +1,82 @@
+"""Unit tests for outcome accounting and metrics."""
+
+import pytest
+
+from repro.core.model import AuctionInstance, Operator, Query
+from repro.core.result import AuctionOutcome
+from repro.utils.validation import ValidationError
+
+
+@pytest.fixture
+def instance():
+    operators = {"a": Operator("a", 3.0), "b": Operator("b", 2.0)}
+    queries = (
+        Query("q1", ("a",), bid=10.0, owner="alice"),
+        Query("q2", ("b",), bid=8.0, valuation=12.0, owner="alice"),
+        Query("q3", ("a", "b"), bid=6.0, owner="bob"),
+    )
+    return AuctionInstance(operators, queries, capacity=5.0)
+
+
+class TestOutcomeBasics:
+    def test_winners_and_payments(self, instance):
+        outcome = AuctionOutcome(instance, {"q1": 4.0, "q2": 2.0})
+        assert outcome.winner_ids == {"q1", "q2"}
+        assert outcome.payment("q1") == 4.0
+        assert outcome.payment("q3") == 0.0
+        assert outcome.is_winner("q2")
+        assert not outcome.is_winner("q3")
+
+    def test_unknown_winner_rejected(self, instance):
+        with pytest.raises(ValidationError):
+            AuctionOutcome(instance, {"zzz": 1.0})
+
+    def test_negative_payment_rejected(self, instance):
+        with pytest.raises(ValidationError):
+            AuctionOutcome(instance, {"q1": -0.5})
+
+
+class TestMetrics:
+    def test_profit(self, instance):
+        outcome = AuctionOutcome(instance, {"q1": 4.0, "q2": 2.0})
+        assert outcome.profit == 6.0
+
+    def test_payoff_uses_valuation(self, instance):
+        outcome = AuctionOutcome(instance, {"q2": 2.0})
+        # q2's valuation is 12 even though its bid is 8.
+        assert outcome.payoff("q2") == pytest.approx(10.0)
+        assert outcome.payoff("q1") == 0.0
+
+    def test_owner_payoff_aggregates(self, instance):
+        outcome = AuctionOutcome(instance, {"q1": 4.0, "q2": 2.0})
+        assert outcome.owner_payoff("alice") == pytest.approx(
+            (10 - 4) + (12 - 2))
+        assert outcome.owner_payoff("bob") == 0.0
+
+    def test_admission_rate(self, instance):
+        outcome = AuctionOutcome(instance, {"q1": 0.0})
+        assert outcome.admission_rate == pytest.approx(1 / 3)
+
+    def test_utilization_shares_operators(self, instance):
+        outcome = AuctionOutcome(instance, {"q1": 0.0, "q3": 0.0})
+        # q1 ∪ q3 = {a, b} = 5 units of 5.
+        assert outcome.utilization == pytest.approx(1.0)
+
+    def test_total_user_payoff(self, instance):
+        outcome = AuctionOutcome(instance, {"q1": 4.0, "q2": 2.0})
+        assert outcome.total_user_payoff == pytest.approx(6 + 10)
+
+    def test_validate_capacity(self, instance):
+        overfull = AuctionOutcome(
+            instance, {"q1": 0.0, "q2": 0.0, "q3": 0.0})
+        # a+b = 5 = capacity → fine.
+        overfull.validate_capacity()
+        tight = instance.with_capacity(4.0)
+        with pytest.raises(ValidationError):
+            AuctionOutcome(tight, {"q1": 0.0, "q2": 0.0}).validate_capacity()
+
+    def test_summary_keys(self, instance):
+        summary = AuctionOutcome(instance, {"q1": 1.0}).summary()
+        assert set(summary) == {"profit", "admission_rate",
+                                "total_user_payoff", "utilization",
+                                "winners"}

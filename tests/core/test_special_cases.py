@@ -1,0 +1,116 @@
+"""Section III special-case reductions, made executable."""
+
+import pytest
+
+from repro.core import make_mechanism
+from repro.core.model import AuctionInstance, Operator, Query
+
+
+def equal_load_instance(bids, load=2.0, capacity=6.0):
+    operators = {f"o{i}": Operator(f"o{i}", load)
+                 for i in range(len(bids))}
+    queries = tuple(Query(f"q{i}", (f"o{i}",), bid=bid)
+                    for i, bid in enumerate(bids))
+    return AuctionInstance(operators, queries, capacity)
+
+
+def unequal_load_instance(pairs, capacity):
+    operators = {f"o{i}": Operator(f"o{i}", load)
+                 for i, (_bid, load) in enumerate(pairs)}
+    queries = tuple(Query(f"q{i}", (f"o{i}",), bid=bid)
+                    for i, (bid, _load) in enumerate(pairs))
+    return AuctionInstance(operators, queries, capacity)
+
+
+class TestKUnitAuction:
+    def test_k_plus_one_price(self):
+        # capacity 6, load 2 → k = 3; price = 4th bid.
+        instance = equal_load_instance([50, 40, 30, 20, 10])
+        outcome = make_mechanism("k-unit").run(instance)
+        assert outcome.winner_ids == {"q0", "q1", "q2"}
+        assert all(outcome.payment(q) == 20 for q in outcome.winner_ids)
+        assert outcome.details["k"] == 3
+
+    def test_vickrey_second_price_when_k_is_one(self):
+        instance = equal_load_instance([50, 40], load=2.0, capacity=2.0)
+        outcome = make_mechanism("k-unit").run(instance)
+        assert outcome.winner_ids == {"q0"}
+        assert outcome.payment("q0") == 40  # second price
+
+    def test_fewer_bidders_than_slots(self):
+        instance = equal_load_instance([50, 40], load=2.0, capacity=20.0)
+        outcome = make_mechanism("k-unit").run(instance)
+        assert outcome.profit == 0.0
+
+    def test_rejects_unequal_loads(self):
+        instance = unequal_load_instance([(50, 1.0), (40, 2.0)], 6.0)
+        with pytest.raises(ValueError):
+            make_mechanism("k-unit").run(instance)
+
+    def test_rejects_sharing(self):
+        operators = {"s": Operator("s", 2.0)}
+        queries = (Query("q0", ("s",), bid=5.0),
+                   Query("q1", ("s",), bid=4.0))
+        instance = AuctionInstance(operators, queries, capacity=6.0)
+        with pytest.raises(ValueError):
+            make_mechanism("k-unit").run(instance)
+
+
+class TestKnapsackAuction:
+    def test_density_greedy(self):
+        # densities: 25, 10, 9; capacity 4 → q0 (1) + q1 (3) = 4.
+        instance = unequal_load_instance(
+            [(25, 1.0), (30, 3.0), (36, 4.0)], capacity=4.0)
+        outcome = make_mechanism("knapsack").run(instance)
+        assert outcome.winner_ids == {"q0", "q1"}
+        # Price per unit = q2's density 9 → q0 pays 9, q1 pays 27.
+        assert outcome.payment("q0") == pytest.approx(9.0)
+        assert outcome.payment("q1") == pytest.approx(27.0)
+
+    def test_rejects_sharing(self):
+        operators = {"s": Operator("s", 2.0)}
+        queries = (Query("q0", ("s",), bid=5.0),
+                   Query("q1", ("s",), bid=4.0))
+        instance = AuctionInstance(operators, queries, capacity=6.0)
+        with pytest.raises(ValueError):
+            make_mechanism("knapsack").run(instance)
+
+
+class TestReductions:
+    """The Section III claims: CAT degenerates to the knapsack auction
+    without sharing, and the knapsack auction degenerates to the
+    (k+1)-price k-unit auction with equal loads."""
+
+    def test_cat_equals_knapsack_without_sharing(self):
+        from repro.workload import WorkloadConfig, WorkloadGenerator
+
+        config = WorkloadConfig(num_queries=50, max_sharing=1,
+                                capacity=250.0)
+        instance = WorkloadGenerator(config=config, seed=6).instance(
+            max_sharing=1)
+        cat = make_mechanism("CAT").run(instance)
+        knapsack = make_mechanism("knapsack").run(instance)
+        assert cat.winner_ids == knapsack.winner_ids
+        for qid in cat.winner_ids:
+            assert cat.payment(qid) == pytest.approx(
+                knapsack.payment(qid))
+
+    def test_caf_also_reduces_without_sharing(self):
+        from repro.workload import WorkloadConfig, WorkloadGenerator
+
+        config = WorkloadConfig(num_queries=40, max_sharing=1,
+                                capacity=200.0)
+        instance = WorkloadGenerator(config=config, seed=8).instance(
+            max_sharing=1)
+        caf = make_mechanism("CAF").run(instance)
+        knapsack = make_mechanism("knapsack").run(instance)
+        assert caf.winner_ids == knapsack.winner_ids
+
+    def test_knapsack_equals_k_unit_with_equal_loads(self):
+        instance = equal_load_instance([50, 40, 30, 20, 10])
+        knapsack = make_mechanism("knapsack").run(instance)
+        k_unit = make_mechanism("k-unit").run(instance)
+        assert knapsack.winner_ids == k_unit.winner_ids
+        for qid in knapsack.winner_ids:
+            assert knapsack.payment(qid) == pytest.approx(
+                k_unit.payment(qid))

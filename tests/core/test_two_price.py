@@ -1,0 +1,150 @@
+"""Unit tests for the Two-price mechanism (Algorithm 3)."""
+
+import pytest
+
+from repro.core.model import AuctionInstance, Operator, Query
+from repro.core.optc import optimal_constant_pricing
+from repro.core.two_price import (
+    TwoPrice,
+    largest_fitting_subset,
+    optimal_single_price,
+)
+
+
+def chain(loads, bids, capacity):
+    operators = {f"o{i}": Operator(f"o{i}", load)
+                 for i, load in enumerate(loads)}
+    queries = tuple(Query(f"q{i}", (f"o{i}",), bid=bid)
+                    for i, bid in enumerate(bids))
+    return AuctionInstance(operators, queries, capacity)
+
+
+class TestOptimalSinglePrice:
+    def test_simple(self):
+        # Prices tried: 10*1=10, 6*2=12, 5*3=15, 1*4=4 → price 5.
+        price, revenue = optimal_single_price([10, 6, 5, 1])
+        assert price == 5
+        assert revenue == 15
+
+    def test_empty(self):
+        price, revenue = optimal_single_price([])
+        assert price == float("inf")
+        assert revenue == 0.0
+
+    def test_single_value(self):
+        assert optimal_single_price([7.0]) == (7.0, 7.0)
+
+    def test_equal_revenue_profile(self):
+        # v_i = 100/i: every price gives revenue 100.
+        values = [100.0 / i for i in range(1, 11)]
+        _price, revenue = optimal_single_price(values)
+        assert revenue == pytest.approx(100.0)
+
+
+class TestLargestFittingSubset:
+    def test_exhaustive_finds_maximum(self):
+        instance = chain([4, 3, 3, 5], [1, 1, 1, 1], capacity=6)
+        chosen = largest_fitting_subset(
+            instance, set(), list(instance.queries), exhaustive_limit=10)
+        assert len(chosen) == 2  # 3 + 3 fits; no triple fits
+
+    def test_respects_base_load(self):
+        instance = chain([4, 3, 3], [1, 1, 1], capacity=7)
+        chosen = largest_fitting_subset(
+            instance, {"q0"}, [instance.query("q1"), instance.query("q2")],
+            exhaustive_limit=10)
+        assert len(chosen) == 1  # only 3 units left after q0
+
+    def test_greedy_fallback(self):
+        instance = chain([1] * 6, [1] * 6, capacity=3)
+        chosen = largest_fitting_subset(
+            instance, set(), list(instance.queries), exhaustive_limit=2)
+        assert len(chosen) == 3
+
+    def test_sharing_aware(self):
+        operators = {"s": Operator("s", 5.0), "a": Operator("a", 1.0),
+                     "b": Operator("b", 1.0)}
+        queries = (
+            Query("q0", ("s", "a"), bid=1.0),
+            Query("q1", ("s", "b"), bid=1.0),
+        )
+        instance = AuctionInstance(operators, queries, capacity=7.0)
+        chosen = largest_fitting_subset(
+            instance, set(), list(queries), exhaustive_limit=10)
+        assert len(chosen) == 2  # union load 7, not 12
+
+
+class TestTwoPriceMechanism:
+    def test_no_winners_on_single_query(self):
+        instance = chain([1], [10], capacity=5)
+        outcome = TwoPrice(seed=0).run(instance)
+        assert outcome.winner_ids == set()
+
+    def test_winners_pay_opposite_price(self):
+        instance = chain([1] * 6, [60, 50, 40, 30, 20, 10], capacity=10)
+        outcome = TwoPrice(seed=3).run(instance)
+        price_a = outcome.details["price_A"]
+        price_b = outcome.details["price_B"]
+        for qid in outcome.winner_ids:
+            paid = outcome.payment(qid)
+            assert paid in (price_a, price_b)
+            assert instance.query(qid).bid > paid
+
+    def test_winners_subset_of_h(self):
+        instance = chain([3] * 5, [50, 40, 30, 20, 10], capacity=9)
+        outcome = TwoPrice(seed=1).run(instance)
+        assert outcome.winner_ids <= set(outcome.details["H"])
+        # H is the top-3 fitting prefix.
+        assert set(outcome.details["H"]) == {"q0", "q1", "q2"}
+
+    def test_step3_tie_adjustment(self):
+        # Boundary tie: bids 50, 20, 20, 20 with room for 2 queries.
+        instance = chain([3, 3, 3, 3], [50, 20, 20, 20], capacity=6)
+        outcome = TwoPrice(seed=0, adjust_ties=True).run(instance)
+        assert outcome.details["adjusted"] is True
+        assert outcome.details["tied_block_size"] == 3
+        assert len(outcome.details["H"]) == 2
+
+    def test_polynomial_variant_skips_step3(self):
+        instance = chain([3, 3, 3, 3], [50, 20, 20, 20], capacity=6)
+        outcome = TwoPrice(seed=0, adjust_ties=False).run(instance)
+        assert outcome.details["adjusted"] is False
+
+    def test_partition_modes(self):
+        instance = chain([1] * 8, [80, 70, 60, 50, 40, 30, 20, 10],
+                         capacity=20)
+        for mode in ("even", "coin", "hash"):
+            outcome = TwoPrice(seed=5, partition_mode=mode).run(instance)
+            sides = set(outcome.details["A"]) | set(outcome.details["B"])
+            assert sides == {q.query_id for q in instance.queries}
+        with pytest.raises(ValueError):
+            TwoPrice(partition_mode="bogus")
+
+    def test_even_partition_halves(self):
+        instance = chain([1] * 8, [80, 70, 60, 50, 40, 30, 20, 10],
+                         capacity=20)
+        outcome = TwoPrice(seed=5, partition_mode="even").run(instance)
+        assert len(outcome.details["A"]) == 4
+        assert len(outcome.details["B"]) == 4
+
+    def test_hash_partition_stable_across_bids(self):
+        instance = chain([1] * 6, [60, 50, 40, 30, 20, 10], capacity=20)
+        mech = TwoPrice(seed=7, partition_mode="hash")
+        out1 = mech.run(instance)
+        out2 = TwoPrice(seed=7, partition_mode="hash").run(
+            instance.with_bid("q0", 55))
+        assert set(out1.details["A"]) == set(out2.details["A"])
+
+    def test_profit_guarantee_in_expectation(self):
+        """Theorem 11: E[profit] >= OPT_C - 2h (distinct valuations)."""
+        instance = chain([2] * 10,
+                         [100, 91, 83, 76, 70, 64, 59, 54, 50, 46],
+                         capacity=14)
+        opt = optimal_constant_pricing(instance).profit
+        h = instance.max_valuation()
+        runs = 400
+        total = 0.0
+        for seed in range(runs):
+            total += TwoPrice(seed=seed).run(instance).profit
+        expected = total / runs
+        assert expected >= opt - 2 * h - 1e-9

@@ -1,0 +1,110 @@
+"""The paper's worked Example 1, mechanism by mechanism.
+
+Sections IV-A/B/C hand-compute the winners and payments of CAR, CAF
+and CAT on the three-query instance of Figures 1–2.  These tests pin
+our implementations to those exact numbers.
+"""
+
+import pytest
+
+from repro.core import make_mechanism
+from repro.workload import example1
+
+
+@pytest.fixture
+def instance():
+    return example1()
+
+
+class TestCARWorkedExample:
+    """Section IV-A: winners {q1, q2}, $10/unit, payments $10 and $60."""
+
+    def test_outcome(self, instance):
+        outcome = make_mechanism("CAR").run(instance)
+        assert outcome.winner_ids == {"q1", "q2"}
+        assert outcome.payment("q1") == pytest.approx(10.0)
+        assert outcome.payment("q2") == pytest.approx(60.0)
+        assert outcome.payment("q3") == 0.0
+        assert outcome.profit == pytest.approx(70.0)
+
+    def test_admission_order(self, instance):
+        # q2 first (priority 12), then q1 (remaining load 1 → priority 55).
+        outcome = make_mechanism("CAR").run(instance)
+        assert outcome.details["admission_order"] == ["q2", "q1"]
+        assert outcome.details["first_loser"] == "q3"
+
+    def test_price_per_unit(self, instance):
+        outcome = make_mechanism("CAR").run(instance)
+        assert outcome.details["price_per_unit_load"] == pytest.approx(10.0)
+
+
+class TestCAFWorkedExample:
+    """Section IV-B: priorities 18.34/18/10; payments $30 and $40."""
+
+    def test_outcome(self, instance):
+        outcome = make_mechanism("CAF").run(instance)
+        assert outcome.winner_ids == {"q1", "q2"}
+        assert outcome.payment("q1") == pytest.approx(30.0)
+        assert outcome.payment("q2") == pytest.approx(40.0)
+        assert outcome.profit == pytest.approx(70.0)
+
+    def test_priority_order(self, instance):
+        outcome = make_mechanism("CAF").run(instance)
+        assert outcome.details["priority_order"] == ["q1", "q2", "q3"]
+        assert outcome.details["first_loser"] == "q3"
+
+
+class TestCATWorkedExample:
+    """Section IV-C: priorities 11/12/10; payments $50 and $60."""
+
+    def test_outcome(self, instance):
+        outcome = make_mechanism("CAT").run(instance)
+        assert outcome.winner_ids == {"q1", "q2"}
+        assert outcome.payment("q1") == pytest.approx(50.0)
+        assert outcome.payment("q2") == pytest.approx(60.0)
+        assert outcome.profit == pytest.approx(110.0)
+
+    def test_priority_order(self, instance):
+        outcome = make_mechanism("CAT").run(instance)
+        assert outcome.details["priority_order"] == ["q2", "q1", "q3"]
+
+
+class TestPlusVariantsOnExample1:
+    """CAF+/CAT+ admit the same set; q3 never fits even with skipping,
+    and both winners can slide to the bottom of the priority list and
+    still win, so their movement windows are unbounded and payments 0."""
+
+    @pytest.mark.parametrize("name", ["CAF+", "CAT+"])
+    def test_outcome(self, instance, name):
+        outcome = make_mechanism(name).run(instance)
+        assert outcome.winner_ids == {"q1", "q2"}
+        assert outcome.payment("q1") == 0.0
+        assert outcome.payment("q2") == 0.0
+        assert outcome.details["last"] == {"q1": None, "q2": None}
+
+
+class TestGVOnExample1:
+    """GV admits q3 alone (highest bid, exactly fills the server) and
+    charges it the first loser's bid."""
+
+    def test_outcome(self, instance):
+        outcome = make_mechanism("GV").run(instance)
+        assert outcome.winner_ids == {"q3"}
+        assert outcome.payment("q3") == pytest.approx(72.0)
+
+
+class TestMetricsOnExample1:
+    def test_admission_rate(self, instance):
+        outcome = make_mechanism("CAT").run(instance)
+        assert outcome.admission_rate == pytest.approx(2 / 3)
+
+    def test_utilization(self, instance):
+        outcome = make_mechanism("CAT").run(instance)
+        # q1 ∪ q2 = A+B+C = 7 of 10.
+        assert outcome.used_capacity == pytest.approx(7.0)
+        assert outcome.utilization == pytest.approx(0.7)
+
+    def test_total_user_payoff(self, instance):
+        outcome = make_mechanism("CAT").run(instance)
+        # (55-50) + (72-60) = 17.
+        assert outcome.total_user_payoff == pytest.approx(17.0)

@@ -1,0 +1,150 @@
+"""Query-builder and common-subexpression-detection tests."""
+
+import pytest
+
+from repro.dsms.builder import QueryBuilder
+from repro.dsms.engine import StreamEngine
+from repro.dsms.plan import QueryPlanCatalog
+from repro.dsms.sharing_detector import canonicalize
+from repro.dsms.streams import SyntheticStream
+from repro.utils.validation import ValidationError
+
+
+def trader(qid, bid, threshold, share=True):
+    """A builder query: shared filter + private aggregate."""
+    return (QueryBuilder(qid, bid=bid, owner=qid)
+            .source("s")
+            .where(lambda t, th=threshold: t.value("v") > th,
+                   cost=0.5, selectivity=0.5,
+                   share_key=f"v>{threshold}" if share else None)
+            .sliding_aggregate("v", max, window=3,
+                               share_key=None)
+            .build())
+
+
+class TestQueryBuilder:
+    def test_linear_pipeline(self):
+        query = (QueryBuilder("q1", bid=10.0)
+                 .source("s")
+                 .where(lambda t: True, share_key="all")
+                 .project(["a"])
+                 .build())
+        assert query.bid == 10.0
+        assert len(query.operators) == 2
+        assert query.sink_id == query.operators[-1].op_id
+
+    def test_join_absorbs_other_branch(self):
+        left = (QueryBuilder("q", bid=5.0)
+                .source("s1")
+                .where(lambda t: True, share_key="l"))
+        right = QueryBuilder("_right").source("s2").where(
+            lambda t: True, share_key="r")
+        query = left.join(
+            right, left_key=lambda t: 1, right_key=lambda t: 1).build()
+        assert len(query.operators) == 3
+        kinds = [op.op_id.split(".")[-1] for op in query.operators]
+        assert "join" in kinds
+
+    def test_source_required_first(self):
+        with pytest.raises(ValidationError):
+            QueryBuilder("q").where(lambda t: True)
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ValidationError):
+            QueryBuilder("q").source("s").build()
+
+    def test_operator_ids_unique_per_query(self):
+        query = (QueryBuilder("q")
+                 .source("s")
+                 .where(lambda t: True)
+                 .where(lambda t: False)
+                 .build())
+        ids = [op.op_id for op in query.operators]
+        assert len(set(ids)) == len(ids)
+
+    def test_runs_in_engine(self):
+        engine = StreamEngine(
+            [SyntheticStream("s", rate=3, poisson=False, seed=0,
+                             payload_fn=lambda r, t, i: {"v": i})])
+        query = (QueryBuilder("q", bid=1.0)
+                 .source("s")
+                 .where(lambda t: t.value("v") >= 1, share_key="v>=1")
+                 .build())
+        engine.admit(query)
+        engine.run(4)
+        assert len(engine.results["q"]) == 8  # 2 of 3 pass per tick
+
+
+class TestCanonicalize:
+    def test_equal_filters_merge(self):
+        q1 = trader("u1", 10.0, threshold=5)
+        q2 = trader("u2", 8.0, threshold=5)
+        report = canonicalize([q1, q2])
+        assert report.merged_operators == 1
+        catalog = QueryPlanCatalog(report.queries)
+        shared = [op_id for op_id in catalog.operators
+                  if catalog.sharing_degree(op_id) == 2]
+        assert len(shared) == 1
+
+    def test_different_parameters_stay_private(self):
+        q1 = trader("u1", 10.0, threshold=5)
+        q2 = trader("u2", 8.0, threshold=9)
+        report = canonicalize([q1, q2])
+        assert report.merged_operators == 0
+
+    def test_no_share_key_stays_private(self):
+        q1 = trader("u1", 10.0, threshold=5, share=False)
+        q2 = trader("u2", 8.0, threshold=5, share=False)
+        report = canonicalize([q1, q2])
+        assert report.merged_operators == 0
+
+    def test_transitive_sharing_through_pipeline(self):
+        """Equal step 2 on top of equal step 1 merges too."""
+        def two_step(qid):
+            return (QueryBuilder(qid, bid=1.0)
+                    .source("s")
+                    .where(lambda t: True, share_key="p1")
+                    .project(["a"])
+                    .build())
+
+        report = canonicalize([two_step("u1"), two_step("u2")])
+        assert report.merged_operators == 2
+        catalog = QueryPlanCatalog(report.queries)
+        assert len(catalog.operators) == 2  # both steps shared
+
+    def test_merged_queries_run_shared_in_engine(self):
+        engine = StreamEngine(
+            [SyntheticStream("s", rate=4, poisson=False, seed=0,
+                             payload_fn=lambda r, t, i: {"v": 10})])
+        report = canonicalize([
+            trader("u1", 10.0, threshold=5),
+            trader("u2", 8.0, threshold=5),
+        ])
+        for query in report.queries:
+            engine.admit(query)
+        engine.run(3)
+        # The merged filter processed each tuple once (12), not twice.
+        shared_id = next(
+            op_id for op_id in engine.catalog.operators
+            if engine.catalog.sharing_degree(op_id) == 2)
+        assert engine.catalog.operators[shared_id].processed_tuples == 12
+        assert len(engine.results["u1"]) > 0
+        assert len(engine.results["u2"]) > 0
+
+    def test_fair_share_load_drops_after_canonicalization(self):
+        """Sharing detection changes the auction's fair-share loads —
+        the interface between the substrate and the mechanisms."""
+        from repro.core.loads import static_fair_share_load
+        from repro.dsms.load import auction_instance_from_catalog
+
+        raw = [trader("u1", 10.0, threshold=5),
+               trader("u2", 8.0, threshold=5)]
+        before = auction_instance_from_catalog(
+            QueryPlanCatalog(raw), {"s": 4.0}, capacity=100.0)
+        report = canonicalize(raw)
+        after = auction_instance_from_catalog(
+            QueryPlanCatalog(report.queries), {"s": 4.0},
+            capacity=100.0)
+        q1_before = static_fair_share_load(before, before.query("u1"))
+        q1_after = static_fair_share_load(after, after.query("u1"))
+        assert q1_after < q1_before

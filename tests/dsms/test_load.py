@@ -1,0 +1,97 @@
+"""Load estimation and the DSMS→auction bridge."""
+
+import pytest
+
+from repro.dsms.engine import StreamEngine
+from repro.dsms.load import (
+    LoadMeter,
+    auction_instance_from_catalog,
+    estimate_operator_loads,
+)
+from repro.dsms.operators import AggregateOperator, SelectOperator
+from repro.dsms.plan import ContinuousQuery, QueryPlanCatalog
+from repro.dsms.streams import SyntheticStream
+
+
+def select(op_id, source, selectivity, cost=1.0):
+    return SelectOperator(op_id, source, lambda t: True,
+                          cost_per_tuple=cost,
+                          selectivity_estimate=selectivity)
+
+
+class TestAnalyticEstimation:
+    def test_rate_propagation(self):
+        a = select("a", "s", selectivity=0.5, cost=2.0)
+        b = select("b", "a", selectivity=1.0, cost=3.0)
+        catalog = QueryPlanCatalog(
+            [ContinuousQuery("q", (a, b), sink_id="b")])
+        loads = estimate_operator_loads(catalog, {"s": 10.0})
+        assert loads["a"] == pytest.approx(20.0)   # 10 × 2
+        assert loads["b"] == pytest.approx(15.0)   # 10×0.5 × 3
+
+    def test_unknown_stream_rate_zero(self):
+        a = select("a", "mystery", selectivity=1.0)
+        catalog = QueryPlanCatalog(
+            [ContinuousQuery("q", (a,), sink_id="a")])
+        assert estimate_operator_loads(catalog, {})["a"] == 0.0
+
+    def test_aggregate_reduces_downstream_rate(self):
+        agg = AggregateOperator("agg", "s", "x", sum, window=5,
+                                cost_per_tuple=1.0)
+        after = select("after", "agg", selectivity=1.0, cost=10.0)
+        catalog = QueryPlanCatalog(
+            [ContinuousQuery("q", (agg, after), sink_id="after")])
+        loads = estimate_operator_loads(catalog, {"s": 10.0})
+        assert loads["after"] == pytest.approx(10.0 / 5 * 10.0)
+
+
+class TestMeasuredVsEstimated:
+    def test_measurement_tracks_estimate(self):
+        engine = StreamEngine(
+            [SyntheticStream("s", rate=6, poisson=False, seed=0)])
+        op = select("a", "s", selectivity=1.0, cost=1.5)
+        engine.admit(ContinuousQuery("q", (op,), sink_id="a"))
+        engine.run(20)
+        estimated = estimate_operator_loads(engine.catalog, {"s": 6.0})
+        measured = engine.measured_loads()
+        assert measured["a"] == pytest.approx(estimated["a"], rel=0.01)
+
+
+class TestLoadMeter:
+    def test_means(self):
+        meter = LoadMeter()
+        meter.record_tick({"a": 4.0})
+        meter.record_tick({"a": 6.0, "b": 2.0})
+        assert meter.ticks == 2
+        assert meter.measured_loads() == {"a": 5.0, "b": 1.0}
+        assert meter.total_load() == pytest.approx(6.0)
+
+    def test_empty(self):
+        assert LoadMeter().measured_loads() == {}
+
+
+class TestAuctionBridge:
+    def test_instance_from_catalog(self):
+        shared = select("shared", "s", selectivity=1.0, cost=1.0)
+        shared2 = select("shared", "s", selectivity=1.0, cost=1.0)
+        own = select("own", "s", selectivity=1.0, cost=2.0)
+        catalog = QueryPlanCatalog([
+            ContinuousQuery("q1", (shared, own), sink_id="own",
+                            bid=20.0, owner="alice"),
+            ContinuousQuery("q2", (shared2,), sink_id="shared",
+                            bid=10.0),
+        ])
+        instance = auction_instance_from_catalog(
+            catalog, {"s": 5.0}, capacity=100.0)
+        assert instance.num_queries == 2
+        assert instance.sharing_degree("shared") == 2
+        assert instance.operator("own").load == pytest.approx(10.0)
+        assert instance.query("q1").owner_id == "alice"
+
+    def test_measured_loads_override(self):
+        a = select("a", "s", selectivity=1.0, cost=1.0)
+        catalog = QueryPlanCatalog(
+            [ContinuousQuery("q", (a,), sink_id="a", bid=1.0)])
+        instance = auction_instance_from_catalog(
+            catalog, {"s": 5.0}, capacity=10.0, loads={"a": 7.5})
+        assert instance.operator("a").load == 7.5

@@ -1,0 +1,158 @@
+"""Runtime operator semantics tests."""
+
+import pytest
+
+from repro.dsms.operators import (
+    AggregateOperator,
+    JoinOperator,
+    MapOperator,
+    ProjectOperator,
+    SelectOperator,
+    UnionOperator,
+)
+from repro.dsms.tuples import StreamTuple
+
+
+def batch(stream, tick, payloads):
+    return [StreamTuple(stream, tick, p, origin=(f"{stream}@{tick}#{i}",))
+            for i, p in enumerate(payloads)]
+
+
+class TestSelect:
+    def test_filters_by_predicate(self):
+        op = SelectOperator("sel", "in", lambda t: t.value("x") > 2)
+        out = op.execute({"in": batch("in", 1, [{"x": 1}, {"x": 3},
+                                                {"x": 5}])})
+        assert [t.value("x") for t in out] == [3, 5]
+
+    def test_counters(self):
+        op = SelectOperator("sel", "in", lambda t: True)
+        op.execute({"in": batch("in", 1, [{}, {}])})
+        assert op.processed_tuples == 2
+        assert op.emitted_tuples == 2
+
+    def test_work_is_input_times_cost(self):
+        op = SelectOperator("sel", "in", lambda t: False,
+                            cost_per_tuple=2.5)
+        assert op.work({"in": batch("in", 1, [{}, {}, {}])}) == 7.5
+
+
+class TestProjectAndMap:
+    def test_project_keeps_attributes(self):
+        op = ProjectOperator("proj", "in", ["a"])
+        out = op.execute({"in": batch("in", 1, [{"a": 1, "b": 2}])})
+        assert out[0].payload == {"a": 1}
+
+    def test_map_transforms(self):
+        op = MapOperator("m", "in", lambda p: {"double": p["x"] * 2})
+        out = op.execute({"in": batch("in", 1, [{"x": 4}])})
+        assert out[0].value("double") == 8
+
+
+class TestJoin:
+    def make_join(self, window=3):
+        return JoinOperator(
+            "j", "L", "R",
+            left_key=lambda t: t.value("k"),
+            right_key=lambda t: t.value("k"),
+            window=window)
+
+    def test_matches_within_tick(self):
+        op = self.make_join()
+        out = op.execute({
+            "L": batch("L", 1, [{"k": "a", "l": 1}]),
+            "R": batch("R", 1, [{"k": "a", "r": 2}]),
+        })
+        assert len(out) == 1
+        assert out[0].value("l") == 1
+        assert out[0].value("r") == 2
+
+    def test_matches_across_ticks_within_window(self):
+        op = self.make_join(window=3)
+        op.execute({"L": batch("L", 1, [{"k": "a", "l": 1}]), "R": []})
+        out = op.execute({"L": [], "R": batch("R", 2, [{"k": "a"}])})
+        assert len(out) == 1
+
+    def test_window_expiry(self):
+        op = self.make_join(window=2)
+        op.execute({"L": batch("L", 1, [{"k": "a"}]), "R": []})
+        out = op.execute({"L": [], "R": batch("R", 5, [{"k": "a"}])})
+        assert out == []
+
+    def test_no_duplicate_matches(self):
+        """New-left×(old+new right) plus old-left×new-right covers each
+        pair exactly once."""
+        op = self.make_join(window=5)
+        op.execute({"L": batch("L", 1, [{"k": "a"}]),
+                    "R": batch("R", 1, [{"k": "a"}])})   # 1 match
+        out = op.execute({"L": batch("L", 2, [{"k": "a"}]),
+                          "R": batch("R", 2, [{"k": "a"}])})
+        # new L joins 2 R (old+new); old L joins 1 new R → 3 matches.
+        assert len(out) == 3
+
+    def test_origin_combines_sides(self):
+        op = self.make_join()
+        out = op.execute({
+            "L": batch("L", 1, [{"k": "a"}]),
+            "R": batch("R", 1, [{"k": "a"}]),
+        })
+        assert len(out[0].origin) == 2
+
+    def test_pending_and_reset(self):
+        op = self.make_join()
+        op.execute({"L": batch("L", 1, [{"k": "a"}]), "R": []})
+        assert op.pending_tuples() == 1
+        op.reset()
+        assert op.pending_tuples() == 0
+
+
+class TestAggregate:
+    def test_tumbling_window_emission(self):
+        op = AggregateOperator("agg", "in", "v", sum, window=2)
+        assert op.execute({"in": batch("in", 1, [{"v": 1}, {"v": 2}])}) == []
+        out = op.execute({"in": batch("in", 2, [{"v": 3}])})
+        assert len(out) == 1
+        assert out[0].value("value") == 6
+        assert out[0].value("count") == 3
+
+    def test_group_by(self):
+        op = AggregateOperator(
+            "agg", "in", "v", max, window=1,
+            group_by=lambda t: t.value("g"))
+        out = op.execute({"in": batch("in", 1, [
+            {"g": "x", "v": 1}, {"g": "x", "v": 5}, {"g": "y", "v": 2}])})
+        values = {t.value("group"): t.value("value") for t in out}
+        assert values == {"x": 5, "y": 2}
+
+    def test_window_resets_after_emission(self):
+        op = AggregateOperator("agg", "in", "v", sum, window=1)
+        op.execute({"in": batch("in", 1, [{"v": 1}])})
+        out = op.execute({"in": batch("in", 2, [{"v": 10}])})
+        assert out[0].value("value") == 10
+
+    def test_selectivity_estimate(self):
+        op = AggregateOperator("agg", "in", "v", sum, window=4)
+        assert op.selectivity() == 0.25
+
+
+class TestUnion:
+    def test_merges_inputs(self):
+        op = UnionOperator("u", ["a", "b"])
+        out = op.execute({
+            "a": batch("a", 1, [{"x": 1}]),
+            "b": batch("b", 1, [{"x": 2}, {"x": 3}]),
+        })
+        assert len(out) == 3
+
+
+class TestValidation:
+    def test_negative_cost_rejected(self):
+        from repro.utils.validation import ValidationError
+        with pytest.raises(ValidationError):
+            SelectOperator("s", "in", lambda t: True, cost_per_tuple=-1)
+
+    def test_join_window_positive(self):
+        from repro.utils.validation import ValidationError
+        with pytest.raises(ValidationError):
+            JoinOperator("j", "L", "R", lambda t: 1, lambda t: 1,
+                         window=0)

@@ -1,0 +1,99 @@
+"""Query-plan catalog tests: sharing, merging, topology."""
+
+import pytest
+
+from repro.dsms.operators import SelectOperator, UnionOperator
+from repro.dsms.plan import ContinuousQuery, QueryPlanCatalog
+from repro.utils.validation import ValidationError
+
+
+def select(op_id, source="s", cost=1.0):
+    return SelectOperator(op_id, source, lambda t: True,
+                          cost_per_tuple=cost)
+
+
+class TestContinuousQuery:
+    def test_valid(self):
+        q = ContinuousQuery("q", (select("a"),), sink_id="a", bid=5.0)
+        assert q.operator_ids == ("a",)
+        assert q.true_value == 5.0
+
+    def test_sink_must_be_member(self):
+        with pytest.raises(ValidationError):
+            ContinuousQuery("q", (select("a"),), sink_id="zzz")
+
+    def test_duplicate_operator_rejected(self):
+        with pytest.raises(ValidationError):
+            ContinuousQuery("q", (select("a"), select("a")), sink_id="a")
+
+
+class TestCatalogSharing:
+    def test_shared_operator_merged(self):
+        catalog = QueryPlanCatalog()
+        catalog.add(ContinuousQuery("q1", (select("shared"),),
+                                    sink_id="shared"))
+        catalog.add(ContinuousQuery("q2", (select("shared"),),
+                                    sink_id="shared"))
+        assert len(catalog.operators) == 1
+        assert catalog.sharing_degree("shared") == 2
+        assert set(catalog.queries_containing("shared")) == {"q1", "q2"}
+
+    def test_conflicting_share_rejected(self):
+        catalog = QueryPlanCatalog()
+        catalog.add(ContinuousQuery("q1", (select("x", cost=1.0),),
+                                    sink_id="x"))
+        with pytest.raises(ValidationError):
+            catalog.add(ContinuousQuery("q2", (select("x", cost=9.0),),
+                                        sink_id="x"))
+
+    def test_remove_drops_orphans_keeps_shared(self):
+        catalog = QueryPlanCatalog()
+        catalog.add(ContinuousQuery(
+            "q1", (select("shared"), select("only1")), sink_id="only1"))
+        catalog.add(ContinuousQuery("q2", (select("shared"),),
+                                    sink_id="shared"))
+        catalog.remove("q1")
+        assert "only1" not in catalog.operators
+        assert "shared" in catalog.operators
+
+    def test_duplicate_query_rejected(self):
+        catalog = QueryPlanCatalog()
+        catalog.add(ContinuousQuery("q", (select("a"),), sink_id="a"))
+        with pytest.raises(ValidationError):
+            catalog.add(ContinuousQuery("q", (select("b"),), sink_id="b"))
+
+
+class TestTopology:
+    def test_topological_order(self):
+        a = select("a", source="s")
+        b = SelectOperator("b", "a", lambda t: True)
+        c = SelectOperator("c", "b", lambda t: True)
+        catalog = QueryPlanCatalog(
+            [ContinuousQuery("q", (c, a, b), sink_id="c")])
+        order = [op.op_id for op in catalog.topological_order()]
+        assert order.index("a") < order.index("b") < order.index("c")
+
+    def test_cycle_detected(self):
+        a = SelectOperator("a", "b", lambda t: True)
+        b = SelectOperator("b", "a", lambda t: True)
+        catalog = QueryPlanCatalog(
+            [ContinuousQuery("q", (a, b), sink_id="a")])
+        with pytest.raises(ValidationError):
+            catalog.topological_order()
+
+    def test_stream_names(self):
+        a = select("a", source="s1")
+        u = UnionOperator("u", ["a", "s2"])
+        catalog = QueryPlanCatalog(
+            [ContinuousQuery("q", (a, u), sink_id="u")])
+        assert catalog.stream_names() == {"s1", "s2"}
+
+    def test_subgraph_order(self):
+        a = select("a")
+        b = select("b")
+        catalog = QueryPlanCatalog([
+            ContinuousQuery("q1", (a,), sink_id="a"),
+            ContinuousQuery("q2", (b,), sink_id="b"),
+        ])
+        sub = [op.op_id for op in catalog.subgraph_order(["q1"])]
+        assert sub == ["a"]

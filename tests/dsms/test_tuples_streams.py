@@ -1,0 +1,80 @@
+"""Tuple and stream-source tests."""
+
+import pytest
+
+from repro.dsms.streams import (
+    SyntheticStream,
+    news_stories,
+    sensor_readings,
+    stock_quotes,
+)
+from repro.dsms.tuples import StreamTuple
+
+
+class TestStreamTuple:
+    def test_default_origin(self):
+        t = StreamTuple("s", 3, {"x": 1})
+        assert t.origin == ("s@3",)
+
+    def test_value_lookup(self):
+        t = StreamTuple("s", 1, {"price": 10.0})
+        assert t.value("price") == 10.0
+        assert t.value("missing", "dflt") == "dflt"
+
+    def test_derive_keeps_lineage(self):
+        t = StreamTuple("s", 1, {"a": 1})
+        derived = t.derive(payload={"b": 2})
+        assert derived.origin == t.origin
+        assert derived.payload == {"b": 2}
+
+    def test_immutable_payload_copy(self):
+        payload = {"a": 1}
+        t = StreamTuple("s", 1, payload)
+        payload["a"] = 99
+        assert t.value("a") == 1
+
+
+class TestSyntheticStream:
+    def test_constant_rate(self):
+        stream = SyntheticStream("s", rate=5, poisson=False, seed=0)
+        assert len(stream.emit(1)) == 5
+        assert stream.expected_rate() == 5
+
+    def test_poisson_rate_mean(self):
+        stream = SyntheticStream("s", rate=4.0, seed=1)
+        counts = [len(stream.emit(t)) for t in range(300)]
+        assert sum(counts) / len(counts) == pytest.approx(4.0, rel=0.15)
+
+    def test_unique_origins(self):
+        stream = SyntheticStream("s", rate=10, poisson=False, seed=2)
+        batch = stream.emit(1) + stream.emit(2)
+        origins = [t.origin for t in batch]
+        assert len(set(origins)) == len(origins)
+
+    def test_emitted_counter(self):
+        stream = SyntheticStream("s", rate=3, poisson=False, seed=3)
+        stream.emit(1)
+        stream.emit(2)
+        assert stream.emitted == 6
+
+
+class TestDomainStreams:
+    def test_stock_quotes_payloads(self):
+        stream = stock_quotes(rate=8, seed=1)
+        batch = stream.emit(1)
+        for t in batch:
+            assert t.value("symbol") in ("AAA", "BBB", "CCC", "DDD")
+            assert t.value("price") > 0
+            assert 1 <= t.value("volume") < 10_000
+
+    def test_news_payloads(self):
+        stream = news_stories(rate=8, seed=1)
+        for t in stream.emit(1):
+            assert isinstance(t.value("public"), bool)
+            assert -1 <= t.value("sentiment") <= 1
+
+    def test_sensor_payloads(self):
+        stream = sensor_readings(rate=8, num_sensors=4, seed=1)
+        for t in stream.emit(1):
+            assert 0 <= t.value("sensor") < 4
+            assert isinstance(t.value("temperature"), float)

@@ -1,0 +1,63 @@
+"""CSV export tests."""
+
+import csv
+
+from repro.experiments.export import (
+    export_figure,
+    export_figure5,
+    export_sweep,
+)
+from repro.experiments.figures import figure4a
+from repro.experiments.harness import ExperimentScale, run_sharing_sweep
+from repro.experiments.lying import figure5
+
+SCALE = ExperimentScale(num_sets=1, num_queries=50, degrees=(1, 3),
+                        seed=2)
+
+
+def read_csv(path):
+    with open(path, newline="") as handle:
+        return list(csv.reader(handle))
+
+
+class TestExportSweep:
+    def test_tidy_rows(self, tmp_path):
+        sweep = run_sharing_sweep(SCALE, 15_000.0,
+                                  mechanisms=("CAF", "CAT"))
+        path = export_sweep(sweep, tmp_path / "sweep.csv")
+        rows = read_csv(path)
+        assert rows[0][:4] == ["capacity", "mechanism", "degree",
+                               "samples"]
+        assert len(rows) == 1 + 2 * len(SCALE.degrees)
+        # std columns present for every metric.
+        assert "profit_std" in rows[0]
+
+    def test_values_match_cells(self, tmp_path):
+        sweep = run_sharing_sweep(SCALE, 15_000.0, mechanisms=("CAT",))
+        path = export_sweep(sweep, tmp_path / "sweep.csv")
+        rows = read_csv(path)
+        header = rows[0]
+        record = dict(zip(header, rows[1]))
+        cell = sweep.cell("CAT", int(record["degree"]))
+        assert float(record["profit"]) == cell.profit
+
+
+class TestExportFigure:
+    def test_matrix_shape(self, tmp_path):
+        sweep = run_sharing_sweep(SCALE, 15_000.0)
+        figure = figure4a(SCALE, sweep=sweep)
+        path = export_figure(figure, tmp_path / "fig.csv")
+        rows = read_csv(path)
+        assert rows[0][0] == "degree"
+        assert len(rows) == 1 + len(SCALE.degrees)
+        assert len(rows[1]) == 1 + len(figure.mechanisms)
+
+
+class TestExportFigure5:
+    def test_series_columns(self, tmp_path):
+        result = figure5(SCALE, paper_capacity=5_000.0)
+        path = export_figure5(result, tmp_path / "fig5.csv")
+        rows = read_csv(path)
+        assert rows[0][0] == "degree"
+        assert "CAR-AL" in rows[0]
+        assert len(rows) == 1 + len(SCALE.degrees)

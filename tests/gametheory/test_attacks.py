@@ -1,0 +1,132 @@
+"""The paper's constructive attacks, theorem by theorem."""
+
+import pytest
+
+from repro.core import make_mechanism
+from repro.core.two_price import TwoPrice
+from repro.gametheory.attacks import (
+    cat_plus_table2_attack,
+    fair_share_attack,
+    two_price_coin_attack,
+)
+from repro.gametheory.sybil import assess_attack
+from repro.workload import example1
+
+
+class TestFairShareAttack:
+    """Theorem 15: CAF and CAF+ are universally vulnerable."""
+
+    @pytest.mark.parametrize("target", ["q1", "q2", "q3"])
+    def test_profits_against_caf_on_example1(self, target):
+        instance = example1()
+        attack = fair_share_attack(instance, target, num_fakes=6)
+        assessment = assess_attack(make_mechanism("CAF"), instance, attack)
+        assert assessment.profitable, (target, assessment)
+
+    def test_profits_against_caf_plus_for_losers(self):
+        """Under CAF+, q1/q2 already pay 0 on Example 1 (nothing left
+        to gain), but the loser q3 is flipped into a winner by the
+        fair-share attack."""
+        instance = example1()
+        attack = fair_share_attack(instance, "q3", num_fakes=6)
+        assessment = assess_attack(
+            make_mechanism("CAF+"), instance, attack)
+        assert assessment.baseline_payoff == 0.0
+        assert assessment.profitable
+
+    @pytest.mark.parametrize("target", ["q1", "q2"])
+    def test_never_hurts_against_caf_plus(self, target):
+        instance = example1()
+        attack = fair_share_attack(instance, target, num_fakes=6)
+        assessment = assess_attack(
+            make_mechanism("CAF+"), instance, attack)
+        assert assessment.gain >= -1e-9
+
+    def test_attack_reduces_fair_share_load(self):
+        from repro.core.loads import static_fair_share_load
+
+        instance = example1()
+        attack = fair_share_attack(instance, "q1", num_fakes=4)
+        attacked = attack.apply(instance)
+        before = static_fair_share_load(instance, instance.query("q1"))
+        after = static_fair_share_load(attacked, attacked.query("q1"))
+        assert after < before
+
+    def test_same_attack_fails_against_cat(self):
+        """CAT ignores fair-share loads, so the attack buys nothing."""
+        instance = example1()
+        for target in ("q1", "q2", "q3"):
+            attack = fair_share_attack(instance, target, num_fakes=6)
+            assessment = assess_attack(
+                make_mechanism("CAT"), instance, attack)
+            assert not assessment.profitable
+
+
+class TestTable2Attack:
+    """Theorem 17 / Table II: the attack that defeats CAT+."""
+
+    def test_honest_run_serves_user1(self):
+        scenario = cat_plus_table2_attack()
+        outcome = make_mechanism("CAT+").run(scenario.honest_instance)
+        assert outcome.winner_ids == {"u1"}
+
+    def test_attack_profits_against_cat_plus(self):
+        scenario = cat_plus_table2_attack(epsilon=1e-3)
+        assessment = assess_attack(
+            make_mechanism("CAT+"), scenario.honest_instance,
+            scenario.attack)
+        assert assessment.baseline_payoff == pytest.approx(0.0)
+        # Payoff 89 − 100ε (user 2 pays 0; the fake pays 100ε).
+        assert assessment.attacked_payoff == pytest.approx(
+            89.0 - 100.0 * scenario.epsilon)
+        assert assessment.profitable
+
+    def test_attacked_payments_match_table(self):
+        scenario = cat_plus_table2_attack(epsilon=1e-3)
+        outcome = make_mechanism("CAT+").run(
+            scenario.attack.apply(scenario.honest_instance))
+        assert outcome.winner_ids == {"u2", "u3"}
+        assert outcome.payment("u2") == pytest.approx(0.0)
+        assert outcome.payment("u3") == pytest.approx(0.1)  # 100ε
+
+    def test_same_attack_fails_against_cat(self):
+        scenario = cat_plus_table2_attack(epsilon=1e-3)
+        assessment = assess_attack(
+            make_mechanism("CAT"), scenario.honest_instance,
+            scenario.attack)
+        assert not assessment.profitable
+
+
+class TestTwoPriceCoinAttack:
+    """Section V-C: expected-payment reduction under coin partitions."""
+
+    def test_analytic_expectations(self):
+        scenario = two_price_coin_attack(num_low=6, epsilon=0.01)
+        assert scenario.expected_payment_before == pytest.approx(
+            10.0 * (1 - 0.5 ** 6))
+        assert scenario.expected_payment_after == pytest.approx(
+            10.01 / 2)
+        assert (scenario.expected_payment_after
+                < scenario.expected_payment_before)
+
+    def test_measured_payment_reduction(self):
+        scenario = two_price_coin_attack(num_low=6, epsilon=0.01)
+        runs = 600
+        before = after = fake_charges = 0.0
+        for seed in range(runs):
+            mech = TwoPrice(seed=seed, partition_mode="coin")
+            before += mech.run(scenario.honest_instance).payment("u1")
+            attacked = mech.run(
+                scenario.attack.apply(scenario.honest_instance))
+            after += attacked.payment("u1")
+            fake_charges += attacked.payment("fake")
+        before /= runs
+        after /= runs
+        fake_charges /= runs
+        assert before == pytest.approx(
+            scenario.expected_payment_before, rel=0.15)
+        assert after == pytest.approx(
+            scenario.expected_payment_after, rel=0.15)
+        # Property-2 violation: the payment drop exceeds what the
+        # fakes are charged.
+        assert before - after > fake_charges + 0.5

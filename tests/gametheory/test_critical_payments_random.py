@@ -1,0 +1,57 @@
+"""Payments equal critical values on random instances (hypothesis).
+
+The Section III characterization: a monotone mechanism is
+bid-strategyproof iff each winner pays her critical value.  The paper
+proves it per mechanism (Theorems 4, 7, 8, 9); here we check it
+empirically on randomly drawn shared-operator instances by bisecting
+each winner's win/lose threshold and comparing against the charged
+payment.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import make_mechanism
+from repro.gametheory.critical_value import critical_value
+from tests.strategies import auction_instances
+
+
+def assert_payments_are_critical(name, instance, sample_limit=3):
+    mechanism = make_mechanism(name)
+    outcome = mechanism.run(instance)
+    for qid in sorted(outcome.winner_ids)[:sample_limit]:
+        critical = critical_value(mechanism, instance, qid,
+                                  tolerance=1e-8)
+        assert critical is not None
+        assert critical == pytest.approx(
+            outcome.payment(qid), abs=1e-4), (name, qid)
+
+
+@settings(max_examples=20, deadline=None)
+@given(instance=auction_instances(min_queries=2, max_queries=6))
+@pytest.mark.parametrize("name", ["CAF", "CAT", "GV"])
+def test_stop_at_first_payments_are_critical(name, instance):
+    assert_payments_are_critical(name, instance)
+
+
+@settings(max_examples=12, deadline=None)
+@given(instance=auction_instances(min_queries=2, max_queries=5))
+@pytest.mark.parametrize("name", ["CAF+", "CAT+"])
+def test_movement_window_payments_are_critical(name, instance):
+    """Definitions 5–6 encode exactly the critical value; bisection
+    must agree with the movement-window computation."""
+    assert_payments_are_critical(name, instance)
+
+
+@settings(max_examples=15, deadline=None)
+@given(instance=auction_instances(min_queries=2, max_queries=6))
+def test_car_payment_not_always_critical(instance):
+    """CAR charges remaining-load prices that are *not* generally
+    critical values — that is its broken-ness.  We only assert the
+    sanity direction here: bidding above the charged payment does not
+    always secure a win or the same payment (no exception raised);
+    actual counterexamples are pinned in test_car.py."""
+    outcome = make_mechanism("CAR").run(instance)
+    # Existence check only: the mechanism runs and charges winners.
+    for qid in outcome.winner_ids:
+        assert outcome.payment(qid) >= 0.0

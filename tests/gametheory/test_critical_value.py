@@ -1,0 +1,68 @@
+"""Critical-value estimation tests (the payment characterization)."""
+
+import pytest
+
+from repro.core import make_mechanism
+from repro.gametheory.critical_value import critical_value, wins_at_bid
+from repro.workload import example1
+
+
+class TestWinsAtBid:
+    def test_transition(self):
+        instance = example1()
+        cat = make_mechanism("CAT")
+        assert wins_at_bid(cat, instance, "q1", 55.0)
+        assert not wins_at_bid(cat, instance, "q1", 1.0)
+
+
+class TestCriticalValue:
+    @pytest.mark.parametrize("name", ["CAF", "CAT", "GV"])
+    def test_payment_equals_critical_value(self, name):
+        """The Section III characterization: for the stop-at-first
+        strategyproof mechanisms, every winner's payment is her
+        critical value."""
+        instance = example1()
+        mechanism = make_mechanism(name)
+        outcome = mechanism.run(instance)
+        for qid in outcome.winner_ids:
+            critical = critical_value(mechanism, instance, qid,
+                                      tolerance=1e-7)
+            assert critical == pytest.approx(
+                outcome.payment(qid), abs=1e-4)
+
+    def test_plus_variant_payment_equals_critical_value(self):
+        """CAF+ payments are critical values too (Theorem 7) — checked
+        on an instance where movement windows actually close."""
+        from repro.core.model import AuctionInstance, Operator, Query
+
+        operators = {f"o{i}": Operator(f"o{i}", load)
+                     for i, load in enumerate([5, 5, 5, 2])}
+        queries = tuple(
+            Query(f"q{i}", (f"o{i}",), bid=bid)
+            for i, bid in enumerate([50, 45, 40, 4]))
+        instance = AuctionInstance(operators, queries, capacity=12)
+        mechanism = make_mechanism("CAF+")
+        outcome = mechanism.run(instance)
+        for qid in outcome.winner_ids:
+            critical = critical_value(mechanism, instance, qid,
+                                      tolerance=1e-7)
+            assert critical == pytest.approx(
+                outcome.payment(qid), abs=1e-3)
+
+    def test_loser_with_no_winning_bid(self):
+        instance = example1()
+        # q3 needs the whole server; with q1/q2 denser it can win by
+        # outbidding... at a high enough bid it tops the list and fits
+        # alone, so a critical value exists.
+        cat = make_mechanism("CAT")
+        critical = critical_value(cat, instance, "q3")
+        assert critical is not None
+
+    def test_always_winner_has_zero_critical_value(self):
+        from repro.core.model import AuctionInstance, Operator, Query
+
+        operators = {"a": Operator("a", 1.0)}
+        instance = AuctionInstance(
+            operators, (Query("q0", ("a",), bid=5.0),), capacity=10.0)
+        cat = make_mechanism("CAT")
+        assert critical_value(cat, instance, "q0") == 0.0

@@ -1,0 +1,55 @@
+"""Monotonicity tests over the strategyproof mechanisms."""
+
+from hypothesis import given, settings
+
+from repro.core import make_mechanism
+from repro.gametheory.monotonicity import (
+    check_bid_monotonicity,
+    check_subset_monotonicity,
+    scan_monotonicity,
+)
+from repro.workload import example1
+from tests.strategies import auction_instances
+
+STRATEGYPROOF = ("CAF", "CAF+", "CAT", "CAT+", "GV")
+
+
+class TestBidMonotonicity:
+    def test_example1_all_clean(self):
+        instance = example1()
+        for name in STRATEGYPROOF:
+            mechanism = make_mechanism(name)
+            assert scan_monotonicity(mechanism, instance) == []
+
+    @settings(max_examples=25, deadline=None)
+    @given(instance=auction_instances(min_queries=2, max_queries=6))
+    def test_random_instances_clean(self, instance):
+        for name in STRATEGYPROOF:
+            mechanism = make_mechanism(name)
+            for query in instance.queries:
+                violation = check_bid_monotonicity(
+                    mechanism, instance, query.query_id)
+                assert violation is None, (name, violation)
+
+
+class TestSubsetMonotonicity:
+    def test_example1_smb_monotone(self):
+        """Lehmann et al.'s extended monotonicity (Section III): a
+        winner asking for a strict subset of her operators still wins."""
+        instance = example1()
+        for name in ("CAF", "CAT", "GV"):
+            mechanism = make_mechanism(name)
+            for query in instance.queries:
+                violation = check_subset_monotonicity(
+                    mechanism, instance, query.query_id)
+                assert violation is None, (name, violation)
+
+    @settings(max_examples=15, deadline=None)
+    @given(instance=auction_instances(min_queries=2, max_queries=5))
+    def test_random_instances_smb(self, instance):
+        for name in ("CAT", "GV"):
+            mechanism = make_mechanism(name)
+            for query in instance.queries:
+                violation = check_subset_monotonicity(
+                    mechanism, instance, query.query_id, max_subsets=8)
+                assert violation is None, (name, violation)

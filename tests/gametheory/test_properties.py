@@ -1,0 +1,37 @@
+"""Table I verification battery tests."""
+
+from repro.gametheory.properties import (
+    TABLE_I,
+    render_verdicts,
+    verify_properties,
+)
+
+
+class TestTableI:
+    def test_claims_match_paper(self):
+        assert TABLE_I["CAT"] == (True, True, False)
+        assert TABLE_I["CAF"] == (True, False, False)
+        assert TABLE_I["Two-price"] == (True, False, True)
+
+    def test_verification_battery_consistent(self):
+        verdicts = verify_properties(
+            num_instances=1, num_queries=30, users_per_instance=4,
+            attack_attempts=6, seed=1)
+        assert len(verdicts) == len(TABLE_I)
+        for verdict in verdicts:
+            assert verdict.consistent, verdict
+        # No strategyproof mechanism shows a misreport.
+        for verdict in verdicts:
+            if verdict.claimed_strategyproof:
+                assert verdict.misreports_found == 0
+        # CAT shows no attack.
+        cat = next(v for v in verdicts if v.mechanism == "CAT")
+        assert cat.attacks_found == 0
+
+    def test_render(self):
+        verdicts = verify_properties(
+            num_instances=1, num_queries=20, users_per_instance=2,
+            attack_attempts=3, seed=2)
+        text = render_verdicts(verdicts)
+        assert "Table I" in text
+        assert "CAT" in text

@@ -1,0 +1,63 @@
+"""Empirical strategyproofness tests (Theorems 4, 7, 8, 9, 10)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import make_mechanism
+from repro.core.two_price import TwoPrice
+from repro.gametheory.strategyproof import (
+    find_profitable_misreport,
+    scan_strategyproofness,
+)
+from repro.workload import example1
+from tests.strategies import auction_instances
+
+STRATEGYPROOF = ("CAF", "CAF+", "CAT", "CAT+", "GV")
+
+
+class TestStrategyproofMechanisms:
+    @pytest.mark.parametrize("name", STRATEGYPROOF)
+    def test_example1_no_misreports(self, name):
+        instance = example1()
+        mechanism = make_mechanism(name)
+        assert scan_strategyproofness(mechanism, instance) == []
+
+    @settings(max_examples=20, deadline=None)
+    @given(instance=auction_instances(min_queries=2, max_queries=6))
+    def test_random_instances_no_misreports(self, instance):
+        for name in STRATEGYPROOF:
+            mechanism = make_mechanism(name)
+            for query in instance.queries:
+                misreport = find_profitable_misreport(
+                    mechanism, instance, query.query_id, seed=0)
+                assert misreport is None, (name, misreport)
+
+    @settings(max_examples=10, deadline=None)
+    @given(instance=auction_instances(min_queries=2, max_queries=6))
+    def test_two_price_hash_mode_no_misreports(self, instance):
+        """Per fixed hash partition, Two-price is exactly
+        bid-strategyproof (the RSOP conditioning argument)."""
+        def factory(run_seed):
+            return TwoPrice(seed=run_seed, partition_mode="hash")
+
+        for query in instance.queries:
+            misreport = find_profitable_misreport(
+                factory, instance, query.query_id, seed=1, runs=3)
+            assert misreport is None, misreport
+
+
+class TestCARManipulable:
+    def test_car_misreport_exists_on_example1(self):
+        """Section IV-A: CAR is not bid-strategyproof; on Example 1 the
+        sharing user q2 gains by under-bidding."""
+        instance = example1()
+        misreport = find_profitable_misreport(
+            make_mechanism("CAR"), instance, "q2", seed=0)
+        assert misreport is not None
+        assert misreport.strategic_bid < misreport.truthful_bid
+        assert misreport.gain > 0
+
+    def test_scan_finds_car_manipulators(self):
+        instance = example1()
+        found = scan_strategyproofness(make_mechanism("CAR"), instance)
+        assert any(m.query_id == "q2" for m in found)

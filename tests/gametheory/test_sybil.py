@@ -1,0 +1,101 @@
+"""Sybil-attack machinery and immunity tests (Section V)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import make_mechanism
+from repro.core.model import Operator, Query
+from repro.gametheory.sybil import (
+    SybilAttack,
+    assess_attack,
+    check_immunity_characterization,
+    random_attack,
+    search_sybil_attack,
+)
+from repro.utils.validation import ValidationError
+from repro.workload import example1
+from tests.strategies import auction_instances
+
+
+class TestSybilAttackModel:
+    def test_requires_attacker_ownership(self):
+        fake = Query("f", ("A",), bid=1.0, valuation=0.0, owner="eve")
+        with pytest.raises(ValidationError):
+            SybilAttack(attacker="mallory", fake_queries=(fake,))
+
+    def test_requires_zero_valuation(self):
+        fake = Query("f", ("A",), bid=1.0, valuation=5.0, owner="eve")
+        with pytest.raises(ValidationError):
+            SybilAttack(attacker="eve", fake_queries=(fake,))
+
+    def test_apply_adds_queries(self):
+        instance = example1()
+        fake = Query("f", ("A",), bid=0.001, valuation=0.0, owner="q1")
+        attacked = SybilAttack("q1", (fake,)).apply(instance)
+        assert attacked.num_queries == 4
+        assert attacked.sharing_degree("A") == 3
+
+    def test_apply_with_fresh_operator(self):
+        instance = example1()
+        fake = Query("f", ("X",), bid=0.001, valuation=0.0, owner="q1")
+        attacked = SybilAttack(
+            "q1", (fake,), (Operator("X", 0.01),)).apply(instance)
+        assert attacked.operator("X").load == 0.01
+
+
+class TestAssessAttack:
+    def test_gain_accounting_includes_fake_payments(self):
+        """If a fake wins and pays, that cost lands on the attacker."""
+        instance = example1()
+        # A fake that outbids everyone on a tiny op: it wins and pays.
+        fake = Query("f", ("X",), bid=1000.0, valuation=0.0, owner="q3")
+        attack = SybilAttack("q3", (fake,), (Operator("X", 0.5),))
+        assessment = assess_attack(make_mechanism("CAT"), instance, attack)
+        attacked = make_mechanism("CAT").run(attack.apply(instance))
+        assert assessment.attacked_payoff == pytest.approx(
+            attacked.owner_payoff("q3"))
+
+
+class TestCATSybilImmunity:
+    """Theorem 19: no sybil attack profits against CAT."""
+
+    def test_example1_search_finds_nothing(self):
+        instance = example1()
+        for attacker in ("q1", "q2", "q3"):
+            assert search_sybil_attack(
+                make_mechanism("CAT"), instance, attacker,
+                attempts=40, seed=3) is None
+
+    @settings(max_examples=12, deadline=None)
+    @given(instance=auction_instances(min_queries=2, max_queries=5))
+    def test_random_instances_immune(self, instance):
+        cat = make_mechanism("CAT")
+        for query in instance.queries:
+            found = search_sybil_attack(
+                cat, instance, query.owner_id, attempts=8, seed=5)
+            assert found is None, found
+
+    @settings(max_examples=12, deadline=None)
+    @given(instance=auction_instances(min_queries=2, max_queries=5))
+    def test_characterization_holds_for_cat(self, instance):
+        import numpy as np
+
+        cat = make_mechanism("CAT")
+        rng = np.random.default_rng(0)
+        for index, query in enumerate(instance.queries[:3]):
+            attack = random_attack(instance, query.owner_id, rng, index)
+            violation = check_immunity_characterization(
+                cat, instance, attack)
+            assert violation is None, violation
+
+
+class TestVulnerableMechanismsFindable:
+    def test_caf_attack_findable_by_search(self):
+        """CAF's universal vulnerability should surface in random
+        search on an instance where the attacker pays something."""
+        instance = example1()
+        found = search_sybil_attack(
+            make_mechanism("CAF"), instance, "q2", attempts=60, seed=2)
+        assert found is not None
+        attack, assessment = found
+        assert assessment.profitable

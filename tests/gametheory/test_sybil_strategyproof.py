@@ -1,0 +1,57 @@
+"""Sybil-strategyproofness tests (Definition 18, Theorem 19).
+
+A mechanism is sybil-strategyproof when no user profits from lying,
+attacking, or doing both at once.  CAT is (Theorem 19); CAF/CAF+ fall
+to the combined search just as they fall to attacks alone.
+"""
+
+from hypothesis import given, settings
+
+from repro.core import make_mechanism
+from repro.gametheory.sybil import search_combined_attack
+from repro.workload import example1
+from tests.strategies import auction_instances
+
+
+class TestCATSybilStrategyproof:
+    def test_example1_combined_search_finds_nothing(self):
+        instance = example1()
+        cat = make_mechanism("CAT")
+        for attacker in ("q1", "q2", "q3"):
+            found = search_combined_attack(
+                cat, instance, attacker, attempts=20, seed=1)
+            assert found is None, found
+
+    @settings(max_examples=8, deadline=None)
+    @given(instance=auction_instances(min_queries=2, max_queries=5))
+    def test_random_instances_resist(self, instance):
+        cat = make_mechanism("CAT")
+        for query in instance.queries[:3]:
+            found = search_combined_attack(
+                cat, instance, query.owner_id, attempts=6, seed=2)
+            assert found is None, found
+
+
+class TestVulnerableUnderCombinedSearch:
+    def test_caf_falls_to_combined_search(self):
+        """The fair-share attack surfaces (possibly with a lie on top)."""
+        instance = example1()
+        caf = make_mechanism("CAF")
+        found = None
+        for attacker in ("q2", "q3", "q1"):
+            found = search_combined_attack(
+                caf, instance, attacker, attempts=60, seed=3)
+            if found is not None:
+                break
+        assert found is not None
+        _attack, _factor, assessment = found
+        assert assessment.profitable
+
+    def test_car_falls_even_without_fakes_helping(self):
+        """CAR isn't even bid-strategyproof; the combined search finds
+        a profitable strategy immediately."""
+        instance = example1()
+        car = make_mechanism("CAR")
+        found = search_combined_attack(
+            car, instance, "q2", attempts=20, seed=4)
+        assert found is not None

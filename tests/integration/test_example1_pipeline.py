@@ -1,0 +1,100 @@
+"""The paper's Figure 1 queries as *running* plans, end to end.
+
+Builds q1/q2/q3 of Example 1 as actual stream plans (selects over a
+quote stream and a news stream, a join on the company attribute, with
+operator A shared between q1 and q2), estimates loads, auctions with
+CAT, and runs the winners on the engine — the complete story of
+Sections II and IV in one test.
+"""
+
+import pytest
+
+from repro.core import make_mechanism
+from repro.dsms import (
+    ContinuousQuery,
+    JoinOperator,
+    SelectOperator,
+    StreamEngine,
+    auction_instance_from_catalog,
+    news_stories,
+    stock_quotes,
+)
+from repro.dsms.plan import QueryPlanCatalog
+
+
+def build_plans():
+    """q1 = {A, B}: select + join; q2 = {A, C}: select + select;
+    q3 = {D, E}: two selects on the news stream."""
+    def op_a():
+        return SelectOperator(
+            "A", "quotes", lambda t: t.value("volume") > 5000,
+            cost_per_tuple=0.4, selectivity_estimate=0.5)
+
+    op_c = SelectOperator(
+        "C", "news", lambda t: t.value("public"),
+        cost_per_tuple=0.5, selectivity_estimate=0.8)
+    op_b = JoinOperator(
+        "B", "A", "C",
+        left_key=lambda t: t.value("symbol"),
+        right_key=lambda t: t.value("company"),
+        window=3, cost_per_tuple=0.1, selectivity_estimate=0.2)
+    op_d = SelectOperator(
+        "D", "news", lambda t: t.value("sentiment") > 0,
+        cost_per_tuple=0.5, selectivity_estimate=0.5)
+    op_e = SelectOperator(
+        "E", "D", lambda t: t.value("company") == "AAA",
+        cost_per_tuple=0.5, selectivity_estimate=0.3)
+    op_c2 = SelectOperator(
+        "C", "news", lambda t: t.value("public"),
+        cost_per_tuple=0.5, selectivity_estimate=0.8)
+
+    q1 = ContinuousQuery("q1", (op_a(), op_c, op_b), sink_id="B",
+                         bid=55.0, owner="user1")
+    q2 = ContinuousQuery("q2", (op_a(), op_c2), sink_id="C",
+                         bid=72.0, owner="user2")
+    q3 = ContinuousQuery("q3", (op_d, op_e), sink_id="E",
+                         bid=100.0, owner="user3")
+    return [q1, q2, q3]
+
+
+@pytest.fixture
+def sources():
+    return [stock_quotes(rate=10, seed=1), news_stories(rate=6, seed=2)]
+
+
+class TestExample1Pipeline:
+    def test_catalog_shares_operator_a(self):
+        catalog = QueryPlanCatalog(build_plans())
+        assert catalog.sharing_degree("A") == 2
+        assert catalog.sharing_degree("C") == 2  # C also shared here
+
+    def test_auction_and_run(self, sources):
+        plans = build_plans()
+        catalog = QueryPlanCatalog(plans)
+        rates = {s.name: s.expected_rate() for s in sources}
+        # Capacity sized so not everything fits (like Example 1).
+        instance = auction_instance_from_catalog(
+            catalog, rates, capacity=10.0)
+        outcome = make_mechanism("CAT").run(instance)
+        assert 0 < len(outcome.winner_ids) < 3
+
+        engine = StreamEngine(sources, capacity=10.0)
+        for plan in plans:
+            if outcome.is_winner(plan.query_id):
+                engine.admit(plan)
+        report = engine.run(30)
+        # Winners actually produce results; average work stays within
+        # the auctioned capacity (estimates were exact rates).
+        for qid in outcome.winner_ids:
+            assert len(engine.results[qid]) > 0
+        assert report.work_per_tick <= 10.0 * 1.3  # Poisson slack
+
+    def test_join_results_are_company_matches(self, sources):
+        plans = build_plans()
+        engine = StreamEngine(sources, capacity=100.0)
+        engine.admit(plans[0])  # q1 with the join
+        engine.run(40)
+        for result in engine.results["q1"]:
+            assert result.value("symbol") == result.value("company")
+            assert result.value("volume") > 5000
+            assert result.value("public") is True

@@ -1,0 +1,52 @@
+"""Hypothesis strategies for random auction instances.
+
+:func:`auction_instances` draws structurally-valid instances with
+operator sharing: a catalogue of operators with bounded loads, queries
+picking random operator subsets (so sharing arises naturally), bids on
+a bounded positive range, and a capacity somewhere between "almost
+nothing fits" and "everything fits".
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.core.model import AuctionInstance, Operator, Query
+
+
+@st.composite
+def auction_instances(
+    draw,
+    min_queries: int = 1,
+    max_queries: int = 8,
+    max_operators: int = 10,
+    max_load: float = 10.0,
+    max_bid: float = 100.0,
+) -> AuctionInstance:
+    """Draw a valid :class:`AuctionInstance` with natural sharing."""
+    num_operators = draw(st.integers(1, max_operators))
+    loads = draw(st.lists(
+        st.floats(0.0, max_load, allow_nan=False, allow_infinity=False),
+        min_size=num_operators, max_size=num_operators))
+    operators = {
+        f"op{i}": Operator(f"op{i}", load)
+        for i, load in enumerate(loads)
+    }
+    num_queries = draw(st.integers(min_queries, max_queries))
+    queries = []
+    for index in range(num_queries):
+        subset = draw(st.lists(
+            st.integers(0, num_operators - 1),
+            min_size=1, max_size=min(4, num_operators), unique=True))
+        bid = draw(st.floats(0.0, max_bid, allow_nan=False,
+                             allow_infinity=False))
+        queries.append(Query(
+            query_id=f"q{index}",
+            operator_ids=tuple(f"op{i}" for i in subset),
+            bid=bid,
+        ))
+    total = sum(loads) or 1.0
+    capacity = draw(st.floats(
+        total * 0.1 + 1e-6, total * 1.5 + 1.0,
+        allow_nan=False, allow_infinity=False))
+    return AuctionInstance(operators, tuple(queries), capacity)

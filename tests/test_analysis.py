@@ -1,0 +1,80 @@
+"""Analysis-helper tests."""
+
+import pytest
+
+from repro.analysis import (
+    compare_mechanisms,
+    describe_instance,
+    profit_breakdown,
+)
+from repro.core import make_mechanism
+from repro.workload import example1, stock_monitoring
+
+
+class TestDescribeInstance:
+    def test_example1_profile(self):
+        profile = describe_instance(example1())
+        assert profile.num_queries == 3
+        assert profile.num_operators == 5
+        assert profile.total_demand == pytest.approx(17.0)
+        assert profile.overload_factor == pytest.approx(1.7)
+        assert profile.max_sharing_degree == 2
+        assert profile.mean_bid == pytest.approx((55 + 72 + 100) / 3)
+
+    def test_render(self):
+        text = describe_instance(example1()).render()
+        assert "Instance profile" in text
+        assert "overload" in text
+
+
+class TestCompareMechanisms:
+    def test_collects_all(self):
+        comparison = compare_mechanisms(
+            example1(), mechanisms=("CAF", "CAT", "GV"))
+        assert set(comparison.outcomes) == {"CAF", "CAT", "GV"}
+
+    def test_best_for_profit_on_example1(self):
+        comparison = compare_mechanisms(
+            example1(), mechanisms=("CAF", "CAT", "GV"))
+        assert comparison.best_for("profit") == "CAT"
+
+    def test_render(self):
+        comparison = compare_mechanisms(example1(),
+                                        mechanisms=("CAF", "CAT"))
+        text = comparison.render()
+        assert "Mechanism comparison" in text
+        assert "CAT" in text
+
+    def test_randomized_mechanism_seeded(self):
+        a = compare_mechanisms(stock_monitoring(),
+                               mechanisms=("Two-price",), seed=3)
+        b = compare_mechanisms(stock_monitoring(),
+                               mechanisms=("Two-price",), seed=3)
+        assert (a.outcomes["Two-price"].profit
+                == b.outcomes["Two-price"].profit)
+
+
+class TestProfitBreakdown:
+    def test_example1_cat(self):
+        outcome = make_mechanism("CAT").run(example1())
+        breakdown = profit_breakdown(outcome)
+        assert breakdown.profit == pytest.approx(110.0)
+        assert breakdown.winners == 2
+        assert breakdown.mean_payment == pytest.approx(55.0)
+        assert breakdown.max_payment == pytest.approx(60.0)
+
+    def test_empty_outcome(self):
+        from repro.core.model import AuctionInstance, Operator, Query
+        from repro.core.result import AuctionOutcome
+
+        instance = AuctionInstance(
+            {"a": Operator("a", 20.0)},
+            (Query("q", ("a",), bid=1.0),), capacity=1.0)
+        breakdown = profit_breakdown(AuctionOutcome(instance, {}))
+        assert breakdown.profit == 0.0
+        assert breakdown.winners == 0
+        assert breakdown.mean_payment == 0.0
+
+    def test_render(self):
+        outcome = make_mechanism("CAT").run(example1())
+        assert "Profit breakdown" in profit_breakdown(outcome).render()

@@ -1,0 +1,38 @@
+"""Every example script must run to completion."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py"))
+FAST_EXAMPLES = [p for p in EXAMPLES
+                 if p.name != "reproduce_figures.py"]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES,
+                         ids=lambda p: p.name)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True, text=True, timeout=300)
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_reproduce_figures_tiny_scale():
+    script = pathlib.Path(__file__).parent.parent / "examples" / \
+        "reproduce_figures.py"
+    env = {"REPRO_SETS": "1", "REPRO_QUERIES": "60",
+           "REPRO_DEGREES": "1,4"}
+    import os
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True, text=True, timeout=600,
+        env={**os.environ, **env})
+    assert result.returncode == 0, result.stderr
+    assert "Figure 4(a)" in result.stdout
+    assert "Table IV" in result.stdout
+    assert "Figure 5" in result.stdout

@@ -1,0 +1,96 @@
+"""Utility-module tests: validation, rng, tables, metrics report."""
+
+import numpy as np
+import pytest
+
+from repro.dsms.metrics import EngineReport
+from repro.utils.rng import derive_seed, spawn_rng
+from repro.utils.tables import format_table
+from repro.utils.validation import (
+    ValidationError,
+    require,
+    require_non_negative,
+    require_positive,
+)
+
+
+class TestValidation:
+    def test_require(self):
+        require(True, "fine")
+        with pytest.raises(ValidationError, match="broken"):
+            require(False, "broken")
+
+    def test_require_positive(self):
+        require_positive(0.1, "x")
+        with pytest.raises(ValidationError):
+            require_positive(0.0, "x")
+
+    def test_require_non_negative(self):
+        require_non_negative(0.0, "x")
+        with pytest.raises(ValidationError):
+            require_non_negative(-0.1, "x")
+
+    def test_validation_error_is_value_error(self):
+        assert issubclass(ValidationError, ValueError)
+
+
+class TestRng:
+    def test_spawn_from_int_deterministic(self):
+        assert (spawn_rng(5).integers(0, 1000, 10)
+                == spawn_rng(5).integers(0, 1000, 10)).all()
+
+    def test_spawn_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert spawn_rng(generator) is generator
+
+    def test_derive_seed_stable(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+
+    def test_derive_seed_varies(self):
+        seeds = {derive_seed(1, "a", i) for i in range(50)}
+        assert len(seeds) == 50
+
+    def test_derive_seed_fits_numpy(self):
+        np.random.default_rng(derive_seed(0, "anything"))
+
+
+class TestFormatTable:
+    def test_alignment_and_precision(self):
+        text = format_table(["name", "value"],
+                            [["a", 1.23456], ["bb", 2.0]],
+                            precision=2)
+        lines = text.splitlines()
+        assert lines[0].endswith("value")
+        assert "1.23" in text
+        assert "2.00" in text
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_non_float_cells(self):
+        text = format_table(["a", "b"], [[3, "hi"]])
+        assert "hi" in text
+
+
+class TestEngineReport:
+    def test_merge_and_utilization(self):
+        report = EngineReport(capacity=10.0)
+        report.merge_tick(5, 8.0, {"q": 3})
+        report.merge_tick(5, 12.0, {"q": 2})
+        assert report.ticks == 2
+        assert report.source_tuples == 10
+        assert report.delivered_tuples == {"q": 5}
+        assert report.work_per_tick == pytest.approx(10.0)
+        assert report.utilization == pytest.approx(1.0)
+        assert report.overload_ticks == 1
+
+    def test_unlimited_capacity(self):
+        report = EngineReport()
+        report.merge_tick(1, 5.0, {})
+        assert report.utilization is None
+        assert report.overload_ticks == 0
+
+    def test_empty_report(self):
+        report = EngineReport(capacity=5.0)
+        assert report.work_per_tick == 0.0

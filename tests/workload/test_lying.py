@@ -1,0 +1,90 @@
+"""Lying-workload tests (Figure 5 inputs)."""
+
+import pytest
+
+from repro.utils.validation import ValidationError
+from repro.workload.lying import (
+    AGGRESSIVE_LYING,
+    MODERATE_LYING,
+    LyingProfile,
+    apply_lying,
+    lying_fraction,
+)
+from repro.workload.generator import WorkloadConfig, WorkloadGenerator
+
+
+@pytest.fixture
+def shared_instance():
+    """High sharing so fair-share/total ratios drop below thresholds."""
+    config = WorkloadConfig(num_queries=120, max_sharing=20,
+                            capacity=600.0)
+    return WorkloadGenerator(config=config, seed=11).instance(
+        max_sharing=20)
+
+
+class TestProfiles:
+    def test_paper_parameters(self):
+        assert MODERATE_LYING.ratio_threshold == 0.25
+        assert MODERATE_LYING.lying_probability == 0.5
+        assert MODERATE_LYING.lying_factor == 0.5
+        assert AGGRESSIVE_LYING.ratio_threshold == 0.35
+        assert AGGRESSIVE_LYING.lying_probability == 0.7
+        assert AGGRESSIVE_LYING.lying_factor == 0.3
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            LyingProfile("x", 0.2, 1.5, 0.5)
+        with pytest.raises(ValidationError):
+            LyingProfile("x", 0.2, 0.5, 0.0)
+
+
+class TestApplyLying:
+    def test_valuations_preserved(self, shared_instance):
+        lying = apply_lying(shared_instance, AGGRESSIVE_LYING, seed=1)
+        for query in shared_instance.queries:
+            assert (lying.query(query.query_id).true_value
+                    == query.true_value)
+
+    def test_liars_underbid_by_factor(self, shared_instance):
+        lying = apply_lying(shared_instance, AGGRESSIVE_LYING, seed=1)
+        for query in lying.queries:
+            if query.bid != query.true_value:
+                assert query.bid == pytest.approx(
+                    query.true_value * AGGRESSIVE_LYING.lying_factor)
+
+    def test_some_users_lie_under_high_sharing(self, shared_instance):
+        lying = apply_lying(shared_instance, AGGRESSIVE_LYING, seed=1)
+        assert lying_fraction(shared_instance, lying) > 0.0
+
+    def test_nobody_lies_without_sharing(self):
+        config = WorkloadConfig(num_queries=50, max_sharing=1,
+                                capacity=400.0)
+        truthful = WorkloadGenerator(config=config, seed=2).instance(
+            max_sharing=1)
+        lying = apply_lying(truthful, AGGRESSIVE_LYING, seed=3)
+        assert lying_fraction(truthful, lying) == 0.0
+
+    def test_aggressive_lies_more_than_moderate(self, shared_instance):
+        moderate = apply_lying(shared_instance, MODERATE_LYING, seed=4)
+        aggressive = apply_lying(shared_instance, AGGRESSIVE_LYING, seed=4)
+        assert (lying_fraction(shared_instance, aggressive)
+                >= lying_fraction(shared_instance, moderate))
+
+    def test_seeded_reproducibility(self, shared_instance):
+        a = apply_lying(shared_instance, MODERATE_LYING, seed=5)
+        b = apply_lying(shared_instance, MODERATE_LYING, seed=5)
+        assert [q.bid for q in a.queries] == [q.bid for q in b.queries]
+
+    def test_lying_lowers_car_profit_on_average(self, shared_instance):
+        """The Figure 5 claim, in miniature."""
+        from repro.core import make_mechanism
+
+        tight = shared_instance.with_capacity(
+            shared_instance.total_demand() * 0.5)
+        car = make_mechanism("CAR")
+        truthful_profit = car.run(tight).profit
+        lying_profits = [
+            car.run(apply_lying(tight, AGGRESSIVE_LYING, seed=s)).profit
+            for s in range(5)
+        ]
+        assert sum(lying_profits) / len(lying_profits) <= truthful_profit

@@ -1,0 +1,57 @@
+"""Scenario-builder tests."""
+
+import pytest
+
+from repro.core import make_mechanism
+from repro.workload.scenarios import (
+    example1,
+    sensor_network,
+    stock_monitoring,
+    table2_instance,
+    web_alerts,
+)
+
+
+class TestExample1:
+    def test_structure(self):
+        instance = example1()
+        assert instance.num_queries == 3
+        assert instance.capacity == 10.0
+        assert instance.sharing_degree("A") == 2
+        assert instance.total_demand() == pytest.approx(17.0)
+
+
+class TestDomainScenarios:
+    @pytest.mark.parametrize("builder,expected_queries", [
+        (stock_monitoring, 40),
+        (sensor_network, 30),
+        (web_alerts, 25),
+    ])
+    def test_shapes(self, builder, expected_queries):
+        instance = builder()
+        assert instance.num_queries == expected_queries
+        assert instance.max_sharing_degree() > 1  # hot shared operators
+        assert instance.total_demand() > instance.capacity  # overloaded
+
+    def test_seeded_reproducibility(self):
+        a = stock_monitoring(seed=3)
+        b = stock_monitoring(seed=3)
+        assert [q.bid for q in a.queries] == [q.bid for q in b.queries]
+
+    def test_mechanisms_run_on_scenarios(self):
+        for builder in (stock_monitoring, sensor_network, web_alerts):
+            instance = builder()
+            for name in ("CAF", "CAT", "GV"):
+                outcome = make_mechanism(name).run(instance)
+                assert outcome.used_capacity <= instance.capacity + 1e-6
+                assert 0 < len(outcome.winner_ids) < instance.num_queries
+
+
+class TestTable2Instance:
+    def test_matches_paper(self):
+        instance = table2_instance(epsilon=1e-3)
+        assert instance.num_queries == 3
+        assert instance.query("u1").bid == 100.0
+        assert instance.query("u2").bid == 89.0
+        assert instance.query("u3").owner_id == "user2"
+        assert instance.query("u3").true_value == 0.0

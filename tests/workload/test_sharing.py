@@ -1,0 +1,92 @@
+"""Operator-splitting tests (the Section VI-A sharing sweep)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.loads import total_load
+from repro.workload.sharing import (
+    average_query_total_load,
+    sharing_profile,
+    split_degree,
+    with_max_sharing,
+)
+from repro.workload.generator import WorkloadConfig, WorkloadGenerator
+
+
+class TestSplitDegree:
+    def test_paper_example(self):
+        """The paper: degree 8 at target 7 splits into 4, 2, 1, 1."""
+        assert split_degree(8, 7) == [4, 2, 1, 1]
+
+    def test_no_split_needed(self):
+        assert split_degree(5, 60) == [5]
+        assert split_degree(1, 1) == [1]
+
+    def test_target_one(self):
+        assert split_degree(4, 1) == [1, 1, 1, 1]
+
+    @settings(max_examples=200, deadline=None)
+    @given(degree=st.integers(1, 200), target=st.integers(1, 200))
+    def test_parts_sum_and_bound(self, degree, target):
+        parts = split_degree(degree, target)
+        assert sum(parts) == degree
+        assert all(1 <= p <= max(target, degree if degree <= target else 0)
+                   or p <= target for p in parts)
+        if degree > target:
+            assert all(p <= target for p in parts)
+
+
+class TestWithMaxSharing:
+    @pytest.fixture
+    def base(self):
+        config = WorkloadConfig(num_queries=80, max_sharing=12,
+                                capacity=600.0)
+        return WorkloadGenerator(config=config, seed=5).base_instance()
+
+    def test_respects_target(self, base):
+        for target in (8, 4, 2, 1):
+            derived = with_max_sharing(base, target, seed=0)
+            assert derived.max_sharing_degree() <= target
+
+    def test_preserves_query_total_loads(self, base):
+        derived = with_max_sharing(base, 3, seed=0)
+        for query in base.queries:
+            before = total_load(base, query)
+            after = total_load(derived, derived.query(query.query_id))
+            assert after == pytest.approx(before)
+
+    def test_preserves_average_query_load(self, base):
+        derived = with_max_sharing(base, 2, seed=0)
+        assert average_query_total_load(derived) == pytest.approx(
+            average_query_total_load(base))
+
+    def test_preserves_bids_and_operator_counts(self, base):
+        derived = with_max_sharing(base, 2, seed=0)
+        for query in base.queries:
+            after = derived.query(query.query_id)
+            assert after.bid == query.bid
+            assert len(after.operator_ids) == len(query.operator_ids)
+
+    def test_operator_count_grows(self, base):
+        used = lambda inst: sum(
+            1 for op in inst.operators
+            if inst.sharing_degree(op) > 0)
+        assert used(with_max_sharing(base, 1, seed=0)) > used(base)
+
+    def test_demand_grows_as_sharing_drops(self, base):
+        previous = base.total_demand()
+        for target in (6, 3, 1):
+            derived = with_max_sharing(base, target, seed=0)
+            assert derived.total_demand() >= previous - 1e-9
+            previous = derived.total_demand()
+
+    def test_degree_one_demand_equals_sum_of_totals(self, base):
+        derived = with_max_sharing(base, 1, seed=0)
+        sum_totals = sum(total_load(derived, q) for q in derived.queries)
+        assert derived.total_demand() == pytest.approx(sum_totals)
+
+    def test_sharing_profile(self, base):
+        profile = sharing_profile(base)
+        assert all(degree >= 1 for degree in profile)
+        assert sum(profile.values()) <= len(base.operators)
