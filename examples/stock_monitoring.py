@@ -1,20 +1,22 @@
-"""Stock-market monitoring: the full DSMS-center loop.
+"""Stock-market monitoring: the full admission-service loop.
 
 The paper's motivating application (Section II): traders submit
 continuous queries over a stock-quote stream and a news stream.  Hot
 operators — the high-value-trade filter and the public-company news
 filter — are shared by many traders; each trader adds a private join.
-The center runs a CAT admission auction at the start of each
+The service runs a CAT admission auction at the start of each
 subscription period, transitions the engine (holding tuples at the
 connection points), executes the admitted queries, and bills winners.
+
+Built on the composable ``repro.service`` API: the service is
+assembled by a ``ServiceBuilder``, and the revenue audit trail is an
+``on_billing`` lifecycle hook rather than post-hoc inspection.
 
 Run:  python examples/stock_monitoring.py
 """
 
 import numpy as np
 
-from repro.cloud import DSMSCenter
-from repro.core import CAT
 from repro.dsms import (
     ContinuousQuery,
     JoinOperator,
@@ -22,6 +24,7 @@ from repro.dsms import (
     news_stories,
     stock_quotes,
 )
+from repro.service import ServiceBuilder
 from repro.utils.tables import format_table
 
 
@@ -59,13 +62,18 @@ def trader_query(index: int, bid: float) -> ContinuousQuery:
 
 def main() -> None:
     rng = np.random.default_rng(7)
-    center = DSMSCenter(
-        sources=[stock_quotes(rate=20, seed=1),
-                 news_stories(rate=6, seed=2)],
-        capacity=30.0,
-        mechanism=CAT(),
-        ticks_per_period=40,
-    )
+    audit: list[str] = []
+
+    service = (ServiceBuilder()
+               .with_sources(stock_quotes(rate=20, seed=1),
+                             news_stories(rate=6, seed=2))
+               .with_capacity(30.0)
+               .with_mechanism("CAT")
+               .with_ticks_per_period(40)
+               .on_billing(lambda _svc, period, revenue, outcome: audit.append(
+                   f"  period {period}: billed {len(outcome.winner_ids)} "
+                   f"winners, ${revenue:.2f} ({outcome.mechanism})"))
+               .build())
 
     rows = []
     next_trader = 0
@@ -73,9 +81,9 @@ def main() -> None:
         arrivals = int(rng.integers(4, 8))
         for _ in range(arrivals):
             bid = float(np.round(rng.uniform(5, 100), 2))
-            center.submit(trader_query(next_trader, bid))
+            service.submit(trader_query(next_trader, bid))
             next_trader += 1
-        report = center.run_period()
+        report = service.run_period()
         rows.append([
             period,
             arrivals,
@@ -89,16 +97,18 @@ def main() -> None:
         ["period", "new submissions", "admitted", "rejected",
          "revenue", "engine util"],
         rows, precision=2,
-        title="Stock-monitoring DSMS center, CAT admission auction"))
+        title="Stock-monitoring admission service, CAT auction"))
     print()
-    print(f"total revenue: ${center.total_revenue():.2f}")
+    print(f"total revenue: ${service.total_revenue():.2f}")
+    print("billing hook audit trail:")
+    print("\n".join(audit))
 
     print()
-    loads = center.measured_loads()
+    loads = service.measured_loads()
     shared = {op: round(load, 2) for op, load in loads.items()
               if op.startswith("sel_")}
     print(f"measured shared-operator loads (work/tick): {shared}")
-    alerts = sum(len(r) for r in center.engine.results.values())
+    alerts = sum(len(r) for r in service.engine.results.values())
     print(f"alerts delivered across all traders: {alerts}")
 
 

@@ -2,12 +2,20 @@
 
 A full reproduction of Chung et al. (ICDE 2010): auction-based admission
 control for continuous queries submitted to a capacity-limited DSMS
-"cloud", with operator sharing between queries.
+"cloud", with operator sharing between queries — grown into a
+composable admission *service* with pluggable mechanisms, lifecycle
+hooks, and checkpoint/restore.
 
 Packages:
 
 * :mod:`repro.core` — the auction model and all mechanisms (CAR, CAF,
-  CAF+, CAT, CAT+, GV, Two-price, Random, OPT_C).
+  CAF+, CAT, CAT+, GV, Two-price, Random, OPT_C), the name-based
+  registry, and declarative :class:`MechanismSpec` configuration.
+* :mod:`repro.service` — the public service API: an
+  :class:`AdmissionService` facade assembled by a
+  :class:`ServiceBuilder` from typed :class:`ServiceConfig`, composed
+  of an auction coordinator, a transition manager, a billing ledger,
+  and a lifecycle-hook system; snapshot/restore included.
 * :mod:`repro.workload` — the Table III workload generator, including
   the operator-splitting procedure for varying the degree of sharing,
   and the lying workloads of Figure 5.
@@ -16,20 +24,34 @@ Packages:
 * :mod:`repro.dsms` — an Aurora-style stream engine substrate that can
   actually run admitted queries (shared operators, connection points,
   transition phase).
-* :mod:`repro.cloud` — the DSMS-center: billing, daily auction cycles,
-  multi-period subscriptions and energy-aware capacity selection
-  (Section VII extensions).
+* :mod:`repro.cloud` — billing, multi-period subscriptions and
+  energy-aware capacity selection (Section VII extensions), plus the
+  deprecated ``DSMSCenter`` shim.
 * :mod:`repro.experiments` — the harness regenerating every table and
   figure of the evaluation.
 
-Quickstart::
+Quickstart — one auction::
 
-    from repro import AuctionInstance, make_mechanism
+    from repro import MechanismSpec
     from repro.workload import example1
 
-    instance = example1()
-    outcome = make_mechanism("CAT").run(instance)
+    outcome = MechanismSpec.parse("CAT").create().run(example1())
     print(outcome.winner_ids, outcome.profit)
+
+Quickstart — a running service::
+
+    from repro.dsms import SyntheticStream
+    from repro.service import ServiceBuilder
+
+    service = (ServiceBuilder()
+        .with_sources(SyntheticStream("s", rate=5, poisson=False))
+        .with_capacity(30.0)
+        .with_mechanism("two-price:seed=7")
+        .with_ticks_per_period(10)
+        .build())
+    service.submit(query)           # a repro.dsms ContinuousQuery
+    report = service.run_period()   # auction → bill → transition → run
+    service.save_checkpoint("svc.ckpt")   # resume later, bit-identical
 """
 
 from repro.core import (
@@ -42,6 +64,7 @@ from repro.core import (
     AuctionOutcome,
     GreedyByValuation,
     Mechanism,
+    MechanismSpec,
     Operator,
     OptimalConstantPrice,
     PAPER_MECHANISMS,
@@ -49,17 +72,28 @@ from repro.core import (
     RandomAdmission,
     TwoPrice,
     make_mechanism,
+    mechanism_params,
     optimal_constant_pricing,
     register_mechanism,
     registered_mechanisms,
     remaining_load,
+    resolve_mechanism,
     static_fair_share_load,
     total_load,
 )
+from repro.service import (
+    AdmissionService,
+    HookRegistry,
+    PeriodReport,
+    ServiceBuilder,
+    ServiceConfig,
+    ServiceSnapshot,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "AdmissionService",
     "AuctionInstance",
     "AuctionOutcome",
     "CAF",
@@ -68,19 +102,27 @@ __all__ = [
     "CAT",
     "CATPlus",
     "GreedyByValuation",
+    "HookRegistry",
     "Mechanism",
+    "MechanismSpec",
     "Operator",
     "OptimalConstantPrice",
     "PAPER_MECHANISMS",
+    "PeriodReport",
     "Query",
     "RandomAdmission",
+    "ServiceBuilder",
+    "ServiceConfig",
+    "ServiceSnapshot",
     "TwoPrice",
     "__version__",
     "make_mechanism",
+    "mechanism_params",
     "optimal_constant_pricing",
     "register_mechanism",
     "registered_mechanisms",
     "remaining_load",
+    "resolve_mechanism",
     "static_fair_share_load",
     "total_load",
 ]

@@ -3,16 +3,26 @@
 Commands
 --------
 
-``run``        run a mechanism on a JSON instance file
+``run``        run a mechanism on one or more JSON instance files
 ``generate``   generate a Table III workload instance to JSON
+``simulate``   run an AdmissionService for several periods (with
+               optional checkpoint/resume)
 ``report``     regenerate the paper's tables and figures
 ``verify``     run the Table I property-verification battery
+
+Mechanisms are given as *specs*: a registry name, optionally followed
+by validated parameters — ``CAT``, ``two-price:seed=7``,
+``two-price:seed=7,partition_mode=hash``.
 
 Examples::
 
     python -m repro generate --queries 100 --sharing 8 -o wl.json
     python -m repro run CAT wl.json
-    python -m repro run Two-price wl.json --seed 7 -o outcome.json
+    python -m repro run two-price:seed=7 wl.json -o outcome.json
+    python -m repro run CAT wl1.json wl2.json wl3.json
+    python -m repro simulate --mechanism CAT --periods 5
+    python -m repro simulate --periods 3 --checkpoint svc.ckpt
+    python -m repro simulate --periods 2 --resume svc.ckpt
     python -m repro report
     python -m repro verify
 """
@@ -23,7 +33,7 @@ import argparse
 import json
 import sys
 
-from repro.core import make_mechanism
+from repro.core import MechanismSpec
 from repro.io import (
     load_instance,
     outcome_to_dict,
@@ -33,17 +43,102 @@ from repro.io import (
 from repro.workload.generator import WorkloadConfig, WorkloadGenerator
 
 
+def _spec_with_seed(text: str, seed: "int | None") -> MechanismSpec:
+    """Parse a mechanism spec, defaulting ``seed`` for mechanisms that
+    take one (the historical ``--seed`` flag keeps working)."""
+    spec = MechanismSpec.parse(text)
+    if seed is not None and spec.accepts("seed") and "seed" not in spec.params:
+        spec = spec.with_params(seed=seed)
+    return spec.validate()
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    instance = load_instance(args.instance)
-    kwargs = {}
-    if args.mechanism.lower() in ("two-price", "random"):
-        kwargs["seed"] = args.seed
-    mechanism = make_mechanism(args.mechanism, **kwargs)
-    outcome = mechanism.run(instance)
-    document = outcome_to_dict(outcome)
+    spec = _spec_with_seed(args.mechanism, args.seed)
+    mechanism = spec.create()
+    instances = [load_instance(path) for path in args.instance]
+    outcomes = mechanism.run_many(instances)
+    if len(outcomes) == 1:
+        document = outcome_to_dict(outcomes[0])
+        if args.output:
+            save_outcome(outcomes[0], args.output)
+        print(json.dumps(document, indent=2))
+        return 0
+    documents = [
+        {"instance": str(path), **outcome_to_dict(outcome)}
+        for path, outcome in zip(args.instance, outcomes)
+    ]
     if args.output:
-        save_outcome(outcome, args.output)
-    print(json.dumps(document, indent=2))
+        from pathlib import Path
+
+        Path(args.output).write_text(
+            json.dumps(documents, indent=2) + "\n")
+    print(json.dumps(documents, indent=2))
+    return 0
+
+
+def _pass_all(_tuple: object) -> bool:
+    """Module-level select predicate: keeps simulate plans picklable."""
+    return True
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.dsms.operators import SelectOperator
+    from repro.dsms.plan import ContinuousQuery
+    from repro.dsms.streams import SyntheticStream
+    from repro.service import AdmissionService, ServiceBuilder
+    from repro.utils.tables import format_table
+
+    if args.resume:
+        service = AdmissionService.load_checkpoint(args.resume)
+        start = service.period
+    else:
+        spec = _spec_with_seed(args.mechanism, args.seed)
+        service = (ServiceBuilder()
+                   .with_sources(SyntheticStream(
+                       "s", rate=args.rate, seed=args.seed))
+                   .with_capacity(args.capacity)
+                   .with_mechanism(spec)
+                   .with_ticks_per_period(args.ticks)
+                   .build())
+        start = 0
+
+    rows = []
+    for period in range(start + 1, start + args.periods + 1):
+        # Per-period derivation: a resumed run draws the same bids an
+        # uninterrupted run would, instead of replaying period 1's.
+        rng = np.random.default_rng([args.seed, period])
+        for index in range(args.queries_per_period):
+            qid = f"p{period}_q{index}"
+            op = SelectOperator(
+                f"sel_{qid}", "s", _pass_all,
+                cost_per_tuple=float(np.round(rng.uniform(0.5, 2.0), 2)),
+                selectivity_estimate=1.0)
+            service.submit(ContinuousQuery(
+                qid, (op,), sink_id=op.op_id,
+                bid=float(np.round(rng.uniform(5, 100), 2)),
+                owner=f"user_{index}"))
+        report = service.run_period()
+        rows.append([
+            report.period,
+            len(report.admitted),
+            len(report.rejected),
+            report.revenue,
+            (0.0 if report.engine_utilization is None
+             else report.engine_utilization),
+        ])
+        if args.checkpoint:
+            service.save_checkpoint(args.checkpoint)
+    print(format_table(
+        ["period", "admitted", "rejected", "revenue", "engine util"],
+        rows, precision=2,
+        title=(f"AdmissionService simulation — "
+               f"{service.mechanism.name}, capacity "
+               f"{service.capacity:g}")))
+    print(f"total revenue: {service.total_revenue():.2f}")
+    if args.checkpoint:
+        print(f"checkpoint written to {args.checkpoint}")
     return 0
 
 
@@ -89,16 +184,42 @@ def build_parser() -> argparse.ArgumentParser:
     commands = parser.add_subparsers(dest="command", required=True)
 
     run = commands.add_parser(
-        "run", help="run a mechanism on a JSON instance")
+        "run", help="run a mechanism on one or more JSON instances")
     run.add_argument("mechanism",
-                     help="CAR, CAF, CAF+, CAT, CAT+, GV, Two-price, "
-                          "Random, OPT_C, k-unit, knapsack")
-    run.add_argument("instance", help="path to an instance JSON file")
+                     help="a mechanism spec: CAR, CAF, CAF+, CAT, CAT+, "
+                          "GV, Two-price, Random, OPT_C, k-unit, "
+                          "knapsack — optionally with parameters, e.g. "
+                          "two-price:seed=7")
+    run.add_argument("instance", nargs="+",
+                     help="path(s) to instance JSON file(s); several "
+                          "run as one batch")
     run.add_argument("--seed", type=int, default=0,
-                     help="seed for randomized mechanisms")
+                     help="seed for randomized mechanisms (unless the "
+                          "spec sets one)")
     run.add_argument("-o", "--output", default=None,
                      help="also write the outcome JSON here")
     run.set_defaults(handler=_cmd_run)
+
+    simulate = commands.add_parser(
+        "simulate",
+        help="run an AdmissionService over synthetic submissions")
+    simulate.add_argument("--mechanism", default="CAT",
+                          help="mechanism spec (default CAT)")
+    simulate.add_argument("--periods", type=int, default=5)
+    simulate.add_argument("--queries-per-period", type=int, default=6)
+    simulate.add_argument("--capacity", type=float, default=40.0)
+    simulate.add_argument("--rate", type=float, default=5.0,
+                          help="stream arrival rate (tuples/tick)")
+    simulate.add_argument("--ticks", type=int, default=20,
+                          help="engine ticks per subscription period")
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--checkpoint", default=None,
+                          help="write a resumable checkpoint here "
+                               "after every period")
+    simulate.add_argument("--resume", default=None,
+                          help="resume from a checkpoint file instead "
+                               "of starting fresh")
+    simulate.set_defaults(handler=_cmd_simulate)
 
     generate = commands.add_parser(
         "generate", help="generate a Table III workload instance")

@@ -1,8 +1,13 @@
 """The DSMS-center business layer: billing, subscriptions, energy,
-and the auction-driven service orchestrator."""
+and the (deprecated) auction-driven service orchestrator.
+
+``DSMSCenter`` and ``PeriodReport`` are re-exported lazily: the
+orchestrator moved to :mod:`repro.service`, which itself depends on
+:mod:`repro.cloud.billing`, so importing them eagerly here would be
+circular.
+"""
 
 from repro.cloud.billing import BillingLedger, Invoice
-from repro.cloud.center import DSMSCenter, PeriodReport
 from repro.cloud.gaming import GamingOutcome, simulate_category_gaming
 from repro.cloud.energy import (
     CapacityChoice,
@@ -18,6 +23,21 @@ from repro.cloud.subscriptions import (
     SubscriptionRequest,
     SubscriptionScheduler,
 )
+
+_LAZY = ("DSMSCenter", "PeriodReport")
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        from repro.cloud import center
+
+        return getattr(center, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_LAZY))
+
 
 __all__ = [
     "ActiveSubscription",

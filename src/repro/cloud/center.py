@@ -1,200 +1,65 @@
-"""The DSMS center: auction-driven admission on top of the engine.
+"""Deprecated: the DSMS center now lives in :mod:`repro.service`.
 
-Ties the pieces together into the business of Section I: clients submit
-continuous queries with bids; at the end of each subscription period
-the center estimates operator loads, runs the chosen admission
-mechanism, bills the winners, and transitions the stream engine to the
-new admitted set (holding tuples at connection points, per Section II).
+``DSMSCenter`` used to hard-wire auction building, engine transition,
+billing and reporting into one class.  Those responsibilities are now
+pluggable components composed by
+:class:`repro.service.AdmissionService`; this module keeps the old
+constructor working as a thin shim so existing code and archived
+experiment scripts keep running.
+
+Migrate::
+
+    # before
+    from repro.cloud import DSMSCenter
+    center = DSMSCenter(sources=[...], capacity=30.0, mechanism=CAT())
+
+    # after
+    from repro.service import ServiceBuilder
+    service = (ServiceBuilder()
+        .with_sources(...)
+        .with_capacity(30.0)
+        .with_mechanism("CAT")
+        .build())
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from collections.abc import Iterable, Mapping, Sequence
+import warnings
+from collections.abc import Iterable
 
-from repro.cloud.billing import BillingLedger
-from repro.core.mechanism import Mechanism
-from repro.core.model import AuctionInstance, Operator, Query
-from repro.core.result import AuctionOutcome
-from repro.dsms.engine import StreamEngine
-from repro.dsms.load import estimate_operator_loads
-from repro.dsms.plan import ContinuousQuery, QueryPlanCatalog
+from repro.core.mechanism import Mechanism, MechanismSpec
 from repro.dsms.streams import StreamSource
-from repro.utils.validation import ValidationError, require
+from repro.service.reports import PeriodReport
+from repro.service.service import AdmissionService
+
+__all__ = ["DSMSCenter", "PeriodReport"]
 
 
-@dataclass
-class PeriodReport:
-    """One subscription period's business summary."""
+class DSMSCenter(AdmissionService):
+    """Deprecated alias of :class:`repro.service.AdmissionService`.
 
-    period: int
-    outcome: AuctionOutcome
-    revenue: float
-    admitted: tuple[str, ...]
-    rejected: tuple[str, ...]
-    engine_ticks: int
-    engine_utilization: float | None
-
-    @property
-    def admission_rate(self) -> float:
-        """Fraction of submitted queries admitted this period."""
-        total = len(self.admitted) + len(self.rejected)
-        return len(self.admitted) / total if total else 0.0
-
-
-@dataclass
-class DSMSCenter:
-    """A for-profit stream-monitoring service.
-
-    Parameters
-    ----------
-    sources:
-        The data streams the center ingests.
-    capacity:
-        Work units the servers execute per tick (the auction's
-        capacity).
-    mechanism:
-        The admission mechanism (the paper recommends CAT: the only
-        strategyproof *and* sybil-immune choice).
-    ticks_per_period:
-        Engine ticks that constitute one subscription period ("a day").
+    Accepts the historical positional constructor signature and warns;
+    every method and attribute of the new facade is available.
     """
 
-    sources: Sequence[StreamSource]
-    capacity: float
-    mechanism: Mechanism
-    ticks_per_period: int = 50
-    ledger: BillingLedger = field(default_factory=BillingLedger)
-
-    def __post_init__(self) -> None:
-        self.engine = StreamEngine(self.sources, capacity=self.capacity)
-        self._pending: dict[str, ContinuousQuery] = {}
-        self._period = 0
-        self.reports: list[PeriodReport] = []
-
-    # ------------------------------------------------------------------
-    # Client-facing API
-    # ------------------------------------------------------------------
-
-    def submit(self, query: ContinuousQuery) -> None:
-        """Queue *query* (with its bid) for the next period's auction."""
-        require(query.bid >= 0, "bids must be non-negative")
-        if (query.query_id in self._pending
-                or query.query_id in self.engine.admitted_ids):
-            raise ValidationError(
-                f"query id {query.query_id!r} already submitted")
-        self._pending[query.query_id] = query
-
-    def withdraw(self, query_id: str) -> None:
-        """Remove a not-yet-auctioned submission."""
-        del self._pending[query_id]
-
-    @property
-    def pending_ids(self) -> set[str]:
-        """Queries awaiting the next auction."""
-        return set(self._pending)
-
-    # ------------------------------------------------------------------
-    # The period cycle
-    # ------------------------------------------------------------------
-
-    def _stream_rates(self) -> dict[str, float]:
-        return {source.name: source.expected_rate()
-                for source in self.sources}
-
-    def build_auction(self) -> AuctionInstance:
-        """The auction input for the next period.
-
-        All candidates compete: currently-running queries re-bid
-        alongside new submissions (the paper's model re-auctions each
-        period), with loads estimated analytically from stream rates.
-        """
-        candidates = dict(self._pending)
-        for query_id, query in self.engine.catalog.queries.items():
-            candidates[query_id] = query
-        if not candidates:
-            raise ValidationError("no queries to auction")
-        catalog = QueryPlanCatalog(candidates.values())
-        loads = estimate_operator_loads(catalog, self._stream_rates())
-        operators = {
-            op_id: Operator(op_id, loads.get(op_id, 0.0))
-            for op_id in catalog.operators
-        }
-        queries = tuple(
-            Query(
-                query_id=q.query_id,
-                operator_ids=q.operator_ids,
-                bid=q.bid,
-                valuation=q.valuation,
-                owner=q.owner,
-            )
-            for q in candidates.values()
-        )
-        return AuctionInstance(operators, queries, self.capacity)
-
-    def run_period(self) -> PeriodReport:
-        """Auction, transition, execute, and bill one period."""
-        self._period += 1
-        instance = self.build_auction()
-        outcome = self.mechanism.run(instance)
-        revenue = self.ledger.bill_outcome(self._period, outcome)
-
-        candidates = dict(self._pending)
-        for query_id, query in self.engine.catalog.queries.items():
-            candidates.setdefault(query_id, query)
-        admitted = sorted(outcome.winner_ids)
-        rejected = sorted(set(candidates) - outcome.winner_ids)
-
-        currently_running = self.engine.admitted_ids
-        to_remove = sorted(currently_running - set(admitted))
-        to_add = [candidates[qid] for qid in admitted
-                  if qid not in currently_running]
-        if currently_running:
-            self.engine.transition(add=to_add, remove=to_remove)
-        else:
-            for query in to_add:
-                self.engine.admit(query)
-        self._pending.clear()
-
-        ticks_before = self.engine.report.ticks
-        work_before = self.engine.report.total_work
-        self.engine.run(self.ticks_per_period)
-        ticks = self.engine.report.ticks - ticks_before
-        work = self.engine.report.total_work - work_before
-        utilization = (work / ticks / self.capacity) if ticks else None
-
-        report = PeriodReport(
-            period=self._period,
-            outcome=outcome,
-            revenue=revenue,
-            admitted=tuple(admitted),
-            rejected=tuple(rejected),
-            engine_ticks=ticks,
-            engine_utilization=utilization,
-        )
-        self.reports.append(report)
-        return report
-
-    def run_periods(
+    def __init__(
         self,
-        submissions_per_period: Iterable[Sequence[ContinuousQuery]],
-    ) -> list[PeriodReport]:
-        """Run several periods, submitting each batch before its auction."""
-        reports = []
-        for batch in submissions_per_period:
-            for query in batch:
-                self.submit(query)
-            reports.append(self.run_period())
-        return reports
-
-    # ------------------------------------------------------------------
-    # Introspection
-    # ------------------------------------------------------------------
-
-    def total_revenue(self) -> float:
-        """Revenue over all billed periods."""
-        return self.ledger.total_revenue()
-
-    def measured_loads(self) -> Mapping[str, float]:
-        """The engine's measured per-operator loads."""
-        return self.engine.measured_loads()
+        sources: Iterable[StreamSource],
+        capacity: float,
+        mechanism: "Mechanism | MechanismSpec | str",
+        ticks_per_period: int = 50,
+        ledger: "object | None" = None,
+    ) -> None:
+        warnings.warn(
+            "DSMSCenter is deprecated; build a repro.service"
+            ".AdmissionService (e.g. via ServiceBuilder) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(
+            sources=sources,
+            capacity=capacity,
+            mechanism=mechanism,
+            ticks_per_period=ticks_per_period,
+            ledger=ledger,
+        )

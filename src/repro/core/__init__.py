@@ -25,9 +25,12 @@ from repro.core.loads import (
 )
 from repro.core.mechanism import (
     Mechanism,
+    MechanismSpec,
     make_mechanism,
+    mechanism_params,
     register_mechanism,
     registered_mechanisms,
+    resolve_mechanism,
 )
 from repro.core.model import AuctionInstance, Operator, Query
 from repro.core.optc import (
@@ -75,6 +78,7 @@ __all__ = [
     "KnapsackAuction",
     "LoadTracker",
     "Mechanism",
+    "MechanismSpec",
     "Operator",
     "OptimalConstantPrice",
     "PAPER_MECHANISMS",
@@ -83,10 +87,12 @@ __all__ = [
     "TwoPrice",
     "greedy_value_gap",
     "make_mechanism",
+    "mechanism_params",
     "optimal_constant_pricing",
     "optimal_single_price",
     "optimal_winner_set",
     "register_mechanism",
+    "resolve_mechanism",
     "registered_mechanisms",
     "remaining_load",
     "static_fair_share_load",

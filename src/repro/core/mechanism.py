@@ -1,4 +1,4 @@
-"""Mechanism base class and registry.
+"""Mechanism base class, registry, and declarative mechanism specs.
 
 Every admission-control mechanism maps an :class:`AuctionInstance` to an
 :class:`AuctionOutcome` (winners + payments).  Mechanisms read only the
@@ -8,16 +8,23 @@ valuation; the base class enforces that by handing subclasses a
 
 A module-level registry maps mechanism names (``"CAF"``, ``"CAT+"``,
 ``"Two-price"``, ...) to factories so experiments can be configured by
-name.
+name.  :class:`MechanismSpec` layers a declarative, validated
+configuration on top of the registry: a name plus typed parameters,
+parseable from compact strings like ``"two-price:seed=7"`` — the
+currency of CLIs, config files and the :mod:`repro.service` layer.
 """
 
 from __future__ import annotations
 
 import abc
-from collections.abc import Callable, Mapping
+import ast
+import inspect
+from dataclasses import dataclass, field
+from collections.abc import Callable, Iterable, Mapping
 
 from repro.core.model import AuctionInstance, Query
 from repro.core.result import AuctionOutcome
+from repro.utils.validation import ValidationError
 
 
 class Mechanism(abc.ABC):
@@ -55,6 +62,18 @@ class Mechanism(abc.ABC):
         )
         outcome.validate_capacity()
         return outcome
+
+    def run_many(
+        self, instances: Iterable[AuctionInstance]
+    ) -> list[AuctionOutcome]:
+        """Run the auction on every instance, in order.
+
+        The batch entry point for high-throughput sweeps: one mechanism
+        object, many instances.  Stateful mechanisms (e.g. Two-price's
+        random partition draws) consume their randomness sequentially,
+        so a batch is reproducible given the seed and the input order.
+        """
+        return [self.run(instance) for instance in instances]
 
     @staticmethod
     def _seal(instance: AuctionInstance) -> AuctionInstance:
@@ -103,20 +122,174 @@ def register_mechanism(name: str, factory: Callable[[], Mechanism]) -> None:
     _REGISTRY[name.lower()] = factory
 
 
+def _lookup(name: str) -> Callable[[], Mechanism]:
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown mechanism {name!r}; known: {known}") from None
+
+
+def mechanism_params(name: str) -> "tuple[str, ...] | None":
+    """Parameter names the factory of *name* accepts.
+
+    Returns ``None`` when the factory's signature cannot be inspected
+    or it takes ``**kwargs`` — meaning "anything goes".
+    """
+    factory = _lookup(name)
+    try:
+        signature = inspect.signature(factory)
+    except (TypeError, ValueError):
+        return None
+    names = []
+    for parameter in signature.parameters.values():
+        if parameter.kind is inspect.Parameter.VAR_KEYWORD:
+            return None
+        if parameter.kind in (inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                              inspect.Parameter.KEYWORD_ONLY):
+            names.append(parameter.name)
+    return tuple(names)
+
+
+def _validate_params(name: str, params: Mapping[str, object]) -> None:
+    """Reject *params* the factory of *name* does not accept."""
+    if not params:
+        return
+    accepted = mechanism_params(name)
+    if accepted is None:
+        return
+    unknown = sorted(set(params) - set(accepted))
+    if unknown:
+        menu = ", ".join(accepted) if accepted else "none"
+        raise ValidationError(
+            f"mechanism {name!r} does not accept parameter(s) "
+            f"{unknown}; accepted parameters: {menu}")
+
+
 def make_mechanism(name: str, **kwargs: object) -> Mechanism:
     """Instantiate a registered mechanism by name.
 
     ``kwargs`` are forwarded to the factory, letting callers configure
     e.g. the Two-price seed: ``make_mechanism("two-price", seed=7)``.
+    They are validated against the factory's signature first, so a typo
+    fails with the accepted parameter names instead of an opaque
+    ``TypeError`` from deep inside the constructor.
     """
-    try:
-        factory = _REGISTRY[name.lower()]
-    except KeyError:
-        known = ", ".join(sorted(_REGISTRY))
-        raise KeyError(f"unknown mechanism {name!r}; known: {known}") from None
+    factory = _lookup(name)
+    _validate_params(name, kwargs)
     return factory(**kwargs)  # type: ignore[call-arg]
 
 
 def registered_mechanisms() -> Mapping[str, Callable[[], Mechanism]]:
     """Read-only view of the registry (name → factory)."""
     return dict(_REGISTRY)
+
+
+def _parse_param_value(text: str) -> object:
+    """``"7"`` → 7, ``"true"`` → True, ``"even"`` → ``"even"``."""
+    lowered = text.strip().lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    if lowered in ("none", "null"):
+        return None
+    try:
+        return ast.literal_eval(text.strip())
+    except (ValueError, SyntaxError):
+        return text.strip()
+
+
+@dataclass(frozen=True)
+class MechanismSpec:
+    """A mechanism name plus declared, validated parameters.
+
+    The declarative counterpart of :func:`make_mechanism`: a spec can
+    be built programmatically, parsed from a compact string, stored in
+    a config, and turned into a live :class:`Mechanism` with
+    :meth:`create`.  Parameters are validated against the registered
+    factory's signature, so invalid configurations fail at *spec* time
+    with the accepted parameter names.
+
+    >>> MechanismSpec.parse("two-price:seed=7,partition_mode=hash")
+    MechanismSpec(name='two-price', params={'seed': 7, 'partition_mode': 'hash'})
+    """
+
+    name: str
+    params: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("mechanism spec needs a non-empty name")
+        object.__setattr__(self, "params", dict(self.params))
+
+    @classmethod
+    def parse(cls, text: str) -> "MechanismSpec":
+        """Parse ``"name"`` or ``"name:key=value,key=value"``.
+
+        Values go through a literal parser (``seed=7`` is an int,
+        ``adjust_ties=false`` a bool); anything unparseable stays a
+        string (``partition_mode=hash``).
+        """
+        head, _, tail = text.strip().partition(":")
+        if not head:
+            raise ValidationError(
+                f"cannot parse mechanism spec {text!r}: empty name")
+        params: dict[str, object] = {}
+        if tail:
+            for item in tail.split(","):
+                key, sep, value = item.partition("=")
+                if not sep or not key.strip():
+                    raise ValidationError(
+                        f"cannot parse mechanism spec {text!r}: "
+                        f"parameter {item!r} is not of the form key=value")
+                params[key.strip()] = _parse_param_value(value)
+        return cls(head.strip(), params)
+
+    def accepted_params(self) -> "tuple[str, ...] | None":
+        """Parameters the underlying factory accepts (None = open)."""
+        return mechanism_params(self.name)
+
+    def accepts(self, param: str) -> bool:
+        """Whether the underlying factory takes a *param* keyword."""
+        accepted = self.accepted_params()
+        return accepted is None or param in accepted
+
+    def validate(self) -> "MechanismSpec":
+        """Check name and params against the registry; returns self."""
+        _lookup(self.name)  # raises KeyError if unknown
+        _validate_params(self.name, self.params)
+        return self
+
+    def with_params(self, **params: object) -> "MechanismSpec":
+        """A copy with *params* merged over the existing ones."""
+        return MechanismSpec(self.name, {**self.params, **params})
+
+    def create(self) -> Mechanism:
+        """Instantiate the mechanism this spec describes."""
+        return make_mechanism(self.name, **self.params)
+
+    def __str__(self) -> str:
+        if not self.params:
+            return self.name
+        rendered = ",".join(
+            f"{key}={value}" for key, value in sorted(self.params.items()))
+        return f"{self.name}:{rendered}"
+
+
+def resolve_mechanism(
+    mechanism: "Mechanism | MechanismSpec | str",
+) -> Mechanism:
+    """Coerce a mechanism given in any accepted form to an instance.
+
+    Accepts a live :class:`Mechanism`, a :class:`MechanismSpec`, or a
+    spec string like ``"CAT"`` / ``"two-price:seed=7"``.
+    """
+    if isinstance(mechanism, Mechanism):
+        return mechanism
+    if isinstance(mechanism, MechanismSpec):
+        return mechanism.create()
+    if isinstance(mechanism, str):
+        return MechanismSpec.parse(mechanism).create()
+    raise ValidationError(
+        f"cannot resolve a mechanism from {mechanism!r}; pass a "
+        f"Mechanism, a MechanismSpec, or a spec string like 'CAT' or "
+        f"'two-price:seed=7'")

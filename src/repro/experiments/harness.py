@@ -23,7 +23,7 @@ import time
 from dataclasses import dataclass, field
 from collections.abc import Callable, Sequence
 
-from repro.core.mechanism import Mechanism, make_mechanism
+from repro.core.mechanism import Mechanism, MechanismSpec
 from repro.core.result import AuctionOutcome
 from repro.utils.rng import derive_seed
 from repro.workload.generator import (
@@ -98,10 +98,15 @@ class ExperimentScale:
 
 
 def mechanism_factory(name: str, seed: int) -> Mechanism:
-    """Instantiate *name*, seeding the randomized mechanisms."""
-    if name in ("Two-price", "Random"):
-        return make_mechanism(name, seed=seed)
-    return make_mechanism(name)
+    """Instantiate *name*, seeding the randomized mechanisms.
+
+    Seeding is signature-driven: any registered mechanism whose factory
+    takes a ``seed`` parameter (today Two-price and Random) gets one.
+    """
+    spec = MechanismSpec(name)
+    if spec.accepts("seed"):
+        spec = spec.with_params(seed=seed)
+    return spec.create()
 
 
 @dataclass

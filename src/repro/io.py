@@ -1,32 +1,54 @@
-"""JSON (de)serialization of auction instances and outcomes.
+"""(De)serialization: instances, outcomes, period reports, snapshots.
 
-A downstream user needs to move instances in and out of the library —
-to pin a regression case, to auction real workloads exported from
-another system, or to archive an outcome for billing audits.  The
-format is deliberately plain JSON:
+A downstream user needs to move data in and out of the library — to
+pin a regression case, to auction real workloads exported from another
+system, to archive an outcome for billing audits, or to stop a running
+:class:`~repro.service.AdmissionService` and resume it later.  Three
+formats live here:
 
-```json
-{
-  "capacity": 10.0,
-  "operators": {"A": 4.0, "B": 1.0},
-  "queries": [
-    {"id": "q1", "operators": ["A", "B"], "bid": 55.0,
-     "valuation": 60.0, "owner": "alice"}
-  ]
-}
-```
+* **Auction instances** — plain JSON, deliberately simple:
 
-``valuation`` and ``owner`` are optional, exactly as in the model.
+  ```json
+  {
+    "capacity": 10.0,
+    "operators": {"A": 4.0, "B": 1.0},
+    "queries": [
+      {"id": "q1", "operators": ["A", "B"], "bid": 55.0,
+       "valuation": 60.0, "owner": "alice"}
+    ]
+  }
+  ```
+
+  ``valuation`` and ``owner`` are optional, exactly as in the model.
+
+* **Period reports** — a *versioned* JSON schema
+  (``schema: "repro/period-report"``, ``version: 1``) embedding the
+  full instance and outcome, so a report round-trips losslessly and a
+  future version can migrate old archives.
+
+* **Service snapshots** — a versioned pickle envelope
+  (``schema: "repro/service-snapshot"``) holding a
+  :class:`~repro.service.ServiceSnapshot`.  Pickle, because engine
+  state includes arbitrary operator callables; only load snapshot
+  files you trust, and use module-level functions (not lambdas) in
+  plans you intend to checkpoint.
 """
 
 from __future__ import annotations
 
 import json
+import pickle
 from pathlib import Path
 
 from repro.core.model import AuctionInstance, Operator, Query
 from repro.core.result import AuctionOutcome
 from repro.utils.validation import ValidationError
+
+#: Schema tags + versions of the formats written by this module.
+PERIOD_REPORT_SCHEMA = "repro/period-report"
+PERIOD_REPORT_VERSION = 1
+SNAPSHOT_SCHEMA = "repro/service-snapshot"
+SNAPSHOT_VERSION = 1
 
 
 def instance_to_dict(instance: AuctionInstance) -> dict:
@@ -106,3 +128,211 @@ def save_outcome(outcome: AuctionOutcome, path: "str | Path") -> None:
     """Write *outcome*'s audit record as JSON to *path*."""
     Path(path).write_text(
         json.dumps(outcome_to_dict(outcome), indent=2) + "\n")
+
+
+def _jsonable(value: object) -> object:
+    """Best-effort conversion of mechanism diagnostics to plain JSON.
+
+    Tuples become lists, sets become sorted lists, numpy scalars their
+    Python equivalents; anything else unrepresentable falls back to
+    ``repr`` so a report never fails to serialize.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return float(value)
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted((_jsonable(item) for item in value), key=repr)
+    if hasattr(value, "item"):  # numpy scalar
+        try:
+            return _jsonable(value.item())
+        except (TypeError, ValueError):
+            pass
+    return repr(value)
+
+
+def full_outcome_to_dict(outcome: AuctionOutcome) -> dict:
+    """Lossless (modulo diagnostics typing) outcome representation.
+
+    Unlike :func:`outcome_to_dict` (the compact audit record), this
+    keeps the payments, mechanism name and diagnostics needed to
+    rebuild the outcome against its instance with
+    :func:`outcome_from_dict`.
+    """
+    return {
+        "mechanism": outcome.mechanism,
+        "payments": {qid: outcome.payments[qid]
+                     for qid in sorted(outcome.payments)},
+        "details": _jsonable(dict(outcome.details)),
+        "metrics": outcome.summary(),
+    }
+
+
+def outcome_from_dict(
+    payload: dict, instance: AuctionInstance
+) -> AuctionOutcome:
+    """Rebuild an outcome serialized by :func:`full_outcome_to_dict`.
+
+    The instance is not part of the payload (the compact audit record
+    never carried it); pass the instance the outcome belongs to.
+    """
+    try:
+        payments = {str(qid): float(amount)
+                    for qid, amount in payload["payments"].items()}
+        mechanism = payload.get("mechanism", "")
+        details = payload.get("details", {})
+    except (KeyError, AttributeError, TypeError, ValueError) as exc:
+        raise ValidationError(
+            f"malformed outcome document: {exc!r}") from exc
+    return AuctionOutcome(
+        instance=instance,
+        payments=payments,
+        mechanism=mechanism,
+        details=details,
+    )
+
+
+# ----------------------------------------------------------------------
+# Period reports (versioned schema)
+# ----------------------------------------------------------------------
+
+
+def report_to_dict(report: object) -> dict:
+    """Versioned JSON document for a :class:`PeriodReport`.
+
+    The embedded instance makes the document self-contained: an
+    archived period can be re-audited (payments recomputed, capacity
+    revalidated) without the service that produced it.
+    """
+    outcome = report.outcome
+    return {
+        "schema": PERIOD_REPORT_SCHEMA,
+        "version": PERIOD_REPORT_VERSION,
+        "period": report.period,
+        "revenue": report.revenue,
+        "admitted": list(report.admitted),
+        "rejected": list(report.rejected),
+        "engine_ticks": report.engine_ticks,
+        "engine_utilization": report.engine_utilization,
+        "instance": instance_to_dict(outcome.instance),
+        "outcome": full_outcome_to_dict(outcome),
+    }
+
+
+def report_from_dict(payload: dict) -> object:
+    """Parse a :func:`report_to_dict` document into a PeriodReport."""
+    from repro.service.reports import PeriodReport
+
+    if not isinstance(payload, dict):
+        raise ValidationError(
+            f"malformed report document: expected an object, got "
+            f"{type(payload).__name__}")
+    schema = payload.get("schema")
+    if schema != PERIOD_REPORT_SCHEMA:
+        raise ValidationError(
+            f"not a period-report document (schema {schema!r}, "
+            f"expected {PERIOD_REPORT_SCHEMA!r})")
+    version = payload.get("version")
+    if version != PERIOD_REPORT_VERSION:
+        raise ValidationError(
+            f"unsupported period-report version {version!r}; this "
+            f"build reads version {PERIOD_REPORT_VERSION}")
+    try:
+        instance = instance_from_dict(payload["instance"])
+        outcome = outcome_from_dict(payload["outcome"], instance)
+        return PeriodReport(
+            period=int(payload["period"]),
+            outcome=outcome,
+            revenue=float(payload["revenue"]),
+            admitted=tuple(payload["admitted"]),
+            rejected=tuple(payload["rejected"]),
+            engine_ticks=int(payload["engine_ticks"]),
+            engine_utilization=(
+                None if payload.get("engine_utilization") is None
+                else float(payload["engine_utilization"])),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        if isinstance(exc, ValidationError):
+            raise
+        raise ValidationError(
+            f"malformed report document: {exc!r}") from exc
+
+
+def save_report(report: object, path: "str | Path") -> None:
+    """Write one period report as versioned JSON to *path*."""
+    Path(path).write_text(
+        json.dumps(report_to_dict(report), indent=2, sort_keys=True)
+        + "\n")
+
+
+def load_report(path: "str | Path") -> object:
+    """Read a period report written by :func:`save_report`."""
+    return report_from_dict(json.loads(Path(path).read_text()))
+
+
+def save_reports(reports: "list | tuple", path: "str | Path") -> None:
+    """Write a run's reports as one JSON array (period history)."""
+    Path(path).write_text(
+        json.dumps([report_to_dict(r) for r in reports],
+                   indent=2, sort_keys=True) + "\n")
+
+
+def load_reports(path: "str | Path") -> list:
+    """Read a period history written by :func:`save_reports`."""
+    payload = json.loads(Path(path).read_text())
+    if not isinstance(payload, list):
+        raise ValidationError(
+            "malformed report history: expected a JSON array")
+    return [report_from_dict(entry) for entry in payload]
+
+
+# ----------------------------------------------------------------------
+# Service snapshots (versioned pickle envelope)
+# ----------------------------------------------------------------------
+
+
+def save_snapshot(snapshot: object, path: "str | Path") -> None:
+    """Write a service snapshot as a versioned pickle envelope.
+
+    *snapshot* is a :class:`~repro.service.ServiceSnapshot` (from
+    :meth:`AdmissionService.snapshot`).  Everything inside must be
+    picklable: module-level functions in operator predicates and
+    stream payloads are, lambdas and closures are not.
+    """
+    envelope = {
+        "schema": SNAPSHOT_SCHEMA,
+        "version": SNAPSHOT_VERSION,
+        "snapshot": snapshot,
+    }
+    Path(path).write_bytes(
+        pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def load_snapshot(path: "str | Path") -> object:
+    """Read a snapshot envelope written by :func:`save_snapshot`.
+
+    Pickle executes code on load — only open snapshot files you trust.
+    """
+    try:
+        envelope = pickle.loads(Path(path).read_bytes())
+    except (pickle.UnpicklingError, EOFError) as exc:
+        raise ValidationError(
+            f"malformed snapshot file {str(path)!r}: {exc!r}") from exc
+    if not isinstance(envelope, dict):
+        raise ValidationError(
+            f"malformed snapshot file {str(path)!r}: not an envelope")
+    schema = envelope.get("schema")
+    if schema != SNAPSHOT_SCHEMA:
+        raise ValidationError(
+            f"not a service snapshot (schema {schema!r}, expected "
+            f"{SNAPSHOT_SCHEMA!r})")
+    version = envelope.get("version")
+    if version != SNAPSHOT_VERSION:
+        raise ValidationError(
+            f"unsupported snapshot version {version!r}; this build "
+            f"reads version {SNAPSHOT_VERSION}")
+    return envelope["snapshot"]

@@ -1,0 +1,63 @@
+"""The composable admission-service API (successor of ``DSMSCenter``).
+
+This package decomposes the monolithic DSMS-center of earlier versions
+into a stable facade over pluggable components:
+
+* :class:`AdmissionService` — the facade: submit/withdraw, the
+  per-period auction-bill-transition-execute cycle, checkpointing;
+* :class:`ServiceBuilder` / :class:`ServiceConfig` — fluent assembly
+  from typed, validated settings;
+* :class:`AuctionCoordinator` — candidate collection + load estimation;
+* :class:`TransitionManager` — engine add/remove/transition;
+* :class:`HookRegistry` — lifecycle middleware (``on_submit``,
+  ``pre_auction``, ``post_auction``, ``on_transition``,
+  ``on_billing``) so scenarios like lying clients, sybil attacks and
+  energy-aware capacity are plug-ins, not forks;
+* :class:`PeriodReport` — the versioned per-period business record;
+* :class:`ServiceSnapshot` — full checkpoint/restore of a running
+  service.
+
+Quickstart::
+
+    from repro.dsms import SyntheticStream
+    from repro.service import ServiceBuilder
+
+    service = (ServiceBuilder()
+        .with_sources(SyntheticStream("s", rate=5, poisson=False))
+        .with_capacity(30.0)
+        .with_mechanism("CAT")
+        .with_ticks_per_period(10)
+        .build())
+    service.submit(my_query)
+    report = service.run_period()
+"""
+
+from repro.service.builder import (
+    ServiceBuilder,
+    ServiceConfig,
+    service_from_config,
+)
+from repro.service.coordinator import AuctionCoordinator
+from repro.service.hooks import FILTER_EVENTS, HOOK_EVENTS, HookRegistry
+from repro.service.reports import PeriodReport
+from repro.service.service import (
+    SNAPSHOT_STATE_VERSION,
+    AdmissionService,
+    ServiceSnapshot,
+)
+from repro.service.transition import TransitionManager
+
+__all__ = [
+    "AdmissionService",
+    "AuctionCoordinator",
+    "FILTER_EVENTS",
+    "HOOK_EVENTS",
+    "HookRegistry",
+    "PeriodReport",
+    "SNAPSHOT_STATE_VERSION",
+    "ServiceBuilder",
+    "ServiceConfig",
+    "ServiceSnapshot",
+    "TransitionManager",
+    "service_from_config",
+]

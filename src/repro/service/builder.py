@@ -1,0 +1,197 @@
+"""Typed configuration and fluent assembly of an admission service.
+
+:class:`ServiceConfig` is the declarative half — a frozen, serializable
+description (capacity, mechanism spec, period length) with no live
+objects in it.  :class:`ServiceBuilder` is the imperative half — a
+fluent builder that combines a config (or inline settings) with the
+live parts: stream sources, a pre-built mechanism, hooks, a ledger.
+
+>>> service = (ServiceBuilder()
+...     .with_sources(SyntheticStream("s", rate=5))
+...     .with_capacity(30.0)
+...     .with_mechanism("two-price:seed=7")
+...     .with_ticks_per_period(10)
+...     .build())
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, replace
+from collections.abc import Callable, Iterable
+
+from repro.core.mechanism import Mechanism, MechanismSpec
+from repro.dsms.streams import StreamSource
+from repro.service.hooks import HookRegistry
+from repro.service.service import AdmissionService
+from repro.utils.validation import ValidationError, require
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Declarative service settings (everything but live objects).
+
+    ``mechanism`` is a spec string (``"CAT"``, ``"two-price:seed=7"``)
+    or a :class:`MechanismSpec`; it is validated against the registry
+    on construction, so a config with a typo'd mechanism or parameter
+    never gets as far as ``build()``.
+    """
+
+    capacity: float
+    mechanism: "str | MechanismSpec" = "CAT"
+    ticks_per_period: int = 50
+    hold_ticks: int = 1
+
+    def __post_init__(self) -> None:
+        require(self.capacity > 0, "capacity must be positive")
+        require(self.ticks_per_period > 0,
+                "ticks_per_period must be positive")
+        require(self.hold_ticks >= 0, "hold_ticks must be >= 0")
+        self.mechanism_spec().validate()
+
+    def mechanism_spec(self) -> MechanismSpec:
+        """The mechanism setting as a :class:`MechanismSpec`."""
+        if isinstance(self.mechanism, MechanismSpec):
+            return self.mechanism
+        return MechanismSpec.parse(self.mechanism)
+
+    def with_mechanism(
+        self, mechanism: "str | MechanismSpec"
+    ) -> "ServiceConfig":
+        """A copy of this config with a different mechanism."""
+        return replace(self, mechanism=mechanism)
+
+
+class ServiceBuilder:
+    """Fluent assembly of an :class:`AdmissionService`.
+
+    Every ``with_*``/``on_*`` method returns the builder, so a service
+    reads as one expression.  ``build()`` may be called repeatedly;
+    each call produces an independent service: hooks are copied into a
+    fresh registry, and the stream sources are deep-copied so one
+    service's ticks never advance another's source RNG state.
+    """
+
+    def __init__(self, config: "ServiceConfig | None" = None) -> None:
+        self._sources: list[StreamSource] = []
+        self._capacity: "float | None" = None
+        self._mechanism: "Mechanism | MechanismSpec | str | None" = None
+        self._ticks_per_period: "int | None" = None
+        self._hold_ticks: "int | None" = None
+        self._ledger: "object | None" = None
+        self._hooks = HookRegistry()
+        if config is not None:
+            self.with_config(config)
+
+    # ------------------------------------------------------------------
+    # Settings
+    # ------------------------------------------------------------------
+
+    def with_config(self, config: ServiceConfig) -> "ServiceBuilder":
+        """Adopt every setting of *config* (sources stay as they are)."""
+        self._capacity = config.capacity
+        self._mechanism = config.mechanism_spec()
+        self._ticks_per_period = config.ticks_per_period
+        self._hold_ticks = config.hold_ticks
+        return self
+
+    def with_sources(self, *sources: StreamSource) -> "ServiceBuilder":
+        """Add the given stream sources."""
+        self._sources.extend(sources)
+        return self
+
+    def with_capacity(self, capacity: float) -> "ServiceBuilder":
+        """Set the per-tick server capacity (the auction capacity)."""
+        self._capacity = float(capacity)
+        return self
+
+    def with_mechanism(
+        self, mechanism: "Mechanism | MechanismSpec | str"
+    ) -> "ServiceBuilder":
+        """Set the admission mechanism (instance, spec, or string)."""
+        self._mechanism = mechanism
+        return self
+
+    def with_ticks_per_period(self, ticks: int) -> "ServiceBuilder":
+        """Set the subscription-period length in engine ticks."""
+        self._ticks_per_period = int(ticks)
+        return self
+
+    def with_hold_ticks(self, hold_ticks: int) -> "ServiceBuilder":
+        """Set how many ticks of arrivals transitions hold."""
+        self._hold_ticks = int(hold_ticks)
+        return self
+
+    def with_ledger(self, ledger: object) -> "ServiceBuilder":
+        """Use a pre-existing billing ledger (e.g. resumed accounts)."""
+        self._ledger = ledger
+        return self
+
+    # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+
+    def with_hook(self, event: str, hook: Callable) -> "ServiceBuilder":
+        """Attach *hook* to the lifecycle *event*."""
+        self._hooks.add(event, hook)
+        return self
+
+    def on_submit(self, hook: Callable) -> "ServiceBuilder":
+        """Sugar for ``with_hook("on_submit", hook)``."""
+        return self.with_hook("on_submit", hook)
+
+    def pre_auction(self, hook: Callable) -> "ServiceBuilder":
+        """Sugar for ``with_hook("pre_auction", hook)``."""
+        return self.with_hook("pre_auction", hook)
+
+    def post_auction(self, hook: Callable) -> "ServiceBuilder":
+        """Sugar for ``with_hook("post_auction", hook)``."""
+        return self.with_hook("post_auction", hook)
+
+    def on_transition(self, hook: Callable) -> "ServiceBuilder":
+        """Sugar for ``with_hook("on_transition", hook)``."""
+        return self.with_hook("on_transition", hook)
+
+    def on_billing(self, hook: Callable) -> "ServiceBuilder":
+        """Sugar for ``with_hook("on_billing", hook)``."""
+        return self.with_hook("on_billing", hook)
+
+    # ------------------------------------------------------------------
+    # Assembly
+    # ------------------------------------------------------------------
+
+    def build(self) -> AdmissionService:
+        """Assemble the service; raises on missing required settings."""
+        if not self._sources:
+            raise ValidationError(
+                "cannot build a service without stream sources; call "
+                ".with_sources(...)")
+        if self._capacity is None:
+            raise ValidationError(
+                "cannot build a service without a capacity; call "
+                ".with_capacity(...)")
+        if self._mechanism is None:
+            raise ValidationError(
+                "cannot build a service without a mechanism; call "
+                ".with_mechanism(...)")
+        hooks = HookRegistry()
+        hooks.extend(self._hooks)
+        return AdmissionService(
+            sources=copy.deepcopy(tuple(self._sources)),
+            capacity=self._capacity,
+            mechanism=self._mechanism,
+            ticks_per_period=(50 if self._ticks_per_period is None
+                              else self._ticks_per_period),
+            hold_ticks=(1 if self._hold_ticks is None
+                        else self._hold_ticks),
+            ledger=self._ledger,
+            hooks=hooks,
+        )
+
+
+def service_from_config(
+    config: ServiceConfig,
+    sources: Iterable[StreamSource],
+) -> AdmissionService:
+    """One-call assembly: a config plus its live stream sources."""
+    return ServiceBuilder(config).with_sources(*sources).build()

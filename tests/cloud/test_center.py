@@ -1,4 +1,11 @@
-"""DSMS-center integration tests: auction → engine → billing."""
+"""DSMS-center integration tests: auction → engine → billing.
+
+``DSMSCenter`` is now a deprecation shim over
+:class:`repro.service.AdmissionService`; these tests double as the
+shim's compatibility contract.
+"""
+
+import warnings
 
 import pytest
 
@@ -20,12 +27,23 @@ def make_query(qid, bid, cost, owner=None, shared_id=None):
 
 @pytest.fixture
 def center():
-    return DSMSCenter(
-        sources=[SyntheticStream("s", rate=5, poisson=False, seed=0)],
-        capacity=30.0,
-        mechanism=CAT(),
-        ticks_per_period=10,
-    )
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        return DSMSCenter(
+            sources=[SyntheticStream("s", rate=5, poisson=False, seed=0)],
+            capacity=30.0,
+            mechanism=CAT(),
+            ticks_per_period=10,
+        )
+
+
+def test_center_construction_warns():
+    with pytest.deprecated_call():
+        DSMSCenter(
+            sources=[SyntheticStream("s", rate=5, poisson=False, seed=0)],
+            capacity=30.0,
+            mechanism=CAT(),
+        )
 
 
 class TestSubmission:
@@ -34,6 +52,17 @@ class TestSubmission:
         assert center.pending_ids == {"q1"}
         center.withdraw("q1")
         assert center.pending_ids == set()
+
+    def test_withdraw_unknown_id_raises_validation_error(self, center):
+        """An unknown id must fail with the pending ids, not KeyError."""
+        center.submit(make_query("q1", 10.0, 1.0))
+        center.submit(make_query("q2", 12.0, 1.0))
+        with pytest.raises(ValidationError) as excinfo:
+            center.withdraw("missing")
+        message = str(excinfo.value)
+        assert "missing" in message
+        assert "q1" in message and "q2" in message
+        assert center.pending_ids == {"q1", "q2"}
 
     def test_duplicate_rejected(self, center):
         center.submit(make_query("q1", 10.0, 1.0))

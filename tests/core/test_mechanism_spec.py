@@ -1,0 +1,126 @@
+"""MechanismSpec parsing/validation, run_many, and kwarg validation."""
+
+import pytest
+
+from repro.core import (
+    PAPER_MECHANISMS,
+    MechanismSpec,
+    make_mechanism,
+    mechanism_params,
+    resolve_mechanism,
+)
+from repro.core.mechanism import Mechanism
+from repro.workload import example1
+from repro.utils.validation import ValidationError
+
+
+class TestParsing:
+    def test_bare_name(self):
+        spec = MechanismSpec.parse("CAT")
+        assert spec.name == "CAT"
+        assert spec.params == {}
+        assert str(spec) == "CAT"
+
+    def test_typed_params(self):
+        spec = MechanismSpec.parse(
+            "two-price:seed=7,adjust_ties=false,partition_mode=hash")
+        assert spec.params == {"seed": 7, "adjust_ties": False,
+                               "partition_mode": "hash"}
+
+    def test_round_trips_through_str(self):
+        spec = MechanismSpec.parse("two-price:partition_mode=hash,seed=7")
+        assert MechanismSpec.parse(str(spec)) == spec
+
+    def test_malformed_specs_rejected(self):
+        with pytest.raises(ValidationError):
+            MechanismSpec.parse("")
+        with pytest.raises(ValidationError, match="key=value"):
+            MechanismSpec.parse("CAT:seed")
+        with pytest.raises(ValidationError):
+            MechanismSpec("")
+
+    def test_whitespace_around_separators_is_stripped(self):
+        spec = MechanismSpec.parse("two-price : seed=7")
+        assert spec.name == "two-price"
+        assert spec.validate().params == {"seed": 7}
+
+    def test_create_runs_the_mechanism(self):
+        outcome = MechanismSpec.parse("two-price:seed=7").create().run(
+            example1())
+        assert outcome.mechanism == "Two-price"
+
+    def test_validate_flags_unknown_name_and_params(self):
+        with pytest.raises(KeyError, match="unknown mechanism"):
+            MechanismSpec.parse("nope").validate()
+        with pytest.raises(ValidationError, match="accepted parameters"):
+            MechanismSpec.parse("two-price:volume=11").validate()
+        # A paramless factory spells out that nothing is accepted.
+        with pytest.raises(ValidationError, match="none"):
+            MechanismSpec.parse("CAT:seed=1").validate()
+
+    def test_with_params_merges(self):
+        spec = MechanismSpec.parse("two-price:seed=1")
+        merged = spec.with_params(seed=9, partition_mode="hash")
+        assert merged.params == {"seed": 9, "partition_mode": "hash"}
+        assert spec.params == {"seed": 1}  # original untouched
+
+
+class TestResolveMechanism:
+    def test_all_accepted_forms(self):
+        from repro.core import CAT
+
+        assert resolve_mechanism("CAT").name == "CAT"
+        assert resolve_mechanism("two-price:seed=7").name == "Two-price"
+        assert resolve_mechanism(MechanismSpec("CAF")).name == "CAF"
+        live = CAT()
+        assert resolve_mechanism(live) is live
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValidationError):
+            resolve_mechanism(42)
+
+
+class TestMakeMechanismValidation:
+    def test_bad_kwarg_names_accepted_parameters(self):
+        with pytest.raises(ValidationError) as excinfo:
+            make_mechanism("two-price", sed=7)
+        message = str(excinfo.value)
+        assert "sed" in message and "seed" in message
+        assert "partition_mode" in message
+
+    def test_paramless_factory_says_none_accepted(self):
+        with pytest.raises(ValidationError, match="none"):
+            make_mechanism("CAT", seed=3)
+
+    def test_good_kwargs_still_forwarded(self):
+        mechanism = make_mechanism("two-price", seed=7,
+                                   partition_mode="hash")
+        assert mechanism.name == "Two-price"
+
+    def test_mechanism_params_introspection(self):
+        assert "seed" in mechanism_params("two-price")
+        assert mechanism_params("CAT") == ()
+
+
+class TestRunMany:
+    def test_batch_matches_sequential(self):
+        instances = [example1() for _ in range(4)]
+        batch = make_mechanism("CAT").run_many(instances)
+        sequential = [make_mechanism("CAT").run(i) for i in instances]
+        assert [o.winner_ids for o in batch] == \
+            [o.winner_ids for o in sequential]
+        assert [o.profit for o in batch] == [o.profit for o in sequential]
+
+    def test_batch_is_seed_reproducible(self):
+        instances = [example1() for _ in range(3)]
+        first = make_mechanism("two-price", seed=5).run_many(instances)
+        second = make_mechanism("two-price", seed=5).run_many(instances)
+        assert [dict(o.payments) for o in first] == \
+            [dict(o.payments) for o in second]
+
+    def test_every_paper_mechanism_batches(self):
+        for name in PAPER_MECHANISMS:
+            mechanism = make_mechanism(name)
+            assert isinstance(mechanism, Mechanism)
+            outcomes = mechanism.run_many([example1(), example1()])
+            assert len(outcomes) == 2

@@ -1,0 +1,258 @@
+"""AdmissionService facade: parity with the old center, builder, hooks."""
+
+import pytest
+
+from repro.core import CAT, AuctionInstance, Query
+from repro.dsms.operators import SelectOperator
+from repro.dsms.plan import ContinuousQuery
+from repro.dsms.streams import SyntheticStream
+from repro.service import (
+    AdmissionService,
+    HookRegistry,
+    ServiceBuilder,
+    ServiceConfig,
+    service_from_config,
+)
+from repro.utils.validation import ValidationError
+
+
+def make_query(qid, bid, cost, owner=None, shared_id=None):
+    op_id = shared_id or f"sel_{qid}"
+    sel = SelectOperator(op_id, "s", lambda t: True,
+                         cost_per_tuple=cost, selectivity_estimate=1.0)
+    return ContinuousQuery(qid, (sel,), sink_id=op_id, bid=bid,
+                           owner=owner)
+
+
+def build_service(**overrides):
+    builder = (ServiceBuilder()
+               .with_sources(SyntheticStream("s", rate=5, poisson=False,
+                                             seed=0))
+               .with_capacity(overrides.get("capacity", 30.0))
+               .with_mechanism(overrides.get("mechanism", CAT()))
+               .with_ticks_per_period(overrides.get("ticks", 10)))
+    return builder.build()
+
+
+class TestFacadeParity:
+    """The new facade reproduces the old DSMSCenter behavior exactly."""
+
+    def test_admits_within_capacity(self):
+        service = build_service()
+        for i, bid in enumerate([50, 40, 30, 20]):
+            service.submit(make_query(f"q{i}", bid, 2.0))
+        report = service.run_period()
+        assert report.admitted == ("q0", "q1", "q2")
+        assert report.rejected == ("q3",)
+        assert report.revenue > 0
+        assert report.engine_utilization == pytest.approx(1.0)
+
+    def test_running_queries_reauctioned(self):
+        service = build_service()
+        service.submit(make_query("q1", 30.0, 2.0))
+        service.run_period()
+        for i, bid in enumerate([90, 80, 70]):
+            service.submit(make_query(f"new{i}", bid, 2.0))
+        report = service.run_period()
+        assert "q1" not in report.admitted
+        assert service.engine.admitted_ids == {"new0", "new1", "new2"}
+
+    def test_matches_deprecated_center(self):
+        from repro.cloud import DSMSCenter
+
+        service = build_service()
+        with pytest.deprecated_call():
+            center = DSMSCenter(
+                sources=[SyntheticStream("s", rate=5, poisson=False,
+                                         seed=0)],
+                capacity=30.0,
+                mechanism=CAT(),
+                ticks_per_period=10,
+            )
+        for target in (service, center):
+            for i, bid in enumerate([50, 40, 30, 20]):
+                target.submit(make_query(f"q{i}", bid, 2.0))
+        ours, theirs = service.run_period(), center.run_period()
+        assert ours.admitted == theirs.admitted
+        assert ours.revenue == theirs.revenue
+        assert ours.engine_ticks == theirs.engine_ticks
+        assert ours.engine_utilization == theirs.engine_utilization
+
+    def test_empty_auction_rejected(self):
+        with pytest.raises(ValidationError):
+            build_service().run_period()
+
+    def test_withdraw_unknown_id_names_pending(self):
+        service = build_service()
+        service.submit(make_query("q1", 10.0, 1.0))
+        with pytest.raises(ValidationError, match="q1"):
+            service.withdraw("ghost")
+        assert service.pending_ids == {"q1"}
+
+    def test_run_periods_batches(self):
+        service = build_service()
+        reports = service.run_periods([
+            [make_query("a", 10.0, 1.0)],
+            [make_query("b", 20.0, 1.0)],
+        ])
+        assert [r.period for r in reports] == [1, 2]
+        assert service.period == 2
+
+
+class TestBuilderAndConfig:
+    def test_builder_requires_sources_capacity_mechanism(self):
+        with pytest.raises(ValidationError, match="sources"):
+            ServiceBuilder().with_capacity(1.0).with_mechanism("CAT").build()
+        with pytest.raises(ValidationError, match="capacity"):
+            (ServiceBuilder()
+             .with_sources(SyntheticStream("s", rate=1))
+             .with_mechanism("CAT").build())
+        with pytest.raises(ValidationError, match="mechanism"):
+            (ServiceBuilder()
+             .with_sources(SyntheticStream("s", rate=1))
+             .with_capacity(1.0).build())
+
+    def test_mechanism_spec_string(self):
+        service = (ServiceBuilder()
+                   .with_sources(SyntheticStream("s", rate=1))
+                   .with_capacity(5.0)
+                   .with_mechanism("two-price:seed=7")
+                   .build())
+        assert service.mechanism.name == "Two-price"
+
+    def test_config_validates_eagerly(self):
+        with pytest.raises(KeyError):
+            ServiceConfig(capacity=5.0, mechanism="no-such-mechanism")
+        with pytest.raises(ValidationError, match="accepted parameters"):
+            ServiceConfig(capacity=5.0, mechanism="CAT:volume=11")
+        with pytest.raises(ValidationError):
+            ServiceConfig(capacity=-1.0)
+
+    def test_service_from_config(self):
+        config = ServiceConfig(capacity=30.0, mechanism="CAT",
+                               ticks_per_period=10)
+        service = service_from_config(
+            config, [SyntheticStream("s", rate=5, poisson=False, seed=0)])
+        service.submit(make_query("q1", 10.0, 1.0))
+        report = service.run_period()
+        assert report.admitted == ("q1",)
+
+    def test_builds_are_independent(self):
+        builder = (ServiceBuilder()
+                   .with_sources(SyntheticStream("s", rate=5,
+                                                 poisson=False, seed=0))
+                   .with_capacity(30.0)
+                   .with_mechanism("CAT")
+                   .with_ticks_per_period(5))
+        first, second = builder.build(), builder.build()
+        first.submit(make_query("q1", 10.0, 1.0))
+        assert second.pending_ids == set()
+        first.hooks.add("on_billing", lambda *a: None)
+        assert second.hooks.hooks("on_billing") == ()
+
+    def test_builds_do_not_share_source_state(self):
+        """Running one built service must not advance another's source
+        RNGs — sources are deep-copied per build."""
+        builder = (ServiceBuilder()
+                   .with_sources(SyntheticStream("s", rate=5, seed=3))
+                   .with_capacity(30.0)
+                   .with_mechanism("CAT")
+                   .with_ticks_per_period(10))
+        first, second = builder.build(), builder.build()
+        first.submit(make_query("q1", 10.0, 1.0))
+        first.run_period()
+        second.submit(make_query("q1", 10.0, 1.0))
+        report = second.run_period()
+        fresh = builder.build()
+        fresh.submit(make_query("q1", 10.0, 1.0))
+        assert fresh.run_period().engine_utilization == \
+            report.engine_utilization
+
+
+class TestHooks:
+    def test_unknown_event_rejected(self):
+        with pytest.raises(ValidationError, match="unknown hook event"):
+            HookRegistry().add("on_coffee", lambda: None)
+
+    def test_on_submit_can_veto(self):
+        def no_cheapskates(_service, query):
+            if query.bid < 5:
+                raise ValidationError("bid below the house minimum")
+
+        service = build_service()
+        service.hooks.add("on_submit", no_cheapskates)
+        service.submit(make_query("rich", 50.0, 1.0))
+        with pytest.raises(ValidationError, match="house minimum"):
+            service.submit(make_query("poor", 1.0, 1.0))
+        assert service.pending_ids == {"rich"}
+
+    def test_pre_auction_lying_client(self):
+        """Bid inflation as a hook changes the auction the mechanism
+        sees — the lying scenarios become plug-ins."""
+        def inflate(_service, instance):
+            queries = tuple(
+                Query(q.query_id, q.operator_ids, bid=q.bid * 10,
+                      valuation=q.valuation, owner=q.owner)
+                if q.query_id == "liar" else q
+                for q in instance.queries)
+            return AuctionInstance(
+                instance.operators, queries, instance.capacity)
+
+        service = build_service()
+        service.hooks.add("pre_auction", inflate)
+        service.submit(make_query("liar", 5.0, 2.0))
+        for i, bid in enumerate([40, 30, 20]):
+            service.submit(make_query(f"q{i}", bid, 2.0))
+        report = service.run_period()
+        assert "liar" in report.admitted  # 50 beats the honest field
+
+    def test_observer_hooks_fire_in_cycle_order(self):
+        events = []
+        service = (ServiceBuilder()
+                   .with_sources(SyntheticStream("s", rate=5,
+                                                 poisson=False, seed=0))
+                   .with_capacity(30.0)
+                   .with_mechanism("CAT")
+                   .with_ticks_per_period(5)
+                   .on_submit(lambda *a: events.append("submit"))
+                   .pre_auction(lambda *a: events.append("pre") or None)
+                   .post_auction(lambda *a: events.append("post") or None)
+                   .on_billing(lambda *a: events.append("billing"))
+                   .on_transition(lambda *a: events.append("transition"))
+                   .build())
+        service.submit(make_query("q1", 10.0, 1.0))
+        service.run_period()
+        assert events == ["submit", "pre", "post", "billing", "transition"]
+
+    def test_pre_auction_cannot_invent_planless_winners(self):
+        """A hook that admits a query id with no submitted plan must
+        fail cleanly before billing, not KeyError mid-transition."""
+        def add_ghost(_service, instance):
+            queries = instance.queries + (
+                Query("ghost", ("sel_q0",), bid=1000.0),)
+            return AuctionInstance(
+                instance.operators, queries, instance.capacity)
+
+        service = build_service()
+        service.hooks.add("pre_auction", add_ghost)
+        service.submit(make_query("q0", 10.0, 2.0))
+        with pytest.raises(ValidationError, match="ghost"):
+            service.run_period()
+        assert service.total_revenue() == 0.0  # nothing was billed
+        assert service.period == 0
+
+    def test_on_transition_reports_changes(self):
+        seen = {}
+
+        def record(_service, added, removed):
+            seen["added"], seen["removed"] = added, removed
+
+        service = build_service()
+        service.hooks.add("on_transition", record)
+        service.submit(make_query("q1", 30.0, 2.0))
+        service.run_period()
+        assert seen == {"added": ("q1",), "removed": ()}
+        for i, bid in enumerate([90, 80, 70]):
+            service.submit(make_query(f"new{i}", bid, 2.0))
+        service.run_period()
+        assert seen["removed"] == ("q1",)
