@@ -1,0 +1,156 @@
+"""Cluster scaling: admission throughput vs. shard count.
+
+Drives a fixed synthetic workload through federations of increasing
+shard counts and measures end-to-end period throughput (queries
+auctioned per second) plus the business aggregates, on both the
+sequential (``run_period``) and batch (``run_period_all``) paths.
+Unlike the paper-figure benchmarks (which are pytest modules), this is
+a standalone script so CI can exercise the scaling path without
+pytest-benchmark:
+
+    python benchmarks/bench_cluster_scaling.py            # full sweep
+    python benchmarks/bench_cluster_scaling.py --smoke    # CI-sized
+
+The rendered table is printed and written to
+``benchmarks/out/cluster_scaling.txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.cluster import FederatedAdmissionService  # noqa: E402
+from repro.dsms.operators import SelectOperator  # noqa: E402
+from repro.dsms.plan import ContinuousQuery  # noqa: E402
+from repro.dsms.streams import SyntheticStream  # noqa: E402
+from repro.utils.tables import format_table  # noqa: E402
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def _pass_all(_tuple) -> bool:
+    return True
+
+
+def build_cluster(num_shards: int, args) -> FederatedAdmissionService:
+    return FederatedAdmissionService.build(
+        num_shards=num_shards,
+        sources=[SyntheticStream("s", rate=args.rate, seed=args.seed,
+                                 poisson=False)],
+        capacity=args.capacity,
+        mechanism=args.mechanism,
+        ticks_per_period=args.ticks,
+        placement=f"consistent-hash:seed={args.seed}",
+    )
+
+
+def submissions(period: int, args) -> list[ContinuousQuery]:
+    rng = np.random.default_rng([args.seed, period])
+    queries = []
+    for index in range(args.queries_per_period):
+        qid = f"p{period}_q{index}"
+        op = SelectOperator(
+            f"sel_{qid}", "s", _pass_all,
+            cost_per_tuple=float(np.round(rng.uniform(0.5, 2.0), 2)),
+            selectivity_estimate=1.0)
+        queries.append(ContinuousQuery(
+            qid, (op,), sink_id=op.op_id,
+            bid=float(np.round(rng.uniform(5, 100), 2)),
+            owner=f"user_{index % args.clients}"))
+    return queries
+
+
+def run_one(num_shards: int, batch: bool, args) -> dict:
+    cluster = build_cluster(num_shards, args)
+    auctioned = 0
+    started = time.perf_counter()
+    for period in range(1, args.periods + 1):
+        for query in submissions(period, args):
+            cluster.submit(query)
+        report = (cluster.run_period_all() if batch
+                  else cluster.run_period())
+        auctioned += len(report.admitted) + len(report.rejected)
+    elapsed = time.perf_counter() - started
+    last = cluster.reports[-1]
+    return {
+        "shards": num_shards,
+        "path": "batch" if batch else "sequential",
+        "seconds": elapsed,
+        "queries_per_s": auctioned / elapsed if elapsed else float("inf"),
+        "revenue": cluster.total_revenue(),
+        "migrated": sum(len(r.migrations) for r in cluster.reports),
+        "utilization": (0.0 if last.utilization is None
+                        else last.utilization),
+    }
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="throughput vs. shard count for the federation layer")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (small counts, fast exit)")
+    parser.add_argument("--shard-counts", default=None,
+                        help="comma-separated shard counts "
+                             "(default 1,2,4,8; smoke 1,2)")
+    parser.add_argument("--periods", type=int, default=None)
+    parser.add_argument("--queries-per-period", type=int, default=None)
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--capacity", type=float, default=40.0)
+    parser.add_argument("--rate", type=float, default=5.0)
+    parser.add_argument("--ticks", type=int, default=None)
+    parser.add_argument("--mechanism", default="CAT")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    if args.shard_counts is None:
+        args.shard_counts = "1,2" if args.smoke else "1,2,4,8"
+    counts = [int(c) for c in args.shard_counts.split(",")]
+    if args.periods is None:
+        args.periods = 2 if args.smoke else 8
+    if args.queries_per_period is None:
+        args.queries_per_period = 12 if args.smoke else 48
+    if args.ticks is None:
+        args.ticks = 5 if args.smoke else 20
+
+    rows = []
+    for num_shards in counts:
+        for batch in (False, True):
+            result = run_one(num_shards, batch, args)
+            rows.append([
+                result["shards"], result["path"],
+                result["seconds"], result["queries_per_s"],
+                result["revenue"], result["migrated"],
+                result["utilization"],
+            ])
+    table = format_table(
+        ["shards", "path", "seconds", "queries/s", "revenue",
+         "migrated", "last util"],
+        rows, precision=2,
+        title=(f"Cluster scaling — {args.periods} periods × "
+               f"{args.queries_per_period} queries, "
+               f"{args.mechanism}, capacity {args.capacity:g}/shard"))
+    print(table)
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "cluster_scaling.txt").write_text(table + "\n")
+
+    # Sanity, not speed assertions: the sweep must do real work on
+    # every configuration and both paths must agree economically.
+    by_key = {(r[0], r[1]): r for r in rows}
+    for num_shards in counts:
+        sequential = by_key[(num_shards, "sequential")]
+        batch = by_key[(num_shards, "batch")]
+        assert sequential[4] == batch[4], (
+            f"sequential/batch revenue diverged at {num_shards} shards")
+        assert sequential[3] > 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,11 @@ Packages:
   :class:`ServiceBuilder` from typed :class:`ServiceConfig`, composed
   of an auction coordinator, a transition manager, a billing ledger,
   and a lifecycle-hook system; snapshot/restore included.
+* :mod:`repro.cluster` — the scale-out layer: a
+  :class:`FederatedAdmissionService` sharding submissions over N
+  service instances via pluggable placement policies, with cross-shard
+  rebalancing of rejected load, batch auctions, and whole-cluster
+  checkpointing.
 * :mod:`repro.workload` — the Table III workload generator, including
   the operator-splitting procedure for varying the degree of sharing,
   and the lying workloads of Figure 5.

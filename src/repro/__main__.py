@@ -7,6 +7,8 @@ Commands
 ``generate``   generate a Table III workload instance to JSON
 ``simulate``   run an AdmissionService for several periods (with
                optional checkpoint/resume)
+``cluster``    run a sharded FederatedAdmissionService (placement
+               policies, rebalancing, batch auctions, checkpoints)
 ``report``     regenerate the paper's tables and figures
 ``verify``     run the Table I property-verification battery
 
@@ -23,6 +25,10 @@ Examples::
     python -m repro simulate --mechanism CAT --periods 5
     python -m repro simulate --periods 3 --checkpoint svc.ckpt
     python -m repro simulate --periods 2 --resume svc.ckpt
+    python -m repro cluster --shards 4 --periods 5 --batch
+    python -m repro cluster --placement least-loaded --periods 3
+    python -m repro cluster --periods 2 --checkpoint cl.ckpt
+    python -m repro cluster --periods 2 --resume cl.ckpt
     python -m repro report
     python -m repro verify
 """
@@ -81,11 +87,30 @@ def _pass_all(_tuple: object) -> bool:
     return True
 
 
-def _cmd_simulate(args: argparse.Namespace) -> int:
+def _synthetic_submissions(period, count, seed, owner_of):
+    """The per-period synthetic workload shared by ``simulate`` and
+    ``cluster``: derived per-period rng, so a resumed run draws the
+    same bids an uninterrupted run would, instead of replaying period
+    1's."""
     import numpy as np
 
     from repro.dsms.operators import SelectOperator
     from repro.dsms.plan import ContinuousQuery
+
+    rng = np.random.default_rng([seed, period])
+    for index in range(count):
+        qid = f"p{period}_q{index}"
+        op = SelectOperator(
+            f"sel_{qid}", "s", _pass_all,
+            cost_per_tuple=float(np.round(rng.uniform(0.5, 2.0), 2)),
+            selectivity_estimate=1.0)
+        yield ContinuousQuery(
+            qid, (op,), sink_id=op.op_id,
+            bid=float(np.round(rng.uniform(5, 100), 2)),
+            owner=owner_of(index))
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.dsms.streams import SyntheticStream
     from repro.service import AdmissionService, ServiceBuilder
     from repro.utils.tables import format_table
@@ -106,19 +131,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
     rows = []
     for period in range(start + 1, start + args.periods + 1):
-        # Per-period derivation: a resumed run draws the same bids an
-        # uninterrupted run would, instead of replaying period 1's.
-        rng = np.random.default_rng([args.seed, period])
-        for index in range(args.queries_per_period):
-            qid = f"p{period}_q{index}"
-            op = SelectOperator(
-                f"sel_{qid}", "s", _pass_all,
-                cost_per_tuple=float(np.round(rng.uniform(0.5, 2.0), 2)),
-                selectivity_estimate=1.0)
-            service.submit(ContinuousQuery(
-                qid, (op,), sink_id=op.op_id,
-                bid=float(np.round(rng.uniform(5, 100), 2)),
-                owner=f"user_{index}"))
+        for query in _synthetic_submissions(
+                period, args.queries_per_period, args.seed,
+                lambda index: f"user_{index}"):
+            service.submit(query)
         report = service.run_period()
         rows.append([
             report.period,
@@ -137,6 +153,58 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                f"{service.mechanism.name}, capacity "
                f"{service.capacity:g}")))
     print(f"total revenue: {service.total_revenue():.2f}")
+    if args.checkpoint:
+        print(f"checkpoint written to {args.checkpoint}")
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    from repro.cluster import FederatedAdmissionService
+    from repro.dsms.streams import SyntheticStream
+    from repro.utils.tables import format_table
+
+    if args.resume:
+        cluster = FederatedAdmissionService.load_checkpoint(args.resume)
+        start = cluster.period
+    else:
+        spec = _spec_with_seed(args.mechanism, args.seed)
+        cluster = FederatedAdmissionService.build(
+            num_shards=args.shards,
+            sources=[SyntheticStream("s", rate=args.rate, seed=args.seed)],
+            capacity=args.capacity,
+            mechanism=spec,
+            ticks_per_period=args.ticks,
+            placement=args.placement,
+            rebalance=not args.no_rebalance,
+        )
+        start = 0
+
+    rows = []
+    for period in range(start + 1, start + args.periods + 1):
+        for query in _synthetic_submissions(
+                period, args.queries_per_period, args.seed,
+                lambda index: f"user_{index % max(1, args.clients)}"):
+            cluster.submit(query)
+        report = (cluster.run_period_all() if args.batch
+                  else cluster.run_period())
+        rows.append([
+            report.period,
+            len(report.admitted),
+            len(report.rejected),
+            len(report.migrated),
+            report.total_revenue,
+            (0.0 if report.utilization is None else report.utilization),
+        ])
+        if args.checkpoint:
+            cluster.save_checkpoint(args.checkpoint)
+    print(format_table(
+        ["period", "admitted", "rejected", "migrated", "revenue",
+         "cluster util"],
+        rows, precision=2,
+        title=(f"Federated cluster — {cluster.num_shards} shards, "
+               f"{cluster.placement.name} placement, "
+               f"capacity {cluster.shards[0].capacity:g}/shard")))
+    print(f"total revenue: {cluster.total_revenue():.2f}")
     if args.checkpoint:
         print(f"checkpoint written to {args.checkpoint}")
     return 0
@@ -220,6 +288,44 @@ def build_parser() -> argparse.ArgumentParser:
                           help="resume from a checkpoint file instead "
                                "of starting fresh")
     simulate.set_defaults(handler=_cmd_simulate)
+
+    cluster = commands.add_parser(
+        "cluster",
+        help="run a sharded FederatedAdmissionService over synthetic "
+             "submissions")
+    cluster.add_argument("--shards", type=int, default=4,
+                         help="number of AdmissionService shards")
+    cluster.add_argument("--placement", default="consistent-hash",
+                         help="placement spec: consistent-hash, "
+                              "least-loaded, round-robin — optionally "
+                              "with parameters, e.g. "
+                              "consistent-hash:seed=7")
+    cluster.add_argument("--mechanism", default="CAT",
+                         help="mechanism spec (default CAT)")
+    cluster.add_argument("--periods", type=int, default=5)
+    cluster.add_argument("--queries-per-period", type=int, default=12)
+    cluster.add_argument("--clients", type=int, default=6,
+                         help="distinct client owners submitting")
+    cluster.add_argument("--capacity", type=float, default=40.0,
+                         help="per-shard capacity")
+    cluster.add_argument("--rate", type=float, default=5.0,
+                         help="stream arrival rate (tuples/tick)")
+    cluster.add_argument("--ticks", type=int, default=20,
+                         help="engine ticks per subscription period")
+    cluster.add_argument("--seed", type=int, default=0)
+    cluster.add_argument("--batch", action="store_true",
+                         help="use the run_period_all batch auction "
+                              "path")
+    cluster.add_argument("--no-rebalance", action="store_true",
+                         help="disable cross-shard migration of "
+                              "rejected queries")
+    cluster.add_argument("--checkpoint", default=None,
+                         help="write a resumable cluster checkpoint "
+                              "here after every period")
+    cluster.add_argument("--resume", default=None,
+                         help="resume from a cluster checkpoint "
+                              "instead of starting fresh")
+    cluster.set_defaults(handler=_cmd_cluster)
 
     generate = commands.add_parser(
         "generate", help="generate a Table III workload instance")

@@ -1,0 +1,393 @@
+"""The federated admission service: N shards behind one facade.
+
+The paper runs one DSMS center per subscription period; the north-star
+deployment runs many.  :class:`FederatedAdmissionService` owns N
+independent :class:`~repro.service.AdmissionService` shards and gives
+them one front door:
+
+* **routing** — :meth:`submit` sends each query to a shard chosen by a
+  pluggable :class:`~repro.cluster.placement.PlacementPolicy`
+  (consistent-hash on client id, least-loaded, round-robin), with
+  cluster-wide query-id uniqueness enforced before the shard sees it;
+* **the cluster period** — :meth:`run_period` drives every shard
+  through the prepare → auction → settle → rebalance → execute cycle
+  in lockstep; :meth:`run_period_all` is the batch path that funnels
+  all shard auctions through :func:`repro.core.mechanism.run_batch`
+  (one :meth:`~repro.core.Mechanism.run_many` dispatch per mechanism
+  group) — both paths produce identical results;
+* **rebalancing** — an optional
+  :class:`~repro.cluster.rebalance.Rebalancer` migrates rejected
+  queries onto shards with spare capacity between settle and execute;
+* **aggregation** — each period yields a
+  :class:`~repro.cluster.ClusterReport` (total profit, capacity-
+  weighted utilization, rejected load, migrations);
+* **checkpointing** — :meth:`snapshot` / :meth:`restore` and
+  :meth:`save_checkpoint` / :meth:`load_checkpoint` compose every
+  shard's snapshot envelope into one versioned cluster snapshot with
+  the same guarantee as a single service: the resumed run is
+  byte-identical to the uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from collections.abc import Iterable, Sequence
+
+from repro.cluster.placement import (
+    PlacementPolicy,
+    ShardStatus,
+    resolve_placement,
+)
+from repro.cluster.rebalance import Rebalancer
+from repro.cluster.reports import ClusterReport, Migration
+from repro.core.mechanism import run_batch
+from repro.dsms.plan import ContinuousQuery
+from repro.service.builder import ServiceBuilder
+from repro.service.service import AdmissionService, ServiceSnapshot
+from repro.utils.validation import ValidationError, require
+
+#: Version of the in-memory cluster snapshot layout.
+CLUSTER_STATE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ClusterSnapshot:
+    """A deep, self-contained copy of a federation's evolving state.
+
+    Composes one :class:`~repro.service.ServiceSnapshot` per shard with
+    the cluster-level state: the placement policy (including any
+    cursor/ring state), the rebalancer, the period counter, and the
+    report history.  Obtained from
+    :meth:`FederatedAdmissionService.snapshot`; restored any number of
+    times.  Shard hooks are code, not state — re-attach them per shard
+    after restore.
+    """
+
+    version: int
+    placement: PlacementPolicy
+    rebalancer: "Rebalancer | None"
+    period: int
+    reports: tuple[ClusterReport, ...]
+    shards: tuple[ServiceSnapshot, ...]
+
+    def __post_init__(self) -> None:
+        if not self.shards:
+            raise ValidationError("cluster snapshot has no shards")
+
+
+class FederatedAdmissionService:
+    """A sharded, checkpointable federation of admission services.
+
+    Build one from existing shards, or with :meth:`build` for the
+    homogeneous case.  Shards stay fully independent services — each
+    with its own engine, ledger, mechanism and hooks — so everything
+    that works on one :class:`AdmissionService` (hooks, introspection,
+    per-shard checkpoints) still works on ``cluster.shards[i]``.
+    """
+
+    def __init__(
+        self,
+        *,
+        shards: Sequence[AdmissionService],
+        placement: "PlacementPolicy | str" = "consistent-hash",
+        rebalancer: "Rebalancer | None" = None,
+    ) -> None:
+        shards = tuple(shards)
+        require(len(shards) >= 1, "a federation needs at least one shard")
+        if len({id(shard) for shard in shards}) != len(shards):
+            raise ValidationError(
+                "the same AdmissionService object appears twice in the "
+                "shard list; every shard must be an independent service")
+        self.shards: tuple[AdmissionService, ...] = shards
+        self.placement = resolve_placement(placement)
+        self.rebalancer = rebalancer
+        self._period = 0
+        self.reports: list[ClusterReport] = []
+
+    @classmethod
+    def build(
+        cls,
+        *,
+        num_shards: int,
+        sources: Iterable,
+        capacity: float,
+        mechanism: object,
+        ticks_per_period: int = 50,
+        hold_ticks: int = 1,
+        placement: "PlacementPolicy | str" = "consistent-hash",
+        rebalance: bool = True,
+    ) -> "FederatedAdmissionService":
+        """Assemble a homogeneous cluster of *num_shards* shards.
+
+        Each shard gets a deep copy of *sources* (independent stream
+        RNGs) and, when *mechanism* is a spec string or
+        :class:`MechanismSpec`, its own mechanism instance — so
+        randomized mechanisms hold independent per-shard RNG streams.
+        Passing a live :class:`Mechanism` object shares it across
+        shards (its randomness is then consumed in shard-index order).
+        *capacity* is per shard: the cluster offers ``num_shards ×
+        capacity`` total work units per tick.
+        """
+        require(int(num_shards) >= 1, "num_shards must be >= 1")
+        builder = (ServiceBuilder()
+                   .with_sources(*sources)
+                   .with_capacity(capacity)
+                   .with_mechanism(mechanism)
+                   .with_ticks_per_period(ticks_per_period)
+                   .with_hold_ticks(hold_ticks))
+        shards = [builder.build() for _ in range(int(num_shards))]
+        return cls(
+            shards=shards,
+            placement=placement,
+            rebalancer=Rebalancer() if rebalance else None,
+        )
+
+    # ------------------------------------------------------------------
+    # Client-facing API
+    # ------------------------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        """How many shards the federation owns."""
+        return len(self.shards)
+
+    @property
+    def period(self) -> int:
+        """Index of the last completed cluster period (0 = none)."""
+        return self._period
+
+    def shard_statuses(self) -> tuple[ShardStatus, ...]:
+        """The per-shard view placement policies route on."""
+        return tuple(
+            ShardStatus(
+                index=index,
+                capacity=shard.capacity,
+                pending_count=len(shard.pending_ids),
+                admitted_count=len(shard.engine.admitted_ids),
+            )
+            for index, shard in enumerate(self.shards)
+        )
+
+    def locate(self, query_id: str) -> "int | None":
+        """The shard currently holding *query_id* (pending or running)."""
+        for index, shard in enumerate(self.shards):
+            if (query_id in shard.pending_ids
+                    or query_id in shard.engine.admitted_ids):
+                return index
+        return None
+
+    def submit(self, query: ContinuousQuery) -> int:
+        """Route *query* to a shard; returns the chosen shard index.
+
+        Query ids are unique cluster-wide: a collision with any shard's
+        pending queue or running set is rejected here, before the
+        placement policy runs.
+        """
+        existing = self.locate(query.query_id)
+        if existing is not None:
+            raise ValidationError(
+                f"query id {query.query_id!r} already submitted "
+                f"(held by shard {existing})")
+        statuses = self.shard_statuses()
+        index = self.placement.choose(query, statuses)
+        if not 0 <= index < len(self.shards):
+            raise ValidationError(
+                f"placement policy {self.placement.name!r} chose shard "
+                f"{index}, but the cluster has shards 0.."
+                f"{len(self.shards) - 1}")
+        self.shards[index].submit(query)
+        return index
+
+    def withdraw(self, query_id: str) -> ContinuousQuery:
+        """Withdraw a pending submission from whichever shard holds it."""
+        for shard in self.shards:
+            if query_id in shard.pending_ids:
+                return shard.withdraw(query_id)
+        known = sorted(self.pending_ids) or ["<none>"]
+        raise ValidationError(
+            f"cannot withdraw unknown query id {query_id!r}; pending "
+            f"ids: {', '.join(known)}")
+
+    @property
+    def pending_ids(self) -> set[str]:
+        """Union of every shard's pending queue."""
+        ids: set[str] = set()
+        for shard in self.shards:
+            ids |= shard.pending_ids
+        return ids
+
+    # ------------------------------------------------------------------
+    # The cluster period
+    # ------------------------------------------------------------------
+
+    def run_period(self) -> ClusterReport:
+        """Run one cluster period, auctioning shard by shard."""
+        return self._run_cluster_period(batch=False)
+
+    def run_period_all(self) -> ClusterReport:
+        """Run one cluster period through the batch auction path.
+
+        All shard auctions are built first, then dispatched together
+        through :func:`repro.core.mechanism.run_batch` (which reuses
+        :meth:`Mechanism.run_many`), then settled, rebalanced and
+        executed.  Produces exactly the same reports as
+        :meth:`run_period` — randomness is consumed in the same
+        per-shard order either way.
+        """
+        return self._run_cluster_period(batch=True)
+
+    def _run_cluster_period(self, batch: bool) -> ClusterReport:
+        # Phase A/B — prepare and auction.  Nothing is billed or
+        # transitioned yet, so a failure here (a pre_auction hook, a
+        # mechanism bug) rolls back cleanly: shard counters return to
+        # where they were, pending queues are untouched, and the
+        # period can simply be retried.
+        active = [
+            index for index, shard in enumerate(self.shards)
+            if shard.pending_ids or shard.engine.admitted_ids
+        ]
+        preparations = {}
+        try:
+            for index in active:
+                preparations[index] = self.shards[index].prepare_period()
+            if batch:
+                outcomes = run_batch(
+                    (self.shards[index].mechanism,
+                     preparations[index].instance)
+                    for index in active)
+            else:
+                outcomes = [
+                    self.shards[index].mechanism.run(
+                        preparations[index].instance)
+                    for index in active
+                ]
+        except Exception:
+            for index in preparations:
+                self.shards[index]._period -= 1
+            raise
+
+        # Phase C/D/E — settle, rebalance, execute.  From the first
+        # settlement on, shards bill and transition, which cannot be
+        # undone; the period is therefore *committed* here.  On a
+        # failure the exception propagates with every shard's counter
+        # aligned to the committed period (unsettled shards keep their
+        # pending queues and re-auction them next period); no report
+        # is recorded, and invoices already written stand — restore
+        # from the last checkpoint for all-or-nothing recovery.
+        self._period += 1
+        try:
+            settlements = {
+                index: self.shards[index].settle_period(
+                    preparations[index], outcome)
+                for index, outcome in zip(active, outcomes)
+            }
+            migrations: tuple[Migration, ...] = ()
+            if self.rebalancer is not None:
+                migrations = self.rebalancer.rebalance(
+                    self.shards, settlements)
+            shard_reports = tuple(
+                (shard.execute_period(settlements[index])
+                 if index in settlements else shard.run_idle_period())
+                for index, shard in enumerate(self.shards)
+            )
+        except Exception:
+            for shard in self.shards:
+                if shard._period < self._period:
+                    shard._period = self._period
+            raise
+        placed = {migration.query_id for migration in migrations}
+        rejected_load = float(sum(
+            settlement.outcome.instance.union_load([query_id])
+            for settlement in settlements.values()
+            for query_id in settlement.rejected
+            if query_id not in placed
+        ))
+        report = ClusterReport(
+            period=self._period,
+            shard_reports=shard_reports,
+            shard_capacities=tuple(
+                shard.capacity for shard in self.shards),
+            migrations=migrations,
+            rejected_load=rejected_load,
+        )
+        self.reports.append(report)
+        return report
+
+    def run_periods(
+        self,
+        submissions_per_period: Iterable[Sequence[ContinuousQuery]],
+        batch: bool = False,
+    ) -> list[ClusterReport]:
+        """Run several periods, routing each batch before its auction."""
+        reports = []
+        for submissions in submissions_per_period:
+            for query in submissions:
+                self.submit(query)
+            reports.append(
+                self.run_period_all() if batch else self.run_period())
+        return reports
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def total_revenue(self) -> float:
+        """Cluster revenue over all billed periods and shards."""
+        return sum(shard.total_revenue() for shard in self.shards)
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> ClusterSnapshot:
+        """Capture the whole federation as a restorable snapshot."""
+        return ClusterSnapshot(
+            version=CLUSTER_STATE_VERSION,
+            placement=copy.deepcopy(self.placement),
+            rebalancer=copy.deepcopy(self.rebalancer),
+            period=self._period,
+            reports=copy.deepcopy(tuple(self.reports)),
+            shards=tuple(shard.snapshot() for shard in self.shards),
+        )
+
+    @classmethod
+    def restore(cls, snapshot: ClusterSnapshot) -> "FederatedAdmissionService":
+        """Rebuild a live federation from *snapshot*.
+
+        The snapshot is copied, so it can be restored again later.
+        Shard hooks are not serialized state; re-attach them on
+        ``cluster.shards[i].hooks`` after restore.
+        """
+        if snapshot.version != CLUSTER_STATE_VERSION:
+            raise ValidationError(
+                f"cannot restore cluster snapshot version "
+                f"{snapshot.version}; this build supports version "
+                f"{CLUSTER_STATE_VERSION}")
+        cluster = object.__new__(cls)
+        cluster.shards = tuple(
+            AdmissionService.restore(shard) for shard in snapshot.shards)
+        cluster.placement = copy.deepcopy(snapshot.placement)
+        cluster.rebalancer = copy.deepcopy(snapshot.rebalancer)
+        cluster._period = snapshot.period
+        cluster.reports = list(copy.deepcopy(snapshot.reports))
+        return cluster
+
+    def save_checkpoint(self, path: object) -> None:
+        """Write a restorable cluster checkpoint (see :mod:`repro.io`).
+
+        The file is one versioned envelope composing every shard's
+        snapshot envelope; the same picklability rules as per-service
+        checkpoints apply (module-level functions, no lambdas).  Only
+        load checkpoints you trust.
+        """
+        from repro.io import save_cluster_snapshot
+
+        save_cluster_snapshot(self.snapshot(), path)
+
+    @classmethod
+    def load_checkpoint(cls, path: object) -> "FederatedAdmissionService":
+        """Resume a federation from a :meth:`save_checkpoint` file."""
+        from repro.io import load_cluster_snapshot
+
+        return cls.restore(load_cluster_snapshot(path))

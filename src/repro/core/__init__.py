@@ -31,6 +31,7 @@ from repro.core.mechanism import (
     register_mechanism,
     registered_mechanisms,
     resolve_mechanism,
+    run_batch,
 )
 from repro.core.model import AuctionInstance, Operator, Query
 from repro.core.optc import (
@@ -94,6 +95,7 @@ __all__ = [
     "register_mechanism",
     "resolve_mechanism",
     "registered_mechanisms",
+    "run_batch",
     "remaining_load",
     "static_fair_share_load",
     "total_load",

@@ -49,6 +49,10 @@ PERIOD_REPORT_SCHEMA = "repro/period-report"
 PERIOD_REPORT_VERSION = 1
 SNAPSHOT_SCHEMA = "repro/service-snapshot"
 SNAPSHOT_VERSION = 1
+CLUSTER_REPORT_SCHEMA = "repro/cluster-report"
+CLUSTER_REPORT_VERSION = 1
+CLUSTER_SNAPSHOT_SCHEMA = "repro/cluster-snapshot"
+CLUSTER_SNAPSHOT_VERSION = 1
 
 
 def instance_to_dict(instance: AuctionInstance) -> dict:
@@ -291,8 +295,126 @@ def load_reports(path: "str | Path") -> list:
 
 
 # ----------------------------------------------------------------------
+# Cluster reports (versioned schema)
+# ----------------------------------------------------------------------
+
+
+def cluster_report_to_dict(report: object) -> dict:
+    """Versioned JSON document for a :class:`ClusterReport`.
+
+    Embeds every shard's full period-report document (each
+    self-contained, schema-tagged) plus the cluster aggregates and the
+    rebalancer's migrations, so one archived document re-audits an
+    entire cluster period.
+    """
+    return {
+        "schema": CLUSTER_REPORT_SCHEMA,
+        "version": CLUSTER_REPORT_VERSION,
+        "period": report.period,
+        "total_revenue": report.total_revenue,
+        "utilization": report.utilization,
+        "rejected_load": report.rejected_load,
+        "migrations": [
+            {
+                "query_id": migration.query_id,
+                "origin": migration.origin,
+                "target": migration.target,
+                "load": migration.load,
+            }
+            for migration in report.migrations
+        ],
+        "shard_capacities": list(report.shard_capacities),
+        "shards": [report_to_dict(shard_report)
+                   for shard_report in report.shard_reports],
+    }
+
+
+def cluster_report_from_dict(payload: dict) -> object:
+    """Parse a :func:`cluster_report_to_dict` document."""
+    from repro.cluster.reports import ClusterReport, Migration
+
+    if not isinstance(payload, dict):
+        raise ValidationError(
+            f"malformed cluster report: expected an object, got "
+            f"{type(payload).__name__}")
+    schema = payload.get("schema")
+    if schema != CLUSTER_REPORT_SCHEMA:
+        raise ValidationError(
+            f"not a cluster-report document (schema {schema!r}, "
+            f"expected {CLUSTER_REPORT_SCHEMA!r})")
+    version = payload.get("version")
+    if version != CLUSTER_REPORT_VERSION:
+        raise ValidationError(
+            f"unsupported cluster-report version {version!r}; this "
+            f"build reads version {CLUSTER_REPORT_VERSION}")
+    try:
+        return ClusterReport(
+            period=int(payload["period"]),
+            shard_reports=tuple(
+                report_from_dict(entry) for entry in payload["shards"]),
+            shard_capacities=tuple(
+                float(capacity)
+                for capacity in payload["shard_capacities"]),
+            migrations=tuple(
+                Migration(
+                    query_id=entry["query_id"],
+                    origin=int(entry["origin"]),
+                    target=int(entry["target"]),
+                    load=float(entry["load"]),
+                )
+                for entry in payload["migrations"]
+            ),
+            rejected_load=float(payload["rejected_load"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        if isinstance(exc, ValidationError):
+            raise
+        raise ValidationError(
+            f"malformed cluster report: {exc!r}") from exc
+
+
+def save_cluster_report(report: object, path: "str | Path") -> None:
+    """Write one cluster report as versioned JSON to *path*."""
+    Path(path).write_text(
+        json.dumps(cluster_report_to_dict(report), indent=2,
+                   sort_keys=True) + "\n")
+
+
+def load_cluster_report(path: "str | Path") -> object:
+    """Read a cluster report written by :func:`save_cluster_report`."""
+    return cluster_report_from_dict(json.loads(Path(path).read_text()))
+
+
+# ----------------------------------------------------------------------
 # Service snapshots (versioned pickle envelope)
 # ----------------------------------------------------------------------
+
+
+def _snapshot_envelope(snapshot: object) -> dict:
+    """The versioned envelope wrapped around one service snapshot."""
+    return {
+        "schema": SNAPSHOT_SCHEMA,
+        "version": SNAPSHOT_VERSION,
+        "snapshot": snapshot,
+    }
+
+
+def _unwrap_snapshot_envelope(envelope: object, origin: str) -> object:
+    """Validate a service-snapshot envelope and return its payload."""
+    if not isinstance(envelope, dict):
+        raise ValidationError(
+            f"malformed snapshot file {origin!r}: not an envelope")
+    schema = envelope.get("schema")
+    if schema != SNAPSHOT_SCHEMA:
+        raise ValidationError(
+            f"not a service snapshot (schema {schema!r}, expected "
+            f"{SNAPSHOT_SCHEMA!r})")
+    version = envelope.get("version")
+    if version != SNAPSHOT_VERSION:
+        raise ValidationError(
+            f"unsupported snapshot version {version!r}; this build "
+            f"reads version {SNAPSHOT_VERSION}")
+    return envelope["snapshot"]
 
 
 def save_snapshot(snapshot: object, path: "str | Path") -> None:
@@ -303,13 +425,8 @@ def save_snapshot(snapshot: object, path: "str | Path") -> None:
     picklable: module-level functions in operator predicates and
     stream payloads are, lambdas and closures are not.
     """
-    envelope = {
-        "schema": SNAPSHOT_SCHEMA,
-        "version": SNAPSHOT_VERSION,
-        "snapshot": snapshot,
-    }
-    Path(path).write_bytes(
-        pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL))
+    Path(path).write_bytes(pickle.dumps(
+        _snapshot_envelope(snapshot), protocol=pickle.HIGHEST_PROTOCOL))
 
 
 def load_snapshot(path: "str | Path") -> object:
@@ -322,17 +439,85 @@ def load_snapshot(path: "str | Path") -> object:
     except (pickle.UnpicklingError, EOFError) as exc:
         raise ValidationError(
             f"malformed snapshot file {str(path)!r}: {exc!r}") from exc
+    return _unwrap_snapshot_envelope(envelope, str(path))
+
+
+# ----------------------------------------------------------------------
+# Cluster snapshots (one envelope composing the per-shard envelopes)
+# ----------------------------------------------------------------------
+
+
+def save_cluster_snapshot(snapshot: object, path: "str | Path") -> None:
+    """Write a cluster snapshot as one versioned pickle envelope.
+
+    *snapshot* is a :class:`~repro.cluster.ClusterSnapshot`.  Each
+    shard's :class:`~repro.service.ServiceSnapshot` is wrapped in the
+    same envelope :func:`save_snapshot` writes, so the cluster format
+    *composes* the service format instead of forking it — a cluster
+    file is N shard checkpoints plus the federation state (placement
+    policy, rebalancer, period counter, report history).
+    """
+    envelope = {
+        "schema": CLUSTER_SNAPSHOT_SCHEMA,
+        "version": CLUSTER_SNAPSHOT_VERSION,
+        "cluster": {
+            "state_version": snapshot.version,
+            "placement": snapshot.placement,
+            "rebalancer": snapshot.rebalancer,
+            "period": snapshot.period,
+            "reports": snapshot.reports,
+        },
+        "shards": [_snapshot_envelope(shard) for shard in snapshot.shards],
+    }
+    Path(path).write_bytes(
+        pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def load_cluster_snapshot(path: "str | Path") -> object:
+    """Read a cluster snapshot written by :func:`save_cluster_snapshot`.
+
+    Every embedded shard envelope is validated with the same rules as
+    a standalone service checkpoint.  Pickle executes code on load —
+    only open snapshot files you trust.
+    """
+    from repro.cluster.federation import ClusterSnapshot
+
+    try:
+        envelope = pickle.loads(Path(path).read_bytes())
+    except (pickle.UnpicklingError, EOFError) as exc:
+        raise ValidationError(
+            f"malformed cluster snapshot file {str(path)!r}: "
+            f"{exc!r}") from exc
     if not isinstance(envelope, dict):
         raise ValidationError(
-            f"malformed snapshot file {str(path)!r}: not an envelope")
+            f"malformed cluster snapshot file {str(path)!r}: not an "
+            f"envelope")
     schema = envelope.get("schema")
-    if schema != SNAPSHOT_SCHEMA:
+    if schema != CLUSTER_SNAPSHOT_SCHEMA:
         raise ValidationError(
-            f"not a service snapshot (schema {schema!r}, expected "
-            f"{SNAPSHOT_SCHEMA!r})")
+            f"not a cluster snapshot (schema {schema!r}, expected "
+            f"{CLUSTER_SNAPSHOT_SCHEMA!r})")
     version = envelope.get("version")
-    if version != SNAPSHOT_VERSION:
+    if version != CLUSTER_SNAPSHOT_VERSION:
         raise ValidationError(
-            f"unsupported snapshot version {version!r}; this build "
-            f"reads version {SNAPSHOT_VERSION}")
-    return envelope["snapshot"]
+            f"unsupported cluster-snapshot version {version!r}; this "
+            f"build reads version {CLUSTER_SNAPSHOT_VERSION}")
+    try:
+        cluster = envelope["cluster"]
+        shards = tuple(
+            _unwrap_snapshot_envelope(shard, str(path))
+            for shard in envelope["shards"])
+        return ClusterSnapshot(
+            version=cluster["state_version"],
+            placement=cluster["placement"],
+            rebalancer=cluster["rebalancer"],
+            period=cluster["period"],
+            reports=cluster["reports"],
+            shards=shards,
+        )
+    except (KeyError, TypeError) as exc:
+        if isinstance(exc, ValidationError):
+            raise
+        raise ValidationError(
+            f"malformed cluster snapshot file {str(path)!r}: "
+            f"{exc!r}") from exc

@@ -43,6 +43,8 @@ from repro.service.reports import PeriodReport
 from repro.service.service import (
     SNAPSHOT_STATE_VERSION,
     AdmissionService,
+    PeriodPreparation,
+    PeriodSettlement,
     ServiceSnapshot,
 )
 from repro.service.transition import TransitionManager
@@ -53,7 +55,9 @@ __all__ = [
     "FILTER_EVENTS",
     "HOOK_EVENTS",
     "HookRegistry",
+    "PeriodPreparation",
     "PeriodReport",
+    "PeriodSettlement",
     "SNAPSHOT_STATE_VERSION",
     "ServiceBuilder",
     "ServiceConfig",

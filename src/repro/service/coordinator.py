@@ -31,10 +31,20 @@ class AuctionCoordinator:
         capacity: float,
         load_estimator: "LoadEstimator | None" = None,
     ) -> None:
-        require(capacity > 0, "capacity must be positive")
-        self.capacity = float(capacity)
+        self.capacity = capacity
         self._load_estimator = load_estimator or estimate_operator_loads
         self._pending: dict[str, ContinuousQuery] = {}
+
+    @property
+    def capacity(self) -> float:
+        """The auction capacity (validated on every assignment)."""
+        return self._capacity
+
+    @capacity.setter
+    def capacity(self, value: float) -> None:
+        value = float(value)
+        require(value > 0, "capacity must be positive")
+        self._capacity = value
 
     # ------------------------------------------------------------------
     # The pending queue

@@ -34,6 +34,7 @@ from collections.abc import Iterable, Mapping, Sequence
 
 from repro.core.mechanism import Mechanism, MechanismSpec, resolve_mechanism
 from repro.core.model import AuctionInstance
+from repro.core.result import AuctionOutcome
 from repro.dsms.engine import StreamEngine
 from repro.dsms.plan import ContinuousQuery
 from repro.dsms.streams import StreamSource
@@ -50,6 +51,38 @@ _STATE_FIELDS = (
     "capacity", "ticks_per_period", "hold_ticks", "mechanism",
     "sources", "engine", "pending", "ledger", "period", "reports",
 )
+
+
+@dataclass(frozen=True)
+class PeriodPreparation:
+    """The auction-ready input of one period (phase 1 of the cycle).
+
+    Produced by :meth:`AdmissionService.prepare_period`: the period
+    index being run, the candidate plans competing (queued + running),
+    and the built :class:`AuctionInstance` after ``pre_auction`` hooks.
+    """
+
+    period: int
+    candidates: Mapping[str, ContinuousQuery]
+    instance: AuctionInstance
+
+
+@dataclass(frozen=True)
+class PeriodSettlement:
+    """The billed, transitioned state of one period (phase 2).
+
+    Produced by :meth:`AdmissionService.settle_period` once a mechanism
+    outcome exists: winners were invoiced, the engine transitioned to
+    the admitted set, and the pending queue was cleared.  What remains
+    is executing the period (:meth:`AdmissionService.execute_period`).
+    """
+
+    period: int
+    candidates: Mapping[str, ContinuousQuery]
+    outcome: AuctionOutcome
+    revenue: float
+    admitted: tuple[str, ...]
+    rejected: tuple[str, ...]
 
 
 @dataclass(frozen=True)
@@ -174,13 +207,36 @@ class AdmissionService:
         """
         return self._collect_and_build()[1]
 
-    def run_period(self) -> PeriodReport:
-        """Auction, bill, transition, and execute one period."""
-        self._period += 1
-        candidates, instance = self._collect_and_build()
-        instance = self.hooks.filter("pre_auction", self, instance)
+    def prepare_period(self) -> PeriodPreparation:
+        """Phase 1: open the next period and build its auction input.
 
-        outcome = self.mechanism.run(instance)
+        Collects candidates (queued + running), estimates loads, and
+        applies the ``pre_auction`` hooks.  Callers that split the cycle
+        (e.g. the :mod:`repro.cluster` federation, which batches all
+        shard auctions) must follow with :meth:`settle_period` and
+        :meth:`execute_period`; :meth:`run_period` does all three.
+        """
+        self._period += 1
+        try:
+            candidates, instance = self._collect_and_build()
+            instance = self.hooks.filter("pre_auction", self, instance)
+        except Exception:
+            self._period -= 1
+            raise
+        return PeriodPreparation(
+            period=self._period, candidates=candidates, instance=instance)
+
+    def settle_period(
+        self, preparation: PeriodPreparation, outcome: AuctionOutcome
+    ) -> PeriodSettlement:
+        """Phase 2: apply *outcome* — filter, validate, bill, transition.
+
+        Runs the ``post_auction`` hooks, rejects outcomes naming
+        planless winners (rolling the period counter back, nothing
+        billed), invoices the winners, transitions the engine to the
+        admitted set, and clears the pending queue.
+        """
+        candidates = preparation.candidates
         outcome = self.hooks.filter("post_auction", self, outcome)
 
         unknown = sorted(outcome.winner_ids - set(candidates))
@@ -200,7 +256,17 @@ class AdmissionService:
             self.engine, admitted, candidates)
         self.hooks.notify("on_transition", self, added, removed)
         self.coordinator.clear()
+        return PeriodSettlement(
+            period=self._period,
+            candidates=candidates,
+            outcome=outcome,
+            revenue=revenue,
+            admitted=tuple(admitted),
+            rejected=tuple(rejected),
+        )
 
+    def execute_period(self, settlement: PeriodSettlement) -> PeriodReport:
+        """Phase 3: run the engine for the period and record the report."""
         ticks_before = self.engine.report.ticks
         work_before = self.engine.report.total_work
         self.engine.run(self.ticks_per_period)
@@ -209,16 +275,43 @@ class AdmissionService:
         utilization = (work / ticks / self.capacity) if ticks else None
 
         report = PeriodReport(
-            period=self._period,
-            outcome=outcome,
-            revenue=revenue,
-            admitted=tuple(admitted),
-            rejected=tuple(rejected),
+            period=settlement.period,
+            outcome=settlement.outcome,
+            revenue=settlement.revenue,
+            admitted=settlement.admitted,
+            rejected=settlement.rejected,
             engine_ticks=ticks,
             engine_utilization=utilization,
         )
         self.reports.append(report)
         return report
+
+    def run_period(self) -> PeriodReport:
+        """Auction, bill, transition, and execute one period."""
+        preparation = self.prepare_period()
+        outcome = self.mechanism.run(preparation.instance)
+        return self.execute_period(self.settle_period(preparation, outcome))
+
+    def run_idle_period(self) -> PeriodReport:
+        """Run one period with no auction (no candidates to admit).
+
+        A federation shard that received no submissions still advances:
+        its streams keep flowing and its admitted queries (if any were
+        placed by migration) keep executing.  The report carries an
+        empty zero-revenue outcome under the mechanism name ``"idle"``.
+        """
+        self._period += 1
+        empty = AuctionInstance({}, (), self.capacity)
+        settlement = PeriodSettlement(
+            period=self._period,
+            candidates={},
+            outcome=AuctionOutcome(
+                instance=empty, payments={}, mechanism="idle"),
+            revenue=0.0,
+            admitted=(),
+            rejected=(),
+        )
+        return self.execute_period(settlement)
 
     def run_periods(
         self,

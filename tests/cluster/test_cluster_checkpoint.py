@@ -1,0 +1,188 @@
+"""Cluster checkpoint/restore: the resumed federation is bit-identical.
+
+The cluster-scope mirror of ``tests/service/test_snapshot.py``: a
+federation checkpointed mid-run and restored must produce
+byte-identical :class:`ClusterReport` documents for the remaining
+periods — per-shard RNG and engine state, ledgers, pending queues,
+the placement policy's cursor/ring state, and the period counter all
+survive the composed envelope round trip.
+"""
+
+import json
+import pickle
+
+import pytest
+
+from repro.cluster import ClusterSnapshot, FederatedAdmissionService
+from repro.dsms.streams import SyntheticStream
+from repro.io import (
+    CLUSTER_SNAPSHOT_SCHEMA,
+    SNAPSHOT_SCHEMA,
+    cluster_report_to_dict,
+    load_cluster_snapshot,
+)
+from repro.utils.validation import ValidationError
+
+from tests.strategies import select_query
+
+pytestmark = pytest.mark.cluster
+
+
+def build_cluster(placement="round-robin", mechanism="two-price:seed=7"):
+    return FederatedAdmissionService.build(
+        num_shards=3,
+        sources=[SyntheticStream("s", rate=5, seed=3)],
+        capacity=12.0,
+        mechanism=mechanism,
+        ticks_per_period=6,
+        placement=placement,
+    )
+
+
+def batch(period):
+    return [select_query(f"p{period}q{i}", f"c{i % 2}",
+                         10.0 * (i + 1) + period, 1.0 + 0.5 * i)
+            for i in range(4)]
+
+
+def report_bytes(report):
+    return json.dumps(cluster_report_to_dict(report), sort_keys=True).encode()
+
+
+@pytest.mark.parametrize("placement",
+                         ["round-robin", "consistent-hash:seed=5",
+                          "least-loaded"])
+def test_restore_is_byte_identical(placement):
+    cluster = build_cluster(placement)
+    cluster.run_periods([batch(1), batch(2)])
+    snapshot = cluster.snapshot()
+
+    uninterrupted = cluster.run_periods([batch(3), batch(4)])
+
+    resumed = FederatedAdmissionService.restore(snapshot)
+    replayed = resumed.run_periods([batch(3), batch(4)])
+
+    for original, again in zip(uninterrupted, replayed):
+        assert report_bytes(original) == report_bytes(again)
+    assert resumed.total_revenue() == cluster.total_revenue()
+
+
+def test_disk_round_trip_is_byte_identical(tmp_path):
+    cluster = build_cluster()
+    cluster.run_periods([batch(1), batch(2)])
+    path = tmp_path / "cluster.ckpt"
+    cluster.save_checkpoint(path)
+
+    uninterrupted = cluster.run_periods([batch(3)])
+
+    resumed = FederatedAdmissionService.load_checkpoint(path)
+    assert resumed.period == 2
+    replayed = resumed.run_periods([batch(3)])
+    assert report_bytes(uninterrupted[0]) == report_bytes(replayed[0])
+
+
+def test_save_mid_period_pending_queue_survives(tmp_path):
+    cluster = build_cluster()
+    cluster.run_periods([batch(1)])
+    for query in batch(2):
+        cluster.submit(query)
+    path = tmp_path / "cluster.ckpt"
+    cluster.save_checkpoint(path)
+
+    uninterrupted = cluster.run_period()
+
+    resumed = FederatedAdmissionService.load_checkpoint(path)
+    assert resumed.pending_ids == {q.query_id for q in batch(2)}
+    assert report_bytes(resumed.run_period()) == report_bytes(uninterrupted)
+
+
+def test_snapshot_is_isolated_from_the_live_cluster():
+    cluster = build_cluster()
+    cluster.run_periods([batch(1)])
+    snapshot = cluster.snapshot()
+    cluster.run_periods([batch(2), batch(3)])
+
+    first = FederatedAdmissionService.restore(snapshot)
+    second = FederatedAdmissionService.restore(snapshot)
+    assert first.period == second.period == 1
+    assert (report_bytes(first.run_periods([batch(2)])[0])
+            == report_bytes(second.run_periods([batch(2)])[0]))
+
+
+def test_report_history_travels_with_the_snapshot():
+    cluster = build_cluster()
+    cluster.run_periods([batch(1), batch(2)])
+    resumed = FederatedAdmissionService.restore(cluster.snapshot())
+    assert [r.period for r in resumed.reports] == [1, 2]
+    assert (report_bytes(resumed.reports[-1])
+            == report_bytes(cluster.reports[-1]))
+
+
+def test_version_mismatch_rejected():
+    cluster = build_cluster()
+    snapshot = cluster.snapshot()
+    stale = ClusterSnapshot(
+        version=99,
+        placement=snapshot.placement,
+        rebalancer=snapshot.rebalancer,
+        period=snapshot.period,
+        reports=snapshot.reports,
+        shards=snapshot.shards,
+    )
+    with pytest.raises(ValidationError, match="version 99"):
+        FederatedAdmissionService.restore(stale)
+
+
+def test_empty_shard_list_rejected():
+    snapshot = build_cluster().snapshot()
+    with pytest.raises(ValidationError, match="no shards"):
+        ClusterSnapshot(
+            version=snapshot.version,
+            placement=snapshot.placement,
+            rebalancer=snapshot.rebalancer,
+            period=snapshot.period,
+            reports=snapshot.reports,
+            shards=(),
+        )
+
+
+def test_cluster_snapshot_file_validation(tmp_path):
+    bogus = tmp_path / "bogus.ckpt"
+    bogus.write_bytes(b"not a pickle at all")
+    with pytest.raises(ValidationError, match="malformed cluster"):
+        load_cluster_snapshot(bogus)
+
+    wrong_schema = tmp_path / "wrong.ckpt"
+    wrong_schema.write_bytes(pickle.dumps(
+        {"schema": "repro/other", "version": 1}))
+    with pytest.raises(ValidationError, match=CLUSTER_SNAPSHOT_SCHEMA):
+        load_cluster_snapshot(wrong_schema)
+
+    # A *service* checkpoint is not a cluster checkpoint.
+    cluster = build_cluster()
+    cluster.run_periods([batch(1)])
+    service_ckpt = tmp_path / "service.ckpt"
+    cluster.shards[0].save_checkpoint(service_ckpt)
+    with pytest.raises(ValidationError, match=CLUSTER_SNAPSHOT_SCHEMA):
+        load_cluster_snapshot(service_ckpt)
+
+
+def test_envelope_composes_per_shard_envelopes(tmp_path):
+    """The cluster file embeds N valid service-snapshot envelopes —
+    the same format ``save_snapshot`` writes for one service."""
+    cluster = build_cluster()
+    cluster.run_periods([batch(1)])
+    path = tmp_path / "cluster.ckpt"
+    cluster.save_checkpoint(path)
+
+    envelope = pickle.loads(path.read_bytes())
+    assert envelope["schema"] == CLUSTER_SNAPSHOT_SCHEMA
+    assert len(envelope["shards"]) == cluster.num_shards
+    for shard_envelope in envelope["shards"]:
+        assert shard_envelope["schema"] == SNAPSHOT_SCHEMA
+
+    # Each embedded envelope restores as a standalone service.
+    from repro.service import AdmissionService
+
+    service = AdmissionService.restore(envelope["shards"][0]["snapshot"])
+    assert service.period == 1

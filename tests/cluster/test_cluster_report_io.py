@@ -1,0 +1,63 @@
+"""File round trip and validation of the cluster-report schema."""
+
+import json
+
+import pytest
+
+from repro.cluster import FederatedAdmissionService
+from repro.dsms.streams import SyntheticStream
+from repro.io import (
+    cluster_report_from_dict,
+    cluster_report_to_dict,
+    load_cluster_report,
+    save_cluster_report,
+)
+from repro.utils.validation import ValidationError
+
+from tests.strategies import select_query
+
+pytestmark = pytest.mark.cluster
+
+
+@pytest.fixture
+def report():
+    cluster = FederatedAdmissionService.build(
+        num_shards=2,
+        sources=[SyntheticStream("s", rate=4, seed=2, poisson=False)],
+        capacity=8.0,
+        mechanism="CAT",
+        ticks_per_period=4,
+        placement="consistent-hash:seed=3",
+    )
+    for i in range(4):
+        cluster.submit(select_query(f"q{i}", "alice", 40.0 - i, 1.0))
+    return cluster.run_period()
+
+
+def test_file_round_trip_is_lossless(tmp_path, report):
+    path = tmp_path / "cluster_report.json"
+    save_cluster_report(report, path)
+    again = load_cluster_report(path)
+    assert (json.dumps(cluster_report_to_dict(again), sort_keys=True)
+            == json.dumps(cluster_report_to_dict(report), sort_keys=True))
+    assert again.total_revenue == report.total_revenue
+    assert again.shard_capacities == report.shard_capacities
+    assert again.migrations == report.migrations
+    assert again.utilization == report.utilization
+
+
+def test_rejects_wrong_schema_and_version(report):
+    document = cluster_report_to_dict(report)
+    with pytest.raises(ValidationError, match="cluster-report"):
+        cluster_report_from_dict({**document, "schema": "repro/other"})
+    with pytest.raises(ValidationError, match="version"):
+        cluster_report_from_dict({**document, "version": 99})
+    with pytest.raises(ValidationError, match="expected an object"):
+        cluster_report_from_dict([document])
+
+
+def test_rejects_missing_fields(report):
+    document = cluster_report_to_dict(report)
+    document.pop("shard_capacities")
+    with pytest.raises(ValidationError, match="malformed"):
+        cluster_report_from_dict(document)

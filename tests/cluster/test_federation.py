@@ -1,0 +1,310 @@
+"""Unit tests for the federation facade, rebalancer and batch path."""
+
+import json
+
+import pytest
+
+from repro.cluster import (
+    FederatedAdmissionService,
+    Rebalancer,
+    RoundRobinPlacement,
+)
+from repro.dsms.streams import SyntheticStream
+from repro.io import cluster_report_to_dict
+from repro.utils.validation import ValidationError
+
+from tests.strategies import select_query
+
+pytestmark = pytest.mark.cluster
+
+
+def build_cluster(num_shards=2, capacity=10.0, mechanism="CAT",
+                  placement="round-robin", rebalance=True, ticks=4):
+    return FederatedAdmissionService.build(
+        num_shards=num_shards,
+        sources=[SyntheticStream("s", rate=4, seed=5, poisson=False)],
+        capacity=capacity,
+        mechanism=mechanism,
+        ticks_per_period=ticks,
+        placement=placement,
+        rebalance=rebalance,
+    )
+
+
+def report_bytes(report):
+    return json.dumps(cluster_report_to_dict(report), sort_keys=True)
+
+
+class TestConstruction:
+    def test_needs_at_least_one_shard(self):
+        with pytest.raises(ValidationError, match="at least one shard"):
+            FederatedAdmissionService(shards=[])
+
+    def test_rejects_duplicate_shard_objects(self):
+        shard = build_cluster(num_shards=1).shards[0]
+        with pytest.raises(ValidationError, match="twice"):
+            FederatedAdmissionService(shards=[shard, shard])
+
+    def test_build_validates_shard_count(self):
+        with pytest.raises(ValidationError, match="num_shards"):
+            build_cluster(num_shards=0)
+
+    def test_spec_mechanisms_are_per_shard_instances(self):
+        cluster = build_cluster(num_shards=3, mechanism="two-price:seed=7")
+        mechanisms = {id(shard.mechanism) for shard in cluster.shards}
+        assert len(mechanisms) == 3
+
+    def test_live_mechanism_object_is_shared(self):
+        from repro.core import CAT
+
+        mechanism = CAT()
+        cluster = FederatedAdmissionService.build(
+            num_shards=2,
+            sources=[SyntheticStream("s", rate=4, seed=5, poisson=False)],
+            capacity=10.0,
+            mechanism=mechanism,
+            ticks_per_period=4,
+        )
+        assert all(shard.mechanism is mechanism
+                   for shard in cluster.shards)
+
+
+class TestRouting:
+    def test_submit_returns_chosen_shard(self):
+        cluster = build_cluster(num_shards=3)
+        placed = [cluster.submit(select_query(f"q{i}", f"c{i}", 10.0, 1.0))
+                  for i in range(3)]
+        assert placed == [0, 1, 2]  # round-robin
+        assert cluster.pending_ids == {"q0", "q1", "q2"}
+
+    def test_duplicate_id_rejected_cluster_wide(self):
+        cluster = build_cluster(num_shards=3)
+        cluster.submit(select_query("dup", "a", 10.0, 1.0))
+        # round-robin would route the second copy to a *different*
+        # shard, whose own queue knows nothing about the first.
+        with pytest.raises(ValidationError, match="shard 0"):
+            cluster.submit(select_query("dup", "b", 20.0, 1.0))
+
+    def test_duplicate_of_running_query_rejected(self):
+        cluster = build_cluster(num_shards=2)
+        cluster.submit(select_query("q", "a", 10.0, 1.0))
+        cluster.run_period()
+        assert cluster.locate("q") == 0
+        with pytest.raises(ValidationError, match="already submitted"):
+            cluster.submit(select_query("q", "b", 5.0, 1.0))
+
+    def test_withdraw_routes_to_owning_shard(self):
+        cluster = build_cluster(num_shards=3)
+        cluster.submit(select_query("q0", "a", 10.0, 1.0))
+        cluster.submit(select_query("q1", "b", 20.0, 1.0))
+        withdrawn = cluster.withdraw("q1")
+        assert withdrawn.query_id == "q1"
+        assert cluster.pending_ids == {"q0"}
+
+    def test_withdraw_unknown_names_cluster_pending(self):
+        cluster = build_cluster(num_shards=2)
+        cluster.submit(select_query("q0", "a", 10.0, 1.0))
+        with pytest.raises(ValidationError, match="q0"):
+            cluster.withdraw("ghost")
+
+    def test_misbehaving_policy_caught(self):
+        class OutOfRange(RoundRobinPlacement):
+            def choose(self, query, shards):
+                return 99
+
+        cluster = build_cluster(num_shards=2)
+        cluster.placement = OutOfRange()
+        with pytest.raises(ValidationError, match="shards 0..1"):
+            cluster.submit(select_query("q", "a", 1.0, 1.0))
+
+
+class TestClusterPeriods:
+    def test_idle_shards_still_advance(self):
+        cluster = build_cluster(num_shards=3,
+                                placement="consistent-hash:seed=0")
+        cluster.submit(select_query("q0", "alice", 10.0, 1.0))
+        report = cluster.run_period()
+        assert cluster.period == 1
+        idle = [r for r in report.shard_reports
+                if r.outcome.mechanism == "idle"]
+        assert len(idle) == 2
+        for shard_report in idle:
+            assert shard_report.revenue == 0.0
+            assert shard_report.engine_ticks == 4  # streams kept flowing
+        assert all(shard.period == 1 for shard in cluster.shards)
+
+    def test_fully_idle_period(self):
+        cluster = build_cluster(num_shards=2)
+        report = cluster.run_period()
+        assert report.total_revenue == 0.0
+        assert report.admitted == ()
+        assert cluster.period == 1
+
+    def test_pre_auction_failure_rolls_back_cleanly(self):
+        """Nothing billed yet ⇒ full rollback, the period is retryable."""
+        def boom(_service, _instance):
+            raise ValidationError("boom")
+
+        cluster = build_cluster(num_shards=2)
+        cluster.submit(select_query("q0", "a", 10.0, 1.0))
+        cluster.shards[0].hooks.add("pre_auction", boom)
+        with pytest.raises(ValidationError, match="boom"):
+            cluster.run_period()
+        assert cluster.period == 0
+        assert all(shard.period == 0 for shard in cluster.shards)
+        assert cluster.pending_ids == {"q0"}
+        assert cluster.reports == []
+
+        cluster.shards[0].hooks = type(cluster.shards[0].hooks)()
+        report = cluster.run_period()  # retry succeeds
+        assert report.period == 1
+
+    def test_post_settlement_failure_commits_the_period(self):
+        """Once a shard billed, the period is consumed: counters stay
+        aligned everywhere even though no report is recorded."""
+        def boom(_service, outcome):
+            raise ValidationError("boom")
+
+        cluster = build_cluster(num_shards=2)
+        cluster.submit(select_query("q0", "a", 10.0, 1.0))
+        cluster.shards[0].hooks.add("post_auction", boom)
+        with pytest.raises(ValidationError, match="boom"):
+            cluster.run_period()
+        assert cluster.period == 1
+        assert all(shard.period == 1 for shard in cluster.shards)
+        assert cluster.reports == []
+
+    def test_cluster_report_aggregates(self):
+        cluster = build_cluster(num_shards=2, capacity=30.0)
+        for i in range(4):
+            cluster.submit(select_query(f"q{i}", f"c{i}", 20.0 + i, 1.0))
+        report = cluster.run_period()
+        assert report.num_shards == 2
+        assert report.total_revenue == pytest.approx(
+            sum(r.revenue for r in report.shard_reports))
+        assert set(report.admitted) <= {"q0", "q1", "q2", "q3"}
+        assert report.utilization is not None
+
+    def test_run_periods_convenience(self):
+        cluster = build_cluster(num_shards=2)
+        reports = cluster.run_periods([
+            [select_query("a", "u1", 10.0, 1.0)],
+            [select_query("b", "u2", 20.0, 1.0)],
+        ])
+        assert [r.period for r in reports] == [1, 2]
+        assert cluster.period == 2
+
+
+class TestRebalancing:
+    def overload_one_shard(self, rebalance=True, **kwargs):
+        """All of one client's queries hash to one small shard; the
+        other shard stays empty with full capacity."""
+        cluster = build_cluster(
+            num_shards=2, capacity=4.0,
+            placement="consistent-hash:seed=0", rebalance=rebalance,
+            **kwargs)
+        # rate 4 × cost 1.0 = load 4 per query: exactly one fits a shard.
+        for i in range(3):
+            cluster.submit(select_query(f"q{i}", "alice", 50.0 - i, 1.0))
+        return cluster
+
+    def test_rejected_queries_migrate_to_spare_capacity(self):
+        cluster = self.overload_one_shard()
+        report = cluster.run_period()
+        assert len(report.admitted) == 1
+        assert len(report.migrated) == 1  # one more fits on the twin
+        migration = report.migrations[0]
+        assert migration.origin != migration.target
+        target = cluster.shards[migration.target]
+        assert migration.query_id in target.engine.admitted_ids
+
+    def test_migration_is_not_billed(self):
+        cluster = self.overload_one_shard()
+        report = cluster.run_period()
+        migrated = report.migrations[0].query_id
+        for shard in cluster.shards:
+            assert all(invoice.query_id != migrated
+                       for invoice in shard.ledger.invoices)
+
+    def test_migrated_query_reauctioned_on_target_next_period(self):
+        cluster = self.overload_one_shard()
+        report = cluster.run_period()
+        migration = report.migrations[0]
+        next_report = cluster.run_period()
+        target_report = next_report.shard_reports[migration.target]
+        assert (migration.query_id in target_report.admitted
+                or migration.query_id in target_report.rejected)
+
+    def test_rebalance_can_be_disabled(self):
+        cluster = self.overload_one_shard(rebalance=False)
+        report = cluster.run_period()
+        assert report.migrations == ()
+        assert len(report.rejected) == 2
+
+    def test_max_migrations_cap(self):
+        cluster = self.overload_one_shard()
+        cluster.rebalancer = Rebalancer(max_migrations=0)
+        report = cluster.run_period()
+        assert report.migrations == ()
+
+    def test_rejected_load_accounts_for_migrations(self):
+        unbalanced = self.overload_one_shard(rebalance=False)
+        balanced = self.overload_one_shard()
+        without = unbalanced.run_period()
+        with_rebalance = balanced.run_period()
+        assert with_rebalance.rejected_load < without.rejected_load
+
+
+class TestBatchPath:
+    @pytest.mark.parametrize("mechanism", ["CAT", "two-price:seed=7"])
+    def test_run_period_all_matches_run_period(self, mechanism):
+        def fill(cluster):
+            for period in range(1, 3):
+                for i in range(5):
+                    cluster.submit(select_query(
+                        f"p{period}q{i}", f"c{i % 3}",
+                        10.0 * (i + 1) + period, 1.0))
+                yield
+
+        sequential = build_cluster(num_shards=3, mechanism=mechanism,
+                                   placement="consistent-hash:seed=2")
+        batch = build_cluster(num_shards=3, mechanism=mechanism,
+                              placement="consistent-hash:seed=2")
+        seq_reports, batch_reports = [], []
+        for _ in fill(sequential):
+            seq_reports.append(sequential.run_period())
+        for _ in fill(batch):
+            batch_reports.append(batch.run_period_all())
+        for ours, theirs in zip(seq_reports, batch_reports):
+            assert report_bytes(ours) == report_bytes(theirs)
+
+
+class TestRunBatchHook:
+    def test_groups_consecutive_same_mechanism_runs(self):
+        from repro.core import CAT, run_batch
+        from repro.workload import example1
+
+        calls = []
+
+        class Spy(CAT):
+            def run_many(self, instances):
+                instances = list(instances)
+                calls.append(len(instances))
+                return super().run_many(instances)
+
+        first, second = Spy(), Spy()
+        instance = example1()
+        outcomes = run_batch([
+            (first, instance), (first, instance),
+            (second, instance), (first, instance),
+        ])
+        assert calls == [2, 1, 1]
+        assert len(outcomes) == 4
+        solo = CAT().run(instance)
+        for outcome in outcomes:
+            assert outcome.winner_ids == solo.winner_ids
+
+    def test_empty_batch(self):
+        from repro.core import run_batch
+
+        assert run_batch([]) == []

@@ -1,0 +1,93 @@
+"""Golden-report regression: the ClusterReport JSON schema is pinned.
+
+A small fixed-seed cluster run is serialized with
+:func:`repro.io.cluster_report_to_dict` and compared byte-for-byte
+against a committed fixture.  Any drift — a renamed field, a changed
+aggregate, different rounding, a reordered shard list — fails loudly
+here instead of silently corrupting downstream archives.
+
+To intentionally evolve the schema, bump
+``repro.io.CLUSTER_REPORT_VERSION`` and regenerate the fixture:
+
+    UPDATE_FIXTURES=1 PYTHONPATH=src python -m pytest \
+        tests/cluster/test_golden_report.py
+"""
+
+import json
+import os
+import pathlib
+
+import pytest
+
+from repro.cluster import FederatedAdmissionService
+from repro.dsms.streams import SyntheticStream
+from repro.io import cluster_report_from_dict, cluster_report_to_dict
+
+from tests.strategies import select_query
+
+pytestmark = pytest.mark.cluster
+
+FIXTURE = (pathlib.Path(__file__).parent / "fixtures"
+           / "cluster_report.json")
+
+
+def golden_run():
+    """The pinned scenario: 2 shards, CAT, hash placement, 2 periods."""
+    cluster = FederatedAdmissionService.build(
+        num_shards=2,
+        sources=[SyntheticStream("s", rate=4, seed=13, poisson=False)],
+        capacity=9.0,
+        mechanism="CAT",
+        ticks_per_period=5,
+        placement="consistent-hash:seed=3",
+    )
+    # alice's portfolio hashes onto one shard and overflows it; the
+    # other shard has spare capacity, so the rebalancer migrates.
+    owners = ("alice", "alice", "alice", "bob")
+    reports = []
+    for period in (1, 2):
+        for index in range(4):
+            cluster.submit(select_query(
+                f"p{period}q{index}", owners[index],
+                15.0 * (index + 1) + period, 1.0 + 0.25 * index))
+        reports.append(cluster.run_period())
+    return reports
+
+
+def render(reports) -> str:
+    return json.dumps([cluster_report_to_dict(r) for r in reports],
+                      indent=2, sort_keys=True) + "\n"
+
+
+def test_cluster_report_matches_committed_fixture():
+    rendered = render(golden_run())
+    if os.environ.get("UPDATE_FIXTURES"):
+        FIXTURE.parent.mkdir(exist_ok=True)
+        FIXTURE.write_text(rendered)
+    assert FIXTURE.exists(), (
+        f"missing fixture {FIXTURE}; regenerate with UPDATE_FIXTURES=1")
+    assert rendered == FIXTURE.read_text(), (
+        "ClusterReport serialization drifted from the committed "
+        "fixture; if the schema change is intentional, bump "
+        "CLUSTER_REPORT_VERSION and regenerate with UPDATE_FIXTURES=1")
+
+
+def test_fixture_round_trips_through_the_parser():
+    reports = [cluster_report_from_dict(entry)
+               for entry in json.loads(FIXTURE.read_text())]
+    assert render(reports) == FIXTURE.read_text()
+
+
+def test_fixture_exercises_the_interesting_paths():
+    """The pinned scenario must cover migration and rejection, or the
+    golden file guards less than it claims."""
+    payload = json.loads(FIXTURE.read_text())
+    assert [entry["period"] for entry in payload] == [1, 2]
+    for entry in payload:
+        assert entry["schema"] == "repro/cluster-report"
+        assert entry["version"] == 1
+        assert len(entry["shards"]) == 2
+    assert payload[0]["migrations"], "scenario no longer migrates"
+    assert any(entry["rejected_load"] > 0 for entry in payload), (
+        "scenario no longer rejects load")
+    assert sum(entry["total_revenue"] for entry in payload) > 0

@@ -99,6 +99,93 @@ class TestFacadeParity:
         assert service.period == 2
 
 
+class TestPeriodPhases:
+    """run_period decomposes into prepare/settle/execute — the seams
+    the repro.cluster federation interleaves across shards."""
+
+    def test_phases_match_run_period(self):
+        whole, phased = build_service(), build_service()
+        for service in (whole, phased):
+            for i, bid in enumerate([50, 40, 30, 20]):
+                service.submit(make_query(f"q{i}", bid, 2.0))
+        expected = whole.run_period()
+
+        preparation = phased.prepare_period()
+        assert preparation.period == 1
+        assert set(preparation.candidates) == {"q0", "q1", "q2", "q3"}
+        outcome = phased.mechanism.run(preparation.instance)
+        settlement = phased.settle_period(preparation, outcome)
+        assert settlement.admitted == expected.admitted
+        assert settlement.rejected == expected.rejected
+        report = phased.execute_period(settlement)
+        assert report.revenue == expected.revenue
+        assert report.engine_ticks == expected.engine_ticks
+        assert report.engine_utilization == expected.engine_utilization
+
+    def test_settle_rolls_back_on_planless_winner(self):
+        from repro.core import AuctionInstance, Operator, Query
+
+        service = build_service()
+        service.submit(make_query("q0", 10.0, 2.0))
+        preparation = service.prepare_period()
+        ghost = AuctionInstance(
+            {"op": Operator("op", 1.0)},
+            (Query("ghost", ("op",), bid=5.0),), capacity=30.0)
+        outcome = service.mechanism.run(ghost)
+        with pytest.raises(ValidationError, match="ghost"):
+            service.settle_period(preparation, outcome)
+        assert service.period == 0
+        assert service.total_revenue() == 0.0
+
+    def test_idle_period_advances_engine_without_auction(self):
+        service = build_service()
+        report = service.run_idle_period()
+        assert report.period == 1
+        assert report.revenue == 0.0
+        assert report.admitted == () and report.rejected == ()
+        assert report.outcome.mechanism == "idle"
+        assert report.engine_ticks == 10
+        assert service.period == 1
+        assert service.reports == [report]
+
+    def test_idle_report_serializes(self):
+        from repro.io import report_from_dict, report_to_dict
+
+        service = build_service()
+        document = report_to_dict(service.run_idle_period())
+        again = report_from_dict(document)
+        assert again.outcome.mechanism == "idle"
+        assert again.revenue == 0.0
+
+
+class TestCoordinatorCapacityValidation:
+    """Regression: capacity must be validated on every mutation, not
+    just in the constructor."""
+
+    def test_constructor_still_validates(self):
+        from repro.service import AuctionCoordinator
+
+        with pytest.raises(ValidationError, match="positive"):
+            AuctionCoordinator(0.0)
+        with pytest.raises(ValidationError, match="positive"):
+            AuctionCoordinator(-3.0)
+
+    def test_mutation_validates(self):
+        from repro.service import AuctionCoordinator
+
+        coordinator = AuctionCoordinator(10.0)
+        for bogus in (0.0, -1.0, float("nan")):
+            with pytest.raises(ValidationError, match="positive"):
+                coordinator.capacity = bogus
+        assert coordinator.capacity == 10.0  # unchanged after rejects
+
+    def test_valid_mutation_flows_into_built_auctions(self):
+        service = build_service()
+        service.submit(make_query("q0", 10.0, 1.0))
+        service.coordinator.capacity = 17.0
+        assert service.build_auction().capacity == 17.0
+
+
 class TestBuilderAndConfig:
     def test_builder_requires_sources_capacity_mechanism(self):
         with pytest.raises(ValidationError, match="sources"):

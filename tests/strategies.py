@@ -1,17 +1,27 @@
-"""Hypothesis strategies for random auction instances.
+"""Hypothesis strategies for random auction instances and workloads.
 
 :func:`auction_instances` draws structurally-valid instances with
 operator sharing: a catalogue of operators with bounded loads, queries
 picking random operator subsets (so sharing arises naturally), bids on
 a bounded positive range, and a capacity somewhere between "almost
 nothing fits" and "everything fits".
+
+:func:`cluster_workloads` draws end-to-end *federation* workloads for
+the :mod:`repro.cluster` invariant suite: a shard count, per-shard
+capacity, a stream rate, a placement-policy spec, and several periods
+of client submissions (real :class:`ContinuousQuery` plans with
+module-level — hence picklable — predicates).
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from hypothesis import strategies as st
 
 from repro.core.model import AuctionInstance, Operator, Query
+from repro.dsms.operators import SelectOperator
+from repro.dsms.plan import ContinuousQuery
 
 
 @st.composite
@@ -50,3 +60,90 @@ def auction_instances(
         total * 0.1 + 1e-6, total * 1.5 + 1.0,
         allow_nan=False, allow_infinity=False))
     return AuctionInstance(operators, tuple(queries), capacity)
+
+
+# ----------------------------------------------------------------------
+# Federation workloads (repro.cluster)
+# ----------------------------------------------------------------------
+
+
+def accept_all(_tuple) -> bool:
+    """Module-level predicate so generated plans pickle (checkpoints)."""
+    return True
+
+
+@dataclass(frozen=True)
+class ClusterWorkload:
+    """One drawn federation scenario: topology + periods of traffic."""
+
+    num_shards: int
+    capacity: float
+    rate: float
+    seed: int
+    placement: str
+    submissions: tuple[tuple[ContinuousQuery, ...], ...]
+
+    @property
+    def all_queries(self) -> tuple[ContinuousQuery, ...]:
+        """Every query across all periods, in submission order."""
+        return tuple(q for batch in self.submissions for q in batch)
+
+
+def select_query(qid: str, owner: str, bid: float,
+                 cost: float, stream: str = "s") -> ContinuousQuery:
+    """A one-operator select plan bidding *bid* (picklable)."""
+    op = SelectOperator(f"sel_{qid}", stream, accept_all,
+                        cost_per_tuple=cost, selectivity_estimate=1.0)
+    return ContinuousQuery(qid, (op,), sink_id=op.op_id, bid=bid,
+                           owner=owner)
+
+
+@st.composite
+def cluster_workloads(
+    draw,
+    max_shards: int = 3,
+    max_clients: int = 4,
+    max_queries_per_period: int = 6,
+    max_periods: int = 2,
+    max_bid: float = 100.0,
+) -> ClusterWorkload:
+    """Draw a multi-shard, multi-client, multi-period workload.
+
+    Capacities range from "almost nothing fits per shard" to "a shard
+    fits everything", so auctions reject often enough to exercise the
+    rebalancer; placement specs cover all three shipped policies.
+    """
+    num_shards = draw(st.integers(1, max_shards))
+    seed = draw(st.integers(0, 2**16))
+    placement = draw(st.sampled_from([
+        f"consistent-hash:seed={seed % 97}",
+        "least-loaded",
+        "round-robin",
+    ]))
+    num_clients = draw(st.integers(1, max_clients))
+    rate = float(draw(st.integers(1, 5)))
+    capacity = draw(st.floats(2.0, 40.0, allow_nan=False,
+                              allow_infinity=False))
+    num_periods = draw(st.integers(1, max_periods))
+    submissions = []
+    for period in range(1, num_periods + 1):
+        count = draw(st.integers(0 if period > 1 else 1,
+                                 max_queries_per_period))
+        batch = []
+        for index in range(count):
+            owner = f"c{draw(st.integers(0, num_clients - 1))}"
+            bid = draw(st.floats(0.0, max_bid, allow_nan=False,
+                                 allow_infinity=False))
+            cost = draw(st.floats(0.25, 3.0, allow_nan=False,
+                                  allow_infinity=False))
+            batch.append(select_query(
+                f"p{period}q{index}", owner, bid, cost))
+        submissions.append(tuple(batch))
+    return ClusterWorkload(
+        num_shards=num_shards,
+        capacity=capacity,
+        rate=rate,
+        seed=seed,
+        placement=placement,
+        submissions=tuple(submissions),
+    )
