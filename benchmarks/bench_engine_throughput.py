@@ -1,0 +1,241 @@
+"""Engine throughput: scalar vs columnar on a select-join workload.
+
+Pre-generates a stock-quotes + news workload (10k tuples/tick at full
+scale), replays the *identical* arrivals through two otherwise equal
+engines — one per execution backend — and measures end-to-end
+``StreamEngine.run`` wall time.  Source-tuple generation happens once,
+outside the timed region (via ``ReplayStream``), so the numbers are
+operator-execution throughput, not RNG throughput.
+
+The run asserts that both backends produced identical reports, result
+logs and measured loads (the benchmark doubles as an at-scale
+differential check), prints a comparison table, and writes
+``BENCH_engine.json`` at the repo root — the perf-trajectory artifact
+CI and later PRs diff against:
+
+    python benchmarks/bench_engine_throughput.py           # full
+    python benchmarks/bench_engine_throughput.py --smoke   # CI-sized
+
+Full scale asserts the columnar backend clears a 5× speedup on the
+10k-tuples/tick select-join workload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.dsms import (  # noqa: E402
+    ContinuousQuery,
+    JoinOperator,
+    ReplayStream,
+    SelectOperator,
+    StreamEngine,
+    col,
+)
+from repro.dsms.tuples import StreamTuple  # noqa: E402
+from repro.utils.tables import format_table  # noqa: E402
+
+ROOT = Path(__file__).resolve().parent.parent
+OUT_PATH = ROOT / "BENCH_engine.json"
+
+
+def generate_batches(name, rate, ticks, seed, payload_of):
+    """Per-tick StreamTuple batches, generated vectorized up front."""
+    rng = np.random.default_rng(seed)
+    batches = {}
+    for tick in range(1, ticks + 1):
+        rows = payload_of(rng, rate)
+        batches[tick] = [
+            StreamTuple(stream=name, tick=tick, payload=payload,
+                        origin=(f"{name}@{tick}#{i}",))
+            for i, payload in enumerate(rows)
+        ]
+    return batches
+
+
+def quotes_rows(rng, n, symbols):
+    symbol = rng.integers(0, symbols, size=n)
+    price = np.round(rng.lognormal(3.0, 0.5, size=n), 2)
+    volume = rng.integers(1, 10_000, size=n)
+    return [
+        {"symbol": f"S{symbol[i]}", "price": float(price[i]),
+         "volume": int(volume[i])}
+        for i in range(n)
+    ]
+
+
+def news_rows(rng, n, symbols):
+    company = rng.integers(0, symbols, size=n)
+    sentiment = np.round(rng.uniform(-1, 1, size=n), 3)
+    return [
+        {"company": f"S{company[i]}", "sentiment": float(sentiment[i])}
+        for i in range(n)
+    ]
+
+
+def build_engine(backend, quote_batches, news_batches, thresholds):
+    price_cut, hot_cut = thresholds
+    engine = StreamEngine(
+        [ReplayStream("quotes", quote_batches),
+         ReplayStream("news", news_batches)],
+        backend=backend)
+    sel_q = SelectOperator("sel_q", "quotes", col("price").gt(price_cut),
+                           selectivity_estimate=0.5)
+    sel_n = SelectOperator("sel_n", "news", col("sentiment").gt(0.0),
+                           selectivity_estimate=0.5)
+    join = JoinOperator("join", "sel_q", "sel_n",
+                        col("symbol"), col("company"), window=2)
+    hot = SelectOperator("hot", "join", col("price").gt(hot_cut),
+                         selectivity_estimate=0.01)
+    surge = SelectOperator(
+        "surge", "join",
+        col("price").gt(hot_cut) & col("sentiment").gt(0.8),
+        selectivity_estimate=0.005)
+    engine.admit(ContinuousQuery(
+        "q_hot", (sel_q, sel_n, join, hot), sink_id="hot", bid=10.0))
+    engine.admit(ContinuousQuery(
+        "q_surge", (sel_q, sel_n, join, surge), sink_id="surge",
+        bid=8.0))
+    return engine
+
+
+def run_backend(backend, quote_batches, news_batches, thresholds,
+                ticks):
+    engine = build_engine(backend, quote_batches, news_batches,
+                          thresholds)
+    started = time.perf_counter()
+    report = engine.run(ticks)
+    seconds = time.perf_counter() - started
+    return engine, {
+        "backend": backend,
+        "seconds": seconds,
+        "ticks": ticks,
+        "source_tuples": report.source_tuples,
+        "tuples_per_sec": (report.source_tuples / seconds
+                           if seconds else float("inf")),
+        "work_per_tick": report.work_per_tick,
+        "delivered": dict(report.delivered_tuples),
+    }
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="scalar vs columnar engine throughput")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (small batches, no speedup "
+                             "assertion)")
+    parser.add_argument("--ticks", type=int, default=None)
+    parser.add_argument("--quote-rate", type=int, default=None,
+                        help="quotes tuples per tick")
+    parser.add_argument("--news-rate", type=int, default=None,
+                        help="news tuples per tick")
+    parser.add_argument("--symbols", type=int, default=None,
+                        help="distinct join keys")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output", default=None,
+                        help="JSON artifact path (default: repo-root "
+                             "BENCH_engine.json; smoke runs write to "
+                             "benchmarks/out/ so they never clobber "
+                             "the committed full-run record)")
+    args = parser.parse_args(argv)
+
+    if args.output is None:
+        if args.smoke:
+            out_dir = ROOT / "benchmarks" / "out"
+            out_dir.mkdir(exist_ok=True)
+            args.output = str(out_dir / "BENCH_engine_smoke.json")
+        else:
+            args.output = str(OUT_PATH)
+
+    if args.ticks is None:
+        args.ticks = 5 if args.smoke else 15
+    if args.quote_rate is None:
+        args.quote_rate = 600 if args.smoke else 7000
+    if args.news_rate is None:
+        args.news_rate = 200 if args.smoke else 3000
+    if args.symbols is None:
+        args.symbols = 30 if args.smoke else 300
+
+    quote_batches = generate_batches(
+        "quotes", args.quote_rate, args.ticks, args.seed,
+        lambda rng, n: quotes_rows(rng, n, args.symbols))
+    news_batches = generate_batches(
+        "news", args.news_rate, args.ticks, args.seed + 1,
+        lambda rng, n: news_rows(rng, n, args.symbols))
+    # Median price as the select cut (~0.5 selectivity), p99 for the
+    # post-join "hot" filter (sinks stay selective).
+    prices = np.array([t.payload["price"]
+                       for batch in quote_batches.values()
+                       for t in batch])
+    thresholds = (float(np.median(prices)),
+                  float(np.percentile(prices, 99)))
+
+    engines, results = {}, {}
+    for backend in ("scalar", "columnar"):
+        engines[backend], results[backend] = run_backend(
+            backend, quote_batches, news_batches, thresholds,
+            args.ticks)
+
+    # Differential sanity at benchmark scale: identical semantics.
+    scalar, columnar = engines["scalar"], engines["columnar"]
+    assert scalar.report == columnar.report, "reports diverged"
+    assert scalar.measured_loads() == columnar.measured_loads(), (
+        "measured loads diverged")
+    for query_id in scalar.results:
+        assert (scalar.results[query_id]
+                == columnar.results[query_id]), (
+            f"result log of {query_id} diverged")
+
+    speedup = (results["scalar"]["seconds"]
+               / results["columnar"]["seconds"])
+    rows = [
+        [r["backend"], r["seconds"], r["tuples_per_sec"],
+         r["work_per_tick"], sum(r["delivered"].values())]
+        for r in results.values()
+    ]
+    per_tick = args.quote_rate + args.news_rate
+    print(format_table(
+        ["backend", "seconds", "tuples/s", "work/tick", "delivered"],
+        rows, precision=2,
+        title=(f"Engine throughput — {per_tick} tuples/tick × "
+               f"{args.ticks} ticks, select-join, "
+               f"{args.symbols} join keys")))
+    print(f"columnar speedup: {speedup:.2f}×")
+
+    document = {
+        "benchmark": "engine_throughput",
+        "mode": "smoke" if args.smoke else "full",
+        "workload": {
+            "shape": "select-join (shared subgraph, 2 queries)",
+            "tuples_per_tick": per_tick,
+            "ticks": args.ticks,
+            "join_keys": args.symbols,
+            "join_window": 2,
+            "seed": args.seed,
+        },
+        "results": list(results.values()),
+        "speedup": speedup,
+    }
+    Path(args.output).write_text(
+        json.dumps(document, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    # Both backends must do real, identical work; at full scale the
+    # columnar backend must clear the 5x acceptance bar.
+    assert results["scalar"]["source_tuples"] == per_tick * args.ticks
+    if not args.smoke:
+        assert speedup >= 5.0, (
+            f"columnar speedup {speedup:.2f}x below the 5x bar")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

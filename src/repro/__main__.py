@@ -23,9 +23,11 @@ Examples::
     python -m repro run two-price:seed=7 wl.json -o outcome.json
     python -m repro run CAT wl1.json wl2.json wl3.json
     python -m repro simulate --mechanism CAT --periods 5
+    python -m repro simulate --backend columnar --rate 200 --periods 3
     python -m repro simulate --periods 3 --checkpoint svc.ckpt
     python -m repro simulate --periods 2 --resume svc.ckpt
     python -m repro cluster --shards 4 --periods 5 --batch
+    python -m repro cluster --backend columnar:batch=2048 --periods 3
     python -m repro cluster --placement least-loaded --periods 3
     python -m repro cluster --periods 2 --checkpoint cl.ckpt
     python -m repro cluster --periods 2 --resume cl.ckpt
@@ -119,6 +121,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         service = AdmissionService.load_checkpoint(args.resume)
         start = service.period
     else:
+        from repro.dsms.backend import BackendSpec
+
         spec = _spec_with_seed(args.mechanism, args.seed)
         service = (ServiceBuilder()
                    .with_sources(SyntheticStream(
@@ -126,6 +130,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                    .with_capacity(args.capacity)
                    .with_mechanism(spec)
                    .with_ticks_per_period(args.ticks)
+                   .with_backend(
+                       BackendSpec.parse(args.backend).validate())
                    .build())
         start = 0
 
@@ -167,6 +173,8 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         cluster = FederatedAdmissionService.load_checkpoint(args.resume)
         start = cluster.period
     else:
+        from repro.dsms.backend import BackendSpec
+
         spec = _spec_with_seed(args.mechanism, args.seed)
         cluster = FederatedAdmissionService.build(
             num_shards=args.shards,
@@ -174,6 +182,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             capacity=args.capacity,
             mechanism=spec,
             ticks_per_period=args.ticks,
+            backend=BackendSpec.parse(args.backend).validate(),
             placement=args.placement,
             rebalance=not args.no_rebalance,
         )
@@ -280,6 +289,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="stream arrival rate (tuples/tick)")
     simulate.add_argument("--ticks", type=int, default=20,
                           help="engine ticks per subscription period")
+    simulate.add_argument("--backend", default="scalar",
+                          help="execution backend spec: scalar, "
+                               "columnar, columnar:batch=1024")
     simulate.add_argument("--seed", type=int, default=0)
     simulate.add_argument("--checkpoint", default=None,
                           help="write a resumable checkpoint here "
@@ -312,6 +324,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="stream arrival rate (tuples/tick)")
     cluster.add_argument("--ticks", type=int, default=20,
                          help="engine ticks per subscription period")
+    cluster.add_argument("--backend", default="scalar",
+                         help="execution backend spec applied to "
+                              "every shard: scalar, columnar, "
+                              "columnar:batch=1024")
     cluster.add_argument("--seed", type=int, default=0)
     cluster.add_argument("--batch", action="store_true",
                          help="use the run_period_all batch auction "

@@ -42,6 +42,7 @@ from repro.cluster.placement import (
 from repro.cluster.rebalance import Rebalancer
 from repro.cluster.reports import ClusterReport, Migration
 from repro.core.mechanism import run_batch
+from repro.dsms.backend import BackendSpec
 from repro.dsms.plan import ContinuousQuery
 from repro.service.builder import ServiceBuilder
 from repro.service.service import AdmissionService, ServiceSnapshot
@@ -115,6 +116,7 @@ class FederatedAdmissionService:
         mechanism: object,
         ticks_per_period: int = 50,
         hold_ticks: int = 1,
+        backend: "object | Sequence[object]" = "scalar",
         placement: "PlacementPolicy | str" = "consistent-hash",
         rebalance: bool = True,
     ) -> "FederatedAdmissionService":
@@ -128,15 +130,32 @@ class FederatedAdmissionService:
         shards (its randomness is then consumed in shard-index order).
         *capacity* is per shard: the cluster offers ``num_shards ×
         capacity`` total work units per tick.
+
+        *backend* selects each shard engine's execution backend: one
+        spec (string or :class:`~repro.dsms.backend.BackendSpec`)
+        applied to every shard, or a sequence of ``num_shards`` specs
+        for a heterogeneous cluster (e.g. columnar on the hot shards,
+        scalar elsewhere).
         """
         require(int(num_shards) >= 1, "num_shards must be >= 1")
+        if isinstance(backend, (str, BackendSpec)) or not isinstance(
+                backend, Sequence):
+            shard_backends = [backend] * int(num_shards)
+        else:
+            shard_backends = list(backend)
+            if len(shard_backends) != int(num_shards):
+                raise ValidationError(
+                    f"got {len(shard_backends)} backend specs for "
+                    f"{int(num_shards)} shards; pass one spec or "
+                    f"exactly one per shard")
         builder = (ServiceBuilder()
                    .with_sources(*sources)
                    .with_capacity(capacity)
                    .with_mechanism(mechanism)
                    .with_ticks_per_period(ticks_per_period)
                    .with_hold_ticks(hold_ticks))
-        shards = [builder.build() for _ in range(int(num_shards))]
+        shards = [builder.with_backend(shard_backend).build()
+                  for shard_backend in shard_backends]
         return cls(
             shards=shards,
             placement=placement,

@@ -17,13 +17,13 @@ currency of CLIs, config files and the :mod:`repro.service` layer.
 from __future__ import annotations
 
 import abc
-import ast
-import inspect
 from dataclasses import dataclass, field
 from collections.abc import Callable, Iterable, Mapping
 
 from repro.core.model import AuctionInstance, Query
 from repro.core.result import AuctionOutcome
+from repro.utils.registry import SpecRegistry
+from repro.utils.specparse import parse_param_value, parse_spec_text
 from repro.utils.validation import ValidationError
 
 
@@ -143,20 +143,17 @@ def run_batch(
     return outcomes
 
 
-_REGISTRY: dict[str, Callable[[], Mechanism]] = {}
+#: The mechanism registry (shared machinery: utils.registry).
+_REGISTRY = SpecRegistry("mechanism")
 
 
 def register_mechanism(name: str, factory: Callable[[], Mechanism]) -> None:
     """Register a mechanism *factory* under *name* (case-insensitive)."""
-    _REGISTRY[name.lower()] = factory
+    _REGISTRY.register(name, factory)
 
 
 def _lookup(name: str) -> Callable[[], Mechanism]:
-    try:
-        return _REGISTRY[name.lower()]
-    except KeyError:
-        known = ", ".join(sorted(_REGISTRY))
-        raise KeyError(f"unknown mechanism {name!r}; known: {known}") from None
+    return _REGISTRY.lookup(name)
 
 
 def mechanism_params(name: str) -> "tuple[str, ...] | None":
@@ -165,34 +162,12 @@ def mechanism_params(name: str) -> "tuple[str, ...] | None":
     Returns ``None`` when the factory's signature cannot be inspected
     or it takes ``**kwargs`` — meaning "anything goes".
     """
-    factory = _lookup(name)
-    try:
-        signature = inspect.signature(factory)
-    except (TypeError, ValueError):
-        return None
-    names = []
-    for parameter in signature.parameters.values():
-        if parameter.kind is inspect.Parameter.VAR_KEYWORD:
-            return None
-        if parameter.kind in (inspect.Parameter.POSITIONAL_OR_KEYWORD,
-                              inspect.Parameter.KEYWORD_ONLY):
-            names.append(parameter.name)
-    return tuple(names)
+    return _REGISTRY.params(name)
 
 
 def _validate_params(name: str, params: Mapping[str, object]) -> None:
     """Reject *params* the factory of *name* does not accept."""
-    if not params:
-        return
-    accepted = mechanism_params(name)
-    if accepted is None:
-        return
-    unknown = sorted(set(params) - set(accepted))
-    if unknown:
-        menu = ", ".join(accepted) if accepted else "none"
-        raise ValidationError(
-            f"mechanism {name!r} does not accept parameter(s) "
-            f"{unknown}; accepted parameters: {menu}")
+    _REGISTRY.validate_params(name, params)
 
 
 def make_mechanism(name: str, **kwargs: object) -> Mechanism:
@@ -204,27 +179,17 @@ def make_mechanism(name: str, **kwargs: object) -> Mechanism:
     fails with the accepted parameter names instead of an opaque
     ``TypeError`` from deep inside the constructor.
     """
-    factory = _lookup(name)
-    _validate_params(name, kwargs)
-    return factory(**kwargs)  # type: ignore[call-arg]
+    return _REGISTRY.create(name, **kwargs)
 
 
 def registered_mechanisms() -> Mapping[str, Callable[[], Mechanism]]:
     """Read-only view of the registry (name → factory)."""
-    return dict(_REGISTRY)
+    return _REGISTRY.as_mapping()
 
 
-def _parse_param_value(text: str) -> object:
-    """``"7"`` → 7, ``"true"`` → True, ``"even"`` → ``"even"``."""
-    lowered = text.strip().lower()
-    if lowered in ("true", "false"):
-        return lowered == "true"
-    if lowered in ("none", "null"):
-        return None
-    try:
-        return ast.literal_eval(text.strip())
-    except (ValueError, SyntaxError):
-        return text.strip()
+#: Backwards-compatible alias (the parser now lives in utils.specparse
+#: so every spec-addressable registry shares one grammar).
+_parse_param_value = parse_param_value
 
 
 @dataclass(frozen=True)
@@ -258,20 +223,8 @@ class MechanismSpec:
         ``adjust_ties=false`` a bool); anything unparseable stays a
         string (``partition_mode=hash``).
         """
-        head, _, tail = text.strip().partition(":")
-        if not head:
-            raise ValidationError(
-                f"cannot parse mechanism spec {text!r}: empty name")
-        params: dict[str, object] = {}
-        if tail:
-            for item in tail.split(","):
-                key, sep, value = item.partition("=")
-                if not sep or not key.strip():
-                    raise ValidationError(
-                        f"cannot parse mechanism spec {text!r}: "
-                        f"parameter {item!r} is not of the form key=value")
-                params[key.strip()] = _parse_param_value(value)
-        return cls(head.strip(), params)
+        name, params = parse_spec_text(text, what="mechanism spec")
+        return cls(name, params)
 
     def accepted_params(self) -> "tuple[str, ...] | None":
         """Parameters the underlying factory accepts (None = open)."""

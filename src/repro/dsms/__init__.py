@@ -1,6 +1,16 @@
 """Aurora-style DSMS simulator: streams, operators, shared plans,
 the tick engine with connection points, and load estimation."""
 
+from repro.dsms.backend import (
+    BackendSpec,
+    ExecutionBackend,
+    ScalarBackend,
+    make_backend,
+    register_backend,
+    registered_backends,
+    resolve_backend,
+)
+from repro.dsms.columnar import ColumnarBackend, ColumnBatch, col
 from repro.dsms.engine import ConnectionPoint, StreamEngine
 from repro.dsms.load import (
     LoadMeter,
@@ -41,6 +51,7 @@ from repro.dsms.shedding import (
     run_shedding_comparison,
 )
 from repro.dsms.streams import (
+    ReplayStream,
     StreamSource,
     SyntheticStream,
     news_stories,
@@ -56,9 +67,13 @@ from repro.dsms.windows import (
 
 __all__ = [
     "AggregateOperator",
+    "BackendSpec",
     "CanonicalizationReport",
     "CheapestFirstPolicy",
+    "ColumnBatch",
+    "ColumnarBackend",
     "ConnectionPoint",
+    "ExecutionBackend",
     "ContinuousQuery",
     "DistinctOperator",
     "EngineReport",
@@ -72,7 +87,9 @@ __all__ = [
     "QueryBuilder",
     "QueryPlanCatalog",
     "RandomShedder",
+    "ReplayStream",
     "RoundRobinPolicy",
+    "ScalarBackend",
     "ScheduledEngine",
     "SchedulingPolicy",
     "SelectOperator",
@@ -89,9 +106,14 @@ __all__ = [
     "UnionOperator",
     "auction_instance_from_catalog",
     "canonicalize",
+    "col",
     "estimate_operator_loads",
+    "make_backend",
     "news_stories",
     "operator_signature",
+    "register_backend",
+    "registered_backends",
+    "resolve_backend",
     "run_shedding_comparison",
     "sensor_readings",
     "stock_quotes",

@@ -1,0 +1,85 @@
+"""repro.dsms.columnar — vectorized struct-of-arrays execution.
+
+The scalar stream engine interprets every operator one
+:class:`~repro.dsms.tuples.StreamTuple` at a time; this subsystem is
+the drop-in vectorized alternative, selected per engine with the
+backend spec ``"columnar"`` (or ``"columnar:batch=1024"`` to bound
+kernel chunk sizes).
+
+ColumnBatch layout
+------------------
+
+A tuple batch ``[StreamTuple, ...]`` becomes one
+:class:`~repro.dsms.columnar.batch.ColumnBatch` holding parallel
+arrays over the rows:
+
+* ``ticks`` — ``int64`` array of per-row engine ticks;
+* ``origins`` — object array of lineage tuples (join outputs defer
+  the per-pair ``left.origin + right.origin`` concatenation lazily
+  until something downstream materializes it);
+* ``columns`` — one numpy array per payload attribute, packed as a
+  native dtype (bool/int/float/fixed-width string) when the values
+  allow and ``object`` otherwise, with the
+  :data:`~repro.dsms.columnar.batch.MISSING` sentinel marking rows
+  whose payload lacks the attribute;
+* ``stream`` — a single string when the batch is stream-uniform (the
+  common case), or a per-row object array after unions.
+
+Selects evaluate one boolean mask per batch, joins factorize the key
+arrays into dense codes and expand match pairs with
+``repeat``/gather arithmetic, and tumbling aggregates reduce
+stable-sorted group runs — see :mod:`repro.dsms.columnar.kernels`.
+Vectorizable predicates and keys are written with
+:func:`~repro.dsms.columnar.expressions.col` (e.g.
+``col("price").gt(50.0)``), which the *scalar* backend can execute
+too — the same object is a per-row callable and a block kernel, so
+plans are backend-portable by construction.
+
+What stays scalar
+-----------------
+
+Only operator execution is vectorized.  Engine semantics around it —
+connection points holding arrivals, the transition phase
+(hold/drain/replay), shedding decisions, and result-log delivery —
+operate on materialized tuples exactly as before, whichever backend
+runs the operators.  The drain path asks the backend for pending
+state, so partial-window flushes come out of the columnar buffers
+with the same payloads the scalar flush produces.  Operators outside
+the kernel set (sliding windows, top-k, user-defined subclasses) fall
+back to their own scalar ``execute`` within the columnar pipeline.
+
+The differential test suite
+(``tests/dsms/test_backend_differential.py``) pins scalar ≡ columnar
+on engine reports, per-query result logs, and measured per-operator
+loads over randomized plans.
+"""
+
+from repro.dsms.columnar.backend import ColumnarBackend
+from repro.dsms.columnar.batch import (
+    MISSING,
+    ColumnBatch,
+    LazyPairOrigins,
+    column_array,
+)
+from repro.dsms.columnar.expressions import (
+    ColumnExpr,
+    Comparison,
+    IsIn,
+    Predicate,
+    col,
+    supports_block,
+)
+
+__all__ = [
+    "MISSING",
+    "ColumnBatch",
+    "ColumnExpr",
+    "ColumnarBackend",
+    "Comparison",
+    "IsIn",
+    "LazyPairOrigins",
+    "Predicate",
+    "col",
+    "column_array",
+    "supports_block",
+]

@@ -1,0 +1,502 @@
+"""The struct-of-arrays tuple batch underlying the columnar backend.
+
+A :class:`ColumnBatch` holds one operator batch as parallel arrays:
+a ``ticks`` int64 array, an ``origins`` object array of lineage
+tuples, per-attribute payload ``columns``, and the stream stamp
+(a single string when uniform, a per-row object array after unions).
+Attribute values missing from a row's payload are represented by the
+:data:`MISSING` sentinel, so a batch round-trips ragged payloads
+exactly.
+
+Columns use native numpy dtypes (bool/int/float, fixed-width strings)
+whenever the values allow it — that is what makes mask selects and
+hash joins vectorizable — and fall back to ``object`` dtype
+otherwise.  ``to_tuples``/``tuples`` convert back through
+``ndarray.tolist()`` so payload values come out as plain Python
+scalars again.
+
+Join outputs carry their lineage lazily (:class:`LazyPairOrigins`):
+concatenating two origin tuples per join pair is per-row Python work,
+so it is deferred until a downstream operator or sink actually needs
+the origins — a post-join filter first shrinks the batch, then pays
+for the survivors only.
+"""
+
+from __future__ import annotations
+
+import operator
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.dsms.tuples import StreamTuple
+
+_get_stream = operator.attrgetter("stream")
+_get_tick = operator.attrgetter("tick")
+_get_payload = operator.attrgetter("payload")
+_get_origin = operator.attrgetter("origin")
+
+
+class _Missing:
+    """Singleton marking an attribute absent from a row's payload.
+
+    Deep copies, copies and pickles all resolve back to the one
+    instance, so identity checks (``value is MISSING``) survive engine
+    snapshots and checkpoint files.
+    """
+
+    _instance: "_Missing | None" = None
+
+    def __new__(cls) -> "_Missing":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __copy__(self) -> "_Missing":
+        return self
+
+    def __deepcopy__(self, _memo: dict) -> "_Missing":
+        return self
+
+    def __reduce__(self):
+        return (_Missing, ())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<missing>"
+
+
+#: The one missing-value sentinel.
+MISSING = _Missing()
+
+_NUMERIC_TYPES = (bool, int, float)
+
+
+def column_array(values: Sequence[object]) -> np.ndarray:
+    """Pack payload *values* into the tightest safe numpy array.
+
+    Values of one exact type — all ``bool``, all ``int``, all
+    ``float``, or all ``str`` — become native dtype arrays; anything
+    else (mixed types, ``None``, :data:`MISSING`, containers) stays an
+    ``object`` array, which numpy still processes element-wise with
+    Python semantics.  Mixing numeric types deliberately does *not*
+    pack: an int64/float64 upcast would silently rewrite payload
+    values (``True`` → ``1``, ``2`` → ``2.0``), and batches must
+    round-trip the scalar backend's payloads exactly.
+    """
+    if not len(values):
+        return np.empty(0, dtype=object)
+    types = set(map(type, values))
+    if len(types) == 1:
+        kind = next(iter(types))
+        if kind in (bool, int, float):
+            try:
+                packed = np.asarray(values)
+            except (OverflowError, ValueError):  # ints beyond int64
+                packed = None
+            # NaN payloads stay objects: packing would destroy the
+            # object identity that scalar `in`/dict probes honor.
+            if packed is not None and not (
+                    packed.dtype.kind == "f"
+                    and np.isnan(packed).any()):
+                return packed
+        elif kind is str and not any("\x00" in v for v in values):
+            # Fixed-width U arrays silently strip trailing NULs.
+            return np.asarray(values)
+    array = np.empty(len(values), dtype=object)
+    array[:] = values
+    return array
+
+
+def object_array(values: Sequence[object]) -> np.ndarray:
+    """An object-dtype array that never coerces (tuples stay tuples)."""
+    array = np.empty(len(values), dtype=object)
+    if len(values):
+        array[:] = values
+    return array
+
+
+def identity_mask(column: np.ndarray, sentinel: object) -> np.ndarray:
+    """Boolean mask of rows whose value *is* ``sentinel``.
+
+    Sentinels (:data:`MISSING`, ``None``) are matched by identity, not
+    ``==`` — a numpy ``==`` would go element-wise and explode on
+    payload values that are themselves arrays.
+    """
+    n = len(column)
+    return np.fromiter(
+        (v is sentinel for v in column.tolist()), dtype=bool, count=n)
+
+
+class LazyPairOrigins:
+    """Deferred per-pair lineage concatenation for join outputs.
+
+    Holds the parent origin arrays plus the pair index arrays; the
+    concatenated ``left.origin + right.origin`` tuples are only built
+    by :meth:`materialize`.  :meth:`take` narrows the pair set without
+    materializing, so selective post-join operators never pay for
+    dropped pairs.
+    """
+
+    __slots__ = ("_left", "_right", "_left_idx", "_right_idx")
+
+    def __init__(
+        self,
+        left_origins: np.ndarray,
+        right_origins: np.ndarray,
+        left_idx: np.ndarray,
+        right_idx: np.ndarray,
+    ) -> None:
+        self._left = left_origins
+        self._right = right_origins
+        self._left_idx = left_idx
+        self._right_idx = right_idx
+
+    def __len__(self) -> int:
+        return len(self._left_idx)
+
+    def take(self, indices: np.ndarray) -> "LazyPairOrigins":
+        return LazyPairOrigins(
+            self._left, self._right,
+            self._left_idx[indices], self._right_idx[indices])
+
+    def materialize(self) -> np.ndarray:
+        lefts = self._left[self._left_idx]
+        rights = self._right[self._right_idx]
+        return object_array(
+            [lo + ro for lo, ro in zip(lefts.tolist(), rights.tolist())])
+
+    def __deepcopy__(self, memo: dict) -> np.ndarray:
+        # Buffers/snapshots must not share parent arrays; a deep copy
+        # simply materializes.
+        import copy as _copy
+
+        return _copy.deepcopy(self.materialize(), memo)
+
+    def __reduce__(self):
+        return (_rebuild_origins, (self.materialize(),))
+
+
+def _rebuild_origins(array: np.ndarray) -> np.ndarray:
+    return array
+
+
+class LazySegmentedOrigins:
+    """Concatenation of origin segments, deferred like the segments.
+
+    Produced when batches with lazy origins are concatenated (the two
+    probe phases of a join, union inputs).  ``take`` materializes only
+    the selected rows, so a filter downstream of a join still never
+    pays for dropped pairs.
+    """
+
+    __slots__ = ("_parts", "_lengths", "_bounds")
+
+    def __init__(self, parts: "list[object]",
+                 lengths: "list[int]") -> None:
+        self._parts = parts
+        self._lengths = lengths
+        self._bounds = np.cumsum(lengths)
+
+    def __len__(self) -> int:
+        return int(self._bounds[-1]) if len(self._bounds) else 0
+
+    def take(self, indices: "np.ndarray | slice") -> np.ndarray:
+        if isinstance(indices, slice):
+            indices = np.arange(*indices.indices(len(self)))
+        indices = np.asarray(indices, dtype=np.int64)
+        out = np.empty(len(indices), dtype=object)
+        segment = np.searchsorted(self._bounds, indices, side="right")
+        starts = self._bounds - np.asarray(self._lengths)
+        for s, part in enumerate(self._parts):
+            mask = segment == s
+            if not mask.any():
+                continue
+            local = indices[mask] - starts[s]
+            if isinstance(part, LazyPairOrigins):
+                out[mask] = part.take(local).materialize()
+            else:
+                out[mask] = part[local]
+        return out
+
+    def materialize(self) -> np.ndarray:
+        parts = [
+            part.materialize()
+            if isinstance(part, LazyPairOrigins) else part
+            for part in self._parts
+        ]
+        return np.concatenate(parts)
+
+    def __deepcopy__(self, memo: dict) -> np.ndarray:
+        import copy as _copy
+
+        return _copy.deepcopy(self.materialize(), memo)
+
+    def __reduce__(self):
+        return (_rebuild_origins, (self.materialize(),))
+
+
+def concat_origins(batches: "list[ColumnBatch]"):
+    """Concatenate per-batch origins, keeping laziness if present."""
+    lazy = any(isinstance(b._origins, (LazyPairOrigins,
+                                       LazySegmentedOrigins))
+               for b in batches)
+    if not lazy:
+        return np.concatenate([b._origins for b in batches])
+    parts: list[object] = []
+    lengths: list[int] = []
+    for b in batches:
+        origins = b._origins
+        if isinstance(origins, LazySegmentedOrigins):
+            parts.extend(origins._parts)
+            lengths.extend(origins._lengths)
+        else:
+            parts.append(origins)
+            lengths.append(len(b))
+    return LazySegmentedOrigins(parts, lengths)
+
+
+class ColumnBatch:
+    """One batch of stream tuples in struct-of-arrays layout."""
+
+    __slots__ = ("stream", "ticks", "columns", "_origins", "_tuples")
+
+    def __init__(
+        self,
+        stream: "str | np.ndarray",
+        ticks: np.ndarray,
+        columns: "dict[str, np.ndarray]",
+        origins: "np.ndarray | LazyPairOrigins",
+    ) -> None:
+        self.stream = stream
+        self.ticks = ticks
+        self.columns = columns
+        self._origins = origins
+        self._tuples: "list[StreamTuple] | None" = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "ColumnBatch":
+        return cls("", np.empty(0, dtype=np.int64), {},
+                   np.empty(0, dtype=object))
+
+    @classmethod
+    def from_tuples(cls, tuples: Sequence[StreamTuple]) -> "ColumnBatch":
+        """Convert a tuple batch to columns (exact round-trip)."""
+        n = len(tuples)
+        if n == 0:
+            return cls.empty()
+        ticks = np.asarray(list(map(_get_tick, tuples)),
+                           dtype=np.int64)
+        origins = object_array(list(map(_get_origin, tuples)))
+        streams = set(map(_get_stream, tuples))
+        if len(streams) == 1:
+            stream: "str | np.ndarray" = next(iter(streams))
+        else:
+            stream = object_array(list(map(_get_stream, tuples)))
+        payloads = list(map(_get_payload, tuples))
+        first_keys = payloads[0].keys()
+        columns: dict[str, np.ndarray] = {}
+        uniform = len(set(map(len, payloads))) == 1
+        if uniform:
+            try:
+                for key in first_keys:
+                    columns[key] = column_array(
+                        [p[key] for p in payloads])
+            except KeyError:  # same sizes, different keys
+                uniform = False
+                columns.clear()
+        if not uniform:
+            keys: dict[str, None] = {}
+            for p in payloads:
+                for key in p:
+                    keys.setdefault(key)
+            for key in keys:
+                columns[key] = column_array(
+                    [p.get(key, MISSING) for p in payloads])
+        batch = cls(stream, ticks, columns, origins)
+        batch._tuples = list(tuples)
+        return batch
+
+    @classmethod
+    def concat(cls, batches: "Iterable[ColumnBatch]") -> "ColumnBatch":
+        """Row-wise concatenation, preserving batch order."""
+        batches = [b for b in batches]
+        batches_nonempty = [b for b in batches if len(b)]
+        if not batches_nonempty:
+            return cls.empty()
+        if len(batches_nonempty) == 1:
+            return batches_nonempty[0]
+        ticks = np.concatenate([b.ticks for b in batches_nonempty])
+        origins = concat_origins(batches_nonempty)
+        uniform = all(isinstance(b.stream, str) for b in batches_nonempty)
+        streams = ({b.stream for b in batches_nonempty}
+                   if uniform else set())
+        if uniform and len(streams) == 1:
+            stream: "str | np.ndarray" = next(iter(streams))
+        else:
+            stream = np.concatenate(
+                [b.stream_array() for b in batches_nonempty])
+        keys: dict[str, None] = {}
+        for b in batches_nonempty:
+            for key in b.columns:
+                keys.setdefault(key)
+        columns: dict[str, np.ndarray] = {}
+        for key in keys:
+            parts = []
+            for b in batches_nonempty:
+                col = b.columns.get(key)
+                if col is None:
+                    col = np.full(len(b), MISSING, dtype=object)
+                parts.append(col)
+            # Same dtype (or same string kind) concatenates natively;
+            # any other mix degrades to object so no value is upcast
+            # (int64 + float64 would rewrite ints as floats).
+            dtypes = {p.dtype for p in parts}
+            if len(dtypes) > 1 and not all(
+                    p.dtype.kind == "U" for p in parts):
+                parts = [p.astype(object) if p.dtype != object else p
+                         for p in parts]
+            columns[key] = np.concatenate(parts)
+        return cls(stream, ticks, columns, origins)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.ticks)
+
+    def origin_array(self) -> np.ndarray:
+        """The per-row lineage tuples (materializes lazy origins)."""
+        if isinstance(self._origins,
+                      (LazyPairOrigins, LazySegmentedOrigins)):
+            self._origins = self._origins.materialize()
+        return self._origins
+
+    def stream_array(self) -> np.ndarray:
+        """The per-row stream stamps as an object array."""
+        if isinstance(self.stream, str):
+            return np.full(len(self), self.stream, dtype=object)
+        return self.stream
+
+    def column_values(self, name: str) -> "list[object]":
+        """Column *name* as Python values (``None`` where missing).
+
+        Mirrors :meth:`StreamTuple.value`: a missing attribute reads
+        as ``None``.
+        """
+        col = self.columns.get(name)
+        if col is None:
+            return [None] * len(self)
+        values = col.tolist()
+        if col.dtype == object:
+            values = [None if value is MISSING else value
+                      for value in values]
+        return values
+
+    # ------------------------------------------------------------------
+    # Row selection
+    # ------------------------------------------------------------------
+
+    def take(self, indices: np.ndarray) -> "ColumnBatch":
+        """The batch restricted to *indices* (in the given order)."""
+        origins = self._origins
+        if isinstance(origins,
+                      (LazyPairOrigins, LazySegmentedOrigins)):
+            origins = origins.take(indices)
+        else:
+            origins = origins[indices]
+        stream = self.stream
+        if not isinstance(stream, str):
+            stream = stream[indices]
+        return ColumnBatch(
+            stream,
+            self.ticks[indices],
+            {key: col[indices] for key, col in self.columns.items()},
+            origins,
+        )
+
+    def mask(self, keep: np.ndarray) -> "ColumnBatch":
+        """The batch restricted to rows where *keep* is truthy."""
+        return self.take(np.flatnonzero(keep))
+
+    # ------------------------------------------------------------------
+    # Materialization
+    # ------------------------------------------------------------------
+
+    def payload_dicts(self) -> "list[dict[str, object]]":
+        """One payload dict per row (missing attributes omitted)."""
+        n = len(self)
+        lists = {key: col.tolist()
+                 for key, col in self.columns.items()}
+        ragged = any(
+            col.dtype == object
+            and any(v is MISSING for v in lists[key])
+            for key, col in self.columns.items())
+        if not ragged:
+            return [
+                {key: values[i] for key, values in lists.items()}
+                for i in range(n)
+            ]
+        return [
+            {key: values[i] for key, values in lists.items()
+             if values[i] is not MISSING}
+            for i in range(n)
+        ]
+
+    def to_tuples(self) -> "list[StreamTuple]":
+        """Materialize the batch back into stream tuples."""
+        n = len(self)
+        if n == 0:
+            return []
+        payloads = self.payload_dicts()
+        origins = self.origin_array().tolist()
+        ticks = self.ticks.tolist()
+        if isinstance(self.stream, str):
+            stream = self.stream
+            return [
+                StreamTuple(stream=stream, tick=ticks[i],
+                            payload=payloads[i], origin=origins[i])
+                for i in range(n)
+            ]
+        streams = self.stream.tolist()
+        return [
+            StreamTuple(stream=streams[i], tick=ticks[i],
+                        payload=payloads[i], origin=origins[i])
+            for i in range(n)
+        ]
+
+    def tuples(self) -> "list[StreamTuple]":
+        """Cached materialization (for fallback kernels and sinks)."""
+        if self._tuples is None:
+            self._tuples = self.to_tuples()
+        return self._tuples
+
+    # The materialization cache is derived data: dropping it from
+    # pickles and deep copies keeps checkpoints and snapshots from
+    # carrying every buffered row twice.
+
+    def __getstate__(self):
+        return (self.stream, self.ticks, self.columns,
+                self.origin_array())
+
+    def __setstate__(self, state) -> None:
+        self.stream, self.ticks, self.columns, self._origins = state
+        self._tuples = None
+
+    def __deepcopy__(self, memo: dict) -> "ColumnBatch":
+        import copy as _copy
+
+        return ColumnBatch(
+            _copy.deepcopy(self.stream, memo),
+            _copy.deepcopy(self.ticks, memo),
+            _copy.deepcopy(self.columns, memo),
+            _copy.deepcopy(self._origins, memo),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<ColumnBatch rows={len(self)} "
+                f"columns={sorted(self.columns)}>")

@@ -1,0 +1,295 @@
+"""Column expressions: one predicate object, two execution modes.
+
+Operators take Python callables (``predicate(t)``, ``key(t)``), which
+the columnar backend cannot vectorize in general.  A
+:class:`ColumnExpr` closes the gap: it *is* a callable over
+:class:`~repro.dsms.tuples.StreamTuple` — so the scalar backend (and
+any analytic code) runs it unchanged — and it additionally evaluates
+over a :class:`~repro.dsms.columnar.batch.ColumnBatch` in one numpy
+operation.  Because both modes are derived from the same expression
+tree, the two backends cannot drift apart on predicate semantics.
+
+>>> cheap = col("price").lt(50.0)
+>>> cheap(t)                      # scalar: t.value("price") < 50.0
+>>> cheap.eval_block(batch)       # columnar: one vectorized mask
+
+Comparisons are spelled as methods (``.gt``, ``.ge``, ``.lt``,
+``.le``, ``.eq``, ``.ne``, ``.isin``) rather than operator overloads:
+overloading ``__eq__`` on an object that is stored inside operators
+and snapshots would silently break identity-based bookkeeping.
+Predicates compose with ``&`` and ``|``.
+
+Missing attributes follow SQL NULL semantics: an attribute absent
+from a row's payload reads as ``None`` (exactly like
+:meth:`StreamTuple.value`), and ``None`` satisfies *no* comparison —
+``col("v").gt(x)``, ``.eq(x)``, even ``.eq(None)`` are all false for
+it.  Membership (``isin``) uses plain Python ``in``, so ``None`` can
+be matched explicitly by listing it.
+"""
+
+from __future__ import annotations
+
+import operator
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.dsms.columnar.batch import (
+    MISSING,
+    ColumnBatch,
+    column_array,
+    identity_mask,
+    object_array,
+)
+from repro.dsms.tuples import StreamTuple
+
+
+class ColumnExpr:
+    """A named payload attribute, evaluable per row or per block."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __call__(self, t: StreamTuple) -> object:
+        return t.value(self.name)
+
+    def eval_block(self, batch: ColumnBatch) -> np.ndarray:
+        """The attribute column (``None`` where the row lacks it)."""
+        column = batch.columns.get(self.name)
+        if column is None:
+            return np.full(len(batch), None, dtype=object)
+        if column.dtype == object:
+            values = column.tolist()
+            if any(v is MISSING for v in values):
+                return object_array(
+                    [None if v is MISSING else v for v in values])
+        return column
+
+    # Comparisons build predicates.
+    def gt(self, value: object) -> "Comparison":
+        return Comparison(self, operator.gt, value, ">")
+
+    def ge(self, value: object) -> "Comparison":
+        return Comparison(self, operator.ge, value, ">=")
+
+    def lt(self, value: object) -> "Comparison":
+        return Comparison(self, operator.lt, value, "<")
+
+    def le(self, value: object) -> "Comparison":
+        return Comparison(self, operator.le, value, "<=")
+
+    def eq(self, value: object) -> "Comparison":
+        return Comparison(self, operator.eq, value, "==")
+
+    def ne(self, value: object) -> "Comparison":
+        return Comparison(self, operator.ne, value, "!=")
+
+    def isin(self, values: Sequence[object]) -> "IsIn":
+        return IsIn(self, values)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"col({self.name!r})"
+
+
+def col(name: str) -> ColumnExpr:
+    """The payload attribute *name* as a column expression."""
+    return ColumnExpr(name)
+
+
+class Predicate:
+    """Base class for boolean column expressions."""
+
+    __slots__ = ()
+
+    def __call__(self, t: StreamTuple) -> bool:
+        raise NotImplementedError
+
+    def eval_block(self, batch: ColumnBatch) -> np.ndarray:
+        raise NotImplementedError
+
+    def __and__(self, other: "Predicate") -> "BoolCombine":
+        return BoolCombine(self, other, all_of=True)
+
+    def __or__(self, other: "Predicate") -> "BoolCombine":
+        return BoolCombine(self, other, all_of=False)
+
+
+def _boxed(value: object) -> object:
+    """Container constants as 0-d object scalars, so numpy compares
+    them against each row instead of broadcasting their elements."""
+    if isinstance(value, (list, tuple, set, dict, np.ndarray)):
+        scalar = np.empty((), dtype=object)
+        scalar[()] = value
+        return scalar
+    return value
+
+
+_EXACT_INT = 2**53
+
+
+def _needs_exact_path(column: np.ndarray, value: object) -> bool:
+    """Whether numpy comparison would coerce the constant inexactly.
+
+    Python compares values *exactly*; numpy coerces — int/float
+    upcast to float64 equates values beyond 2**53, and a str constant
+    cast to fixed-width U silently loses trailing NULs.  Mirror
+    Python whenever a coercion could bite: an int column against a
+    float constant (column values are unbounded), any column against
+    an int constant too large for float64, or a NUL-bearing string
+    constant.
+    """
+    if type(value) is int and not -_EXACT_INT <= value <= _EXACT_INT:
+        return True
+    if type(value) is str and "\x00" in value:
+        return True
+    return column.dtype.kind in "iu" and type(value) is float
+
+
+class Comparison(Predicate):
+    """``col(name) <op> constant``."""
+
+    __slots__ = ("expr", "op", "value", "symbol")
+
+    def __init__(self, expr: ColumnExpr, op, value: object,
+                 symbol: str) -> None:
+        self.expr = expr
+        self.op = op
+        self.value = value
+        self.symbol = symbol
+
+    def __call__(self, t: StreamTuple) -> bool:
+        value = self.expr(t)
+        if value is None:
+            return False
+        return bool(self.op(value, self.value))
+
+    def eval_block(self, batch: ColumnBatch) -> np.ndarray:
+        column = self.expr.eval_block(batch)
+        if _needs_exact_path(column, self.value):
+            # Row-wise with Python semantics, mirroring __call__
+            # (None — a missing attribute — satisfies nothing).
+            n = len(column)
+            return np.fromiter(
+                (v is not None and bool(self.op(v, self.value))
+                 for v in column.tolist()),
+                dtype=bool, count=n)
+        value = _boxed(self.value)
+        if column.dtype == object:
+            none_mask = identity_mask(column, None)
+            if none_mask.any():
+                filled = column.copy()
+                filled[none_mask] = value
+                result = np.asarray(
+                    self.op(filled, value), dtype=bool)
+                if result.ndim == 0:
+                    result = np.full(len(batch), bool(result))
+                result[none_mask] = False
+                return result
+        result = np.asarray(self.op(column, value), dtype=bool)
+        if result.ndim == 0:
+            # Incomparable types collapse to one scalar under numpy;
+            # the scalar path yields that same verdict row by row.
+            result = np.full(len(batch), bool(result))
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.expr!r} {self.symbol} {self.value!r})"
+
+
+class IsIn(Predicate):
+    """``col(name) in values``."""
+
+    __slots__ = ("expr", "values")
+
+    def __init__(self, expr: ColumnExpr,
+                 values: Sequence[object]) -> None:
+        self.expr = expr
+        self.values = tuple(values)
+
+    def __call__(self, t: StreamTuple) -> bool:
+        return self.expr(t) in self.values
+
+    def eval_block(self, batch: ColumnBatch) -> np.ndarray:
+        column = self.expr.eval_block(batch)
+        values = column_array(list(self.values))
+        # np.isin is safe only when no coercion can change the
+        # verdict: identical dtype kinds (no int/float upcast past
+        # 2**53) and no NaN on either side (np.isin uses ==; Python
+        # `in` honors object identity).
+        same_family = (
+            column.dtype != object and values.dtype != object
+            and column.dtype.kind == values.dtype.kind
+            and not (column.dtype.kind == "f"
+                     and (np.isnan(values).any()
+                          or np.isnan(column).any())))
+        if same_family:
+            return np.isin(column, values)
+        # Mixed or object-typed values: element-wise Python membership,
+        # exactly what the per-row path computes.
+        n = len(column)
+        return np.fromiter(
+            (v in self.values for v in column.tolist()),
+            dtype=bool, count=n)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.expr!r} in {self.values!r})"
+
+
+class BoolCombine(Predicate):
+    """Conjunction/disjunction of two predicates.
+
+    Either side may be a plain Python callable — the block evaluation
+    falls back to a row-wise pass for that side, so mixing ``col()``
+    expressions with arbitrary predicates keeps working on the
+    columnar backend.
+    """
+
+    __slots__ = ("left", "right", "all_of")
+
+    def __init__(self, left: Predicate, right: Predicate,
+                 all_of: bool) -> None:
+        self.left = left
+        self.right = right
+        self.all_of = all_of
+
+    def __call__(self, t: StreamTuple) -> bool:
+        if self.all_of:
+            return self.left(t) and self.right(t)
+        return self.left(t) or self.right(t)
+
+    @staticmethod
+    def _side_mask(side: object, batch: ColumnBatch) -> np.ndarray:
+        if supports_block(side):
+            return np.asarray(side.eval_block(batch), dtype=bool)
+        n = len(batch)
+        return np.fromiter(
+            (bool(side(t)) for t in batch.tuples()),
+            dtype=bool, count=n)
+
+    def eval_block(self, batch: ColumnBatch) -> np.ndarray:
+        left = self._side_mask(self.left, batch)
+        right = self._side_mask(self.right, batch)
+        return left & right if self.all_of else left | right
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        joiner = "&" if self.all_of else "|"
+        return f"({self.left!r} {joiner} {self.right!r})"
+
+
+def supports_block(fn: object) -> bool:
+    """Whether *fn* can be evaluated vectorized over a batch."""
+    return callable(getattr(fn, "eval_block", None))
+
+
+def pure_block(fn: object) -> bool:
+    """Whether *fn* evaluates from columns alone (no tuple access).
+
+    A :class:`BoolCombine` with a plain-callable side still offers
+    ``eval_block`` but needs materialized tuples for that side, so it
+    must see full batches, never column-only slice views.
+    """
+    if isinstance(fn, BoolCombine):
+        return pure_block(fn.left) and pure_block(fn.right)
+    return supports_block(fn)

@@ -1,0 +1,477 @@
+"""Vectorized operator kernels over :class:`ColumnBatch`.
+
+Each kernel reproduces one scalar operator's semantics *exactly* —
+same outputs, same ordering, same lineage — but in whole-batch numpy
+operations:
+
+* **select** — one boolean mask per batch (evaluated in bounded
+  chunks), with a per-row fallback for non-vectorizable predicates;
+* **join** — the symmetric hash join as array factorization: keys are
+  mapped to dense codes, the build side is grouped by a stable sort,
+  and the probe side expands into match pairs with ``repeat``/gather
+  arithmetic, preserving the scalar probe-order/insertion-order pair
+  ordering;
+* **aggregate** — tumbling windows buffered as column batches and
+  reduced group-by-group after a stable sort on first-occurrence
+  group codes.
+
+Stateful kernels (join windows, aggregate buffers) keep their state in
+:class:`JoinState`/:class:`AggregateState` objects owned by the
+backend — the operator objects stay untouched, which is what lets one
+plan run on either backend.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.dsms.columnar.batch import (
+    MISSING,
+    ColumnBatch,
+    LazyPairOrigins,
+    column_array,
+    identity_mask,
+    object_array,
+)
+from repro.dsms.columnar.expressions import pure_block, supports_block
+from repro.dsms.operators import (
+    AggregateOperator,
+    JoinOperator,
+    MapOperator,
+    ProjectOperator,
+    SelectOperator,
+)
+from repro.dsms.tuples import StreamTuple
+
+# ----------------------------------------------------------------------
+# Key handling
+# ----------------------------------------------------------------------
+
+
+def key_array(key_fn: Callable, batch: ColumnBatch) -> np.ndarray:
+    """Per-row key values: vectorized for column expressions, row-wise
+    (over materialized tuples) for arbitrary callables."""
+    if supports_block(key_fn):
+        return key_fn.eval_block(batch)
+    return object_array([key_fn(t) for t in batch.tuples()])
+
+
+def _same_family(a: np.ndarray, b: np.ndarray) -> bool:
+    if a.dtype == object or b.dtype == object:
+        return False
+    return (a.dtype.kind in "US") == (b.dtype.kind in "US")
+
+
+def factorize_pair(
+    a: np.ndarray, b: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Dense codes for two key arrays over their value union.
+
+    Equal keys (under Python ``==``/hash for object keys, value
+    equality for packed dtypes) receive equal codes.  Returns
+    ``(codes_a, codes_b, num_codes)``.
+
+    The fast ``np.unique`` path requires both sides packed with the
+    *same* dtype kind: concatenating int64 with float64 would upcast
+    and equate keys beyond 2**53 that the scalar dict probe keeps
+    distinct.  Float keys containing NaN also take the dict path
+    (defense in depth — ``column_array`` already keeps NaN-holding
+    columns as objects so identity semantics survive): ``np.unique``
+    equates NaNs, but a scalar hash probe never matches two distinct
+    NaN objects.
+    """
+    if (_same_family(a, b) and a.dtype.kind == b.dtype.kind
+            and not (a.dtype.kind == "f"
+                     and (np.isnan(a).any() or np.isnan(b).any()))):
+        combined = np.concatenate([a, b])
+        uniq, codes = np.unique(combined, return_inverse=True)
+        return (codes[:len(a)].astype(np.int64),
+                codes[len(a):].astype(np.int64), len(uniq))
+    mapping: dict[object, int] = {}
+
+    def encode(values: np.ndarray) -> np.ndarray:
+        out = np.empty(len(values), dtype=np.int64)
+        for i, key in enumerate(values.tolist()):
+            code = mapping.get(key)
+            if code is None:
+                code = len(mapping)
+                mapping[key] = code
+            out[i] = code
+        return out
+
+    codes_a = encode(a)
+    codes_b = encode(b)
+    return codes_a, codes_b, len(mapping)
+
+
+def factorize_first_occurrence(
+    keys: np.ndarray,
+) -> tuple[np.ndarray, list[object]]:
+    """Dense codes numbered in order of first appearance.
+
+    Returns ``(codes, key_values)`` where ``key_values[c]`` is the key
+    of code ``c`` as a plain Python value — the order scalar group-by
+    dicts produce.  NaN keys take the dict path (every NaN its own
+    group), mirroring scalar dict grouping of distinct NaN objects.
+    """
+    n = len(keys)
+    if keys.dtype != object and not (
+            keys.dtype.kind == "f" and np.isnan(keys).any()):
+        uniq, inverse = np.unique(keys, return_inverse=True)
+        first_pos = np.full(len(uniq), n, dtype=np.int64)
+        np.minimum.at(first_pos, inverse, np.arange(n))
+        rank = np.argsort(first_pos, kind="stable")
+        recode = np.empty(len(uniq), dtype=np.int64)
+        recode[rank] = np.arange(len(uniq))
+        return recode[inverse], uniq[rank].tolist()
+    mapping: dict[object, int] = {}
+    codes = np.empty(n, dtype=np.int64)
+    ordered: list[object] = []
+    for i, key in enumerate(keys.tolist()):
+        code = mapping.get(key)
+        if code is None:
+            code = len(mapping)
+            mapping[key] = code
+            ordered.append(key)
+        codes[i] = code
+    return codes, ordered
+
+
+def match_pairs(
+    probe_codes: np.ndarray,
+    build_codes: np.ndarray,
+    num_codes: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """All (probe, build) index pairs with equal codes.
+
+    Pairs are ordered by probe row, and within one probe row by build
+    insertion order — exactly the scalar hash-probe order.
+    """
+    if not len(probe_codes) or not len(build_codes):
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    order = np.argsort(build_codes, kind="stable")
+    counts = np.bincount(build_codes, minlength=num_codes)
+    offsets = np.concatenate(
+        ([0], np.cumsum(counts)[:-1])).astype(np.int64)
+    rep = counts[probe_codes]
+    total = int(rep.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    probe_idx = np.repeat(
+        np.arange(len(probe_codes), dtype=np.int64), rep)
+    starts = np.repeat(offsets[probe_codes], rep)
+    run_ends = np.cumsum(rep)
+    intra = np.arange(total, dtype=np.int64) - np.repeat(
+        run_ends - rep, rep)
+    build_idx = order[starts + intra]
+    return probe_idx, build_idx
+
+
+# ----------------------------------------------------------------------
+# Stateless kernels
+# ----------------------------------------------------------------------
+
+
+def _column_slice(batch: ColumnBatch, start: int,
+                  stop: int) -> ColumnBatch:
+    """A columns-and-ticks-only slice view for predicate evaluation.
+
+    Slicing through :meth:`ColumnBatch.take` would drag origins along
+    (materializing lazy join lineage row by row); predicates never
+    read origins, so the view carries an empty placeholder instead.
+    """
+    sl = slice(start, stop)
+    stream = batch.stream
+    if not isinstance(stream, str):
+        stream = stream[sl]
+    return ColumnBatch(
+        stream, batch.ticks[sl],
+        {key: col[sl] for key, col in batch.columns.items()},
+        np.empty(0, dtype=object))
+
+
+def select_kernel(
+    op: SelectOperator, batch: ColumnBatch, chunk_rows: int
+) -> ColumnBatch:
+    predicate = op._predicate
+    n = len(batch)
+    if n == 0:
+        return batch
+    if supports_block(predicate):
+        # Chunking feeds the predicate column-only slice views, so it
+        # is reserved for predicates that never touch tuples.
+        if n <= chunk_rows or not pure_block(predicate):
+            keep = predicate.eval_block(batch)
+        else:
+            keep = np.concatenate([
+                predicate.eval_block(
+                    _column_slice(batch, i, min(i + chunk_rows, n)))
+                for i in range(0, n, chunk_rows)
+            ])
+    else:
+        keep = np.fromiter(
+            (bool(predicate(t)) for t in batch.tuples()),
+            dtype=bool, count=n)
+    return batch.mask(keep)
+
+
+def project_kernel(op: ProjectOperator, batch: ColumnBatch) -> ColumnBatch:
+    columns = {a: batch.columns[a] for a in op._attributes
+               if a in batch.columns}
+    return ColumnBatch(batch.stream, batch.ticks, columns,
+                       batch._origins)
+
+
+def map_kernel(op: MapOperator, batch: ColumnBatch) -> ColumnBatch:
+    if len(batch) == 0:
+        return batch
+    payloads = [dict(op._transform(p))
+                for p in batch.payload_dicts()]
+    keys: dict[str, None] = {}
+    for p in payloads:
+        for key in p:
+            keys.setdefault(key)
+    ragged = any(len(p) != len(keys) for p in payloads)
+    if ragged:
+        columns = {
+            key: column_array([p.get(key, MISSING) for p in payloads])
+            for key in keys
+        }
+    else:
+        columns = {
+            key: column_array([p[key] for p in payloads])
+            for key in keys
+        }
+    return ColumnBatch(batch.stream, batch.ticks, columns,
+                       batch._origins)
+
+
+def union_kernel(inputs: Sequence[ColumnBatch]) -> ColumnBatch:
+    return ColumnBatch.concat(inputs)
+
+
+# ----------------------------------------------------------------------
+# Join
+# ----------------------------------------------------------------------
+
+
+class JoinState:
+    """The two sliding window buffers of one join operator.
+
+    ``owner`` is the operator object this state belongs to: a fresh
+    operator re-admitted under a recycled op id must start with fresh
+    windows, exactly like a fresh scalar operator would.
+    """
+
+    __slots__ = ("owner", "left", "right")
+
+    def __init__(self, owner: JoinOperator) -> None:
+        self.owner = owner
+        self.left = ColumnBatch.empty()
+        self.right = ColumnBatch.empty()
+
+    def pending(self) -> int:
+        return len(self.left) + len(self.right)
+
+
+def _expire(batch: ColumnBatch, tick: int, window: int) -> ColumnBatch:
+    if not len(batch):
+        return batch
+    keep = (tick - batch.ticks) < window
+    if keep.all():
+        return batch
+    return batch.mask(keep)
+
+
+def _merge_pairs(
+    op_id: str,
+    left: ColumnBatch,
+    right: ColumnBatch,
+    left_idx: np.ndarray,
+    right_idx: np.ndarray,
+    tick: int,
+) -> ColumnBatch:
+    """Join-pair payload merge: ``{**right.payload, **left.payload}``."""
+    n = len(left_idx)
+    columns: dict[str, np.ndarray] = {}
+    for key, rcol in right.columns.items():
+        rvals = rcol[right_idx]
+        lcol = left.columns.get(key)
+        if lcol is None:
+            columns[key] = rvals
+            continue
+        lvals = lcol[left_idx]
+        if lcol.dtype != object:
+            columns[key] = lvals
+            continue
+        miss = identity_mask(lvals, MISSING)
+        if not miss.any():
+            columns[key] = lvals
+        else:
+            columns[key] = np.where(
+                miss, rvals.astype(object), lvals)
+    for key, lcol in left.columns.items():
+        if key not in right.columns:
+            columns[key] = lcol[left_idx]
+    origins = LazyPairOrigins(
+        left.origin_array(), right.origin_array(), left_idx, right_idx)
+    return ColumnBatch(
+        op_id, np.full(n, tick, dtype=np.int64), columns, origins)
+
+
+def join_kernel(
+    state: JoinState,
+    op: JoinOperator,
+    left_new: ColumnBatch,
+    right_new: ColumnBatch,
+) -> ColumnBatch:
+    window = op._window
+    new_ticks = []
+    if len(left_new):
+        new_ticks.append(int(left_new.ticks.max()))
+    if len(right_new):
+        new_ticks.append(int(right_new.ticks.max()))
+    if new_ticks:
+        tick = max(new_ticks)
+    else:
+        buffered = [int(state.left.ticks.max())] if len(state.left) else []
+        if len(state.right):
+            buffered.append(int(state.right.ticks.max()))
+        tick = max(buffered, default=0)
+    state.left = _expire(state.left, tick, window)
+    state.right = _expire(state.right, tick, window)
+
+    # Phase 1: new left tuples probe the full right window (buffered
+    # rows first, this tick's arrivals after — insertion order).
+    right_all = ColumnBatch.concat([state.right, right_new])
+    pieces = []
+    if len(left_new) and len(right_all):
+        probe, build, n_codes = factorize_pair(
+            key_array(op._left_key, left_new),
+            key_array(op._right_key, right_all))
+        left_idx, right_idx = match_pairs(probe, build, n_codes)
+        if len(left_idx):
+            pieces.append(_merge_pairs(
+                op.op_id, left_new, right_all, left_idx, right_idx,
+                tick))
+
+    # Phase 2: new right tuples probe the *old* left window only (new
+    # left × new right was covered by phase 1).
+    if len(right_new) and len(state.left):
+        probe, build, n_codes = factorize_pair(
+            key_array(op._right_key, right_new),
+            key_array(op._left_key, state.left))
+        probe_idx, build_idx = match_pairs(probe, build, n_codes)
+        if len(probe_idx):
+            pieces.append(_merge_pairs(
+                op.op_id, state.left, right_new, build_idx, probe_idx,
+                tick))
+
+    state.left = ColumnBatch.concat([state.left, left_new])
+    state.right = ColumnBatch.concat([state.right, right_new])
+    if not pieces:
+        return ColumnBatch.empty()
+    if len(pieces) == 1:
+        return pieces[0]
+    return ColumnBatch.concat(pieces)
+
+
+# ----------------------------------------------------------------------
+# Aggregate
+# ----------------------------------------------------------------------
+
+
+class AggregateState:
+    """The tumbling-window buffer of one aggregate operator.
+
+    ``owner`` identifies the operator object, like
+    :class:`JoinState` — a recycled op id never inherits a removed
+    operator's buffered window.
+    """
+
+    __slots__ = ("owner", "buffer", "window_start")
+
+    def __init__(self, owner: AggregateOperator) -> None:
+        self.owner = owner
+        self.buffer = ColumnBatch.empty()
+        self.window_start: "int | None" = None
+
+    def pending(self) -> int:
+        return len(self.buffer)
+
+
+def _emit_groups(
+    op: AggregateOperator,
+    buffer: ColumnBatch,
+    tick: int,
+    partial: bool,
+) -> list[StreamTuple]:
+    n = len(buffer)
+    if n == 0:
+        return []
+    group_by = op._group_by
+    if group_by is None:
+        codes = np.zeros(n, dtype=np.int64)
+        key_values: list[object] = [None]
+    else:
+        codes, key_values = factorize_first_occurrence(
+            key_array(group_by, buffer))
+    values = buffer.column_values(op._attribute)
+    origins = buffer.origin_array().tolist()
+    order = np.argsort(codes, kind="stable")
+    sorted_codes = codes[order]
+    boundaries = np.flatnonzero(np.diff(sorted_codes)) + 1
+    groups = np.split(order, boundaries)
+    output = []
+    for code, rows in enumerate(groups):
+        members = rows.tolist()
+        payload: dict[str, object] = {
+            "group": key_values[code],
+            "value": op._aggregate([values[i] for i in members]),
+            "count": len(members),
+        }
+        if partial:
+            payload["partial"] = True
+        origin = tuple(o for i in members for o in origins[i])
+        output.append(StreamTuple(
+            stream=op.op_id, tick=tick, payload=payload,
+            origin=origin))
+    return output
+
+
+def aggregate_kernel(
+    state: AggregateState,
+    op: AggregateOperator,
+    incoming: ColumnBatch,
+) -> ColumnBatch:
+    if len(incoming) and state.window_start is None:
+        state.window_start = int(incoming.ticks.min())
+    state.buffer = ColumnBatch.concat([state.buffer, incoming])
+    if state.window_start is None:
+        return ColumnBatch.empty()
+    current_tick = (int(incoming.ticks.max()) if len(incoming)
+                    else state.window_start)
+    if current_tick - state.window_start + 1 < op._window:
+        return ColumnBatch.empty()
+    emitted = _emit_groups(op, state.buffer, current_tick,
+                           partial=False)
+    state.buffer = ColumnBatch.empty()
+    state.window_start = None
+    return ColumnBatch.from_tuples(emitted)
+
+
+def aggregate_flush(
+    state: AggregateState, op: AggregateOperator
+) -> list[StreamTuple]:
+    """The drain phase's partial-window flush (columnar state)."""
+    if not len(state.buffer):
+        return []
+    tick = int(state.buffer.ticks.max())
+    emitted = _emit_groups(op, state.buffer, tick, partial=True)
+    state.buffer = ColumnBatch.empty()
+    state.window_start = None
+    return emitted

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Mapping, Sequence
 
+from repro.dsms.backend import BackendSpec, ExecutionBackend, resolve_backend
 from repro.dsms.load import LoadMeter
 from repro.dsms.metrics import EngineReport
 from repro.dsms.operators import AggregateOperator
@@ -66,12 +67,20 @@ class StreamEngine:
     units the auction uses; the engine never refuses work — admission
     control is the auction's job — but it meters overload so tests can
     assert that admitted sets respect capacity on average.
+
+    ``backend`` selects the execution backend (see
+    :mod:`repro.dsms.backend`): a spec string (``"scalar"``,
+    ``"columnar:batch=1024"``), a :class:`BackendSpec`, or a live
+    :class:`ExecutionBackend` instance.  Connection points, the
+    transition phase, and result delivery are backend-agnostic; only
+    the operator execution itself is delegated.
     """
 
     def __init__(
         self,
         sources: Iterable[StreamSource],
         capacity: float | None = None,
+        backend: "ExecutionBackend | BackendSpec | str" = "scalar",
     ) -> None:
         self._sources: dict[str, StreamSource] = {}
         for source in sources:
@@ -80,6 +89,7 @@ class StreamEngine:
                     f"duplicate stream name {source.name!r}")
             self._sources[source.name] = source
         self.capacity = capacity
+        self.backend = resolve_backend(backend)
         self.catalog = QueryPlanCatalog()
         self.meter = LoadMeter()
         self.report = EngineReport(capacity=capacity)
@@ -88,6 +98,14 @@ class StreamEngine:
             name: ConnectionPoint(name) for name in self._sources}
         self._tick = 0
         self._in_transition = False
+
+    def __setstate__(self, state: dict) -> None:
+        # Checkpoints written before backends existed lack the
+        # attribute; they resume on the scalar interpreter, which is
+        # exactly how they were executing when saved.
+        self.__dict__.update(state)
+        if "backend" not in state:
+            self.backend = resolve_backend("scalar")
 
     # ------------------------------------------------------------------
     # Admission
@@ -146,13 +164,10 @@ class StreamEngine:
         arrivals: Mapping[str, list[StreamTuple]],
         source_count: int,
     ) -> None:
-        outputs: dict[str, list[StreamTuple]] = {
-            name: list(batch) for name, batch in arrivals.items()}
-        work_by_op: dict[str, float] = {}
-        for op in self.catalog.topological_order():
-            batches = {name: outputs.get(name, []) for name in op.inputs}
-            work_by_op[op.op_id] = op.work(batches)
-            outputs[op.op_id] = op.execute(batches)
+        sink_ids = {query.sink_id
+                    for query in self.catalog.queries.values()}
+        outputs, work_by_op = self.backend.run_operators(
+            self.catalog.topological_order(), arrivals, sink_ids)
         self.meter.record_tick(work_by_op)
         delivered: dict[str, int] = {}
         for query_id, query in self.catalog.queries.items():
@@ -203,44 +218,17 @@ class StreamEngine:
         drained: dict[str, int] = {}
         flushed: dict[str, list[StreamTuple]] = {}
         for op in self.catalog.topological_order():
-            if isinstance(op, AggregateOperator) and op.pending_tuples():
+            if (isinstance(op, AggregateOperator)
+                    and self.backend.pending_tuples(op)):
                 used_by = set(self.catalog.queries_containing(op.op_id))
                 if used_by & targets:
-                    flushed[op.op_id] = self._flush_aggregate(op)
+                    flushed[op.op_id] = self.backend.flush_aggregate(op)
         for query_id in targets:
             query = self.catalog.queries[query_id]
             produced = flushed.get(query.sink_id, [])
             self.results[query_id].extend(produced)
             drained[query_id] = len(produced)
         return drained
-
-    @staticmethod
-    def _flush_aggregate(op: AggregateOperator) -> list[StreamTuple]:
-        """Force a partial-window emission from an aggregate operator."""
-        buffered = list(op._buffer)
-        if not buffered:
-            return []
-        groups: dict[object, list[StreamTuple]] = {}
-        for t in buffered:
-            key = op._group_by(t) if op._group_by else None
-            groups.setdefault(key, []).append(t)
-        output = []
-        tick = max(t.tick for t in buffered)
-        for key, members in groups.items():
-            values = [t.value(op._attribute) for t in members]
-            payload = {
-                "group": key,
-                "value": op._aggregate(values),
-                "count": len(members),
-                "partial": True,
-            }
-            origin = tuple(o for t in members for o in t.origin)
-            output.append(StreamTuple(
-                stream=op.op_id, tick=tick, payload=payload,
-                origin=origin))
-        op._buffer.clear()
-        op._window_start = None
-        return output
 
     def end_transition(
         self,

@@ -281,6 +281,15 @@ class AggregateOperator(StreamOperator):
                            default=self._window_start)
         if current_tick - self._window_start + 1 < self._window:
             return []
+        return self._emit(current_tick, partial=False)
+
+    def _emit(self, tick: int, partial: bool) -> list[StreamTuple]:
+        """Group and emit the buffered window, then clear it.
+
+        The single source of truth for aggregate output shape — both
+        the window-close path and the drain-phase partial flush go
+        through here (the columnar kernel mirrors it).
+        """
         groups: dict[object, list[StreamTuple]] = {}
         for t in self._buffer:
             key = self._group_by(t) if self._group_by else None
@@ -288,18 +297,34 @@ class AggregateOperator(StreamOperator):
         output = []
         for key, members in groups.items():
             values = [t.value(self._attribute) for t in members]
-            payload = {
+            payload: dict[str, object] = {
                 "group": key,
                 "value": self._aggregate(values),
                 "count": len(members),
             }
+            if partial:
+                payload["partial"] = True
             origin = tuple(o for t in members for o in t.origin)
             output.append(StreamTuple(
-                stream=self.op_id, tick=current_tick,
-                payload=payload, origin=origin))
+                stream=self.op_id, tick=tick, payload=payload,
+                origin=origin))
         self._buffer.clear()
         self._window_start = None
         return output
+
+    def flush_partial(self) -> list[StreamTuple]:
+        """Force a partial-window emission of the buffered tuples.
+
+        The transition phase drains in-flight state through here: the
+        buffered groups are emitted exactly as a window close would
+        emit them, except the payload is marked ``"partial": True``.
+        The window buffer is cleared; returns the emitted batch (empty
+        when nothing was buffered).
+        """
+        if not self._buffer:
+            return []
+        tick = max(t.tick for t in self._buffer)
+        return self._emit(tick, partial=True)
 
     def selectivity(self) -> float:
         # One output per window per group; approximate with 1/window.

@@ -88,8 +88,15 @@ class QueryPlanCatalog:
     def __init__(self, queries: Iterable[ContinuousQuery] = ()) -> None:
         self._queries: dict[str, ContinuousQuery] = {}
         self._operators: dict[str, StreamOperator] = {}
+        self._order_cache: "list[StreamOperator] | None" = None
         for query in queries:
             self.add(query)
+
+    def __setstate__(self, state: dict) -> None:
+        # Catalogs pickled before the order cache existed get an
+        # (empty) cache on resume.
+        self.__dict__.update(state)
+        self.__dict__.setdefault("_order_cache", None)
 
     # ------------------------------------------------------------------
     # Mutation
@@ -107,6 +114,7 @@ class QueryPlanCatalog:
             else:
                 _check_compatible(existing, op)
         self._queries[query.query_id] = query
+        self._order_cache = None
 
     def remove(self, query_id: str) -> ContinuousQuery:
         """Deregister a query; orphaned operators are dropped too."""
@@ -119,6 +127,7 @@ class QueryPlanCatalog:
         for op_id in query.operator_ids:
             if op_id not in still_used:
                 del self._operators[op_id]
+        self._order_cache = None
         return query
 
     # ------------------------------------------------------------------
@@ -158,8 +167,13 @@ class QueryPlanCatalog:
     def topological_order(self) -> list[StreamOperator]:
         """Operators in dependency order (streams are roots).
 
-        Raises :class:`ValidationError` on a cycle.
+        The order is cached between calls — the engine asks for it on
+        every tick — and invalidated by any plan mutation
+        (:meth:`add` / :meth:`remove`).  Raises
+        :class:`ValidationError` on a cycle.
         """
+        if self._order_cache is not None:
+            return list(self._order_cache)
         op_ids = set(self._operators)
         dependencies = {
             op_id: [i for i in self._operators[op_id].inputs
@@ -184,7 +198,8 @@ class QueryPlanCatalog:
 
         for op_id in sorted(op_ids):
             visit(op_id)
-        return order
+        self._order_cache = order
+        return list(order)
 
     def subgraph_order(
         self, query_ids: Sequence[str]

@@ -118,8 +118,9 @@ class SheddingEngine(StreamEngine):
         sources,
         capacity: float,
         shedder: TupleShedder,
+        backend: object = "scalar",
     ) -> None:
-        super().__init__(sources, capacity=capacity)
+        super().__init__(sources, capacity=capacity, backend=backend)
         self.shedder = shedder
 
     def _process(self, arrivals, source_count):

@@ -82,6 +82,44 @@ class SyntheticStream(StreamSource):
         return self._rate
 
 
+class ReplayStream(StreamSource):
+    """Replays pre-built per-tick batches (tick → tuple list).
+
+    Useful for differential tests (two engines must see *identical*
+    arrivals without coupled RNG state) and for engine benchmarks,
+    where tuple generation cost must not pollute the measured
+    execution time.  Ticks beyond the recording emit nothing.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        batches: Mapping[int, "list[StreamTuple]"],
+    ) -> None:
+        super().__init__(name)
+        self._batches = {int(tick): list(batch)
+                         for tick, batch in batches.items()}
+
+    @classmethod
+    def record(
+        cls, source: StreamSource, ticks: int, start: int = 1
+    ) -> "ReplayStream":
+        """Capture *ticks* ticks of *source* into a replayable stream."""
+        return cls(source.name, {
+            tick: source.emit(tick)
+            for tick in range(start, start + ticks)
+        })
+
+    def _generate(self, tick: int) -> list[StreamTuple]:
+        return list(self._batches.get(tick, ()))
+
+    def expected_rate(self) -> float:
+        if not self._batches:
+            return 0.0
+        return sum(len(b) for b in self._batches.values()) / len(
+            self._batches)
+
+
 def stock_quotes(
     name: str = "quotes",
     rate: float = 20.0,

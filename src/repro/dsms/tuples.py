@@ -19,6 +19,12 @@ class StreamTuple:
     ``origin`` identifies the source tuple(s) this one derives from —
     a single id for row-level operators, a combined id for joins and
     aggregates.
+
+    The constructor takes ownership of a ``payload`` passed as a plain
+    ``dict`` — it is kept as-is, not copied, so callers on the hot path
+    (operators construct one payload per emitted tuple) must hand over
+    a mapping they will not mutate afterwards.  Any other
+    :class:`Mapping` is converted to a ``dict`` once.
     """
 
     stream: str
@@ -27,7 +33,8 @@ class StreamTuple:
     origin: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
-        object.__setattr__(self, "payload", dict(self.payload))
+        if type(self.payload) is not dict:
+            object.__setattr__(self, "payload", dict(self.payload))
         if not self.origin:
             object.__setattr__(
                 self, "origin", (f"{self.stream}@{self.tick}",))

@@ -21,6 +21,7 @@ from dataclasses import dataclass, replace
 from collections.abc import Callable, Iterable
 
 from repro.core.mechanism import Mechanism, MechanismSpec
+from repro.dsms.backend import BackendSpec, ExecutionBackend
 from repro.dsms.streams import StreamSource
 from repro.service.hooks import HookRegistry
 from repro.service.service import AdmissionService
@@ -32,15 +33,18 @@ class ServiceConfig:
     """Declarative service settings (everything but live objects).
 
     ``mechanism`` is a spec string (``"CAT"``, ``"two-price:seed=7"``)
-    or a :class:`MechanismSpec`; it is validated against the registry
-    on construction, so a config with a typo'd mechanism or parameter
-    never gets as far as ``build()``.
+    or a :class:`MechanismSpec`; ``backend`` is an execution-backend
+    spec (``"scalar"``, ``"columnar:batch=1024"``) or a
+    :class:`BackendSpec`.  Both are validated against their registries
+    on construction, so a config with a typo'd name or parameter never
+    gets as far as ``build()``.
     """
 
     capacity: float
     mechanism: "str | MechanismSpec" = "CAT"
     ticks_per_period: int = 50
     hold_ticks: int = 1
+    backend: "str | BackendSpec" = "scalar"
 
     def __post_init__(self) -> None:
         require(self.capacity > 0, "capacity must be positive")
@@ -48,6 +52,7 @@ class ServiceConfig:
                 "ticks_per_period must be positive")
         require(self.hold_ticks >= 0, "hold_ticks must be >= 0")
         self.mechanism_spec().validate()
+        self.backend_spec().validate()
 
     def mechanism_spec(self) -> MechanismSpec:
         """The mechanism setting as a :class:`MechanismSpec`."""
@@ -55,11 +60,23 @@ class ServiceConfig:
             return self.mechanism
         return MechanismSpec.parse(self.mechanism)
 
+    def backend_spec(self) -> BackendSpec:
+        """The backend setting as a :class:`BackendSpec`."""
+        if isinstance(self.backend, BackendSpec):
+            return self.backend
+        return BackendSpec.parse(self.backend)
+
     def with_mechanism(
         self, mechanism: "str | MechanismSpec"
     ) -> "ServiceConfig":
         """A copy of this config with a different mechanism."""
         return replace(self, mechanism=mechanism)
+
+    def with_backend(
+        self, backend: "str | BackendSpec"
+    ) -> "ServiceConfig":
+        """A copy of this config with a different execution backend."""
+        return replace(self, backend=backend)
 
 
 class ServiceBuilder:
@@ -78,6 +95,7 @@ class ServiceBuilder:
         self._mechanism: "Mechanism | MechanismSpec | str | None" = None
         self._ticks_per_period: "int | None" = None
         self._hold_ticks: "int | None" = None
+        self._backend: "ExecutionBackend | BackendSpec | str | None" = None
         self._ledger: "object | None" = None
         self._hooks = HookRegistry()
         if config is not None:
@@ -93,6 +111,7 @@ class ServiceBuilder:
         self._mechanism = config.mechanism_spec()
         self._ticks_per_period = config.ticks_per_period
         self._hold_ticks = config.hold_ticks
+        self._backend = config.backend_spec()
         return self
 
     def with_sources(self, *sources: StreamSource) -> "ServiceBuilder":
@@ -120,6 +139,13 @@ class ServiceBuilder:
     def with_hold_ticks(self, hold_ticks: int) -> "ServiceBuilder":
         """Set how many ticks of arrivals transitions hold."""
         self._hold_ticks = int(hold_ticks)
+        return self
+
+    def with_backend(
+        self, backend: "ExecutionBackend | BackendSpec | str"
+    ) -> "ServiceBuilder":
+        """Set the engine's execution backend (instance, spec, string)."""
+        self._backend = backend
         return self
 
     def with_ledger(self, ledger: object) -> "ServiceBuilder":
@@ -184,6 +210,13 @@ class ServiceBuilder:
                               else self._ticks_per_period),
             hold_ticks=(1 if self._hold_ticks is None
                         else self._hold_ticks),
+            # A live backend instance may hold per-engine state, so
+            # each built service gets its own copy (specs/strings
+            # already produce a fresh instance per resolve).
+            backend=("scalar" if self._backend is None
+                     else copy.deepcopy(self._backend)
+                     if isinstance(self._backend, ExecutionBackend)
+                     else self._backend),
             ledger=self._ledger,
             hooks=hooks,
         )

@@ -1,0 +1,91 @@
+"""A generic name → factory registry with signature validation.
+
+Backs every spec-addressable registry in the library (mechanisms,
+execution backends): case-insensitive lookup, factory-signature
+introspection, and keyword validation that fails with the accepted
+parameter menu instead of an opaque ``TypeError`` — one
+implementation, parameterized only by the error-message nouns.
+"""
+
+from __future__ import annotations
+
+import inspect
+from collections.abc import Callable, Mapping
+
+from repro.utils.validation import ValidationError
+
+
+class SpecRegistry:
+    """Factories by name, with validated keyword parameters.
+
+    ``lookup_noun`` names the registry in unknown-name errors
+    (``"unknown mechanism ..."``); ``param_noun`` names it in
+    parameter errors (they may differ for historical message
+    compatibility).
+    """
+
+    def __init__(self, lookup_noun: str,
+                 param_noun: "str | None" = None) -> None:
+        self._lookup_noun = lookup_noun
+        self._param_noun = param_noun or lookup_noun
+        self._factories: dict[str, Callable] = {}
+
+    def register(self, name: str, factory: Callable) -> None:
+        """Register *factory* under *name* (case-insensitive)."""
+        self._factories[name.lower()] = factory
+
+    def lookup(self, name: str) -> Callable:
+        """The factory of *name*; raises ``KeyError`` with the menu."""
+        try:
+            return self._factories[name.lower()]
+        except KeyError:
+            known = ", ".join(sorted(self._factories))
+            raise KeyError(
+                f"unknown {self._lookup_noun} {name!r}; "
+                f"known: {known}") from None
+
+    def params(self, name: str) -> "tuple[str, ...] | None":
+        """Parameter names the factory of *name* accepts.
+
+        Returns ``None`` when the signature cannot be inspected or it
+        takes ``**kwargs`` — meaning "anything goes".
+        """
+        factory = self.lookup(name)
+        try:
+            signature = inspect.signature(factory)
+        except (TypeError, ValueError):
+            return None
+        names = []
+        for parameter in signature.parameters.values():
+            if parameter.kind is inspect.Parameter.VAR_KEYWORD:
+                return None
+            if parameter.kind in (
+                    inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                    inspect.Parameter.KEYWORD_ONLY):
+                names.append(parameter.name)
+        return tuple(names)
+
+    def validate_params(self, name: str,
+                        params: Mapping[str, object]) -> None:
+        """Reject *params* the factory of *name* does not accept."""
+        if not params:
+            return
+        accepted = self.params(name)
+        if accepted is None:
+            return
+        unknown = sorted(set(params) - set(accepted))
+        if unknown:
+            menu = ", ".join(accepted) if accepted else "none"
+            raise ValidationError(
+                f"{self._param_noun} {name!r} does not accept "
+                f"parameter(s) {unknown}; accepted parameters: {menu}")
+
+    def create(self, name: str, **kwargs: object):
+        """Instantiate *name*, validating kwargs against the factory."""
+        factory = self.lookup(name)
+        self.validate_params(name, kwargs)
+        return factory(**kwargs)
+
+    def as_mapping(self) -> Mapping[str, Callable]:
+        """Read-only snapshot of the registry (name → factory)."""
+        return dict(self._factories)

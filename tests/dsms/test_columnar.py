@@ -1,0 +1,468 @@
+"""Unit tests: ColumnBatch, expressions, backend registry, state."""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.dsms import (
+    AggregateOperator,
+    BackendSpec,
+    ColumnarBackend,
+    ColumnBatch,
+    ContinuousQuery,
+    ScalarBackend,
+    SelectOperator,
+    StreamEngine,
+    StreamTuple,
+    SyntheticStream,
+    col,
+    make_backend,
+    registered_backends,
+    resolve_backend,
+)
+from repro.dsms.columnar import MISSING, column_array, supports_block
+from repro.dsms.windows import TopKOperator
+from repro.utils.validation import ValidationError
+
+
+def make_tuples():
+    return [
+        StreamTuple("s", 1, {"k": "a", "v": 1.5}),
+        StreamTuple("s", 1, {"k": "b", "v": -2.0, "extra": (1, 2)}),
+        StreamTuple("s", 2, {"k": "a", "v": 0.0}),
+    ]
+
+
+class TestColumnBatch:
+    def test_round_trip_exact(self):
+        tuples = make_tuples()
+        batch = ColumnBatch.from_tuples(tuples)
+        assert len(batch) == 3
+        assert batch.to_tuples() == tuples
+
+    def test_round_trip_preserves_python_types(self):
+        batch = ColumnBatch.from_tuples(
+            [StreamTuple("s", 1, {"n": 3, "f": 2.5, "b": True,
+                                  "s": "x"})])
+        payload = batch.to_tuples()[0].payload
+        assert type(payload["n"]) is int
+        assert type(payload["f"]) is float
+        assert type(payload["b"]) is bool
+        assert type(payload["s"]) is str
+
+    def test_ragged_payloads_round_trip(self):
+        tuples = [
+            StreamTuple("s", 1, {"a": 1}),
+            StreamTuple("s", 1, {"a": 2, "b": "x"}),
+            StreamTuple("s", 2, {"b": "y"}),
+        ]
+        batch = ColumnBatch.from_tuples(tuples)
+        assert batch.to_tuples() == tuples
+        # Missing attributes read as None, like StreamTuple.value.
+        assert batch.column_values("b") == [None, "x", "y"]
+        assert batch.column_values("nope") == [None, None, None]
+
+    def test_take_and_mask(self):
+        batch = ColumnBatch.from_tuples(make_tuples())
+        kept = batch.mask(np.array([True, False, True]))
+        assert [t.value("k") for t in kept.to_tuples()] == ["a", "a"]
+        sliced = batch.take(slice(1, 3))
+        assert len(sliced) == 2
+
+    def test_concat_mixed_streams(self):
+        left = ColumnBatch.from_tuples([StreamTuple("s1", 1, {"a": 1})])
+        right = ColumnBatch.from_tuples([StreamTuple("s2", 1, {"a": 2})])
+        merged = ColumnBatch.concat([left, right])
+        assert [t.stream for t in merged.to_tuples()] == ["s1", "s2"]
+
+    def test_empty(self):
+        batch = ColumnBatch.from_tuples([])
+        assert len(batch) == 0
+        assert batch.to_tuples() == []
+
+
+class TestColumnArray:
+    def test_numeric_packing(self):
+        assert column_array([1, 2, 3]).dtype.kind == "i"
+        assert column_array([1.5, 2.0]).dtype.kind == "f"
+        assert column_array([True, False]).dtype.kind == "b"
+        assert column_array(["a", "bb"]).dtype.kind == "U"
+
+    def test_mixed_types_stay_object_and_exact(self):
+        # Packing mixed numerics would silently rewrite values
+        # (True -> 1, 2 -> 2.0); exactness beats density.
+        for values in (["a", 1], [1.0, 2], [True, 2], [1, 2.5]):
+            arr = column_array(values)
+            assert arr.dtype == object
+            out = arr.tolist()
+            assert out == values
+            assert [type(v) for v in out] == [type(v) for v in values]
+
+    def test_huge_ints_stay_object(self):
+        arr = column_array([2**100, 1])
+        assert arr.dtype == object
+        assert arr.tolist() == [2**100, 1]
+
+
+class TestMissingSentinel:
+    def test_deepcopy_and_copy_keep_identity(self):
+        assert copy.deepcopy(MISSING) is MISSING
+        assert copy.copy(MISSING) is MISSING
+
+    def test_pickle_keeps_identity(self):
+        import pickle
+
+        assert pickle.loads(pickle.dumps(MISSING)) is MISSING
+
+
+class TestExpressions:
+    def test_scalar_and_block_agree(self):
+        batch = ColumnBatch.from_tuples(make_tuples())
+        for predicate in (
+            col("v").gt(0.0),
+            col("v").le(-2.0),
+            col("k").eq("a"),
+            col("k").isin(["b", "c"]),
+            col("v").gt(-3.0) & col("k").eq("a"),
+            col("v").lt(0.0) | col("k").ne("a"),
+            col("extra").eq((1, 2)),
+        ):
+            mask = predicate.eval_block(batch)
+            expected = [predicate(t) for t in batch.tuples()]
+            assert mask.tolist() == expected, predicate
+
+    def test_missing_attribute_never_matches(self):
+        t = StreamTuple("s", 1, {"other": 5})
+        batch = ColumnBatch.from_tuples([t, StreamTuple("s", 1, {"v": 1})])
+        predicate = col("v").gt(0)
+        assert predicate(t) is False
+        assert predicate.eval_block(batch).tolist() == [False, True]
+        # Even eq(None) is false for a missing attribute (SQL NULL).
+        assert col("v").eq(None)(t) is False
+
+    def test_col_as_key_function(self):
+        key = col("k")
+        t = StreamTuple("s", 1, {"k": "a"})
+        assert key(t) == "a"
+        assert supports_block(key)
+        assert not supports_block(lambda t: t.value("k"))
+
+
+class TestBackendRegistry:
+    def test_registered(self):
+        names = set(registered_backends())
+        assert {"scalar", "columnar"} <= names
+
+    def test_spec_parse_and_str(self):
+        spec = BackendSpec.parse("columnar:batch=1024")
+        assert spec.name == "columnar"
+        assert spec.params == {"batch": 1024}
+        assert str(spec) == "columnar:batch=1024"
+        assert isinstance(spec.create(), ColumnarBackend)
+        assert spec.create().batch_rows == 1024
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError, match="unknown execution backend"):
+            BackendSpec.parse("vectorwise").validate()
+
+    def test_bad_param_rejected(self):
+        with pytest.raises(ValidationError):
+            make_backend("scalar", batch=4)
+        with pytest.raises(ValidationError):
+            resolve_backend("columnar:batch=0")
+        # Typo'd parameters fail at *spec* time, naming the menu.
+        with pytest.raises(ValidationError, match="batch"):
+            BackendSpec.parse("columnar:chunk=64").validate()
+
+    def test_resolve_forms(self):
+        assert isinstance(resolve_backend("scalar"), ScalarBackend)
+        live = ColumnarBackend()
+        assert resolve_backend(live) is live
+        with pytest.raises(ValidationError):
+            resolve_backend(42)
+
+
+def _engine(backend):
+    return StreamEngine(
+        [SyntheticStream("s", rate=3, poisson=False, seed=0,
+                         payload_fn=lambda rng, tick, i:
+                         {"k": "ab"[i % 2], "v": float(tick + i)})],
+        capacity=100.0, backend=backend)
+
+
+class TestColumnarBackendState:
+    def test_pending_lives_in_backend_not_operator(self):
+        engine = _engine("columnar")
+        agg = AggregateOperator("agg", "s", "v", sum, window=10,
+                                group_by=col("k"))
+        engine.admit(ContinuousQuery("q", (agg,), sink_id="agg"))
+        engine.run(3)
+        assert agg.pending_tuples() == 0  # operator object untouched
+        assert engine.backend.pending_tuples(agg) == 9
+
+    def test_state_pruned_after_query_removal(self):
+        engine = _engine("columnar")
+        agg = AggregateOperator("agg", "s", "v", sum, window=10)
+        engine.admit(ContinuousQuery("q", (agg,), sink_id="agg"))
+        engine.run(2)
+        assert engine.backend._agg_state
+        engine.remove("q")
+        engine.run(1)
+        assert not engine.backend._agg_state
+
+    def test_fallback_operator_keeps_own_state(self):
+        # TopKOperator has no kernel: it must run its own scalar
+        # execute inside the columnar pipeline, state and all.
+        results = {}
+        for backend in ("scalar", "columnar"):
+            engine = _engine(backend)
+            top = TopKOperator("top", "s", lambda t: t.value("v"),
+                               k=2, window=3)
+            engine.admit(ContinuousQuery("q", (top,), sink_id="top"))
+            engine.run(4)
+            results[backend] = engine.results["q"]
+        assert results["scalar"] == results["columnar"]
+        assert results["scalar"]
+
+    def test_engine_deepcopy_isolates_columnar_state(self):
+        engine = _engine("columnar")
+        agg = AggregateOperator("agg", "s", "v", sum, window=10)
+        engine.admit(ContinuousQuery("q", (agg,), sink_id="agg"))
+        engine.run(2)
+        clone = copy.deepcopy(engine)
+        clone.run(3)
+        assert engine.backend.pending_tuples(
+            engine.catalog.operators["agg"]) == 6
+        assert clone.backend is not engine.backend
+
+    def test_one_backend_instance_per_spec_resolution(self):
+        first = resolve_backend("columnar")
+        second = resolve_backend("columnar")
+        assert first is not second
+
+
+class TestSelectChunking:
+    def test_chunked_mask_equals_unchunked(self):
+        rows = [StreamTuple("s", 1, {"v": float(i % 7)})
+                for i in range(50)]
+        batch = ColumnBatch.from_tuples(rows)
+        op = SelectOperator("sel", "s", col("v").gt(3.0))
+        from repro.dsms.columnar.kernels import select_kernel
+
+        small = select_kernel(op, batch, chunk_rows=8)
+        large = select_kernel(op, batch, chunk_rows=4096)
+        assert small.to_tuples() == large.to_tuples()
+        assert len(small) == sum(1 for t in rows if t.value("v") > 3.0)
+
+
+class TestReviewRegressions:
+    """Fixes found in review: state reuse, array payloads, NaN keys,
+    type rewrites."""
+
+    def test_recycled_op_id_starts_with_fresh_state(self):
+        # A removed aggregate's buffered window must not leak into a
+        # *new* operator object re-admitted under the same op id.
+        results = {}
+        for backend in ("scalar", "columnar"):
+            engine = _engine(backend)
+            first = AggregateOperator("agg", "s", "v", sum, window=3)
+            engine.admit(ContinuousQuery("q", (first,), sink_id="agg"))
+            engine.run(1)  # mid-window: one tick buffered
+            engine.begin_transition()
+            engine.end_transition(remove=["q"])  # no held tuples
+            second = AggregateOperator("agg", "s", "v", sum, window=3)
+            engine.admit(ContinuousQuery("q2", (second,),
+                                         sink_id="agg"))
+            engine.run(2)
+            results[backend] = (engine.results["q2"],
+                                engine.backend.pending_tuples(second))
+        assert results["scalar"] == results["columnar"]
+
+    def test_array_payload_values_survive_columnar(self):
+        import numpy as np
+
+        tuples = [StreamTuple("s", 1, {"v": np.array([1, 2])}),
+                  StreamTuple("s", 1, {"w": 3})]
+        batch = ColumnBatch.from_tuples(tuples)
+        out = batch.to_tuples()
+        assert np.array_equal(out[0].payload["v"], np.array([1, 2]))
+        assert out[1].payload == {"w": 3}
+        # Predicates over the other (ragged) column must not explode.
+        mask = col("w").gt(0).eval_block(batch)
+        assert mask.tolist() == [False, True]
+
+    def test_nan_join_keys_match_nothing_on_both_backends(self):
+        from repro.dsms import JoinOperator
+
+        def nan_payload(rng, tick, i):
+            return {"k": float("nan"), "x": i}
+
+        results = {}
+        for backend in ("scalar", "columnar"):
+            engine = StreamEngine(
+                [SyntheticStream("a", rate=3, poisson=False, seed=0,
+                                 payload_fn=nan_payload),
+                 SyntheticStream("b", rate=3, poisson=False, seed=1,
+                                 payload_fn=nan_payload)],
+                backend=backend)
+            join = JoinOperator("j", "a", "b", col("k"), col("k"),
+                                window=2)
+            engine.admit(ContinuousQuery("q", (join,), sink_id="j"))
+            engine.run(3)
+            results[backend] = len(engine.results["q"])
+        assert results["scalar"] == results["columnar"] == 0
+
+    def test_mixed_numeric_payloads_round_trip_exact_types(self):
+        tuples = [StreamTuple("s", 1, {"v": True}),
+                  StreamTuple("s", 1, {"v": 2}),
+                  StreamTuple("s", 2, {"v": 2.5})]
+        out = ColumnBatch.from_tuples(tuples).to_tuples()
+        assert out == tuples
+        assert [type(t.payload["v"]) for t in out] == [bool, int, float]
+
+    def test_concat_never_upcasts_across_batches(self):
+        ints = ColumnBatch.from_tuples(
+            [StreamTuple("s", 1, {"v": 1})])
+        floats = ColumnBatch.from_tuples(
+            [StreamTuple("s", 1, {"v": 2.5})])
+        merged = ColumnBatch.concat([ints, floats]).to_tuples()
+        assert [t.payload["v"] for t in merged] == [1, 2.5]
+        assert type(merged[0].payload["v"]) is int
+
+    def test_large_int_vs_float_join_keys_stay_distinct(self):
+        # int64+float64 key concat would upcast and equate 2**53+1
+        # with float(2**53); the dict path keeps them exact.
+        from repro.dsms.columnar.kernels import factorize_pair
+        import numpy as np
+
+        left = np.asarray([2**53 + 1])
+        right = np.asarray([float(2**53)])
+        codes_l, codes_r, _ = factorize_pair(left, right)
+        assert codes_l[0] != codes_r[0]
+        # Plain equal int/float keys still match, like scalar == does.
+        codes_l, codes_r, _ = factorize_pair(
+            np.asarray([1]), np.asarray([1.0]))
+        assert codes_l[0] == codes_r[0]
+
+    def test_nul_strings_round_trip(self):
+        tuples = [StreamTuple("s", 1, {"v": "a\x00"}),
+                  StreamTuple("s", 1, {"v": "b"})]
+        out = ColumnBatch.from_tuples(tuples).to_tuples()
+        assert out == tuples
+        assert out[0].payload["v"] == "a\x00"
+
+    def test_nan_isin_identity_matches_scalar(self):
+        nan = float("nan")
+        t = StreamTuple("s", 1, {"v": nan})
+        batch = ColumnBatch.from_tuples(
+            [t, StreamTuple("s", 1, {"v": 1.0})])
+        predicate = col("v").isin([nan])
+        # Scalar `in` matches NaN by identity; the block path must too
+        # (NaN-holding columns stay object-typed, preserving identity).
+        assert predicate(t) is True
+        assert predicate.eval_block(batch).tolist() == [
+            predicate(s) for s in batch.tuples()]
+
+    def test_nan_payloads_preserve_identity_in_columns(self):
+        nan = float("nan")
+        batch = ColumnBatch.from_tuples(
+            [StreamTuple("s", 1, {"v": nan})])
+        assert batch.columns["v"].dtype == object
+        assert batch.to_tuples()[0].payload["v"] is nan
+
+    def test_int_float_comparisons_stay_exact(self):
+        big = 2**53
+        batch = ColumnBatch.from_tuples(
+            [StreamTuple("s", 1, {"x": big + 1})])
+        t = batch.tuples()[0]
+        for predicate in (col("x").eq(float(big)),
+                          col("x").gt(float(big)),
+                          col("x").isin([float(big)]),
+                          col("x").ne(float(big))):
+            assert predicate.eval_block(batch).tolist() == [
+                predicate(t)], predicate
+        # The common float-column case still takes the numpy path
+        # and agrees with scalar.
+        fbatch = ColumnBatch.from_tuples(
+            [StreamTuple("s", 1, {"v": 1.5})])
+        assert col("v").gt(0).eval_block(fbatch).tolist() == [True]
+
+    def test_nul_string_comparison_constants_stay_exact(self):
+        batch = ColumnBatch.from_tuples(
+            [StreamTuple("s", 1, {"x": "a"}),
+             StreamTuple("s", 1, {"x": "b"})])
+        t = batch.tuples()[0]
+        for predicate in (col("x").eq("a\x00"), col("x").ne("a\x00")):
+            assert predicate.eval_block(batch).tolist() == [
+                predicate(s) for s in batch.tuples()], predicate
+        assert col("x").eq("a\x00")(t) is False
+
+
+class TestPreBackendCheckpointCompat:
+    """Pickles from builds without `backend`/`_order_cache` resume."""
+
+    def test_engine_setstate_defaults_scalar_backend(self):
+        from repro.dsms.backend import ScalarBackend
+        from repro.dsms.plan import QueryPlanCatalog
+
+        engine = _engine("scalar")
+        engine.admit(ContinuousQuery(
+            "q", (SelectOperator("sel", "s", col("v").gt(0.0)),),
+            sink_id="sel"))
+        engine.run(2)
+        delivered_before = len(engine.results["q"])
+        # Emulate a pre-backend pickle: the attributes do not exist.
+        state = dict(engine.__dict__)
+        del state["backend"]
+        catalog_state = dict(state["catalog"].__dict__)
+        del catalog_state["_order_cache"]
+        old_catalog = object.__new__(QueryPlanCatalog)
+        old_catalog.__setstate__(catalog_state)
+        state["catalog"] = old_catalog
+        revived = object.__new__(StreamEngine)
+        revived.__setstate__(state)
+        assert isinstance(revived.backend, ScalarBackend)
+        revived.run(2)  # must execute, not AttributeError
+        assert len(revived.results["q"]) == delivered_before + 6
+
+    def test_bool_combine_with_plain_callable_side(self):
+        # README promise: arbitrary Python predicates work on the
+        # columnar backend — including mixed into & / | combinations.
+        mixed = col("v").gt(0.0) & (lambda t: t.value("k") == "a")
+        results = {}
+        for backend in ("scalar", "columnar:batch=2"):
+            engine = _engine(backend)
+            sel = SelectOperator("sel", "s", mixed)
+            engine.admit(ContinuousQuery("q", (sel,), sink_id="sel"))
+            engine.run(4)  # > batch size: exercises the chunk gate
+            results[backend] = engine.results["q"]
+        assert results["scalar"] == results["columnar:batch=2"]
+        assert results["scalar"]
+
+    def test_overridden_work_meters_identically(self):
+        class CostlySelect(SelectOperator):
+            def work(self, batches):
+                return 2.0 * super().work(batches)
+
+        loads = {}
+        for backend in ("scalar", "columnar"):
+            engine = _engine(backend)
+            sel = CostlySelect("sel", "s", col("v").gt(0.0),
+                               cost_per_tuple=1.0)
+            engine.admit(ContinuousQuery("q", (sel,), sink_id="sel"))
+            engine.run(3)
+            loads[backend] = engine.measured_loads()
+        assert loads["scalar"] == loads["columnar"]
+
+    def test_pickle_and_deepcopy_drop_tuple_cache(self):
+        import pickle
+
+        batch = ColumnBatch.from_tuples(make_tuples())
+        batch.tuples()  # populate the cache
+        revived = pickle.loads(pickle.dumps(batch))
+        assert revived._tuples is None
+        assert revived.to_tuples() == batch.to_tuples()
+        clone = copy.deepcopy(batch)
+        assert clone._tuples is None
+        assert clone.to_tuples() == batch.to_tuples()

@@ -156,3 +156,38 @@ class TestValidation:
         with pytest.raises(ValidationError):
             JoinOperator("j", "L", "R", lambda t: 1, lambda t: 1,
                          window=0)
+
+
+class TestFlushPartial:
+    def _aggregate(self, group_by=None):
+        return AggregateOperator(
+            "agg", "s", "x", sum, window=10, group_by=group_by)
+
+    def test_flush_emits_partial_groups_and_clears(self):
+        op = self._aggregate(group_by=lambda t: t.value("g"))
+        op.execute({"s": [
+            StreamTuple("s", 1, {"g": "a", "x": 1}),
+            StreamTuple("s", 2, {"g": "b", "x": 2}),
+            StreamTuple("s", 2, {"g": "a", "x": 3}),
+        ]})
+        assert op.pending_tuples() == 3
+        flushed = op.flush_partial()
+        assert op.pending_tuples() == 0
+        by_group = {t.value("group"): t for t in flushed}
+        assert by_group["a"].value("value") == 4
+        assert by_group["b"].value("value") == 2
+        assert all(t.value("partial") is True for t in flushed)
+        assert all(t.tick == 2 for t in flushed)
+
+    def test_flush_on_empty_buffer_is_noop(self):
+        op = self._aggregate()
+        assert op.flush_partial() == []
+
+    def test_window_restarts_after_flush(self):
+        op = self._aggregate()
+        op.execute({"s": [StreamTuple("s", 1, {"x": 1})]})
+        op.flush_partial()
+        # A fresh window starts counting from the next input tick.
+        out = op.execute({"s": [StreamTuple("s", 30, {"x": 5})]})
+        assert out == []
+        assert op.pending_tuples() == 1

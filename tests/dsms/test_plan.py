@@ -97,3 +97,49 @@ class TestTopology:
         ])
         sub = [op.op_id for op in catalog.subgraph_order(["q1"])]
         assert sub == ["a"]
+
+
+class TestTopologicalOrderCache:
+    def test_repeated_calls_return_equal_fresh_lists(self):
+        a = select("a")
+        catalog = QueryPlanCatalog(
+            [ContinuousQuery("q", (a,), sink_id="a")])
+        first = catalog.topological_order()
+        second = catalog.topological_order()
+        assert first == second
+        assert first is not second  # callers may mutate their copy
+        first.clear()
+        assert catalog.topological_order() == second
+
+    def test_cache_invalidated_by_add_and_remove(self):
+        a = select("a")
+        catalog = QueryPlanCatalog(
+            [ContinuousQuery("q1", (a,), sink_id="a")])
+        assert [op.op_id for op in catalog.topological_order()] == ["a"]
+        b = select("b")
+        catalog.add(ContinuousQuery("q2", (b,), sink_id="b"))
+        assert [op.op_id for op in catalog.topological_order()] == [
+            "a", "b"]
+        catalog.remove("q1")
+        assert [op.op_id for op in catalog.topological_order()] == ["b"]
+
+    def test_cache_invalidated_by_engine_transition(self):
+        # apply_changes regression: a transition mutates the plan
+        # through add/remove, so the next tick must execute the new
+        # operator set, not a stale cached order.
+        from repro.dsms.engine import StreamEngine
+        from repro.dsms.streams import SyntheticStream
+
+        engine = StreamEngine(
+            [SyntheticStream("s", rate=2, poisson=False, seed=0)])
+        engine.admit(ContinuousQuery("q1", (select("a"),), sink_id="a"))
+        engine.run(2)
+        engine.transition(
+            add=[ContinuousQuery("q2", (select("b"),), sink_id="b")],
+            remove=["q1"])
+        engine.run(2)
+        order = [op.op_id for op in engine.catalog.topological_order()]
+        assert order == ["b"]
+        # 2 held-and-replayed tuples + 2 ticks × 2: the new operator
+        # set executed, including over the transition's held arrivals.
+        assert len(engine.results["q2"]) == 6

@@ -27,11 +27,30 @@ class TestStreamTuple:
         assert derived.origin == t.origin
         assert derived.payload == {"b": 2}
 
-    def test_immutable_payload_copy(self):
+    def test_dict_payload_ownership_no_copy(self):
+        # Hot path: a payload passed as a plain dict is adopted as-is
+        # (the constructor takes ownership, no per-tuple copy).
         payload = {"a": 1}
         t = StreamTuple("s", 1, payload)
-        payload["a"] = 99
-        assert t.value("a") == 1
+        assert t.payload is payload
+
+    def test_non_dict_mapping_converted_once(self):
+        import types
+
+        proxy = types.MappingProxyType({"a": 1})
+        t = StreamTuple("s", 1, proxy)
+        assert type(t.payload) is dict
+        assert t.payload == {"a": 1}
+
+    def test_aliasing_safety_across_derivation(self):
+        # Operators derive with *fresh* payload dicts; the original
+        # tuple's payload must never be shared with the derived one.
+        t = StreamTuple("s", 1, {"a": 1, "b": 2})
+        derived = t.derive(payload={"a": t.payload["a"]})
+        assert derived.payload is not t.payload
+        assert t.payload == {"a": 1, "b": 2}
+        same = t.derive()  # payload unchanged -> sharing is fine
+        assert same.payload is t.payload
 
 
 class TestSyntheticStream:
