@@ -1,0 +1,234 @@
+"""Auction throughput: reference vs fast selection on one shared workload.
+
+Generates a Table III workload instance (5k queries with operator
+sharing at full scale), runs every mechanism of the paper's line-up —
+CAR, CAF, CAF+, CAT, CAT+, GV, Two-price — through both selection
+paths, and measures end-to-end ``Mechanism.run`` wall time.  Every
+(reference, fast) pair is asserted outcome-identical (the benchmark
+doubles as an at-scale differential check), the
+:class:`~repro.core.fastpath.InstanceIndex` build cost is measured and
+reported separately (it is cached on the instance, so a service pays
+it once per auction input), and the ``Mechanism._seal`` micro-benchmark
+checks the truthful fast path returns the instance unchanged.
+
+The run prints a comparison table and writes ``BENCH_auction.json`` at
+the repo root — the perf-trajectory artifact CI and later PRs diff
+against:
+
+    python benchmarks/bench_auction_throughput.py           # full
+    python benchmarks/bench_auction_throughput.py --smoke   # CI-sized
+
+Full scale asserts the fast path clears a 5x aggregate speedup on the
+5k-query shared-operator workload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import Mechanism, make_mechanism  # noqa: E402
+from repro.core.fastpath import InstanceIndex  # noqa: E402
+from repro.core.model import AuctionInstance, Query  # noqa: E402
+from repro.utils.tables import format_table  # noqa: E402
+from repro.workload.generator import (  # noqa: E402
+    WorkloadConfig,
+    WorkloadGenerator,
+)
+
+ROOT = Path(__file__).resolve().parent.parent
+OUT_PATH = ROOT / "BENCH_auction.json"
+
+#: The paper's line-up (Section VI) plus CAR and GV.
+MECHANISMS = ("CAR", "CAF", "CAF+", "CAT", "CAT+", "GV", "two-price")
+
+
+def make(name: str):
+    if name == "two-price":
+        return make_mechanism(name, seed=7)
+    return make_mechanism(name)
+
+
+def time_run(mechanism, instance, repeats: int):
+    """Best-of-*repeats* wall time of ``mechanism.run(instance)``."""
+    best = float("inf")
+    outcome = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        outcome = mechanism.run(instance)
+        best = min(best, time.perf_counter() - started)
+    return outcome, best
+
+
+def bench_seal(instance, iterations: int = 50):
+    """Micro-benchmark of ``Mechanism._seal`` (the truthful fast path).
+
+    On a truthful instance the seal must return the instance object
+    itself; on one with a divergent valuation it rebuilds.  Returns
+    per-call seconds for both plus the identity check.
+    """
+    sealed = Mechanism._seal(instance)
+    identity = sealed is instance
+
+    query = instance.queries[0]
+    divergent = AuctionInstance(
+        instance.operators,
+        (Query(query.query_id, query.operator_ids, query.bid,
+               valuation=query.bid + 1.0, owner=query.owner),
+         ) + instance.queries[1:],
+        instance.capacity,
+    )
+
+    started = time.perf_counter()
+    for _ in range(iterations):
+        Mechanism._seal(instance)
+    truthful = (time.perf_counter() - started) / iterations
+
+    started = time.perf_counter()
+    for _ in range(iterations):
+        Mechanism._seal(divergent)
+    rebuilt = (time.perf_counter() - started) / iterations
+    return {
+        "truthful_is_identity": identity,
+        "truthful_seconds_per_call": truthful,
+        "divergent_seconds_per_call": rebuilt,
+    }
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="reference vs fast auction selection throughput")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (small workload, no speedup "
+                             "assertion)")
+    parser.add_argument("--queries", type=int, default=None)
+    parser.add_argument("--sharing", type=int, default=8,
+                        help="maximum degree of operator sharing")
+    parser.add_argument("--capacity-frac", type=float, default=0.08,
+                        help="server capacity as a fraction of total "
+                             "query demand")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timing repeats per (mechanism, path); "
+                             "best-of is recorded")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--output", default=None,
+                        help="JSON artifact path (default: repo-root "
+                             "BENCH_auction.json; smoke runs write to "
+                             "benchmarks/out/ so they never clobber "
+                             "the committed full-run record)")
+    args = parser.parse_args(argv)
+
+    if args.output is None:
+        if args.smoke:
+            out_dir = ROOT / "benchmarks" / "out"
+            out_dir.mkdir(exist_ok=True)
+            args.output = str(out_dir / "BENCH_auction_smoke.json")
+        else:
+            args.output = str(OUT_PATH)
+    if args.queries is None:
+        args.queries = 300 if args.smoke else 5000
+    if args.repeats is None:
+        args.repeats = 1 if args.smoke else 3
+
+    generator = WorkloadGenerator(
+        config=WorkloadConfig().scaled(args.queries), seed=args.seed)
+    instance = generator.instance(max_sharing=args.sharing)
+    instance = instance.with_capacity(
+        instance.total_demand() * args.capacity_frac)
+
+    # The index is built once per instance and cached on it; measure
+    # the build separately, then let the timed runs use the warm cache
+    # (exactly what a service re-auctioning the pool would see).
+    started = time.perf_counter()
+    InstanceIndex.of(instance)
+    index_build = time.perf_counter() - started
+
+    results = []
+    total_reference = total_fast = 0.0
+    for name in MECHANISMS:
+        reference, ref_seconds = time_run(
+            make(name), instance, args.repeats)
+        fast, fast_seconds = time_run(
+            make(name).use_selection("fast:strict=true"),
+            instance, args.repeats)
+        # Differential sanity at benchmark scale: identical outcomes.
+        assert reference.payments == fast.payments, (
+            f"{name}: payments diverged")
+        assert list(reference.payments) == list(fast.payments), (
+            f"{name}: payment ordering diverged")
+        assert reference.details == fast.details, (
+            f"{name}: details diverged")
+        total_reference += ref_seconds
+        total_fast += fast_seconds
+        results.append({
+            "mechanism": reference.mechanism,
+            "reference_seconds": ref_seconds,
+            "fast_seconds": fast_seconds,
+            "speedup": ref_seconds / fast_seconds,
+            "winners": len(reference.payments),
+            "reference_queries_per_sec": args.queries / ref_seconds,
+            "fast_queries_per_sec": args.queries / fast_seconds,
+        })
+
+    aggregate = total_reference / total_fast
+    seal = bench_seal(instance)
+    assert seal["truthful_is_identity"], (
+        "Mechanism._seal copied a truthful instance")
+
+    rows = [
+        [r["mechanism"], r["reference_seconds"], r["fast_seconds"],
+         r["speedup"], r["winners"], r["fast_queries_per_sec"]]
+        for r in results
+    ]
+    print(format_table(
+        ["mechanism", "reference s", "fast s", "speedup", "winners",
+         "fast queries/s"],
+        rows, precision=4,
+        title=(f"Auction throughput — {args.queries} queries, "
+               f"sharing {args.sharing}, capacity "
+               f"{args.capacity_frac:g}x demand")))
+    print(f"index build: {index_build * 1000:.1f} ms (cached per "
+          f"instance)")
+    print(f"aggregate speedup: {aggregate:.2f}x "
+          f"({total_reference:.3f}s -> {total_fast:.3f}s)")
+
+    document = {
+        "benchmark": "auction_throughput",
+        "mode": "smoke" if args.smoke else "full",
+        "workload": {
+            "shape": "Table III workload, shared operators",
+            "queries": args.queries,
+            "operators": len(instance.operators),
+            "max_sharing": args.sharing,
+            "capacity": instance.capacity,
+            "total_demand": instance.total_demand(),
+            "capacity_frac": args.capacity_frac,
+            "seed": args.seed,
+            "repeats": args.repeats,
+        },
+        "index_build_seconds": index_build,
+        "results": results,
+        "aggregate": {
+            "reference_seconds": total_reference,
+            "fast_seconds": total_fast,
+            "speedup": aggregate,
+        },
+        "seal": seal,
+    }
+    Path(args.output).write_text(json.dumps(document, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    # At full scale the fast path must clear the 5x acceptance bar.
+    if not args.smoke:
+        assert aggregate >= 5.0, (
+            f"aggregate fast speedup {aggregate:.2f}x below the 5x bar")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

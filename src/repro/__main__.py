@@ -24,9 +24,12 @@ Examples::
     python -m repro run CAT wl1.json wl2.json wl3.json
     python -m repro simulate --mechanism CAT --periods 5
     python -m repro simulate --backend columnar --rate 200 --periods 3
+    python -m repro simulate --selection fast --profile --periods 3
     python -m repro simulate --periods 3 --checkpoint svc.ckpt
     python -m repro simulate --periods 2 --resume svc.ckpt
     python -m repro cluster --shards 4 --periods 5 --batch
+    python -m repro cluster --selection fast --batch --periods 5
+    python -m repro run CAT wl.json --selection fast
     python -m repro cluster --backend columnar:batch=2048 --periods 3
     python -m repro cluster --placement least-loaded --periods 3
     python -m repro cluster --periods 2 --checkpoint cl.ckpt
@@ -61,8 +64,13 @@ def _spec_with_seed(text: str, seed: "int | None") -> MechanismSpec:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.core.selection import SelectionSpec
+
     spec = _spec_with_seed(args.mechanism, args.seed)
     mechanism = spec.create()
+    if args.selection:
+        mechanism.use_selection(
+            SelectionSpec.parse(args.selection).validate())
     instances = [load_instance(path) for path in args.instance]
     outcomes = mechanism.run_many(instances)
     if len(outcomes) == 1:
@@ -112,6 +120,35 @@ def _synthetic_submissions(period, count, seed, owner_of):
             owner=owner_of(index))
 
 
+def _profiled_period(service, timings: "list[dict]") -> "object":
+    """One service period through the phased API, timing each phase.
+
+    Equivalent to :meth:`AdmissionService.run_period`, with
+    ``time.perf_counter`` wrapped around prepare / auction / settle /
+    execute; appends the phase record to *timings* and returns the
+    period report.
+    """
+    import time
+
+    t0 = time.perf_counter()
+    preparation = service.prepare_period()
+    t1 = time.perf_counter()
+    outcome = service.mechanism.run(preparation.instance)
+    t2 = time.perf_counter()
+    settlement = service.settle_period(preparation, outcome)
+    t3 = time.perf_counter()
+    report = service.execute_period(settlement)
+    t4 = time.perf_counter()
+    timings.append({
+        "period": report.period,
+        "prepare": t1 - t0,
+        "auction": t2 - t1,
+        "settle": t3 - t2,
+        "execute": t4 - t3,
+    })
+    return report
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.dsms.streams import SyntheticStream
     from repro.service import AdmissionService, ServiceBuilder
@@ -119,29 +156,40 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
     if args.resume:
         service = AdmissionService.load_checkpoint(args.resume)
+        if args.selection:
+            service.mechanism.use_selection(args.selection)
         start = service.period
     else:
         from repro.dsms.backend import BackendSpec
 
         spec = _spec_with_seed(args.mechanism, args.seed)
-        service = (ServiceBuilder()
+        builder = (ServiceBuilder()
                    .with_sources(SyntheticStream(
                        "s", rate=args.rate, seed=args.seed))
                    .with_capacity(args.capacity)
                    .with_mechanism(spec)
                    .with_ticks_per_period(args.ticks)
                    .with_backend(
-                       BackendSpec.parse(args.backend).validate())
-                   .build())
+                       BackendSpec.parse(args.backend).validate()))
+        if args.selection:
+            from repro.core.selection import SelectionSpec
+
+            builder.with_selection(
+                SelectionSpec.parse(args.selection).validate())
+        service = builder.build()
         start = 0
 
     rows = []
+    timings: list[dict] = []
     for period in range(start + 1, start + args.periods + 1):
         for query in _synthetic_submissions(
                 period, args.queries_per_period, args.seed,
                 lambda index: f"user_{index}"):
             service.submit(query)
-        report = service.run_period()
+        if args.profile:
+            report = _profiled_period(service, timings)
+        else:
+            report = service.run_period()
         rows.append([
             report.period,
             len(report.admitted),
@@ -161,6 +209,17 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print(f"total revenue: {service.total_revenue():.2f}")
     if args.checkpoint:
         print(f"checkpoint written to {args.checkpoint}")
+    if args.profile:
+        totals = {
+            phase: sum(entry[phase] for entry in timings)
+            for phase in ("prepare", "auction", "settle", "execute")
+        }
+        print(json.dumps({
+            "profile": "simulate",
+            "mechanism": str(service.mechanism.name),
+            "periods": timings,
+            "totals": totals,
+        }, indent=2))
     return 0
 
 
@@ -171,10 +230,23 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
 
     if args.resume:
         cluster = FederatedAdmissionService.load_checkpoint(args.resume)
+        if args.selection:
+            from repro.core.selection import SelectionSpec
+
+            spec = SelectionSpec.parse(args.selection).validate()
+            for shard in cluster.shards:
+                shard.mechanism.use_selection(spec)
+        if args.auction_workers is not None:
+            cluster.auction_workers = args.auction_workers
         start = cluster.period
     else:
         from repro.dsms.backend import BackendSpec
 
+        selection = None
+        if args.selection:
+            from repro.core.selection import SelectionSpec
+
+            selection = SelectionSpec.parse(args.selection).validate()
         spec = _spec_with_seed(args.mechanism, args.seed)
         cluster = FederatedAdmissionService.build(
             num_shards=args.shards,
@@ -183,8 +255,10 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             mechanism=spec,
             ticks_per_period=args.ticks,
             backend=BackendSpec.parse(args.backend).validate(),
+            selection=selection,
             placement=args.placement,
             rebalance=not args.no_rebalance,
+            auction_workers=args.auction_workers,
         )
         start = 0
 
@@ -273,6 +347,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=0,
                      help="seed for randomized mechanisms (unless the "
                           "spec sets one)")
+    run.add_argument("--selection", default=None,
+                     help="winner-selection path spec: reference, "
+                          "fast, fast:strict=true")
     run.add_argument("-o", "--output", default=None,
                      help="also write the outcome JSON here")
     run.set_defaults(handler=_cmd_run)
@@ -292,6 +369,13 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--backend", default="scalar",
                           help="execution backend spec: scalar, "
                                "columnar, columnar:batch=1024")
+    simulate.add_argument("--selection", default=None,
+                          help="winner-selection path spec: reference "
+                               "(default), fast")
+    simulate.add_argument("--profile", action="store_true",
+                          help="dump per-phase (prepare/auction/"
+                               "settle/execute) wall-clock timings "
+                               "as JSON after the run")
     simulate.add_argument("--seed", type=int, default=0)
     simulate.add_argument("--checkpoint", default=None,
                           help="write a resumable checkpoint here "
@@ -328,10 +412,17 @@ def build_parser() -> argparse.ArgumentParser:
                          help="execution backend spec applied to "
                               "every shard: scalar, columnar, "
                               "columnar:batch=1024")
+    cluster.add_argument("--selection", default=None,
+                         help="winner-selection path spec applied to "
+                              "every shard: reference (default), fast")
     cluster.add_argument("--seed", type=int, default=0)
     cluster.add_argument("--batch", action="store_true",
                          help="use the run_period_all batch auction "
-                              "path")
+                              "path (independent shard auctions run "
+                              "on a thread pool)")
+    cluster.add_argument("--auction-workers", type=int, default=None,
+                         help="thread-pool width for --batch auctions "
+                              "(default: CPU count)")
     cluster.add_argument("--no-rebalance", action="store_true",
                          help="disable cross-shard migration of "
                               "rejected queries")

@@ -34,6 +34,16 @@ from repro.core.mechanism import (
     run_batch,
 )
 from repro.core.model import AuctionInstance, Operator, Query
+from repro.core.selection import (
+    FastSelection,
+    ReferenceSelection,
+    SelectionPath,
+    SelectionSpec,
+    make_selection,
+    register_selection,
+    registered_selections,
+    resolve_selection,
+)
 from repro.core.optc import (
     ConstantPricing,
     OptimalConstantPrice,
@@ -74,6 +84,7 @@ __all__ = [
     "CATPlus",
     "ConstantPricing",
     "ExactSolution",
+    "FastSelection",
     "GreedyByValuation",
     "KUnitAuction",
     "KnapsackAuction",
@@ -85,16 +96,23 @@ __all__ = [
     "PAPER_MECHANISMS",
     "Query",
     "RandomAdmission",
+    "ReferenceSelection",
+    "SelectionPath",
+    "SelectionSpec",
     "TwoPrice",
     "greedy_value_gap",
     "make_mechanism",
+    "make_selection",
     "mechanism_params",
     "optimal_constant_pricing",
     "optimal_single_price",
     "optimal_winner_set",
     "register_mechanism",
+    "register_selection",
     "resolve_mechanism",
+    "resolve_selection",
     "registered_mechanisms",
+    "registered_selections",
     "run_batch",
     "remaining_load",
     "static_fair_share_load",

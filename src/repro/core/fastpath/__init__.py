@@ -1,0 +1,40 @@
+"""Vectorized auction kernels — the ``"fast"`` selection path.
+
+The package compiles an immutable :class:`AuctionInstance` into flat
+arrays once (:class:`InstanceIndex`, cached on the instance) and runs
+the paper's mechanisms on them: CSR row-sum load measures, a bitmask
+greedy walk, an incremental remaining-load CAR, an O(n log n) uniform
+price.  Every kernel is the bitwise twin of its pure-Python reference
+(:mod:`repro.core.loads` / :mod:`repro.core.greedy` /
+:mod:`repro.core.movement_window` / :mod:`repro.core.two_price`);
+``tests/core/test_fastpath_differential.py`` pins the equivalence.
+
+Selected through the :mod:`repro.core.selection` registry: spec string
+``"fast"`` (or ``"fast:strict=true"`` to forbid silent fallback).
+"""
+
+from repro.core.fastpath.index import InstanceIndex
+from repro.core.fastpath.kernels import (
+    FastTracker,
+    bid_order_indices,
+    density_order,
+    density_priorities,
+    find_last,
+    greedy_walk,
+    movement_window_lasts,
+    optimal_single_price_array,
+)
+from repro.core.fastpath.select import fast_select
+
+__all__ = [
+    "FastTracker",
+    "InstanceIndex",
+    "bid_order_indices",
+    "density_order",
+    "density_priorities",
+    "fast_select",
+    "find_last",
+    "greedy_walk",
+    "movement_window_lasts",
+    "optimal_single_price_array",
+]

@@ -1,0 +1,153 @@
+"""A compiled, array-backed index over an :class:`AuctionInstance`.
+
+The reference mechanisms walk the instance through Python dictionaries:
+every load measure is a generator sum of ``instance.operator(op_id).load``
+lookups, every capacity test a set union.  :class:`InstanceIndex`
+compiles the instance once into flat arrays —
+
+* a CSR query → operator membership matrix (``indptr`` / ``indices``,
+  operator indices stored in each query's declared operator order);
+* contiguous numpy arrays for operator loads, sharing degrees and bids
+  (plus plain-``float`` list mirrors for the scalar hot loops, where
+  boxed ``np.float64`` item access would dominate);
+* the precomputed per-query load measures ``C^T`` and ``C^SF``; and
+* a lexicographic rank per query id, so vectorized sorts can reproduce
+  the reference tie-breaking exactly.
+
+Exactness contract: every derived float is accumulated in *the same
+order* as the reference code (left-to-right over each query's declared
+operators), so fast-path selections are bitwise identical to the pure
+Python ones — the property the differential suite pins.
+
+Instances are immutable, so the index is built once and cached on the
+instance itself (never invalidated).  The cache is deliberately
+excluded from pickling and deep copies (see
+``AuctionInstance.__getstate__``): checkpoints stay lean and a restored
+instance simply rebuilds its index on first fast-path use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.model import AuctionInstance
+
+#: Attribute name under which the index is cached on the instance.
+_CACHE_ATTR = "_fastpath_cache"
+
+
+class InstanceIndex:
+    """Flat-array view of one :class:`AuctionInstance` (immutable)."""
+
+    __slots__ = (
+        "capacity",
+        "num_queries",
+        "num_operators",
+        "query_ids",
+        "op_ids",
+        "op_loads",
+        "op_loads_list",
+        "sharing",
+        "indptr",
+        "indices",
+        "query_ops",
+        "op_queries",
+        "bids",
+        "bids_list",
+        "simple_queries",
+        "total_loads",
+        "total_loads_list",
+        "fair_share_loads",
+        "fair_share_loads_list",
+        "id_rank",
+    )
+
+    def __init__(self, instance: AuctionInstance) -> None:
+        queries = instance.queries
+        n = len(queries)
+        self.capacity = float(instance.capacity)
+        self.num_queries = n
+        self.query_ids = [q.query_id for q in queries]
+
+        # Operator catalogue in the instance's (dict) order.
+        self.op_ids = list(instance.operators)
+        op_index = {op_id: i for i, op_id in enumerate(self.op_ids)}
+        self.num_operators = len(self.op_ids)
+        self.op_loads_list = [
+            instance.operators[op_id].load for op_id in self.op_ids]
+        self.op_loads = np.asarray(self.op_loads_list, dtype=np.float64)
+        sharing_list = [instance.sharing_degree(op_id)
+                        for op_id in self.op_ids]
+        self.sharing = np.asarray(sharing_list, dtype=np.int64)
+
+        # CSR membership, operator indices in declared query order, and
+        # the sequentially-accumulated load measures (the accumulation
+        # order matters: it reproduces the reference sums bitwise).
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        indices: list[int] = []
+        query_ops: list[list[int]] = []
+        total_loads: list[float] = []
+        fair_share_loads: list[float] = []
+        loads = self.op_loads_list
+        for qi, query in enumerate(queries):
+            ops = [op_index[op_id] for op_id in query.operator_ids]
+            query_ops.append(ops)
+            indices.extend(ops)
+            indptr[qi + 1] = len(indices)
+            total = 0.0
+            fair = 0.0
+            for o in ops:
+                load = loads[o]
+                total += load
+                fair += load / sharing_list[o]
+            total_loads.append(total)
+            fair_share_loads.append(fair)
+        self.indptr = indptr
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.query_ops = query_ops
+        self.total_loads_list = total_loads
+        self.fair_share_loads_list = fair_share_loads
+        self.total_loads = np.asarray(total_loads, dtype=np.float64)
+        self.fair_share_loads = np.asarray(
+            fair_share_loads, dtype=np.float64)
+
+        self.bids_list = [q.bid for q in queries]
+        self.bids = np.asarray(self.bids_list, dtype=np.float64)
+
+        # Queries whose operators are all unshared (degree 1): their
+        # marginal load is always their full total load, and admitting
+        # them can never change any other query's marginal — the
+        # skip-over movement-window kernel exploits both.
+        self.simple_queries = [
+            all(sharing_list[o] == 1 for o in ops) for ops in query_ops]
+
+        # Transpose: operator → queries containing it, in instance query
+        # order (CAR's incremental remaining-load updates walk these).
+        op_members: list[list[int]] = [[] for _ in range(self.num_operators)]
+        for qi, ops in enumerate(query_ops):
+            for o in ops:
+                op_members[o].append(qi)
+        self.op_queries = [
+            np.asarray(members, dtype=np.int64) for members in op_members]
+
+        # Rank of each query id in lexicographic order: the vectorized
+        # tie-break key standing in for the reference's string compare.
+        order = sorted(range(n), key=self.query_ids.__getitem__)
+        id_rank = np.empty(n, dtype=np.int64)
+        for rank, qi in enumerate(order):
+            id_rank[qi] = rank
+        self.id_rank = id_rank
+
+    @classmethod
+    def of(cls, instance: AuctionInstance) -> "InstanceIndex":
+        """The index of *instance*, built once and cached on it."""
+        cached = getattr(instance, _CACHE_ATTR, None)
+        if cached is not None:
+            return cached
+        index = cls(instance)
+        object.__setattr__(instance, _CACHE_ATTR, index)
+        return index
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<InstanceIndex {self.num_queries} queries / "
+                f"{self.num_operators} operators>")

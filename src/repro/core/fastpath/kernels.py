@@ -1,0 +1,341 @@
+"""Array-based auction kernels over an :class:`InstanceIndex`.
+
+Each kernel is the exact computational twin of a pure-Python reference
+routine — same float accumulation order, same tie-breaking, same
+tolerance constants — just stripped of the dictionary lookups and set
+unions that dominate the reference hot loops:
+
+* :class:`FastTracker` ↔ :class:`repro.core.loads.LoadTracker`
+  (admitted-operator bitmask instead of per-query set rebuilds);
+* :func:`greedy_walk` ↔ :func:`repro.core.greedy.greedy_admit`;
+* :func:`density_order` / :func:`bid_order_indices` ↔
+  :func:`repro.core.greedy.priority_order` / :func:`repro.core.gv.bid_order`;
+* :func:`find_last` ↔ :func:`repro.core.movement_window.find_last`;
+* :func:`optimal_single_price_array` ↔
+  :func:`repro.core.two_price.optimal_single_price`.
+
+The differential suite (``tests/core/test_fastpath_differential.py``)
+pins the equivalence on random shared-DAG instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.fastpath.index import InstanceIndex
+
+#: Capacity-test slack, identical to the reference mechanisms'.
+EPSILON = 1e-9
+
+
+class FastTracker:
+    """Incremental union-load accounting over operator *indices*.
+
+    The fast twin of :class:`repro.core.loads.LoadTracker`: the running
+    operator set is a ``bytearray`` bitmask over the index's operator
+    slots, and marginal loads accumulate plain Python floats in each
+    query's declared operator order — bitwise identical to the
+    reference's set-based accounting (a Hypothesis property in
+    ``tests/core/test_fastpath_index.py`` pins this under adversarial
+    sharing).
+    """
+
+    __slots__ = ("_index", "_running", "used")
+
+    def __init__(self, index: InstanceIndex) -> None:
+        self._index = index
+        self._running = bytearray(index.num_operators)
+        self.used = 0.0
+
+    def marginal(self, qi: int) -> float:
+        """Remaining (marginal) load of admitting query *qi* now."""
+        loads = self._index.op_loads_list
+        running = self._running
+        margin = 0.0
+        for o in self._index.query_ops[qi]:
+            if not running[o]:
+                margin += loads[o]
+        return margin
+
+    def fits(self, qi: int) -> bool:
+        """True if query *qi* fits in the remaining capacity."""
+        return self.used + self.marginal(qi) <= self._index.capacity + EPSILON
+
+    def admit(self, qi: int) -> float:
+        """Admit query *qi*; returns the marginal load it added."""
+        margin = self.marginal(qi)
+        running = self._running
+        for o in self._index.query_ops[qi]:
+            running[o] = 1
+        self.used += margin
+        return margin
+
+    def try_admit(self, qi: int) -> bool:
+        """Admit query *qi* if it fits; one marginal-load computation."""
+        margin = self.marginal(qi)
+        if self.used + margin > self._index.capacity + EPSILON:
+            return False
+        running = self._running
+        for o in self._index.query_ops[qi]:
+            running[o] = 1
+        self.used += margin
+        return True
+
+    def running_operator_ids(self) -> frozenset[str]:
+        """The admitted operators as ids (diagnostics / tests)."""
+        op_ids = self._index.op_ids
+        return frozenset(
+            op_ids[o] for o, bit in enumerate(self._running) if bit)
+
+
+def density_priorities(index: InstanceIndex,
+                       loads: np.ndarray) -> np.ndarray:
+    """``b_i / C_i`` per query; ``inf`` where the load is zero.
+
+    Vectorized :func:`repro.core.greedy.priority_of`: IEEE-754 division
+    matches the scalar reference bit for bit, and the explicit
+    zero-load mask reproduces its ``inf`` convention (even for a zero
+    bid, where plain division would yield NaN).
+    """
+    zero = loads == 0.0
+    # bid/load can overflow to inf (huge bid over denormal load) —
+    # exactly what the scalar reference returns, minus the warning.
+    with np.errstate(over="ignore", divide="ignore", invalid="ignore"):
+        priorities = np.divide(index.bids, np.where(zero, 1.0, loads))
+    priorities[zero] = np.inf
+    return priorities
+
+
+def density_order(index: InstanceIndex, loads: np.ndarray) -> list[int]:
+    """Query indices by non-increasing density, ties by query id."""
+    priorities = density_priorities(index, loads)
+    return np.lexsort((index.id_rank, -priorities)).tolist()
+
+
+def bid_order_indices(index: InstanceIndex) -> list[int]:
+    """Query indices by non-increasing bid, ties by query id."""
+    return np.lexsort((index.id_rank, -index.bids)).tolist()
+
+
+def greedy_walk(
+    index: InstanceIndex,
+    order: list[int],
+    skip_over: bool,
+) -> tuple[list[int], "int | None", FastTracker]:
+    """Admit queries from *order* until the server is full.
+
+    The fast twin of :func:`repro.core.greedy.greedy_admit`: returns
+    ``(winners, first_loser, tracker)`` with winners in admission order
+    and ``first_loser`` the query index that ended (stop-at-first) or
+    first interrupted (skip-over) the walk, or ``None``.
+    """
+    tracker = FastTracker(index)
+    winners: list[int] = []
+    first_loser: "int | None" = None
+    for qi in order:
+        if tracker.try_admit(qi):
+            winners.append(qi)
+            continue
+        if first_loser is None:
+            first_loser = qi
+        if not skip_over:
+            break
+    return winners, first_loser, tracker
+
+
+def find_last(
+    index: InstanceIndex,
+    order: list[int],
+    position: int,
+) -> "int | None":
+    """``last(winner)`` for a skip-over pass — the fast twin of
+    :func:`repro.core.movement_window.find_last`.
+
+    *position* locates the winner inside *order*.  One replay of the
+    pass with the winner removed, her marginal load maintained
+    incrementally, yields the admission test for every candidate
+    position; the first failing one is the movement-window boundary.
+    """
+    capacity = index.capacity
+    loads = index.op_loads_list
+    query_ops = index.query_ops
+    num_ops = index.num_operators
+
+    winner_ops = bytearray(num_ops)
+    winner_margin = 0.0
+    for o in query_ops[order[position]]:
+        winner_margin += loads[o]
+        winner_ops[o] = 1
+
+    running = bytearray(num_ops)
+    used = 0.0
+
+    def admit_if_fits(qi: int) -> None:
+        nonlocal used, winner_margin
+        margin = 0.0
+        ops = query_ops[qi]
+        for o in ops:
+            if not running[o]:
+                margin += loads[o]
+        if used + margin > capacity + EPSILON:
+            return
+        used += margin
+        for o in ops:
+            if not running[o]:
+                running[o] = 1
+                if winner_ops[o]:
+                    winner_margin -= loads[o]
+
+    for qi in order[:position]:
+        admit_if_fits(qi)
+    for qi in order[position + 1:]:
+        admit_if_fits(qi)
+        if used + winner_margin > capacity + EPSILON:
+            return qi
+    return None
+
+
+def movement_window_lasts(
+    index: InstanceIndex,
+    order: list[int],
+    winners: list[int],
+) -> dict[int, "int | None"]:
+    """``last(w)`` for *every* winner of one skip-over pass.
+
+    Calling :func:`find_last` per winner replays the order's prefix
+    from scratch each time.  This kernel exploits that the replay
+    without winner ``w`` is *identical* to the main walk up to ``w``'s
+    position (``w`` contributes nothing before it is reached): one
+    shared walk snapshots the admission state — running-operator mask,
+    used capacity, and the operator activation count — at each
+    winner's position, and only the per-winner suffix is replayed.
+
+    Two further exactness-preserving shortcuts:
+
+    * queries whose operators are all unshared
+      (``index.simple_queries``) admit at exactly their precomputed
+      total load and cannot alter anyone else's marginal, so their
+      mask updates are skipped;
+    * the winner test ``used + winner_margin`` only moves when an
+      admission happens, so it is evaluated on admissions only (plus
+      once up front), matching the reference's first-failing position.
+
+    The winner's incrementally-shrinking marginal is reconstructed by
+    subtracting already-running winner operators in *activation
+    order* — the exact float-accumulation sequence of the reference —
+    so results stay bitwise identical to
+    :func:`repro.core.movement_window.find_last`.
+    """
+    n = len(order)
+    num_ops = index.num_operators
+    loads = index.op_loads_list
+    query_ops = index.query_ops
+    totals = index.total_loads_list
+    simple = index.simple_queries
+    cap_eps = index.capacity + EPSILON
+    winner_set = set(winners)
+
+    never = num_ops + 1  # activation index of never-activated operators
+    act_index = [never] * num_ops
+    act_count = 0
+    snapshots: dict[int, tuple[int, bytes, float, int]] = {}
+    running = bytearray(num_ops)
+    used = 0.0
+    for pos, qi in enumerate(order):
+        if qi in winner_set:
+            snapshots[qi] = (pos, bytes(running), used, act_count)
+        if simple[qi]:
+            margin = totals[qi]
+            if used + margin <= cap_eps:
+                used += margin
+            continue
+        ops = query_ops[qi]
+        margin = 0.0
+        for o in ops:
+            if not running[o]:
+                margin += loads[o]
+        if used + margin > cap_eps:
+            continue
+        used += margin
+        for o in ops:
+            if not running[o]:
+                running[o] = 1
+                act_index[o] = act_count
+                act_count += 1
+
+    # Per-position triples save two list indexings per replay step.
+    items = [(qi, simple[qi], totals[qi]) for qi in order]
+
+    lasts: dict[int, "int | None"] = {}
+    for w in winners:
+        pos, running_bytes, used, act_before = snapshots[w]
+        w_ops = query_ops[w]
+        winner_margin = 0.0
+        for o in w_ops:
+            winner_margin += loads[o]
+        already = sorted(
+            (act_index[o], o) for o in w_ops if act_index[o] < act_before)
+        for _, o in already:
+            winner_margin -= loads[o]
+
+        if used + winner_margin > cap_eps:
+            lasts[w] = order[pos + 1] if pos + 1 < n else None
+            continue
+        # Admissions keep `used <= cap_eps`, so once the winner's
+        # marginal is non-positive the test can never fire again.
+        if winner_margin <= 0.0:
+            lasts[w] = None
+            continue
+        winner_in = bytearray(num_ops)
+        for o in w_ops:
+            winner_in[o] = 1
+        running = bytearray(running_bytes)
+        last: "int | None" = None
+        for qi, is_simple, total in items[pos + 1:]:
+            if is_simple:
+                margin = total
+                if used + margin > cap_eps:
+                    continue
+                used += margin
+            else:
+                ops = query_ops[qi]
+                margin = 0.0
+                for o in ops:
+                    if not running[o]:
+                        margin += loads[o]
+                if used + margin > cap_eps:
+                    continue
+                used += margin
+                for o in ops:
+                    if not running[o]:
+                        running[o] = 1
+                        if winner_in[o]:
+                            winner_margin -= loads[o]
+                if winner_margin <= 0.0:
+                    break
+            if used + winner_margin > cap_eps:
+                last = qi
+                break
+        lasts[w] = last
+    return lasts
+
+
+def optimal_single_price_array(values: np.ndarray) -> tuple[float, float]:
+    """Best uniform price on a bid array — O(n log n), exact.
+
+    The vectorized twin of
+    :func:`repro.core.two_price.optimal_single_price`: sort descending
+    once, form ``rank × value`` in one multiply, take the *first*
+    argmax (the reference's strict-improvement scan keeps the earliest
+    maximum).  Products are ``int × float64`` either way, so prices and
+    revenues are bitwise identical.
+    """
+    n = int(values.size)
+    if n == 0:
+        return float("inf"), 0.0
+    ordered = np.sort(values)[::-1]
+    revenues = np.arange(1, n + 1, dtype=np.int64) * ordered
+    best = int(np.argmax(revenues))
+    if not revenues[best] > 0.0:
+        return float("inf"), 0.0
+    return float(ordered[best]), float(revenues[best])

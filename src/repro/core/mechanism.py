@@ -22,6 +22,12 @@ from collections.abc import Callable, Iterable, Mapping
 
 from repro.core.model import AuctionInstance, Query
 from repro.core.result import AuctionOutcome
+from repro.core.selection import (
+    SelectionPath,
+    SelectionSpec,
+    default_selection,
+    resolve_selection,
+)
 from repro.utils.registry import SpecRegistry
 from repro.utils.specparse import parse_param_value, parse_spec_text
 from repro.utils.validation import ValidationError
@@ -47,13 +53,49 @@ class Mechanism(abc.ABC):
     #: Whether the mechanism carries a provable profit guarantee.
     profit_guarantee: bool = False
 
-    def run(self, instance: AuctionInstance) -> AuctionOutcome:
+    #: The selection path this mechanism runs on: ``None`` means the
+    #: process default (``"reference"``).  Set per instance with
+    #: :meth:`use_selection`; a ``run(..., selection=...)`` argument
+    #: overrides it for one call.
+    selection: "SelectionPath | SelectionSpec | str | None" = None
+
+    def use_selection(
+        self, selection: "SelectionPath | SelectionSpec | str"
+    ) -> "Mechanism":
+        """Pin this mechanism to a selection path; returns ``self``.
+
+        Accepts any form :func:`repro.core.selection.resolve_selection`
+        does — ``"reference"``, ``"fast"``, ``"fast:strict=true"``, a
+        spec, or a live path.  The resolved path is stored, so specs
+        fail here (with the registry's menu) rather than mid-auction.
+        """
+        self.selection = resolve_selection(selection)
+        return self
+
+    def _selection_path(
+        self, override: "SelectionPath | SelectionSpec | str | None"
+    ) -> SelectionPath:
+        selection = override if override is not None else self.selection
+        if selection is None:
+            return default_selection()
+        return resolve_selection(selection)
+
+    def run(
+        self,
+        instance: AuctionInstance,
+        *,
+        selection: "SelectionPath | SelectionSpec | str | None" = None,
+    ) -> AuctionOutcome:
         """Run the auction on *instance* and return the outcome.
 
         The outcome is validated against server capacity; a mechanism
-        that over-admits is a bug, not a modelling choice.
+        that over-admits is a bug, not a modelling choice.  *selection*
+        overrides the mechanism's pinned selection path for this call;
+        every path produces identical outcomes (the differential suite
+        pins it), so the choice is purely a throughput knob.
         """
-        payments, details = self._select(self._seal(instance))
+        path = self._selection_path(selection)
+        payments, details = path.select(self, self._seal(instance))
         outcome = AuctionOutcome(
             instance=instance,
             payments=payments,
@@ -64,7 +106,10 @@ class Mechanism(abc.ABC):
         return outcome
 
     def run_many(
-        self, instances: Iterable[AuctionInstance]
+        self,
+        instances: Iterable[AuctionInstance],
+        *,
+        selection: "SelectionPath | SelectionSpec | str | None" = None,
     ) -> list[AuctionOutcome]:
         """Run the auction on every instance, in order.
 
@@ -73,7 +118,8 @@ class Mechanism(abc.ABC):
         random partition draws) consume their randomness sequentially,
         so a batch is reproducible given the seed and the input order.
         """
-        return [self.run(instance) for instance in instances]
+        return [self.run(instance, selection=selection)
+                for instance in instances]
 
     @staticmethod
     def _seal(instance: AuctionInstance) -> AuctionInstance:
@@ -83,7 +129,15 @@ class Mechanism(abc.ABC):
         its bid.  Mechanisms therefore cannot accidentally peek at the
         truth, which keeps manipulation experiments honest: what a user
         *submits* is all the system ever sees.
+
+        In the common truthful case — no query's valuation diverges
+        from its bid — the instance already *is* its sealed view, and
+        is returned unchanged: no per-query copies, no rebuilt index
+        maps, and any cached fast-path index stays warm.
         """
+        if all(q.valuation is None or q.valuation == q.bid
+               for q in instance.queries):
+            return instance
         queries = tuple(
             q if q.valuation is None or q.valuation == q.bid else Query(
                 query_id=q.query_id,

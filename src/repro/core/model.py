@@ -132,6 +132,21 @@ class AuctionInstance:
         object.__setattr__(self, "_queries_by_id", by_id)
         object.__setattr__(self, "_sharing", sharing)
 
+    def __getstate__(self) -> dict:
+        """Pickle/deepcopy without the cached fast-path index.
+
+        :class:`repro.core.fastpath.InstanceIndex` caches itself on the
+        instance (immutable, so never invalidated); it is derived state,
+        cheap to rebuild, and would bloat checkpoints — so copies start
+        without it.
+        """
+        state = dict(self.__dict__)
+        state.pop("_fastpath_cache", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------

@@ -36,16 +36,25 @@ from repro.core.model import AuctionInstance, Query
 from repro.utils.rng import spawn_rng
 
 
-def optimal_single_price(values: list[float]) -> tuple[float, float]:
+def optimal_single_price(
+    values: list[float], presorted: bool = False
+) -> tuple[float, float]:
     """Best uniform price for a bid multiset: ``max_i i * v_(i)``.
 
     *values* need not be sorted.  Returns ``(price, revenue)`` where
     selling to every bidder with value >= price yields *revenue*.  For
     an empty list the price is ``inf`` (sell to nobody) and revenue 0.
+
+    Callers evaluating many candidate multisets (profit sweeps, the
+    guarantee experiments) can sort once and pass
+    ``presorted=True`` — *values* must then already be in
+    non-increasing order, and the O(n log n) re-sort per call is
+    skipped.  :func:`repro.core.fastpath.optimal_single_price_array`
+    is the vectorized twin.
     """
     if not values:
         return float("inf"), 0.0
-    ordered = sorted(values, reverse=True)
+    ordered = values if presorted else sorted(values, reverse=True)
     best_revenue = 0.0
     best_price = float("inf")
     for rank, value in enumerate(ordered, start=1):
@@ -184,14 +193,16 @@ class TwoPrice(Mechanism):
         payments = self._random_sampling_prices(h_set, details)
         return payments, details
 
-    def _random_sampling_prices(
-        self,
-        h_set: list[Query],
-        details: dict[str, object],
-    ) -> dict[str, float]:
-        """Steps 4–6: halve H, cross-apply each half's optimal price."""
-        if not h_set:
-            return {}
+    def _partition(
+        self, h_set: list[Query]
+    ) -> tuple[list[Query], list[Query]]:
+        """Steps 4–5: split ``H`` into the two price-sample halves.
+
+        The single source of the partition draw — the fast selection
+        kernel calls this too, so both paths consume the mechanism's
+        randomness identically and a future partition-mode change
+        cannot diverge them.
+        """
         if self._partition_mode == "even":
             permutation = list(self._rng.permutation(len(h_set)))
             half = len(h_set) // 2
@@ -207,8 +218,21 @@ class TwoPrice(Mechanism):
                 digest = hashlib.sha256(
                     f"{self._salt}:{query.query_id}".encode()).digest()
                 (side_a if digest[0] % 2 == 0 else side_b).append(query)
-        price_a, _ = optimal_single_price([q.bid for q in side_a])
-        price_b, _ = optimal_single_price([q.bid for q in side_b])
+        return side_a, side_b
+
+    def _random_sampling_prices(
+        self,
+        h_set: list[Query],
+        details: dict[str, object],
+    ) -> dict[str, float]:
+        """Steps 4–6: halve H, cross-apply each half's optimal price."""
+        if not h_set:
+            return {}
+        side_a, side_b = self._partition(h_set)
+        bids_a = sorted((q.bid for q in side_a), reverse=True)
+        bids_b = sorted((q.bid for q in side_b), reverse=True)
+        price_a, _ = optimal_single_price(bids_a, presorted=True)
+        price_b, _ = optimal_single_price(bids_b, presorted=True)
         details["A"] = [q.query_id for q in side_a]
         details["B"] = [q.query_id for q in side_b]
         details["price_A"] = price_a

@@ -21,6 +21,7 @@ from dataclasses import dataclass, replace
 from collections.abc import Callable, Iterable
 
 from repro.core.mechanism import Mechanism, MechanismSpec
+from repro.core.selection import SelectionPath, SelectionSpec
 from repro.dsms.backend import BackendSpec, ExecutionBackend
 from repro.dsms.streams import StreamSource
 from repro.service.hooks import HookRegistry
@@ -35,9 +36,12 @@ class ServiceConfig:
     ``mechanism`` is a spec string (``"CAT"``, ``"two-price:seed=7"``)
     or a :class:`MechanismSpec`; ``backend`` is an execution-backend
     spec (``"scalar"``, ``"columnar:batch=1024"``) or a
-    :class:`BackendSpec`.  Both are validated against their registries
-    on construction, so a config with a typo'd name or parameter never
-    gets as far as ``build()``.
+    :class:`BackendSpec`; ``selection`` is a winner-selection-path
+    spec (``"reference"``, ``"fast"``) or a :class:`SelectionSpec` —
+    ``None`` (the default) pins nothing, leaving the mechanism's own
+    selection setting untouched.  All are validated against their
+    registries on construction, so a config with a typo'd name or
+    parameter never gets as far as ``build()``.
     """
 
     capacity: float
@@ -45,6 +49,7 @@ class ServiceConfig:
     ticks_per_period: int = 50
     hold_ticks: int = 1
     backend: "str | BackendSpec" = "scalar"
+    selection: "str | SelectionSpec | None" = None
 
     def __post_init__(self) -> None:
         require(self.capacity > 0, "capacity must be positive")
@@ -53,6 +58,9 @@ class ServiceConfig:
         require(self.hold_ticks >= 0, "hold_ticks must be >= 0")
         self.mechanism_spec().validate()
         self.backend_spec().validate()
+        spec = self.selection_spec()
+        if spec is not None:
+            spec.validate()
 
     def mechanism_spec(self) -> MechanismSpec:
         """The mechanism setting as a :class:`MechanismSpec`."""
@@ -66,6 +74,16 @@ class ServiceConfig:
             return self.backend
         return BackendSpec.parse(self.backend)
 
+    def selection_spec(self) -> "SelectionSpec | None":
+        """The selection setting as a :class:`SelectionSpec`.
+
+        ``None`` means the config pins no selection path.
+        """
+        if self.selection is None or isinstance(self.selection,
+                                                SelectionSpec):
+            return self.selection
+        return SelectionSpec.parse(self.selection)
+
     def with_mechanism(
         self, mechanism: "str | MechanismSpec"
     ) -> "ServiceConfig":
@@ -77,6 +95,12 @@ class ServiceConfig:
     ) -> "ServiceConfig":
         """A copy of this config with a different execution backend."""
         return replace(self, backend=backend)
+
+    def with_selection(
+        self, selection: "str | SelectionSpec"
+    ) -> "ServiceConfig":
+        """A copy of this config with a different selection path."""
+        return replace(self, selection=selection)
 
 
 class ServiceBuilder:
@@ -96,6 +120,7 @@ class ServiceBuilder:
         self._ticks_per_period: "int | None" = None
         self._hold_ticks: "int | None" = None
         self._backend: "ExecutionBackend | BackendSpec | str | None" = None
+        self._selection: "SelectionPath | SelectionSpec | str | None" = None
         self._ledger: "object | None" = None
         self._hooks = HookRegistry()
         if config is not None:
@@ -112,6 +137,7 @@ class ServiceBuilder:
         self._ticks_per_period = config.ticks_per_period
         self._hold_ticks = config.hold_ticks
         self._backend = config.backend_spec()
+        self._selection = config.selection_spec()
         return self
 
     def with_sources(self, *sources: StreamSource) -> "ServiceBuilder":
@@ -146,6 +172,13 @@ class ServiceBuilder:
     ) -> "ServiceBuilder":
         """Set the engine's execution backend (instance, spec, string)."""
         self._backend = backend
+        return self
+
+    def with_selection(
+        self, selection: "SelectionPath | SelectionSpec | str"
+    ) -> "ServiceBuilder":
+        """Set the mechanism's selection path (instance, spec, string)."""
+        self._selection = selection
         return self
 
     def with_ledger(self, ledger: object) -> "ServiceBuilder":
@@ -217,6 +250,7 @@ class ServiceBuilder:
                      else copy.deepcopy(self._backend)
                      if isinstance(self._backend, ExecutionBackend)
                      else self._backend),
+            selection=self._selection,
             ledger=self._ledger,
             hooks=hooks,
         )

@@ -135,6 +135,14 @@ class AdmissionService:
         :class:`~repro.dsms.backend.ExecutionBackend` instance, a
         :class:`~repro.dsms.backend.BackendSpec`, or a spec string
         (``"scalar"``, ``"columnar:batch=1024"``).
+    selection:
+        The mechanism's winner-selection path: a
+        :class:`~repro.core.selection.SelectionPath`, a
+        :class:`~repro.core.selection.SelectionSpec`, or a spec string
+        (``"reference"``, ``"fast"``).  Pinned onto the mechanism via
+        :meth:`~repro.core.Mechanism.use_selection`, so it rides along
+        through batch runs, federations and checkpoints.  ``None``
+        leaves the mechanism's own setting untouched.
     """
 
     def __init__(
@@ -146,6 +154,7 @@ class AdmissionService:
         ticks_per_period: int = 50,
         hold_ticks: int = 1,
         backend: "ExecutionBackend | BackendSpec | str" = "scalar",
+        selection: "object | None" = None,
         ledger: "object | None" = None,
         hooks: "HookRegistry | None" = None,
     ) -> None:
@@ -154,6 +163,8 @@ class AdmissionService:
         self.sources: tuple[StreamSource, ...] = tuple(sources)
         self.capacity = float(capacity)
         self.mechanism = resolve_mechanism(mechanism)
+        if selection is not None:
+            self.mechanism.use_selection(selection)
         self.ticks_per_period = int(ticks_per_period)
         self.engine = StreamEngine(self.sources, capacity=self.capacity,
                                    backend=backend)

@@ -29,6 +29,30 @@ def test_cluster_batch_and_sequential_agree(capsys):
     assert sequential == batch
 
 
+def test_cluster_selection_and_workers_agree_with_default(capsys):
+    args = ["cluster", "--shards", "2", "--periods", "2",
+            "--ticks", "3", "--seed", "4",
+            "--mechanism", "two-price:seed=7"]
+    sequential = run_cli(args, capsys)
+    pooled_fast = run_cli(
+        args + ["--batch", "--selection", "fast",
+                "--auction-workers", "4"], capsys)
+    assert sequential == pooled_fast
+
+
+def test_cluster_resume_honors_selection_and_workers(tmp_path, capsys):
+    checkpoint = str(tmp_path / "cl.ckpt")
+    run_cli(["cluster", "--shards", "2", "--periods", "1",
+             "--ticks", "2", "--seed", "3",
+             "--checkpoint", checkpoint], capsys)
+    reference = run_cli(["cluster", "--periods", "1",
+                         "--resume", checkpoint], capsys)
+    fast = run_cli(["cluster", "--periods", "1", "--resume", checkpoint,
+                    "--selection", "fast", "--batch",
+                    "--auction-workers", "2"], capsys)
+    assert fast == reference
+
+
 def test_cluster_placement_spec(capsys):
     out = run_cli(["cluster", "--shards", "2", "--periods", "1",
                    "--ticks", "3", "--placement", "least-loaded"], capsys)

@@ -86,6 +86,39 @@ class TestCLI:
         assert main(["run", "Two-price", str(instance_path),
                      "--seed", "5"]) == 0
 
+    def test_run_selection_fast_matches_reference(self, tmp_path,
+                                                  capsys):
+        instance_path = tmp_path / "wl.json"
+        assert main(["generate", "--queries", "40", "--sharing", "4",
+                     "--seed", "9", "-o", str(instance_path)]) == 0
+        capsys.readouterr()
+        assert main(["run", "CAT", str(instance_path)]) == 0
+        reference = capsys.readouterr().out
+        assert main(["run", "CAT", str(instance_path),
+                     "--selection", "fast:strict=true"]) == 0
+        assert capsys.readouterr().out == reference
+
+    def test_run_rejects_unknown_selection(self, tmp_path):
+        instance_path = tmp_path / "wl.json"
+        save_instance(example1(), instance_path)
+        with pytest.raises(KeyError, match="selection path"):
+            main(["run", "CAT", str(instance_path),
+                  "--selection", "warp"])
+
+    def test_simulate_profile_dumps_phase_timings(self, capsys):
+        assert main(["simulate", "--periods", "2", "--ticks", "2",
+                     "--selection", "fast", "--profile"]) == 0
+        out = capsys.readouterr().out
+        document = json.loads(out[out.index('{\n  "profile"'):])
+        assert document["profile"] == "simulate"
+        assert [entry["period"] for entry in document["periods"]] == [1, 2]
+        for entry in document["periods"]:
+            assert set(entry) == {"period", "prepare", "auction",
+                                  "settle", "execute"}
+        assert set(document["totals"]) == {"prepare", "auction",
+                                           "settle", "execute"}
+        assert all(value >= 0 for value in document["totals"].values())
+
     def test_verify_command(self, capsys, monkeypatch):
         # Shrink the battery via a tiny seed-compatible call by
         # patching the defaults.
