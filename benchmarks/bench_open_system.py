@@ -1,0 +1,159 @@
+"""Open-system simulation throughput and SLA latency.
+
+Drives a 50k-arrival Poisson workload through the event-driven
+:class:`~repro.sim.SimulationDriver` — subscription lifecycles on,
+latency probe attached — and measures event-loop throughput
+(events/sec, arrivals/sec) plus end-to-end delivery-latency
+percentiles from the probe's bounded-work engine.  Standalone so CI
+can smoke it without pytest:
+
+    python benchmarks/bench_open_system.py            # 50k arrivals
+    python benchmarks/bench_open_system.py --smoke    # CI-sized
+
+Results are printed, written to ``benchmarks/out/open_system.txt``,
+and seeded into ``BENCH_sim.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.dsms.streams import SyntheticStream  # noqa: E402
+from repro.service import ServiceBuilder  # noqa: E402
+from repro.sim import SimulationDriver, SubscriptionOptions  # noqa: E402
+from repro.utils.tables import format_table  # noqa: E402
+
+OUT_DIR = Path(__file__).parent / "out"
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_sim.json"
+
+
+def build_driver(args) -> SimulationDriver:
+    service = (ServiceBuilder()
+               .with_sources(SyntheticStream("s", rate=args.stream_rate,
+                                             seed=args.seed))
+               .with_capacity(args.capacity)
+               .with_mechanism(args.mechanism)
+               .with_ticks_per_period(args.ticks)
+               .with_selection("fast")
+               .build())
+    return SimulationDriver(
+        service,
+        arrivals=(f"poisson:rate={args.arrival_rate},"
+                  f"limit={args.arrivals},seed={args.seed}"),
+        subscriptions=SubscriptionOptions(seed=args.seed),
+        probe="fifo",
+    )
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="event throughput + SLA latency of the open-system "
+                    "simulation runtime")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (small counts, fast exit)")
+    parser.add_argument("--arrivals", type=int, default=None,
+                        help="total Poisson arrivals "
+                             "(default 50000; smoke 2000)")
+    parser.add_argument("--arrival-rate", type=float, default=50.0,
+                        help="mean arrivals per engine tick")
+    parser.add_argument("--capacity", type=float, default=150.0)
+    parser.add_argument("--stream-rate", type=float, default=2.0,
+                        help="data-stream tuples per tick")
+    parser.add_argument("--ticks", type=int, default=20,
+                        help="engine ticks per subscription period")
+    parser.add_argument("--mechanism", default="GV")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    if args.arrivals is None:
+        args.arrivals = 2_000 if args.smoke else 50_000
+    # Enough boundaries to consume every arrival, plus one spare so
+    # the tail of the stream still gets auctioned.
+    periods = int(args.arrivals / (args.arrival_rate * args.ticks)) + 2
+
+    driver = build_driver(args)
+    started = time.perf_counter()
+    reports = driver.run(periods)
+    elapsed = time.perf_counter() - started
+
+    percentiles = driver.latency_percentiles((50.0, 95.0, 99.0))
+    metrics = driver.tick_metrics()
+    admitted = sum(len(r.admitted) for r in reports)
+    rejected = sum(len(r.rejected) for r in reports)
+    expired = sum(len(r.expired) for r in reports)
+    result = {
+        "workload": {
+            "arrivals": args.arrivals,
+            "arrival_rate": args.arrival_rate,
+            "periods": periods,
+            "ticks_per_period": args.ticks,
+            "capacity": args.capacity,
+            "mechanism": args.mechanism,
+            "subscriptions": "day/week/month",
+            "seed": args.seed,
+        },
+        "seconds": elapsed,
+        "events_processed": driver.events_processed,
+        "events_per_sec": driver.events_processed / elapsed,
+        "arrivals_per_sec": args.arrivals / elapsed,
+        "admitted": admitted,
+        "rejected": rejected,
+        "expired": expired,
+        "revenue": driver.total_revenue(),
+        "latency_ticks": {
+            "p50": percentiles[50.0],
+            "p95": percentiles[95.0],
+            "p99": percentiles[99.0],
+        },
+        "max_queue": max((m.queued for m in metrics), default=0),
+        "smoke": bool(args.smoke),
+    }
+
+    # Smoke runs go to the out dir (like the sibling benchmarks), so
+    # CI never clobbers the seeded full-run BENCH_sim.json.
+    bench_json = (OUT_DIR / "BENCH_sim_smoke.json" if args.smoke
+                  else BENCH_JSON)
+
+    table = format_table(
+        ["metric", "value"],
+        [
+            ["arrivals", args.arrivals],
+            ["periods", periods],
+            ["seconds", elapsed],
+            ["events/s", result["events_per_sec"]],
+            ["arrivals/s", result["arrivals_per_sec"]],
+            ["admitted", admitted],
+            ["rejected", rejected],
+            ["expired", expired],
+            ["revenue", result["revenue"]],
+            ["latency p50 (ticks)", percentiles[50.0]],
+            ["latency p95 (ticks)", percentiles[95.0]],
+            ["latency p99 (ticks)", percentiles[99.0]],
+            ["max probe queue", result["max_queue"]],
+        ],
+        precision=2,
+        title=(f"Open-system simulation — {args.arrivals} Poisson "
+               f"arrivals, {args.mechanism}, capacity "
+               f"{args.capacity:g}"))
+    print(table)
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "open_system.txt").write_text(table + "\n")
+    bench_json.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {bench_json}")
+
+    # Sanity, not speed, assertions: the run must have consumed the
+    # whole arrival stream, admitted real work, and measured latency.
+    assert driver.events_processed > args.arrivals
+    assert admitted > 0 and expired > 0
+    assert result["revenue"] > 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,6 +21,12 @@ Packages:
   service instances via pluggable placement policies, with cross-shard
   rebalancing of rejected load, batch auctions, and whole-cluster
   checkpointing.
+* :mod:`repro.sim` — the open-system event-driven simulation runtime:
+  a checkpointable :class:`SimulationDriver` with a virtual clock,
+  spec-addressable arrival processes (``"poisson:rate=40"``,
+  ``"burst"``, ``"trace:path=..."``), subscription lifecycles
+  (expiry, renewal, per-category billing), a latency probe, and
+  byte-identical trace record/replay.
 * :mod:`repro.workload` — the Table III workload generator, including
   the operator-splitting procedure for varying the degree of sharing,
   and the lying workloads of Figure 5.

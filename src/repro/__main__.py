@@ -7,6 +7,9 @@ Commands
 ``generate``   generate a Table III workload instance to JSON
 ``simulate``   run an AdmissionService for several periods (with
                optional checkpoint/resume)
+``sim``        run the open-system event-driven simulation (arrival
+               processes, subscription lifecycles, latency probe,
+               trace record/replay, checkpoints)
 ``cluster``    run a sharded FederatedAdmissionService (placement
                policies, rebalancing, batch auctions, checkpoints)
 ``report``     regenerate the paper's tables and figures
@@ -27,6 +30,13 @@ Examples::
     python -m repro simulate --selection fast --profile --periods 3
     python -m repro simulate --periods 3 --checkpoint svc.ckpt
     python -m repro simulate --periods 2 --resume svc.ckpt
+    python -m repro sim --arrivals poisson:rate=2 --periods 10
+    python -m repro sim --subscriptions --scheduler fifo --periods 10
+    python -m repro sim --periods 5 --record run.trace.json
+    python -m repro sim --periods 5 --replay run.trace.json
+    python -m repro sim --shards 4 --arrivals poisson:rate=8 --batch
+    python -m repro sim --periods 4 --checkpoint sim.ckpt
+    python -m repro sim --periods 6 --resume sim.ckpt
     python -m repro cluster --shards 4 --periods 5 --batch
     python -m repro cluster --selection fast --batch --periods 5
     python -m repro run CAT wl.json --selection fast
@@ -223,6 +233,258 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_categories(text: str):
+    """``"day=1:0.4,week=7:0.35"`` → SubscriptionCategory tuple."""
+    from repro.cloud.subscriptions import (
+        SubscriptionCategory,
+        validate_categories,
+    )
+    from repro.utils.validation import ValidationError
+
+    categories = []
+    for item in text.split(","):
+        name, sep, rest = item.partition("=")
+        length, sep2, fraction = rest.partition(":")
+        if not (sep and sep2 and name.strip()):
+            raise ValidationError(
+                f"cannot parse category {item!r}; expected "
+                f"name=length:fraction, e.g. day=1:0.4")
+        try:
+            categories.append(SubscriptionCategory(
+                name.strip(), int(length), float(fraction)))
+        except ValueError as exc:
+            raise ValidationError(
+                f"cannot parse category {item!r}; expected "
+                f"name=length:fraction with a whole-number length "
+                f"and a numeric fraction, e.g. day=1:0.4") from exc
+    return validate_categories(categories)
+
+
+def _cmd_sim(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.sim import ArrivalSpec, SimulationDriver
+    from repro.utils.tables import format_table
+
+    if args.resume:
+        from repro.utils.validation import ValidationError
+
+        # A checkpoint carries the whole simulation configuration;
+        # flags that would change it are rejected rather than
+        # silently ignored.
+        conflicting = [
+            flag for flag, is_set in (
+                ("--replay", args.replay is not None),
+                ("--arrivals", args.arrivals is not None),
+                ("--subscriptions", args.subscriptions),
+                ("--categories", args.categories is not None),
+                ("--no-renew", args.no_renew),
+                ("--max-renewals", args.max_renewals is not None),
+                ("--scheduler", args.scheduler is not None),
+                ("--shards", args.shards is not None),
+                ("--placement", args.placement is not None),
+                ("--route", args.route is not None),
+                ("--batch", args.batch),
+                ("--mechanism", args.mechanism is not None),
+                ("--capacity", args.capacity is not None),
+                ("--rate", args.rate is not None),
+                ("--ticks", args.ticks is not None),
+                ("--backend", args.backend is not None),
+                ("--seed", args.seed is not None),
+            ) if is_set
+        ]
+        if conflicting:
+            raise ValidationError(
+                f"{', '.join(conflicting)} cannot be combined with "
+                f"--resume; the checkpoint already fixes the "
+                f"simulation's configuration")
+        driver = SimulationDriver.load_checkpoint(args.resume)
+        if args.record and driver.recorder is None:
+            raise ValidationError(
+                f"checkpoint {args.resume!r} was not recording, so a "
+                f"resumed run cannot produce a complete trace; rerun "
+                f"the original simulation with --record")
+    else:
+        from repro.sim import SubscriptionOptions
+        from repro.utils.validation import ValidationError
+
+        _apply_sim_defaults(args)
+        if args.batch and args.shards == 1:
+            raise ValidationError(
+                "--batch dispatches shard auctions on a thread pool "
+                "and needs --shards > 1")
+        if args.batch and (args.subscriptions or args.categories):
+            raise ValidationError(
+                "--batch only applies to re-auction boundaries "
+                "(run_period_all); subscription boundaries run "
+                "per-category auctions shard by shard")
+        if args.replay and args.arrivals:
+            raise ValidationError(
+                "--replay substitutes the recorded trace for the "
+                "workload and cannot be combined with --arrivals")
+        if args.replay:
+            arrivals: "list[object]" = [f"trace:path={args.replay}"]
+        else:
+            from repro.utils.rng import derive_seed
+
+            texts = args.arrivals or ["poisson:rate=2"]
+            arrivals = []
+            for index, text in enumerate(texts):
+                spec = ArrivalSpec.parse(text)
+                # Each process gets its own derived seed and query-id
+                # prefix unless the spec pins them, so several
+                # --arrivals flags never collide on ids or share an
+                # RNG stream.
+                if spec.accepts("seed") and "seed" not in spec.params:
+                    spec = spec.with_params(seed=(
+                        args.seed if len(texts) == 1
+                        else derive_seed(args.seed, "arrivals", index)))
+                if (len(texts) > 1 and spec.accepts("prefix")
+                        and "prefix" not in spec.params):
+                    spec = spec.with_params(prefix=f"s{index}a")
+                arrivals.append(spec.validate())
+        subscriptions = None
+        if args.subscriptions or args.categories:
+            subscriptions = SubscriptionOptions(
+                categories=(_parse_categories(args.categories)
+                            if args.categories else
+                            SubscriptionOptions().categories),
+                auto_renew=not args.no_renew,
+                max_renewals=args.max_renewals,
+                seed=args.seed,
+            )
+        host = _build_sim_host(args)
+        driver = SimulationDriver(
+            host,
+            arrivals=arrivals,
+            subscriptions=subscriptions,
+            probe=args.scheduler,
+            record=bool(args.record),
+            route=args.route,
+            batch=args.batch,
+        )
+
+    started = time.perf_counter()
+    rows = []
+    for _ in range(args.periods):
+        report = driver.run(1)[0]
+        rows.append(_sim_report_row(report))
+        if args.checkpoint:
+            driver.save_checkpoint(args.checkpoint)
+    elapsed = time.perf_counter() - started
+
+    mode = "subscriptions" if driver.managers else "re-auction"
+    print(format_table(
+        ["period", "admitted", "rejected", "expired", "renewed",
+         "revenue", "util"],
+        rows, precision=2,
+        title=(f"Open-system simulation — {mode}, "
+               f"{len(driver.host.services)} shard(s), "
+               f"{args.periods} boundaries")))
+    print(f"total revenue: {driver.total_revenue():.2f}")
+    print(f"events processed: {driver.events_processed} "
+          f"({driver.events_processed / elapsed:.0f}/s)")
+    if driver.probes:
+        metrics = driver.tick_metrics()
+        percentiles = driver.latency_percentiles((50.0, 95.0, 99.0))
+        max_queue = max((m.queued for m in metrics), default=0)
+        mean_queue = (sum(m.queued for m in metrics) / len(metrics)
+                      if metrics else 0.0)
+        print(f"probe: mean queue {mean_queue:.1f}, max queue "
+              f"{max_queue}, latency p50 {percentiles[50.0]:.1f} / "
+              f"p95 {percentiles[95.0]:.1f} / "
+              f"p99 {percentiles[99.0]:.1f} ticks")
+    if args.record:
+        from repro.io import save_sim_trace
+
+        save_sim_trace(driver.trace(), args.record)
+        print(f"trace written to {args.record}")
+    if args.checkpoint:
+        print(f"checkpoint written to {args.checkpoint}")
+    return 0
+
+
+def _apply_sim_defaults(args: argparse.Namespace) -> None:
+    """Fill the ``sim`` parser's deferred defaults.
+
+    The parser leaves workload settings as ``None`` so the resume
+    branch can tell "explicitly set" (a conflict with the checkpoint)
+    from "defaulted"; a fresh build resolves them here.
+    """
+    defaults = {
+        "shards": 1,
+        "placement": "consistent-hash",
+        "route": "placement",
+        "mechanism": "CAT",
+        "capacity": 40.0,
+        "rate": 5.0,
+        "ticks": 20,
+        "backend": "scalar",
+        "seed": 0,
+    }
+    for name, value in defaults.items():
+        if getattr(args, name) is None:
+            setattr(args, name, value)
+
+
+def _sim_report_row(report) -> list:
+    """One boundary report as a table row, whatever the host produced.
+
+    The driver yields :class:`~repro.sim.SimPeriodReport`
+    (subscription mode) or the host's own report —
+    :class:`~repro.service.PeriodReport` for a service,
+    :class:`~repro.cluster.ClusterReport` for a federation.  The first
+    two share ``revenue``/``engine_utilization``; the cluster report
+    aggregates as ``total_revenue``/``utilization``; only the
+    subscription report has expiries and renewals.
+    """
+    from repro.cluster.reports import ClusterReport
+
+    if isinstance(report, ClusterReport):
+        revenue, utilization = report.total_revenue, report.utilization
+    else:
+        revenue, utilization = report.revenue, report.engine_utilization
+    return [
+        report.period,
+        len(report.admitted),
+        len(report.rejected),
+        len(getattr(report, "expired", ())),
+        len(getattr(report, "renewed", ())),
+        revenue,
+        0.0 if utilization is None else utilization,
+    ]
+
+
+def _build_sim_host(args: argparse.Namespace):
+    from repro.dsms.backend import BackendSpec
+    from repro.dsms.streams import SyntheticStream
+    from repro.service import ServiceBuilder
+
+    spec = _spec_with_seed(args.mechanism, args.seed)
+    backend = BackendSpec.parse(args.backend).validate()
+    if args.shards > 1:
+        from repro.cluster import FederatedAdmissionService
+
+        return FederatedAdmissionService.build(
+            num_shards=args.shards,
+            sources=[SyntheticStream("s", rate=args.rate,
+                                     seed=args.seed)],
+            capacity=args.capacity,
+            mechanism=spec,
+            ticks_per_period=args.ticks,
+            backend=backend,
+            placement=args.placement,
+        )
+    return (ServiceBuilder()
+            .with_sources(SyntheticStream("s", rate=args.rate,
+                                          seed=args.seed))
+            .with_capacity(args.capacity)
+            .with_mechanism(spec)
+            .with_ticks_per_period(args.ticks)
+            .with_backend(backend)
+            .build())
+
+
 def _cmd_cluster(args: argparse.Namespace) -> int:
     from repro.cluster import FederatedAdmissionService
     from repro.dsms.streams import SyntheticStream
@@ -384,6 +646,78 @@ def build_parser() -> argparse.ArgumentParser:
                           help="resume from a checkpoint file instead "
                                "of starting fresh")
     simulate.set_defaults(handler=_cmd_simulate)
+
+    sim = commands.add_parser(
+        "sim",
+        help="run the open-system event-driven simulation (arrival "
+             "processes, subscriptions, latency probe, trace replay)")
+    sim.add_argument("--arrivals", action="append", default=None,
+                     help="arrival-process spec (repeatable; one per "
+                          "shard with --route stream): "
+                          "poisson:rate=2, burst:size=20,every=10, "
+                          "trace:path=run.trace.json "
+                          "(default poisson:rate=2)")
+    sim.add_argument("--periods", type=int, default=5,
+                     help="period boundaries to run")
+    sim.add_argument("--subscriptions", action="store_true",
+                     help="run Section VII subscription lifecycles "
+                          "(per-category auctions, expiry, renewal)")
+    sim.add_argument("--categories", default=None,
+                     help="subscription category mix as "
+                          "name=length:fraction pairs, e.g. "
+                          "day=1:0.4,week=7:0.35,month=30:0.25 "
+                          "(implies --subscriptions)")
+    sim.add_argument("--no-renew", action="store_true",
+                     help="expired subscriptions do not resubmit")
+    sim.add_argument("--max-renewals", type=int, default=None,
+                     help="bound on automatic renewals per query")
+    sim.add_argument("--scheduler", default=None,
+                     help="attach the latency probe with this "
+                          "scheduling-policy spec: fifo, round-robin, "
+                          "longest-queue-first, cheapest-first")
+    sim.add_argument("--record", default=None,
+                     help="write the run's arrival trace (JSON, "
+                          "repro/sim-trace) here")
+    sim.add_argument("--replay", default=None,
+                     help="replay a recorded trace instead of "
+                          "generating arrivals")
+    sim.add_argument("--shards", type=int, default=None,
+                     help="drive a federated cluster with this many "
+                          "shards (default 1: a single service)")
+    sim.add_argument("--placement", default=None,
+                     help="cluster placement spec (with --shards > 1; "
+                          "default consistent-hash)")
+    sim.add_argument("--route", choices=("placement", "stream"),
+                     default=None,
+                     help="arrival routing: by placement policy "
+                          "(default), or arrival process i pinned to "
+                          "shard i")
+    sim.add_argument("--batch", action="store_true",
+                     help="auction re-auction cluster boundaries on "
+                          "the thread-pooled batch path (needs "
+                          "--shards > 1)")
+    sim.add_argument("--mechanism", default=None,
+                     help="mechanism spec (default CAT)")
+    sim.add_argument("--capacity", type=float, default=None,
+                     help="per-shard capacity (default 40)")
+    sim.add_argument("--rate", type=float, default=None,
+                     help="stream arrival rate (tuples/tick, "
+                          "default 5)")
+    sim.add_argument("--ticks", type=int, default=None,
+                     help="engine ticks per subscription period "
+                          "(default 20)")
+    sim.add_argument("--backend", default=None,
+                     help="execution backend spec: scalar (default), "
+                          "columnar")
+    sim.add_argument("--seed", type=int, default=None,
+                     help="base seed (default 0)")
+    sim.add_argument("--checkpoint", default=None,
+                     help="write a resumable simulation checkpoint "
+                          "here after every period")
+    sim.add_argument("--resume", default=None,
+                     help="resume from a simulation checkpoint "
+                          "instead of starting fresh")
+    sim.set_defaults(handler=_cmd_sim)
 
     cluster = commands.add_parser(
         "cluster",

@@ -22,6 +22,7 @@ from repro.cloud.subscriptions import (
     SubscriptionCategory,
     SubscriptionRequest,
     SubscriptionScheduler,
+    validate_categories,
 )
 
 _LAZY = ("DSMSCenter", "PeriodReport")
@@ -56,4 +57,5 @@ __all__ = [
     "SubscriptionScheduler",
     "best_capacity",
     "evaluate_capacities",
+    "validate_categories",
 ]

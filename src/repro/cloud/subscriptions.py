@@ -43,6 +43,32 @@ DEFAULT_CATEGORIES = (
 )
 
 
+def validate_categories(
+    categories: Sequence[SubscriptionCategory],
+) -> tuple[SubscriptionCategory, ...]:
+    """Validate a category mix; returns it as a tuple.
+
+    Names must be unique and the capacity fractions must sum to at
+    most 1 — the partition shares one physical capacity, so a mix
+    summing above it would admit load the servers cannot execute.
+    Violations raise :class:`ValidationError` naming the categories.
+    """
+    categories = tuple(categories)
+    require(len(categories) >= 1, "at least one category is required")
+    names = [c.name for c in categories]
+    require(len(set(names)) == len(names),
+            "category names must be unique")
+    total_fraction = sum(c.capacity_fraction for c in categories)
+    if total_fraction > 1.0 + 1e-9:
+        shares = ", ".join(
+            f"{c.name}={c.capacity_fraction:g}" for c in categories)
+        raise ValidationError(
+            f"capacity fractions of categories [{shares}] sum to "
+            f"{total_fraction:g} > 1; the partition shares one "
+            f"capacity, so the fractions must sum to at most 1")
+    return categories
+
+
 @dataclass(frozen=True)
 class SubscriptionRequest:
     """A query bidding for a given subscription category."""
@@ -104,13 +130,7 @@ class SubscriptionScheduler:
         categories: Sequence[SubscriptionCategory] = DEFAULT_CATEGORIES,
     ) -> None:
         require_positive(total_capacity, "total_capacity")
-        names = [c.name for c in categories]
-        require(len(set(names)) == len(names),
-                "category names must be unique")
-        total_fraction = sum(c.capacity_fraction for c in categories)
-        if total_fraction > 1.0 + 1e-9:
-            raise ValidationError(
-                f"capacity fractions sum to {total_fraction} > 1")
+        categories = validate_categories(categories)
         self._operators = dict(operators)
         self.total_capacity = float(total_capacity)
         self._mechanism_factory = mechanism_factory

@@ -409,14 +409,18 @@ class FederatedAdmissionService:
         submissions_per_period: Iterable[Sequence[ContinuousQuery]],
         batch: bool = False,
     ) -> list[ClusterReport]:
-        """Run several periods, routing each batch before its auction."""
-        reports = []
-        for submissions in submissions_per_period:
-            for query in submissions:
-                self.submit(query)
-            reports.append(
-                self.run_period_all() if batch else self.run_period())
-        return reports
+        """Run several periods, routing each batch before its auction.
+
+        Like :meth:`AdmissionService.run_periods`, this is now the
+        degenerate schedule of the open-system runtime: one
+        :class:`~repro.sim.SimulationDriver` boundary per batch, with
+        identical routing/auction interleaving and byte-identical
+        reports.
+        """
+        from repro.sim.driver import SimulationDriver
+
+        return SimulationDriver.lockstep(self, batch=batch).run_lockstep(
+            submissions_per_period)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -19,6 +19,13 @@ admission control: an over-admitted system doesn't crash, it builds
 queues and latency without bound — which is why you price admission in
 the first place (``tests/dsms/test_scheduler.py`` demonstrates both
 regimes).
+
+Policies are *spec-string addressable* through the shared registry
+grammar (``"fifo"``, ``"round-robin"``, ``"longest-queue-first"``,
+``"cheapest-first"``), the currency of
+:meth:`~repro.service.builder.ServiceBuilder.with_scheduler` and the
+CLI's ``--scheduler`` flag — direct construction keeps working, but is
+no longer the only way in.
 """
 
 from __future__ import annotations
@@ -26,12 +33,13 @@ from __future__ import annotations
 import abc
 from collections import deque
 from dataclasses import dataclass
-from collections.abc import Iterable, Sequence
+from collections.abc import Callable, Iterable, Mapping, Sequence
 
 from repro.dsms.operators import StreamOperator
 from repro.dsms.plan import ContinuousQuery, QueryPlanCatalog
 from repro.dsms.streams import StreamSource
 from repro.dsms.tuples import StreamTuple
+from repro.utils.registry import RegistrySpec, SpecRegistry
 from repro.utils.validation import ValidationError, require
 
 
@@ -47,6 +55,20 @@ class SchedulingPolicy(abc.ABC):
         queue_lengths: dict[str, int],
     ) -> list[StreamOperator]:
         """Operators in the order they should be offered work."""
+
+
+class FifoPolicy(SchedulingPolicy):
+    """Keeps the topological (pipeline) order the engine offers.
+
+    Upstream operators are served before their consumers, so tuples
+    flow through the network in arrival order — the first-in-first-out
+    baseline of the operator-scheduling literature.
+    """
+
+    name = "fifo"
+
+    def order(self, operators, queue_lengths):
+        return list(operators)
 
 
 class RoundRobinPolicy(SchedulingPolicy):
@@ -87,6 +109,75 @@ class CheapestFirstPolicy(SchedulingPolicy):
                       key=lambda op: (op.cost_per_tuple, op.op_id))
 
 
+# ----------------------------------------------------------------------
+# Registry and specs (mirrors repro.dsms.backend)
+# ----------------------------------------------------------------------
+
+#: The scheduling-policy registry (shared machinery: utils.registry).
+_REGISTRY = SpecRegistry("scheduling policy", param_noun="scheduling policy")
+
+
+def register_policy(
+    name: str, factory: Callable[..., SchedulingPolicy]
+) -> None:
+    """Register a policy *factory* under *name* (case-insensitive)."""
+    _REGISTRY.register(name, factory)
+
+
+def make_policy(name: str, **kwargs: object) -> SchedulingPolicy:
+    """Instantiate a registered policy by name, validating kwargs."""
+    return _REGISTRY.create(name, **kwargs)
+
+
+def registered_policies() -> Mapping[str, Callable[..., SchedulingPolicy]]:
+    """Read-only view of the registry (name → factory)."""
+    return _REGISTRY.as_mapping()
+
+
+@dataclass(frozen=True)
+class PolicySpec(RegistrySpec):
+    """A scheduling-policy name plus declared, validated parameters.
+
+    Parseable from the same compact strings every other registry in
+    the library uses (shared machinery:
+    :class:`~repro.utils.registry.RegistrySpec`):
+
+    >>> PolicySpec.parse("round-robin")
+    PolicySpec(name='round-robin', params={})
+    """
+
+    _registry = _REGISTRY
+    _what = "scheduler spec"
+
+
+def resolve_policy(
+    policy: "SchedulingPolicy | PolicySpec | str",
+) -> SchedulingPolicy:
+    """Coerce any accepted policy form to a live instance.
+
+    Accepts a live :class:`SchedulingPolicy`, a :class:`PolicySpec`,
+    or a spec string like ``"fifo"`` / ``"round-robin"``.  Specs and
+    strings produce a fresh instance per resolve (policies may hold
+    per-engine cursor state).
+    """
+    if isinstance(policy, SchedulingPolicy):
+        return policy
+    if isinstance(policy, PolicySpec):
+        return policy.create()
+    if isinstance(policy, str):
+        return PolicySpec.parse(policy).create()
+    raise ValidationError(
+        f"cannot resolve a scheduling policy from {policy!r}; pass a "
+        f"SchedulingPolicy, a PolicySpec, or a spec string like "
+        f"'fifo' or 'round-robin'")
+
+
+register_policy("fifo", FifoPolicy)
+register_policy("round-robin", RoundRobinPolicy)
+register_policy("longest-queue-first", LongestQueueFirstPolicy)
+register_policy("cheapest-first", CheapestFirstPolicy)
+
+
 @dataclass
 class LatencyStats:
     """Accumulated sink-delivery latency in ticks."""
@@ -113,7 +204,8 @@ class ScheduledEngine:
         self,
         sources: Iterable[StreamSource],
         capacity: float,
-        policy: SchedulingPolicy | None = None,
+        policy: "SchedulingPolicy | PolicySpec | str | None" = None,
+        keep_latency_samples: bool = False,
     ) -> None:
         require(capacity > 0, "capacity must be positive")
         self._sources: dict[str, StreamSource] = {}
@@ -123,10 +215,16 @@ class ScheduledEngine:
                     f"duplicate stream name {source.name!r}")
             self._sources[source.name] = source
         self.capacity = float(capacity)
-        self.policy = policy or RoundRobinPolicy()
+        self.policy = (RoundRobinPolicy() if policy is None
+                       else resolve_policy(policy))
         self.catalog = QueryPlanCatalog()
         self.results: dict[str, list[StreamTuple]] = {}
         self.latency: dict[str, LatencyStats] = {}
+        #: Raw per-delivery latencies (ticks), kept only on request —
+        #: the SLA percentiles of the open-system simulation need the
+        #: distribution, not just the running mean.
+        self.latency_samples: "list[int] | None" = (
+            [] if keep_latency_samples else None)
         # op id -> input name -> queue of (arrival tick, tuple)
         self._queues: dict[str, dict[str, deque]] = {}
         self._tick = 0
@@ -152,6 +250,25 @@ class ScheduledEngine:
             queues = self._queues.setdefault(op.op_id, {})
             for name in op.inputs:
                 queues.setdefault(name, deque())
+
+    def remove(self, query_id: str) -> ContinuousQuery:
+        """Deregister *query_id*; orphaned operators drop their queues.
+
+        Tuples queued for operators still shared with other queries
+        stay queued; queues of operators no query references anymore
+        are discarded with their contents (the subscription expired —
+        nobody is paying for those results).
+        """
+        query = self.catalog.remove(query_id)
+        for op_id in list(self._queues):
+            if op_id not in self.catalog.operators:
+                del self._queues[op_id]
+        return query
+
+    @property
+    def admitted_ids(self) -> set[str]:
+        """Ids of the queries currently registered."""
+        return set(self.catalog.queries)
 
     # ------------------------------------------------------------------
     # Execution
@@ -253,6 +370,8 @@ class ScheduledEngine:
                          if "@" in origin),
                         default=self._tick)
                     stats.record(self._tick - birth)
+                    if self.latency_samples is not None:
+                        self.latency_samples.append(self._tick - birth)
 
     # ------------------------------------------------------------------
     # Introspection

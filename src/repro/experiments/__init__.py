@@ -34,13 +34,20 @@ from repro.experiments.runtime import (
     table4_runtime,
 )
 from repro.experiments.timeline import (
+    BackpressureResult,
+    BackpressureTick,
     ChurnConfig,
     PeriodRecord,
     TimelineResult,
+    backpressure_rows,
+    export_backpressure,
+    run_backpressure,
     run_timeline,
 )
 
 __all__ = [
+    "BackpressureResult",
+    "BackpressureTick",
     "ChurnConfig",
     "ExperimentScale",
     "FIGURE5_SERIES",
@@ -58,6 +65,8 @@ __all__ = [
     "SweepResult",
     "TABLE4_MECHANISMS",
     "UtilizationSummary",
+    "backpressure_rows",
+    "export_backpressure",
     "export_figure",
     "export_figure5",
     "export_report",
@@ -69,6 +78,7 @@ __all__ = [
     "figure5",
     "full_report",
     "mechanism_factory",
+    "run_backpressure",
     "run_sharing_sweep",
     "run_timeline",
     "table4_runtime",

@@ -1,4 +1,4 @@
-"""Multi-period churn simulation: revenue over time per mechanism.
+"""Multi-period churn and backpressure timelines.
 
 The paper's system model re-auctions "at the end of each subscription
 period, say a day" (Section II), with the client population churning:
@@ -16,14 +16,21 @@ Dynamics per period (all seeded):
 * every still-present query participates in the auction (truthfully);
 * winners stay for the next period with probability ``retention``;
   losers leave with probability ``loser_departure``.
+
+The module also exports the *backpressure* timeline
+(:func:`run_backpressure`): per-tick queue-length and latency curves
+of a bounded-work :class:`~repro.dsms.scheduler.ScheduledEngine` at a
+given admission factor.  At factor ≤ 1 queues stay flat (the priced
+regime); above 1 they grow without bound — the figure-ready view of
+*why* admission control is worth paying for.
+:func:`backpressure_rows` turns a run into plain dict rows for figure
+scripts and CSV export.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from collections.abc import Sequence
-
-import numpy as np
 
 from repro.core.mechanism import Mechanism
 from repro.core.model import AuctionInstance, Operator, Query
@@ -135,6 +142,125 @@ class _ClientPopulation:
                 owner=f"client_p{period}a{index}",
             ))
         return queries
+
+
+@dataclass(frozen=True)
+class BackpressureTick:
+    """One tick of the bounded-work engine under a load factor."""
+
+    tick: int
+    queued: int
+    delivered: int
+    mean_latency: float
+    work: float
+
+
+@dataclass
+class BackpressureResult:
+    """Per-tick curves for each admission (load) factor."""
+
+    capacity: float
+    ticks: int
+    records: dict[float, list[BackpressureTick]] = field(
+        default_factory=dict)
+
+    def final_queue(self, factor: float) -> int:
+        """Queue depth at the end of the run for *factor*."""
+        return self.records[factor][-1].queued if self.records[factor] else 0
+
+
+def run_backpressure(
+    factors: Sequence[float] = (0.8, 1.0, 1.5),
+    capacity: float = 30.0,
+    ticks: int = 100,
+    queries: int = 6,
+    rate: float = 5.0,
+    policy: str = "round-robin",
+    seed: int = 0,
+) -> BackpressureResult:
+    """Per-tick queue/latency curves of the over-admission regimes.
+
+    For each *factor*, admits *queries* single-select plans whose
+    total analytic load is ``factor × capacity`` into a
+    :class:`~repro.sim.LatencyProbe` (a
+    :class:`~repro.dsms.scheduler.ScheduledEngine` bounded to
+    *capacity* work units per tick, scheduled by the spec-addressable
+    *policy*) fed by one Poisson stream, and records every tick's
+    total queue length, deliveries, mean delivery latency and work.
+    """
+    from repro.dsms.operators import SelectOperator
+    from repro.dsms.plan import ContinuousQuery
+    from repro.dsms.streams import SyntheticStream
+    from repro.sim.arrivals import _pass_all
+    from repro.sim.driver import LatencyProbe
+
+    result = BackpressureResult(capacity=float(capacity),
+                                ticks=int(ticks))
+    for factor in factors:
+        probe = LatencyProbe(
+            [SyntheticStream("s", rate=rate, seed=seed)],
+            capacity=capacity, policy=policy)
+        # Split factor × capacity of analytic load (rate × cost)
+        # evenly across the queries.
+        cost = (float(factor) * capacity) / (queries * rate)
+        plans = {}
+        for index in range(queries):
+            op = SelectOperator(f"bp{index}", "s", _pass_all,
+                                cost_per_tuple=cost,
+                                selectivity_estimate=1.0)
+            plans[f"q{index}"] = ContinuousQuery(
+                f"q{index}", (op,), sink_id=op.op_id, bid=1.0)
+        probe.sync(plans)
+        records = [
+            BackpressureTick(
+                tick=metrics.time,
+                queued=metrics.queued,
+                delivered=metrics.delivered,
+                mean_latency=metrics.mean_latency,
+                work=metrics.work,
+            )
+            for metrics in (probe.tick(tick)
+                            for tick in range(1, int(ticks) + 1))
+        ]
+        result.records[float(factor)] = records
+    return result
+
+
+def backpressure_rows(result: BackpressureResult) -> list[dict]:
+    """Figure-script-ready rows: one dict per (factor, tick).
+
+    Columns: ``factor``, ``tick``, ``queued``, ``delivered``,
+    ``mean_latency``, ``work`` — ready for ``csv.DictWriter`` or a
+    plotting dataframe.
+    """
+    rows = []
+    for factor in sorted(result.records):
+        for record in result.records[factor]:
+            rows.append({
+                "factor": factor,
+                "tick": record.tick,
+                "queued": record.queued,
+                "delivered": record.delivered,
+                "mean_latency": record.mean_latency,
+                "work": record.work,
+            })
+    return rows
+
+
+def export_backpressure(
+    result: BackpressureResult, path
+) -> None:
+    """Write :func:`backpressure_rows` as CSV to *path*."""
+    import csv
+    from pathlib import Path
+
+    rows = backpressure_rows(result)
+    with Path(path).open("w", newline="") as handle:
+        writer = csv.DictWriter(
+            handle, fieldnames=["factor", "tick", "queued", "delivered",
+                                "mean_latency", "work"])
+        writer.writeheader()
+        writer.writerows(rows)
 
 
 def run_timeline(

@@ -53,6 +53,10 @@ CLUSTER_REPORT_SCHEMA = "repro/cluster-report"
 CLUSTER_REPORT_VERSION = 1
 CLUSTER_SNAPSHOT_SCHEMA = "repro/cluster-snapshot"
 CLUSTER_SNAPSHOT_VERSION = 1
+SIM_TRACE_SCHEMA = "repro/sim-trace"
+SIM_TRACE_VERSION = 1
+SIM_SNAPSHOT_SCHEMA = "repro/sim-snapshot"
+SIM_SNAPSHOT_VERSION = 1
 
 
 def instance_to_dict(instance: AuctionInstance) -> dict:
@@ -440,6 +444,116 @@ def load_snapshot(path: "str | Path") -> object:
         raise ValidationError(
             f"malformed snapshot file {str(path)!r}: {exc!r}") from exc
     return _unwrap_snapshot_envelope(envelope, str(path))
+
+
+# ----------------------------------------------------------------------
+# Simulation traces (versioned schema)
+# ----------------------------------------------------------------------
+
+
+def sim_trace_to_dict(trace: object) -> dict:
+    """Versioned JSON document for a :class:`~repro.sim.SimTrace`.
+
+    The entry list is the run's whole workload — every arrival's
+    virtual time, query and subscription category — so replaying the
+    document against an identically configured service reproduces the
+    recorded run byte-identically.
+    """
+    from repro.sim.trace import entry_to_dict
+
+    return {
+        "schema": SIM_TRACE_SCHEMA,
+        "version": SIM_TRACE_VERSION,
+        "arrivals": [entry_to_dict(entry) for entry in trace.entries],
+    }
+
+
+def sim_trace_from_dict(payload: dict) -> object:
+    """Parse a :func:`sim_trace_to_dict` document into a SimTrace."""
+    from repro.sim.trace import SimTrace, entry_from_dict
+
+    if not isinstance(payload, dict):
+        raise ValidationError(
+            f"malformed trace document: expected an object, got "
+            f"{type(payload).__name__}")
+    schema = payload.get("schema")
+    if schema != SIM_TRACE_SCHEMA:
+        raise ValidationError(
+            f"not a sim-trace document (schema {schema!r}, expected "
+            f"{SIM_TRACE_SCHEMA!r})")
+    version = payload.get("version")
+    if version != SIM_TRACE_VERSION:
+        raise ValidationError(
+            f"unsupported sim-trace version {version!r}; this build "
+            f"reads version {SIM_TRACE_VERSION}")
+    entries = payload.get("arrivals")
+    if not isinstance(entries, list):
+        raise ValidationError(
+            "malformed trace document: 'arrivals' must be an array")
+    return SimTrace(entries=tuple(
+        entry_from_dict(entry) for entry in entries))
+
+
+def save_sim_trace(trace: object, path: "str | Path") -> None:
+    """Write a simulation trace as versioned JSON to *path*."""
+    Path(path).write_text(
+        json.dumps(sim_trace_to_dict(trace), indent=2, sort_keys=True)
+        + "\n")
+
+
+def load_sim_trace(path: "str | Path") -> object:
+    """Read a trace written by :func:`save_sim_trace`.
+
+    Traces of non-synthetic plans may carry base64-pickled queries,
+    which execute code on load — only replay traces you trust.
+    """
+    return sim_trace_from_dict(json.loads(Path(path).read_text()))
+
+
+# ----------------------------------------------------------------------
+# Simulation snapshots (versioned pickle envelope)
+# ----------------------------------------------------------------------
+
+
+def save_sim_snapshot(snapshot: object, path: "str | Path") -> None:
+    """Write a simulation snapshot as a versioned pickle envelope.
+
+    *snapshot* is a :class:`~repro.sim.SimSnapshot` (from
+    :meth:`SimulationDriver.snapshot`): the driver's clock, event
+    queue, arrival-process RNGs, subscription books and probes, plus
+    the host service/cluster snapshot.  The usual pickle rules apply —
+    module-level functions only, and only load files you trust.
+    """
+    Path(path).write_bytes(pickle.dumps({
+        "schema": SIM_SNAPSHOT_SCHEMA,
+        "version": SIM_SNAPSHOT_VERSION,
+        "snapshot": snapshot,
+    }, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def load_sim_snapshot(path: "str | Path") -> object:
+    """Read a snapshot envelope written by :func:`save_sim_snapshot`."""
+    try:
+        envelope = pickle.loads(Path(path).read_bytes())
+    except (pickle.UnpicklingError, EOFError) as exc:
+        raise ValidationError(
+            f"malformed simulation snapshot file {str(path)!r}: "
+            f"{exc!r}") from exc
+    if not isinstance(envelope, dict):
+        raise ValidationError(
+            f"malformed simulation snapshot file {str(path)!r}: not "
+            f"an envelope")
+    schema = envelope.get("schema")
+    if schema != SIM_SNAPSHOT_SCHEMA:
+        raise ValidationError(
+            f"not a simulation snapshot (schema {schema!r}, expected "
+            f"{SIM_SNAPSHOT_SCHEMA!r})")
+    version = envelope.get("version")
+    if version != SIM_SNAPSHOT_VERSION:
+        raise ValidationError(
+            f"unsupported simulation-snapshot version {version!r}; "
+            f"this build reads version {SIM_SNAPSHOT_VERSION}")
+    return envelope["snapshot"]
 
 
 # ----------------------------------------------------------------------

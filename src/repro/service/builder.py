@@ -23,6 +23,7 @@ from collections.abc import Callable, Iterable
 from repro.core.mechanism import Mechanism, MechanismSpec
 from repro.core.selection import SelectionPath, SelectionSpec
 from repro.dsms.backend import BackendSpec, ExecutionBackend
+from repro.dsms.scheduler import PolicySpec, SchedulingPolicy
 from repro.dsms.streams import StreamSource
 from repro.service.hooks import HookRegistry
 from repro.service.service import AdmissionService
@@ -50,6 +51,7 @@ class ServiceConfig:
     hold_ticks: int = 1
     backend: "str | BackendSpec" = "scalar"
     selection: "str | SelectionSpec | None" = None
+    scheduler: "str | PolicySpec | None" = None
 
     def __post_init__(self) -> None:
         require(self.capacity > 0, "capacity must be positive")
@@ -61,6 +63,9 @@ class ServiceConfig:
         spec = self.selection_spec()
         if spec is not None:
             spec.validate()
+        policy = self.scheduler_spec()
+        if policy is not None:
+            policy.validate()
 
     def mechanism_spec(self) -> MechanismSpec:
         """The mechanism setting as a :class:`MechanismSpec`."""
@@ -102,6 +107,23 @@ class ServiceConfig:
         """A copy of this config with a different selection path."""
         return replace(self, selection=selection)
 
+    def scheduler_spec(self) -> "PolicySpec | None":
+        """The scheduling-policy setting as a :class:`PolicySpec`.
+
+        ``None`` means the config pins no policy (the open-system
+        latency probe then defaults to round-robin).
+        """
+        if self.scheduler is None or isinstance(self.scheduler,
+                                                PolicySpec):
+            return self.scheduler
+        return PolicySpec.parse(self.scheduler)
+
+    def with_scheduler(
+        self, scheduler: "str | PolicySpec"
+    ) -> "ServiceConfig":
+        """A copy of this config with a different scheduling policy."""
+        return replace(self, scheduler=scheduler)
+
 
 class ServiceBuilder:
     """Fluent assembly of an :class:`AdmissionService`.
@@ -121,6 +143,9 @@ class ServiceBuilder:
         self._hold_ticks: "int | None" = None
         self._backend: "ExecutionBackend | BackendSpec | str | None" = None
         self._selection: "SelectionPath | SelectionSpec | str | None" = None
+        self._scheduler: "SchedulingPolicy | PolicySpec | str | None" = None
+        self._arrivals: list[object] = []
+        self._subscriptions: "object | None" = None
         self._ledger: "object | None" = None
         self._hooks = HookRegistry()
         if config is not None:
@@ -138,6 +163,7 @@ class ServiceBuilder:
         self._hold_ticks = config.hold_ticks
         self._backend = config.backend_spec()
         self._selection = config.selection_spec()
+        self._scheduler = config.scheduler_spec()
         return self
 
     def with_sources(self, *sources: StreamSource) -> "ServiceBuilder":
@@ -181,6 +207,48 @@ class ServiceBuilder:
         self._selection = selection
         return self
 
+    def with_scheduler(
+        self, scheduler: "SchedulingPolicy | PolicySpec | str"
+    ) -> "ServiceBuilder":
+        """Set the simulation probe's scheduling policy.
+
+        Spec-addressable like everything else: ``"fifo"``,
+        ``"round-robin"``, ``"longest-queue-first"``,
+        ``"cheapest-first"`` (or a live
+        :class:`~repro.dsms.scheduler.SchedulingPolicy`).  Consumed by
+        :meth:`build_simulation`, which attaches a per-shard
+        :class:`~repro.sim.LatencyProbe` running the admitted plans on
+        a bounded :class:`~repro.dsms.scheduler.ScheduledEngine` work
+        budget.
+        """
+        self._scheduler = scheduler
+        return self
+
+    def with_arrivals(self, *arrivals: object) -> "ServiceBuilder":
+        """Add open-system arrival processes (specs or instances).
+
+        Accepts spec strings (``"poisson:rate=40"``, ``"burst"``,
+        ``"trace:path=..."``), :class:`~repro.sim.ArrivalSpec` objects,
+        or live :class:`~repro.sim.ArrivalProcess` instances.  Setting
+        arrivals makes this an open-system build: finish with
+        :meth:`build_simulation` instead of :meth:`build`.
+        """
+        self._arrivals.extend(arrivals)
+        return self
+
+    def with_subscriptions(
+        self, subscriptions: "object | bool" = True
+    ) -> "ServiceBuilder":
+        """Enable Section VII subscription lifecycles.
+
+        Pass ``True`` for the paper's default day/week/month mix, or a
+        :class:`~repro.sim.SubscriptionOptions` for custom categories,
+        renewal policy and per-category mechanisms.  Finish with
+        :meth:`build_simulation`.
+        """
+        self._subscriptions = subscriptions
+        return self
+
     def with_ledger(self, ledger: object) -> "ServiceBuilder":
         """Use a pre-existing billing ledger (e.g. resumed accounts)."""
         self._ledger = ledger
@@ -220,7 +288,54 @@ class ServiceBuilder:
     # ------------------------------------------------------------------
 
     def build(self) -> AdmissionService:
-        """Assemble the service; raises on missing required settings."""
+        """Assemble the service; raises on missing required settings.
+
+        A builder holding open-system settings (arrivals or
+        subscriptions) must finish with :meth:`build_simulation` —
+        those settings live on the simulation driver, and silently
+        dropping them here would be a trap.  A configured scheduler is
+        different: it is only a *probe hint* for
+        :meth:`build_simulation` and never changes service semantics,
+        so a config carrying one still builds a plain service.
+        """
+        if self._arrivals or self._subscriptions:
+            raise ValidationError(
+                "this builder has open-system settings (with_arrivals/"
+                "with_subscriptions); call .build_simulation() instead "
+                "of .build()")
+        return self._assemble()
+
+    def build_simulation(
+        self,
+        *,
+        probe: "object | None" = None,
+        record: bool = False,
+    ):
+        """Assemble the service *and* its open-system driver.
+
+        Returns a :class:`~repro.sim.SimulationDriver` wrapping a
+        freshly built service, carrying the builder's arrival
+        processes and subscription options.  The latency probe is
+        attached when *probe* is truthy or a scheduler was configured
+        (:meth:`with_scheduler` / :class:`ServiceConfig.scheduler`);
+        ``record=True`` records the run's arrival trace for replay.
+        """
+        from repro.sim.driver import SimulationDriver
+
+        if probe is None and self._scheduler is not None:
+            probe = self._scheduler
+        elif probe is True:
+            probe = (self._scheduler if self._scheduler is not None
+                     else True)
+        return SimulationDriver(
+            self._assemble(),
+            arrivals=tuple(self._arrivals),
+            subscriptions=self._subscriptions,
+            probe=probe,
+            record=record,
+        )
+
+    def _assemble(self) -> AdmissionService:
         if not self._sources:
             raise ValidationError(
                 "cannot build a service without stream sources; call "

@@ -1,0 +1,332 @@
+"""Arrival processes: who shows up, and when.
+
+An open system is defined by its arrival process.  An
+:class:`ArrivalProcess` is a resumable iterator over
+:class:`Arrival`\\ s — (virtual time, continuous query, requested
+category) — whose entire state is plain picklable data, so a
+checkpointed simulation resumes mid-stream and draws exactly the
+arrivals the uninterrupted run would have drawn.
+
+Processes are *spec-string addressable* through the shared
+``utils.registry``/``specparse`` grammar, the same currency mechanisms
+and backends use:
+
+* ``"poisson:rate=40"`` — exponential inter-arrival gaps, mean
+  ``rate`` arrivals per engine tick;
+* ``"burst:size=20,every=10"`` — ``size`` simultaneous arrivals every
+  ``every`` ticks (the flash-crowd regime);
+* ``"trace:path=run.trace.json"`` — replay a recorded
+  ``repro/sim-trace`` document, byte-identically.
+
+Synthetic processes build single-select query plans through
+:func:`synthetic_query` (module-level predicate, so every plan is
+checkpoint-picklable), drawing bids and costs from the same ranges the
+CLI's closed-loop workload uses.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from collections.abc import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.dsms.operators import SelectOperator
+from repro.dsms.plan import ContinuousQuery
+from repro.utils.registry import RegistrySpec, SpecRegistry
+from repro.utils.rng import spawn_rng
+from repro.utils.validation import ValidationError, require
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One arriving subscription request.
+
+    ``stream`` pins the arrival to an event-stream index (shard, under
+    ``route="stream"``); ``None`` means "the index of the process that
+    produced me" — only trace replay sets it, so a recorded
+    multi-stream run replays through one process with every arrival
+    still landing on its recorded stream.
+    """
+
+    time: float
+    query: ContinuousQuery
+    category: "str | None" = None
+    stream: "int | None" = None
+
+
+def _pass_all(_tuple: object) -> bool:
+    """Module-level select predicate: keeps arrival plans picklable."""
+    return True
+
+
+def synthetic_query(
+    rng: np.random.Generator,
+    index: int,
+    stream: str = "s",
+    prefix: str = "a",
+    clients: int = 8,
+) -> ContinuousQuery:
+    """The standard synthetic arrival: one select over *stream*.
+
+    Bid ~ U(5, 100), cost-per-tuple ~ U(0.5, 2.0) (both rounded to
+    cents, matching the CLI's closed-loop workload), owner cycling
+    through *clients* distinct client ids.
+    """
+    query_id = f"{prefix}{index}"
+    op = SelectOperator(
+        f"sel_{query_id}", stream, _pass_all,
+        cost_per_tuple=float(np.round(rng.uniform(0.5, 2.0), 2)),
+        selectivity_estimate=1.0)
+    return ContinuousQuery(
+        query_id, (op,), sink_id=op.op_id,
+        bid=float(np.round(rng.uniform(5, 100), 2)),
+        owner=f"user_{index % max(1, clients)}")
+
+
+class ArrivalProcess(abc.ABC):
+    """A deterministic, checkpointable stream of arrivals.
+
+    :meth:`next_arrival` returns the next :class:`Arrival` (times
+    non-decreasing) or ``None`` once the process is exhausted.  All
+    state must be picklable plain data — the driver deep-copies the
+    process into every simulation snapshot.
+    """
+
+    #: Registry/spec name of the process.
+    name: str = "arrivals"
+
+    @abc.abstractmethod
+    def next_arrival(self) -> "Arrival | None":
+        """Produce the next arrival, advancing the process state."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Poisson arrivals: exponential gaps with mean ``1/rate`` ticks."""
+
+    name = "poisson"
+
+    def __init__(
+        self,
+        rate: float,
+        seed: int = 0,
+        limit: "int | None" = None,
+        stream: str = "s",
+        clients: int = 8,
+        prefix: str = "a",
+        start: float = 0.0,
+    ) -> None:
+        require(rate > 0, "arrival rate must be positive")
+        if limit is not None:
+            require(int(limit) >= 0, "limit must be >= 0")
+        self._rate = float(rate)
+        self._rng = spawn_rng(seed)
+        self._limit = None if limit is None else int(limit)
+        self._stream = stream
+        self._clients = int(clients)
+        self._prefix = prefix
+        self._time = float(start)
+        self._count = 0
+
+    def next_arrival(self) -> "Arrival | None":
+        if self._limit is not None and self._count >= self._limit:
+            return None
+        self._time += float(self._rng.exponential(1.0 / self._rate))
+        query = synthetic_query(
+            self._rng, self._count, stream=self._stream,
+            prefix=self._prefix, clients=self._clients)
+        self._count += 1
+        return Arrival(time=self._time, query=query)
+
+
+class BurstArrivals(ArrivalProcess):
+    """Flash crowds: ``size`` simultaneous arrivals every ``every`` ticks."""
+
+    name = "burst"
+
+    def __init__(
+        self,
+        size: int = 10,
+        every: float = 10.0,
+        seed: int = 0,
+        limit: "int | None" = None,
+        stream: str = "s",
+        clients: int = 8,
+        prefix: str = "a",
+        start: float = 0.0,
+    ) -> None:
+        require(int(size) >= 1, "burst size must be >= 1")
+        require(every > 0, "burst interval must be positive")
+        if limit is not None:
+            require(int(limit) >= 0, "limit must be >= 0")
+        self._size = int(size)
+        self._every = float(every)
+        self._rng = spawn_rng(seed)
+        self._limit = None if limit is None else int(limit)
+        self._stream = stream
+        self._clients = int(clients)
+        self._prefix = prefix
+        self._start = float(start)
+        self._burst = 1
+        self._within = 0
+        self._count = 0
+
+    def next_arrival(self) -> "Arrival | None":
+        if self._limit is not None and self._count >= self._limit:
+            return None
+        time = self._start + self._burst * self._every
+        query = synthetic_query(
+            self._rng, self._count, stream=self._stream,
+            prefix=self._prefix, clients=self._clients)
+        self._count += 1
+        self._within += 1
+        if self._within >= self._size:
+            self._within = 0
+            self._burst += 1
+        return Arrival(time=time, query=query)
+
+
+class TraceArrivals(ArrivalProcess):
+    """Replays the arrivals of a recorded ``repro/sim-trace`` document.
+
+    Give it a live :class:`~repro.sim.trace.SimTrace` or a path to a
+    trace file.  Entries replay with their recorded times, queries
+    *and* categories, so a replayed run auctions exactly the workload
+    the recorded run saw.
+    """
+
+    name = "trace"
+
+    def __init__(
+        self,
+        trace: "object | None" = None,
+        path: "str | None" = None,
+    ) -> None:
+        from repro.sim.trace import SimTrace
+
+        if (trace is None) == (path is None):
+            raise ValidationError(
+                "pass exactly one of trace= (a SimTrace) or path= "
+                "(a trace file)")
+        if path is not None:
+            from repro.io import load_sim_trace
+
+            trace = load_sim_trace(path)
+        if not isinstance(trace, SimTrace):
+            raise ValidationError(
+                f"expected a SimTrace, got {type(trace).__name__}")
+        self._entries = trace.entries
+        self._index = 0
+
+    def next_arrival(self) -> "Arrival | None":
+        if self._index >= len(self._entries):
+            return None
+        entry = self._entries[self._index]
+        self._index += 1
+        return Arrival(time=entry.time, query=entry.query,
+                       category=entry.category, stream=entry.stream)
+
+
+class ScheduledArrivals(ArrivalProcess):
+    """A fixed (time, query) schedule, for full arrival control.
+
+    The hand-written counterpart of the stochastic processes: you
+    decide exactly who arrives when — deterministic scenarios, tests,
+    reproducing a specific ordering.  (The ``run_periods`` lockstep
+    path feeds its batches to the driver directly as arrival events;
+    it does not go through this class.)
+    """
+
+    name = "scheduled"
+
+    def __init__(
+        self,
+        arrivals: Sequence[Arrival],
+    ) -> None:
+        entries = list(arrivals)
+        times = [a.time for a in entries]
+        if any(later < earlier
+               for earlier, later in zip(times, times[1:])):
+            raise ValidationError(
+                "scheduled arrivals must be in non-decreasing time order")
+        self._entries = entries
+        self._index = 0
+
+    def next_arrival(self) -> "Arrival | None":
+        if self._index >= len(self._entries):
+            return None
+        entry = self._entries[self._index]
+        self._index += 1
+        return entry
+
+
+# ----------------------------------------------------------------------
+# Registry and specs (mirrors repro.dsms.backend)
+# ----------------------------------------------------------------------
+
+#: The arrival-process registry (shared machinery: utils.registry).
+_REGISTRY = SpecRegistry("arrival process", param_noun="arrival process")
+
+
+def register_arrivals(
+    name: str, factory: Callable[..., ArrivalProcess]
+) -> None:
+    """Register a process *factory* under *name* (case-insensitive)."""
+    _REGISTRY.register(name, factory)
+
+
+def make_arrivals(name: str, **kwargs: object) -> ArrivalProcess:
+    """Instantiate a registered process by name, validating kwargs."""
+    return _REGISTRY.create(name, **kwargs)
+
+
+def registered_arrivals() -> Mapping[str, Callable[..., ArrivalProcess]]:
+    """Read-only view of the registry (name → factory)."""
+    return _REGISTRY.as_mapping()
+
+
+@dataclass(frozen=True)
+class ArrivalSpec(RegistrySpec):
+    """An arrival-process name plus declared, validated parameters
+    (shared machinery: :class:`~repro.utils.registry.RegistrySpec`).
+
+    >>> ArrivalSpec.parse("poisson:rate=40,seed=7")
+    ArrivalSpec(name='poisson', params={'rate': 40, 'seed': 7})
+    """
+
+    _registry = _REGISTRY
+    _what = "arrival spec"
+
+
+def resolve_arrivals(
+    arrivals: "ArrivalProcess | ArrivalSpec | str",
+) -> ArrivalProcess:
+    """Coerce any accepted arrival form to a live process.
+
+    Accepts a live :class:`ArrivalProcess`, an :class:`ArrivalSpec`,
+    or a spec string like ``"poisson:rate=40"``.  Specs and strings
+    produce a fresh process per resolve (processes are stateful).
+    """
+    if isinstance(arrivals, ArrivalProcess):
+        return arrivals
+    if isinstance(arrivals, ArrivalSpec):
+        return arrivals.create()
+    if isinstance(arrivals, str):
+        return ArrivalSpec.parse(arrivals).create()
+    raise ValidationError(
+        f"cannot resolve an arrival process from {arrivals!r}; pass an "
+        f"ArrivalProcess, an ArrivalSpec, or a spec string like "
+        f"'poisson:rate=40' or 'trace:path=run.trace.json'")
+
+
+def _trace_factory(path: str) -> TraceArrivals:
+    return TraceArrivals(path=str(path))
+
+
+register_arrivals("poisson", PoissonArrivals)
+register_arrivals("burst", BurstArrivals)
+register_arrivals("trace", _trace_factory)

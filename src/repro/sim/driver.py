@@ -1,0 +1,689 @@
+"""The open-system simulation driver.
+
+:class:`SimulationDriver` turns the admission service's lockstep
+period loop into a *discrete-event simulation*: a virtual clock (in
+engine ticks), one deterministic :class:`~repro.sim.events.EventQueue`,
+and five event kinds — arrivals, period boundaries, subscription
+expiries, renewals, and probe ticks.  The same driver runs:
+
+* the **closed loop** — :meth:`AdmissionService.run_periods` is now a
+  degenerate schedule of this driver (each submission batch arrives
+  exactly at its period boundary), byte-identical to the historical
+  loop;
+* the **open system** — spec-addressable arrival processes
+  (``"poisson:rate=40"``, ``"burst"``, ``"trace:path=..."``) feed
+  queries continuously; boundaries auction whatever arrived;
+* **subscription lifecycles** — with
+  :class:`~repro.sim.subscriptions.SubscriptionOptions`, boundaries
+  run Section VII per-category auctions, expiries reclaim capacity,
+  renewals resubmit — all billed through the service's ledger;
+* **cluster scale** — a :class:`~repro.cluster.FederatedAdmissionService`
+  shares the driver's single clock; per-shard arrival streams merge
+  deterministically (``route="stream"``) or route by placement.
+
+Per-tick queue/latency metrics come from an optional *latency probe*:
+a :class:`~repro.dsms.scheduler.ScheduledEngine` per shard, mirroring
+the shard's admitted set on the same work budget, ticked once per
+virtual-clock tick — the paper's over-admission backpressure made
+measurable (queue growth, SLA percentiles).
+
+The whole driver state — clock, event queue, arrival-process RNGs,
+subscription books, probes, trace recording — checkpoints into one
+versioned envelope (``repro/sim-snapshot``) and resumes
+byte-identically mid-simulation.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+from dataclasses import dataclass
+from collections.abc import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.dsms.plan import ContinuousQuery
+from repro.dsms.scheduler import (
+    PolicySpec,
+    ScheduledEngine,
+    SchedulingPolicy,
+    resolve_policy,
+)
+from repro.sim.arrivals import ArrivalProcess, ArrivalSpec, resolve_arrivals
+from repro.sim.events import (
+    ArrivalEvent,
+    EventQueue,
+    ExpiryEvent,
+    PeriodEvent,
+    RenewalEvent,
+    TickEvent,
+)
+from repro.sim.hosts import SimulationHost, restore_host, wrap_host
+from repro.sim.subscriptions import (
+    SubscriptionManager,
+    SubscriptionOptions,
+    SubscriptionPeriodResult,
+)
+from repro.sim.trace import SimTrace, TraceRecorder
+from repro.utils.validation import ValidationError, require
+
+#: Version of the in-memory simulation snapshot layout below.
+SIM_STATE_VERSION = 1
+
+_STATE_FIELDS = (
+    "host_kind", "host", "batch", "clock", "period", "queue",
+    "processes", "route", "managers", "pending", "probes", "recorder",
+    "reports", "events_processed", "allow_idle",
+)
+
+
+def _latency_percentiles(
+    samples: Sequence[int], percentiles: Sequence[float]
+) -> dict[float, float]:
+    """Exact percentiles over raw delivery-latency samples (ticks)."""
+    if not samples:
+        return {float(p): 0.0 for p in percentiles}
+    values = np.percentile(np.asarray(samples, dtype=float),
+                           list(percentiles))
+    return {float(p): float(v) for p, v in zip(percentiles, values)}
+
+
+@dataclass(frozen=True)
+class TickMetrics:
+    """One probe tick: queue depth, deliveries, latency, work done."""
+
+    time: int
+    queued: int
+    delivered: int
+    mean_latency: float
+    work: float
+    shard: int = 0
+
+
+@dataclass(frozen=True)
+class SimPeriodReport:
+    """One subscription-mode period boundary across all shards."""
+
+    period: int
+    shard_results: tuple[SubscriptionPeriodResult, ...]
+    expired: tuple[str, ...]
+    renewed: tuple[str, ...]
+    revenue: float
+    reclaimed_capacity: float
+    engine_ticks: int
+    engine_utilization: "float | None"
+
+    @property
+    def admitted(self) -> tuple[str, ...]:
+        """Newly admitted subscription ids across all shards."""
+        return tuple(query_id for result in self.shard_results
+                     for query_id in result.admitted)
+
+    @property
+    def rejected(self) -> tuple[str, ...]:
+        """Rejected request ids across all shards."""
+        return tuple(query_id for result in self.shard_results
+                     for query_id in result.rejected)
+
+
+@dataclass(frozen=True)
+class SimSnapshot:
+    """A deep, self-contained copy of a driver's evolving state."""
+
+    version: int
+    state: Mapping[str, object]
+
+    def __post_init__(self) -> None:
+        missing = [f for f in _STATE_FIELDS if f not in self.state]
+        if missing:
+            raise ValidationError(
+                f"simulation snapshot is missing state field(s) "
+                f"{missing}")
+
+
+class LatencyProbe:
+    """A shadow :class:`ScheduledEngine` mirroring one shard.
+
+    Owns deep copies of the shard's stream sources (same seed state at
+    attach time, so it sees the same tuple stream) and the shard's
+    admitted plans, executed under the shard's work budget with a
+    pluggable scheduling policy.  One :meth:`tick` per virtual-clock
+    tick appends a :class:`TickMetrics` record.
+    """
+
+    def __init__(
+        self,
+        sources: Iterable,
+        capacity: float,
+        policy: "SchedulingPolicy | PolicySpec | str | None" = None,
+        shard: int = 0,
+    ) -> None:
+        self.engine = ScheduledEngine(
+            copy.deepcopy(tuple(sources)), capacity,
+            policy=policy, keep_latency_samples=True)
+        self.shard = int(shard)
+        self.metrics: list[TickMetrics] = []
+        self._delivered = 0
+        self._latency_total = 0.0
+
+    def sync(self, plans: Mapping[str, ContinuousQuery]) -> None:
+        """Make the probe run exactly the given admitted plans."""
+        current = self.engine.admitted_ids
+        for query_id in sorted(current - set(plans)):
+            self.engine.remove(query_id)
+        for query_id in sorted(set(plans) - current):
+            self.engine.admit(plans[query_id])
+
+    def tick(self, time: float) -> TickMetrics:
+        """Execute one probed tick and record its metrics."""
+        work_before = self.engine.work_done
+        self.engine.run(1)
+        total = sum(s.total for s in self.engine.latency.values())
+        count = sum(s.count for s in self.engine.latency.values())
+        delivered = count - self._delivered
+        mean = (((total - self._latency_total) / delivered)
+                if delivered else 0.0)
+        record = TickMetrics(
+            time=int(time),
+            queued=self.engine.total_queued(),
+            delivered=delivered,
+            mean_latency=mean,
+            work=self.engine.work_done - work_before,
+            shard=self.shard,
+        )
+        self._delivered = count
+        self._latency_total = total
+        self.metrics.append(record)
+        return record
+
+    def latency_percentiles(
+        self, percentiles: Sequence[float] = (50.0, 95.0, 99.0)
+    ) -> dict[float, float]:
+        """Exact delivery-latency percentiles over the probed run."""
+        return _latency_percentiles(self.engine.latency_samples or [],
+                                    percentiles)
+
+
+class SimulationDriver:
+    """A checkpointable discrete-event runtime over an admission host.
+
+    Parameters
+    ----------
+    host:
+        An :class:`AdmissionService`, a
+        :class:`FederatedAdmissionService`, or a pre-wrapped
+        :class:`~repro.sim.hosts.SimulationHost`.
+    arrivals:
+        Zero or more arrival processes — live
+        :class:`~repro.sim.arrivals.ArrivalProcess` objects, specs, or
+        spec strings (``"poisson:rate=40"``).  Several processes merge
+        deterministically on the one clock.
+    subscriptions:
+        ``None`` for the paper's re-auction-everything model; a
+        :class:`SubscriptionOptions` (or ``True`` for the Section VII
+        defaults) to run per-category subscription lifecycles.
+    probe:
+        ``None`` disables the latency probe; ``True`` or a scheduling
+        policy (spec string / :class:`PolicySpec` / instance) attaches
+        one :class:`LatencyProbe` per shard.
+    record:
+        ``True`` records every arrival into a replayable
+        :class:`SimTrace` (see :meth:`trace`).
+    route:
+        ``"placement"`` routes arrivals via the host's placement
+        policy; ``"stream"`` pins arrival process *i* to shard *i*.
+    batch:
+        Auction federated boundaries through the thread-pooled batch
+        path.
+    """
+
+    def __init__(
+        self,
+        host,
+        *,
+        arrivals: "object | Sequence[object]" = (),
+        subscriptions: "SubscriptionOptions | bool | None" = None,
+        probe: "object | None" = None,
+        record: bool = False,
+        route: str = "placement",
+        batch: bool = False,
+        allow_idle: bool = True,
+    ) -> None:
+        from repro.cluster.federation import FederatedAdmissionService
+
+        if isinstance(host, FederatedAdmissionService):
+            from repro.sim.hosts import ClusterHost
+
+            host = ClusterHost(host, batch=batch)
+        self.host: SimulationHost = wrap_host(host)
+        if isinstance(arrivals, (str, ArrivalSpec, ArrivalProcess)):
+            arrivals = (arrivals,)
+        self.processes: tuple[ArrivalProcess, ...] = tuple(
+            resolve_arrivals(process) for process in arrivals)
+        if route not in ("placement", "stream"):
+            raise ValidationError(
+                f"route must be 'placement' or 'stream', got {route!r}")
+        shards = len(self.host.services)
+        if route == "stream" and len(self.processes) > shards:
+            raise ValidationError(
+                f"route='stream' pins arrival process i to shard i, "
+                f"but there are {len(self.processes)} processes and "
+                f"only {shards} shard(s)")
+        self.route = route
+        self.allow_idle = bool(allow_idle)
+
+        self.managers: "tuple[SubscriptionManager, ...] | None" = None
+        if subscriptions:
+            options = (SubscriptionOptions() if subscriptions is True
+                       else subscriptions)
+            if not isinstance(options, SubscriptionOptions):
+                raise ValidationError(
+                    f"subscriptions must be SubscriptionOptions, True, "
+                    f"or None, got {subscriptions!r}")
+            self.managers = tuple(
+                SubscriptionManager(options, service.mechanism, shard=i)
+                for i, service in enumerate(self.host.services))
+        self.pending: list[list[tuple[ContinuousQuery, str]]] = [
+            [] for _ in range(shards)]
+
+        self.probes: "tuple[LatencyProbe, ...] | None" = None
+        if probe is not None and probe is not False:
+            policy_spec = "round-robin" if probe is True else probe
+            self.probes = tuple(
+                LatencyProbe(
+                    service.sources, service.capacity,
+                    policy=(copy.deepcopy(policy_spec)
+                            if isinstance(policy_spec, SchedulingPolicy)
+                            else resolve_policy(policy_spec)),
+                    shard=i)
+                for i, service in enumerate(self.host.services))
+
+        self.recorder: "TraceRecorder | None" = (
+            TraceRecorder() if record else None)
+        self.queue = EventQueue()
+        self._period = self.host.period
+        self.clock = float(self._period * self.host.ticks_per_period)
+        self.reports: list[object] = []
+        self.events_processed = 0
+        #: shard → ids expired / capacity reclaimed since the last
+        #: boundary (cleared when that boundary's report is built).
+        self._expired_buffer: dict[int, list[str]] = {}
+        self._reclaimed_buffer: dict[int, float] = {}
+        self._renewed_buffer: list[str] = []
+        for index in range(len(self.processes)):
+            self._pump(index)
+        self.queue.push(PeriodEvent(time=self.clock,
+                                    period=self._period + 1))
+        if self.probes:
+            self.queue.push(TickEvent(time=self.clock + 1.0))
+            self._sync_probes()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def period(self) -> int:
+        """Index of the last boundary the driver processed."""
+        return self._period
+
+    def trace(self) -> SimTrace:
+        """The recorded arrival trace (requires ``record=True``)."""
+        if self.recorder is None:
+            raise ValidationError(
+                "this driver is not recording; construct it with "
+                "record=True")
+        return self.recorder.trace()
+
+    def tick_metrics(self) -> list[TickMetrics]:
+        """All probe tick records, merged over shards in time order."""
+        if not self.probes:
+            return []
+        merged: list[TickMetrics] = []
+        for probe in self.probes:
+            merged.extend(probe.metrics)
+        return sorted(merged, key=lambda m: (m.time, m.shard))
+
+    def latency_percentiles(
+        self, percentiles: Sequence[float] = (50.0, 95.0, 99.0)
+    ) -> dict[float, float]:
+        """Cluster-wide delivery-latency percentiles from the probes."""
+        samples: list[int] = []
+        for probe in self.probes or ():
+            samples.extend(probe.engine.latency_samples or [])
+        return _latency_percentiles(samples, percentiles)
+
+    def total_revenue(self) -> float:
+        """Revenue billed across all shards so far."""
+        return sum(service.total_revenue()
+                   for service in self.host.services)
+
+    # ------------------------------------------------------------------
+    # The event loop
+    # ------------------------------------------------------------------
+
+    def run(self, periods: int) -> list[object]:
+        """Process the next *periods* boundaries; returns their reports.
+
+        After the last boundary, every event ordered before the *next*
+        boundary is drained too (probe ticks and arrivals belonging to
+        the executed window), so a stopped run reports complete
+        metrics and a checkpoint taken here resumes byte-identically —
+        the uninterrupted run processes the same events in the same
+        order.
+        """
+        require(int(periods) >= 0, "periods must be >= 0")
+        target = self._period + int(periods)
+        start = len(self.reports)
+        while self._period < target:
+            self._step()
+        while self.queue and not isinstance(self.queue.peek(),
+                                            PeriodEvent):
+            self._step()
+        return self.reports[start:]
+
+    def _step(self) -> None:
+        event = self.queue.pop()
+        self.events_processed += 1
+        self.clock = max(self.clock, float(event.time))
+        if isinstance(event, ArrivalEvent):
+            self._on_arrival(event)
+        elif isinstance(event, ExpiryEvent):
+            self._on_expiry(event)
+        elif isinstance(event, RenewalEvent):
+            self._on_renewal(event)
+        elif isinstance(event, PeriodEvent):
+            self._on_period(event)
+        elif isinstance(event, TickEvent):
+            self._on_tick(event)
+        else:  # pragma: no cover - no other kinds exist
+            raise ValidationError(f"unknown event {event!r}")
+
+    def _pump(self, index: int) -> None:
+        """Pull the next arrival of process *index* into the queue.
+
+        A no-op for events pushed outside any process (the lockstep
+        schedule feeds batches directly).
+        """
+        if not 0 <= index < len(self.processes):
+            return
+        arrival = self.processes[index].next_arrival()
+        if arrival is not None:
+            # An arrival may pin its own stream (trace replay carries
+            # the recorded index); otherwise it inherits the producing
+            # process's index.  The producing index still drives the
+            # pump, so the event remembers both.
+            stream = (index if arrival.stream is None
+                      else int(arrival.stream))
+            self.queue.push(
+                ArrivalEvent(time=arrival.time, query=arrival.query,
+                             category=arrival.category, stream=stream,
+                             source=index),
+                stream=stream)
+
+    def _on_arrival(self, event: ArrivalEvent) -> None:
+        pinned = event.stream if self.route == "stream" else None
+        if pinned is not None and not (
+                0 <= pinned < len(self.host.services)):
+            raise ValidationError(
+                f"arrival {event.query.query_id!r} is pinned to "
+                f"stream {pinned}, but the host has only "
+                f"{len(self.host.services)} shard(s)")
+        if self.managers is not None:
+            shard = pinned if pinned is not None else self.host.route(
+                event.query)
+            manager = self.managers[shard]
+            category = (event.category
+                        or manager.assign_category(event.query))
+            manager.category(category)  # validate requested names too
+            if self.recorder is not None:
+                self.recorder.record(event.time, event.query, category,
+                                     event.stream)
+            self.pending[shard].append((event.query, category))
+        else:
+            if self.recorder is not None:
+                self.recorder.record(event.time, event.query,
+                                     event.category, event.stream)
+            self.host.submit(event.query, shard=pinned)
+        if event.source is not None:
+            self._pump(event.source)
+
+    def _on_expiry(self, event: ExpiryEvent) -> None:
+        # Merge the adjacent run of same-time, same-shard expiries into
+        # one batch: expire() re-estimates loads over the whole active
+        # book, so a boundary with k expiries would otherwise do k full
+        # estimations.  Pop order is preserved, so renewals enqueue in
+        # exactly the order the one-at-a-time loop produced.
+        query_ids = [event.query_id]
+        while True:
+            upcoming = self.queue.peek()
+            if (not isinstance(upcoming, ExpiryEvent)
+                    or upcoming.time != event.time
+                    or upcoming.shard != event.shard):
+                break
+            self.queue.pop()
+            self.events_processed += 1
+            query_ids.append(upcoming.query_id)
+        manager = self.managers[event.shard]
+        query_ids = [query_id for query_id in query_ids
+                     if query_id in manager.active]
+        if not query_ids:
+            return
+        service = self.host.services[event.shard]
+        rates = {source.name: source.expected_rate()
+                 for source in service.sources}
+        entries, reclaimed = manager.expire(service, query_ids, rates)
+        shard_buffer = self._expired_buffer.setdefault(event.shard, [])
+        shard_buffer.extend(entry.query.query_id for entry in entries)
+        self._reclaimed_buffer[event.shard] = (
+            self._reclaimed_buffer.get(event.shard, 0.0) + reclaimed)
+        options = manager.options
+        for entry in entries:
+            if options.auto_renew and (
+                    options.max_renewals is None
+                    or entry.renewals < int(options.max_renewals)):
+                self.queue.push(RenewalEvent(
+                    time=event.time, query=entry.query,
+                    category=entry.category, shard=event.shard))
+
+    def _on_renewal(self, event: RenewalEvent) -> None:
+        manager = self.managers[event.shard]
+        query_id = event.query.query_id
+        manager.renewal_counts[query_id] = (
+            manager.renewal_counts.get(query_id, 0) + 1)
+        manager.renewed_total += 1
+        self._renewed_buffer.append(query_id)
+        self.pending[event.shard].append((event.query, event.category))
+
+    def _on_period(self, event: PeriodEvent) -> None:
+        period = event.period
+        ticks_per_period = self.host.ticks_per_period
+        if self.managers is not None:
+            report = self._run_subscription_period(period)
+        else:
+            report = self.host.run_auction_period(
+                allow_idle=self.allow_idle)
+        self._period = period
+        self.reports.append(report)
+        self.queue.push(PeriodEvent(
+            time=event.time + ticks_per_period, period=period + 1))
+        if self.probes:
+            self._sync_probes()
+
+    def _run_subscription_period(self, period: int) -> SimPeriodReport:
+        services = self.host.services
+        shard_results = []
+        revenue = 0.0
+        ticks_per_period = self.host.ticks_per_period
+        for index, service in enumerate(services):
+            manager = self.managers[index]
+            result = manager.run_period(
+                service, period, self.pending[index])
+            result = dataclasses.replace(
+                result,
+                expired=tuple(self._expired_buffer.get(index, ())),
+                reclaimed_capacity=self._reclaimed_buffer.get(
+                    index, 0.0))
+            self.pending[index] = []
+            shard_results.append(result)
+            revenue += result.revenue
+            for query_id in result.admitted:
+                entry = manager.active[query_id]
+                self.queue.push(ExpiryEvent(
+                    time=(entry.expires_period - 1) * ticks_per_period,
+                    query_id=query_id, shard=index))
+        total_ticks = 0
+        total_work = 0.0
+        total_capacity = 0.0
+        for service in services:
+            ticks_before = service.engine.report.ticks
+            work_before = service.engine.report.total_work
+            service.engine.run(ticks_per_period)
+            total_ticks += service.engine.report.ticks - ticks_before
+            total_work += (service.engine.report.total_work
+                           - work_before)
+            total_capacity += service.capacity
+        utilization = (
+            total_work / ticks_per_period / total_capacity
+            if ticks_per_period and total_capacity else None)
+        report = SimPeriodReport(
+            period=period,
+            shard_results=tuple(shard_results),
+            expired=tuple(query_id for result in shard_results
+                          for query_id in result.expired),
+            renewed=tuple(self._renewed_buffer),
+            revenue=revenue,
+            reclaimed_capacity=sum(
+                result.reclaimed_capacity for result in shard_results),
+            engine_ticks=total_ticks,
+            engine_utilization=utilization,
+        )
+        self._expired_buffer = {}
+        self._reclaimed_buffer = {}
+        self._renewed_buffer = []
+        return report
+
+    def _on_tick(self, event: TickEvent) -> None:
+        for probe in self.probes:
+            probe.tick(event.time)
+        self.queue.push(TickEvent(time=event.time + 1.0))
+
+    def _sync_probes(self) -> None:
+        for index, probe in enumerate(self.probes):
+            probe.sync(self.host.services[index].engine.catalog.queries)
+
+    # ------------------------------------------------------------------
+    # The degenerate (closed-loop) schedule
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def lockstep(cls, host, batch: bool = False) -> "SimulationDriver":
+        """A driver configured as the pure closed-loop period runner.
+
+        No arrival processes, no subscriptions, no probe — and
+        ``allow_idle=False``, so an empty boundary behaves exactly as
+        the historical :meth:`AdmissionService.run_periods` loop did
+        (auctioning running queries, or raising when there is nothing
+        to auction at all).
+        """
+        return cls(host, batch=batch, allow_idle=False)
+
+    def run_lockstep(
+        self,
+        submissions_per_period: Iterable[Sequence[ContinuousQuery]],
+    ) -> list[object]:
+        """Feed each batch to its boundary, one period per batch.
+
+        Batches are pulled lazily; each batch's queries become arrival
+        events at the upcoming boundary's time, then exactly one
+        boundary runs — the same submit/auction interleaving the
+        historical lockstep loop produced, now as an event schedule.
+        """
+        reports: list[object] = []
+        ticks_per_period = self.host.ticks_per_period
+        for batch in submissions_per_period:
+            boundary_time = float(self._period * ticks_per_period)
+            for query in batch:
+                self.queue.push(ArrivalEvent(
+                    time=boundary_time, query=query))
+            reports.extend(self.run(1))
+        return reports
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> SimSnapshot:
+        """Capture the whole simulation as a restorable snapshot."""
+        state: dict[str, object] = {
+            "host_kind": self.host.kind,
+            "host": self.host.snapshot(),
+            "batch": bool(getattr(self.host, "batch", False)),
+        }
+        state.update(copy.deepcopy({
+            "clock": self.clock,
+            "period": self._period,
+            "queue": self.queue,
+            "processes": self.processes,
+            "route": self.route,
+            "managers": self.managers,
+            "pending": self.pending,
+            "probes": self.probes,
+            "recorder": self.recorder,
+            "reports": self.reports,
+            "events_processed": self.events_processed,
+            "allow_idle": self.allow_idle,
+            "expired_buffer": self._expired_buffer,
+            "renewed_buffer": self._renewed_buffer,
+            "reclaimed_buffer": self._reclaimed_buffer,
+        }))
+        return SimSnapshot(version=SIM_STATE_VERSION, state=state)
+
+    @classmethod
+    def restore(cls, snapshot: SimSnapshot) -> "SimulationDriver":
+        """Rebuild a live driver from *snapshot* (copied, reusable)."""
+        if snapshot.version != SIM_STATE_VERSION:
+            raise ValidationError(
+                f"cannot restore simulation snapshot version "
+                f"{snapshot.version}; this build supports version "
+                f"{SIM_STATE_VERSION}")
+        state = copy.deepcopy(dict(snapshot.state))
+        driver = object.__new__(cls)
+        driver.host = restore_host(
+            state["host_kind"], state["host"], batch=state["batch"])
+        driver.processes = tuple(state["processes"])
+        driver.route = state["route"]
+        driver.allow_idle = state["allow_idle"]
+        driver.managers = state["managers"]
+        driver.pending = list(state["pending"])
+        driver.probes = state["probes"]
+        driver.recorder = state["recorder"]
+        driver.queue = state["queue"]
+        driver._period = state["period"]
+        driver.clock = state["clock"]
+        driver.reports = list(state["reports"])
+        driver.events_processed = state["events_processed"]
+        driver._expired_buffer = dict(state.get("expired_buffer", {}))
+        driver._renewed_buffer = list(state.get("renewed_buffer", []))
+        driver._reclaimed_buffer = dict(
+            state.get("reclaimed_buffer", {}))
+        return driver
+
+    def save_checkpoint(self, path: object) -> None:
+        """Write a restorable simulation checkpoint (see :mod:`repro.io`).
+
+        One versioned pickle envelope holding the driver state —
+        including the host's own snapshot — with the usual
+        picklability rules (module-level functions, no lambdas).  Only
+        load checkpoints you trust.
+        """
+        from repro.io import save_sim_snapshot
+
+        save_sim_snapshot(self.snapshot(), path)
+
+    @classmethod
+    def load_checkpoint(cls, path: object) -> "SimulationDriver":
+        """Resume a simulation from a :meth:`save_checkpoint` file."""
+        from repro.io import load_sim_snapshot
+
+        return cls.restore(load_sim_snapshot(path))

@@ -1,0 +1,357 @@
+"""Subscription lifecycles on a live admission service.
+
+:mod:`repro.cloud.subscriptions` models Section VII's multi-period
+categories on bare auction instances; this module makes those category
+auctions *first-class period events* of an
+:class:`~repro.service.AdmissionService`:
+
+* arrivals request a category (day / week / month); the period
+  boundary runs one independent auction per category over the
+  currently *free* capacity, partitioned by the category fractions;
+* winners are invoiced through the service's
+  :class:`~repro.cloud.billing.BillingLedger` (the outcome's mechanism
+  name is tagged ``"<mechanism>@<category>"``, so revenue audits
+  split by category) and admitted into the stream engine, where they
+  run — untouched by later auctions — until their subscription
+  expires;
+* at expiry the driver reclaims their capacity (the engine drops the
+  plans, shared operators only once nobody else holds them) and, when
+  auto-renewal is on, resubmits the query for the same category at
+  the very next boundary.
+
+Because each per-category auction uses a bid-strategyproof mechanism
+and an active subscription is never re-priced, the scheme stays
+bid-strategyproof period over period (the invariant suite pins this);
+gaming *category choice* remains the paper's open problem.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field, replace
+from collections.abc import Mapping, Sequence
+
+from repro.cloud.subscriptions import (
+    DEFAULT_CATEGORIES,
+    SubscriptionCategory,
+    validate_categories,
+)
+from repro.core.mechanism import Mechanism, MechanismSpec
+from repro.core.model import AuctionInstance, Operator
+from repro.core.result import AuctionOutcome
+from repro.dsms.load import estimate_operator_loads
+from repro.dsms.plan import ContinuousQuery, QueryPlanCatalog
+from repro.utils.rng import derive_seed, spawn_rng
+from repro.utils.validation import ValidationError, require
+
+
+@dataclass(frozen=True)
+class SubscriptionOptions:
+    """Declarative settings of the subscription lifecycle.
+
+    ``mechanism`` picks the per-category auction: a spec string /
+    :class:`MechanismSpec` instantiated freshly per category, or
+    ``None`` to clone the host service's mechanism (each category gets
+    an independent copy, so randomized mechanisms hold independent
+    RNG streams).  ``auto_renew`` resubmits expiring subscriptions for
+    their old category; ``max_renewals`` bounds how often (``None`` =
+    forever).  ``seed`` drives the category assignment of arrivals
+    that did not request one.
+    """
+
+    categories: Sequence[SubscriptionCategory] = DEFAULT_CATEGORIES
+    mechanism: "str | MechanismSpec | None" = None
+    auto_renew: bool = True
+    max_renewals: "int | None" = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "categories", validate_categories(self.categories))
+        if self.max_renewals is not None:
+            require(int(self.max_renewals) >= 0,
+                    "max_renewals must be >= 0")
+        if isinstance(self.mechanism, str):
+            MechanismSpec.parse(self.mechanism).validate()
+        elif isinstance(self.mechanism, MechanismSpec):
+            self.mechanism.validate()
+        elif self.mechanism is not None:
+            raise ValidationError(
+                f"subscription mechanism must be a spec string, a "
+                f"MechanismSpec, or None (clone the service's), got "
+                f"{self.mechanism!r}")
+
+
+@dataclass
+class SubscriptionEntry:
+    """One live subscription occupying capacity until it expires."""
+
+    query: ContinuousQuery
+    category: str
+    start_period: int
+    expires_period: int
+    payment: float
+    renewals: int = 0
+
+
+@dataclass(frozen=True)
+class SubscriptionPeriodResult:
+    """What one period boundary did to a shard's subscription book."""
+
+    period: int
+    outcomes: Mapping[str, AuctionOutcome] = field(default_factory=dict)
+    admitted: tuple[str, ...] = ()
+    rejected: tuple[str, ...] = ()
+    expired: tuple[str, ...] = ()
+    revenue: float = 0.0
+    reclaimed_capacity: float = 0.0
+    held_capacity: float = 0.0
+
+    @property
+    def admitted_entries(self) -> int:
+        """How many subscriptions this boundary opened."""
+        return len(self.admitted)
+
+
+class SubscriptionManager:
+    """The subscription book of one admission service (one shard).
+
+    Owns the per-category mechanisms, the active-subscription entries
+    and the category-assignment RNG; everything is plain picklable
+    state, so the book rides inside simulation snapshots and resumes
+    byte-identically.
+    """
+
+    def __init__(
+        self,
+        options: SubscriptionOptions,
+        service_mechanism: Mechanism,
+        shard: int = 0,
+    ) -> None:
+        self.options = options
+        self.shard = int(shard)
+        self.mechanisms: dict[str, Mechanism] = {}
+        for category in options.categories:
+            if options.mechanism is None:
+                mechanism = copy.deepcopy(service_mechanism)
+            elif isinstance(options.mechanism, MechanismSpec):
+                mechanism = options.mechanism.create()
+            else:
+                mechanism = MechanismSpec.parse(options.mechanism).create()
+            self.mechanisms[category.name] = mechanism
+        self.active: dict[str, SubscriptionEntry] = {}
+        self._rng = spawn_rng(
+            derive_seed(options.seed, "categories", self.shard))
+        self.expired_total = 0
+        self.renewed_total = 0
+        #: query id → how many times it renewed (drives max_renewals).
+        self.renewal_counts: dict[str, int] = {}
+
+    @property
+    def categories(self) -> tuple[SubscriptionCategory, ...]:
+        """The offered category mix, in declared order."""
+        return tuple(self.options.categories)
+
+    def category(self, name: str) -> SubscriptionCategory:
+        """The category called *name* (validated)."""
+        for category in self.options.categories:
+            if category.name == name:
+                return category
+        known = ", ".join(c.name for c in self.options.categories)
+        raise ValidationError(
+            f"unknown subscription category {name!r}; offered: {known}")
+
+    def assign_category(self, query: ContinuousQuery) -> str:
+        """Draw a category for an arrival that did not request one.
+
+        Weighted by the capacity fractions — bigger slices attract
+        proportionally more of the anonymous demand.
+        """
+        weights = [c.capacity_fraction for c in self.options.categories]
+        total = sum(weights)
+        pick = self._rng.random() * total
+        for category, weight in zip(self.options.categories, weights):
+            pick -= weight
+            if pick < 0:
+                return category.name
+        return self.options.categories[-1].name
+
+    # ------------------------------------------------------------------
+    # Capacity accounting
+    # ------------------------------------------------------------------
+
+    def _estimated_loads(
+        self,
+        plans: Sequence[ContinuousQuery],
+        stream_rates: Mapping[str, float],
+    ) -> dict[str, float]:
+        catalog = QueryPlanCatalog(plans)
+        return estimate_operator_loads(catalog, stream_rates)
+
+    def held_capacity(
+        self, stream_rates: Mapping[str, float]
+    ) -> float:
+        """Estimated union load of every active subscription's plan.
+
+        Shared operators are counted once — the engine runs them once.
+        """
+        if not self.active:
+            return 0.0
+        loads = self._estimated_loads(
+            self._deduplicated_active_plans(), stream_rates)
+        held_ops: set[str] = set()
+        for entry in self.active.values():
+            held_ops.update(entry.query.operator_ids)
+        return sum(loads.get(op_id, 0.0) for op_id in held_ops)
+
+    def _deduplicated_active_plans(self) -> list[ContinuousQuery]:
+        return [entry.query for entry in self.active.values()]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def expiring(self, period: int) -> list[str]:
+        """Query ids whose subscription ends at *period*'s boundary."""
+        return sorted(
+            query_id for query_id, entry in self.active.items()
+            if entry.expires_period <= period)
+
+    def expire(
+        self,
+        service,
+        query_ids: Sequence[str],
+        stream_rates: Mapping[str, float],
+    ) -> tuple[list[SubscriptionEntry], float]:
+        """Close the given subscriptions and reclaim their capacity.
+
+        The engine drops the expired plans (a warm engine goes through
+        the full transition phase); returns the closed entries and the
+        capacity their operators released — the load of every operator
+        no remaining subscription still shares.
+        """
+        entries = []
+        before = self.held_capacity(stream_rates)
+        for query_id in query_ids:
+            if query_id not in self.active:
+                raise ValidationError(
+                    f"cannot expire unknown subscription {query_id!r}")
+            entries.append(self.active.pop(query_id))
+        reclaimed = before - self.held_capacity(stream_rates)
+        engine = service.engine
+        to_remove = tuple(
+            entry.query.query_id for entry in entries
+            if entry.query.query_id in engine.admitted_ids)
+        if to_remove:
+            engine.transition(add=(), remove=to_remove,
+                              hold_ticks=service.transitions.hold_ticks)
+        self.expired_total += len(entries)
+        return entries, reclaimed
+
+    def run_period(
+        self,
+        service,
+        period: int,
+        pending: Sequence[tuple[ContinuousQuery, str]],
+    ) -> SubscriptionPeriodResult:
+        """Run the per-category auctions of one period boundary.
+
+        *pending* are the (query, category) requests that arrived since
+        the last boundary (including renewals).  Active subscriptions
+        do not re-bid: their capacity is held, their shared operators
+        cost newcomers nothing extra (zero-load in the auction input),
+        and winners are billed through the service's ledger and
+        admitted into its engine.
+        """
+        for _query, category_name in pending:
+            self.category(category_name)  # validate early
+        stream_rates = {source.name: source.expected_rate()
+                        for source in service.sources}
+        all_plans = (self._deduplicated_active_plans()
+                     + [query for query, _category in pending])
+        loads = (self._estimated_loads(all_plans, stream_rates)
+                 if all_plans else {})
+        held_ops: set[str] = set()
+        for entry in self.active.values():
+            held_ops.update(entry.query.operator_ids)
+        held = sum(loads.get(op_id, 0.0) for op_id in held_ops)
+        free = max(service.capacity - held, 0.0)
+
+        outcomes: dict[str, AuctionOutcome] = {}
+        admitted: list[str] = []
+        rejected: list[str] = []
+        revenue = 0.0
+        to_admit: list[ContinuousQuery] = []
+        for category in self.options.categories:
+            requests = [(query, name) for query, name in pending
+                        if name == category.name]
+            if not requests:
+                continue
+            slice_capacity = free * category.capacity_fraction
+            if slice_capacity <= 0:
+                rejected.extend(query.query_id for query, _name in requests)
+                continue
+            plans = {query.query_id: query for query, _name in requests}
+            operators = {
+                op_id: Operator(op_id,
+                                0.0 if op_id in held_ops
+                                else loads.get(op_id, 0.0))
+                for query in plans.values()
+                for op_id in query.operator_ids
+            }
+            instance = AuctionInstance(
+                operators=operators,
+                queries=tuple(_auction_query(query)
+                              for query in plans.values()),
+                capacity=slice_capacity,
+            )
+            outcome = self.mechanisms[category.name].run(instance)
+            outcome = replace(
+                outcome,
+                mechanism=f"{outcome.mechanism}@{category.name}")
+            outcomes[category.name] = outcome
+            revenue += service.ledger.bill_outcome(period, outcome)
+            for query_id, query in plans.items():
+                if not outcome.is_winner(query_id):
+                    rejected.append(query_id)
+                    continue
+                admitted.append(query_id)
+                to_admit.append(query)
+                self.active[query_id] = SubscriptionEntry(
+                    query=query,
+                    category=category.name,
+                    start_period=period,
+                    expires_period=period + category.length_days,
+                    payment=outcome.payment(query_id),
+                    renewals=self.renewal_counts.get(query_id, 0),
+                )
+        if to_admit:
+            engine = service.engine
+            if engine.admitted_ids:
+                engine.transition(
+                    add=tuple(to_admit), remove=(),
+                    hold_ticks=service.transitions.hold_ticks)
+            else:
+                for query in to_admit:
+                    engine.admit(query)
+        return SubscriptionPeriodResult(
+            period=period,
+            outcomes=outcomes,
+            admitted=tuple(sorted(admitted)),
+            rejected=tuple(sorted(rejected)),
+            revenue=revenue,
+            held_capacity=held,
+        )
+
+
+def _auction_query(query: ContinuousQuery):
+    """The auction-layer view of a continuous query."""
+    from repro.core.model import Query
+
+    return Query(
+        query_id=query.query_id,
+        operator_ids=query.operator_ids,
+        bid=query.bid,
+        valuation=query.valuation,
+        owner=query.owner,
+    )

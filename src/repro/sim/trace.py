@@ -1,0 +1,171 @@
+"""Simulation traces: record an arrival stream, replay it exactly.
+
+A trace is the workload of an open-system run — every arrival's
+virtual time, query, and requested subscription category — captured as
+a versioned JSON document (``repro/sim-trace``, written and read by
+:func:`repro.io.save_sim_trace` / :func:`repro.io.load_sim_trace`).
+Replaying a trace through :class:`~repro.sim.arrivals.TraceArrivals`
+against an identically configured service reproduces the recorded run
+byte-identically: same auctions, same bills, same reports.
+
+Query plans carry arbitrary Python callables, which JSON cannot hold,
+so the codec has two encodings:
+
+* ``"select"`` — the compact form for the library's synthetic
+  single-select plans (the output of
+  :func:`~repro.sim.arrivals.synthetic_query` and the CLI workloads):
+  just the id, bid, owner, stream, cost and selectivity;
+* ``"pickle"`` — a base64 pickle fallback for arbitrary plans.  Like
+  snapshot files, a trace using it executes code on load — only
+  replay traces you trust (the JSON is inspectable: grep for
+  ``"plan": "pickle"``).
+"""
+
+from __future__ import annotations
+
+import base64
+import pickle
+from dataclasses import dataclass
+
+from repro.dsms.operators import SelectOperator
+from repro.dsms.plan import ContinuousQuery
+from repro.sim.arrivals import _pass_all
+from repro.utils.validation import ValidationError
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One recorded arrival."""
+
+    time: float
+    query: ContinuousQuery
+    category: "str | None" = None
+    stream: int = 0
+
+
+@dataclass(frozen=True)
+class SimTrace:
+    """An ordered record of every arrival of one simulation run."""
+
+    entries: tuple[TraceEntry, ...] = ()
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+class TraceRecorder:
+    """Collects arrivals as the driver processes them."""
+
+    def __init__(self) -> None:
+        self._entries: list[TraceEntry] = []
+
+    def record(
+        self,
+        time: float,
+        query: ContinuousQuery,
+        category: "str | None",
+        stream: int = 0,
+    ) -> None:
+        """Append one arrival to the recording."""
+        self._entries.append(TraceEntry(
+            time=float(time), query=query, category=category,
+            stream=int(stream)))
+
+    def trace(self) -> SimTrace:
+        """The recording so far, as an immutable trace."""
+        return SimTrace(entries=tuple(self._entries))
+
+
+# ----------------------------------------------------------------------
+# The query codec
+# ----------------------------------------------------------------------
+
+
+def encode_query(query: ContinuousQuery) -> dict:
+    """JSON-able representation of *query* (compact when possible)."""
+    if (len(query.operators) == 1
+            and type(query.operators[0]) is SelectOperator
+            and query.operators[0]._predicate is _pass_all):
+        op = query.operators[0]
+        entry: dict[str, object] = {
+            "plan": "select",
+            "id": query.query_id,
+            "op": op.op_id,
+            "stream": op.inputs[0],
+            "cost": op.cost_per_tuple,
+            "selectivity": op.selectivity(),
+            "bid": query.bid,
+        }
+        if query.valuation is not None:
+            entry["valuation"] = query.valuation
+        if query.owner is not None:
+            entry["owner"] = query.owner
+        return entry
+    return {
+        "plan": "pickle",
+        "id": query.query_id,
+        "data": base64.b64encode(
+            pickle.dumps(query, protocol=pickle.HIGHEST_PROTOCOL)
+        ).decode("ascii"),
+    }
+
+
+def decode_query(entry: dict) -> ContinuousQuery:
+    """Rebuild a query from :func:`encode_query` output."""
+    try:
+        plan = entry["plan"]
+        if plan == "select":
+            op = SelectOperator(
+                entry["op"], entry["stream"], _pass_all,
+                cost_per_tuple=float(entry["cost"]),
+                selectivity_estimate=float(entry["selectivity"]))
+            return ContinuousQuery(
+                entry["id"], (op,), sink_id=op.op_id,
+                bid=float(entry["bid"]),
+                valuation=(float(entry["valuation"])
+                           if "valuation" in entry else None),
+                owner=entry.get("owner"))
+        if plan == "pickle":
+            query = pickle.loads(base64.b64decode(entry["data"]))
+            if not isinstance(query, ContinuousQuery):
+                raise ValidationError(
+                    f"trace entry {entry.get('id')!r} unpickled to "
+                    f"{type(query).__name__}, not a ContinuousQuery")
+            return query
+    except ValidationError:
+        raise
+    except (KeyError, TypeError, ValueError, pickle.UnpicklingError) as exc:
+        raise ValidationError(
+            f"malformed trace query entry: {exc!r}") from exc
+    raise ValidationError(
+        f"unknown trace plan encoding {plan!r}; this build reads "
+        f"'select' and 'pickle'")
+
+
+def entry_to_dict(entry: TraceEntry) -> dict:
+    """JSON-able representation of one trace entry."""
+    document: dict[str, object] = {
+        "time": entry.time,
+        "query": encode_query(entry.query),
+    }
+    if entry.category is not None:
+        document["category"] = entry.category
+    if entry.stream:
+        document["stream"] = entry.stream
+    return document
+
+
+def entry_from_dict(document: dict) -> TraceEntry:
+    """Parse one :func:`entry_to_dict` document."""
+    try:
+        return TraceEntry(
+            time=float(document["time"]),
+            query=decode_query(document["query"]),
+            category=document.get("category"),
+            stream=int(document.get("stream", 0)),
+        )
+    except ValidationError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValidationError(
+            f"malformed trace entry: {exc!r}") from exc

@@ -1,16 +1,21 @@
 """A generic name → factory registry with signature validation.
 
 Backs every spec-addressable registry in the library (mechanisms,
-execution backends): case-insensitive lookup, factory-signature
-introspection, and keyword validation that fails with the accepted
-parameter menu instead of an opaque ``TypeError`` — one
-implementation, parameterized only by the error-message nouns.
+execution backends, scheduling policies, arrival processes):
+case-insensitive lookup, factory-signature introspection, and keyword
+validation that fails with the accepted parameter menu instead of an
+opaque ``TypeError`` — one implementation, parameterized only by the
+error-message nouns.  :class:`RegistrySpec` is the matching declarative
+half: a frozen ``name + params`` dataclass with the shared
+parse/validate/create behaviour, subclassed once per registry.
 """
 
 from __future__ import annotations
 
 import inspect
+from dataclasses import dataclass, field
 from collections.abc import Callable, Mapping
+from typing import ClassVar
 
 from repro.utils.validation import ValidationError
 
@@ -89,3 +94,67 @@ class SpecRegistry:
     def as_mapping(self) -> Mapping[str, Callable]:
         """Read-only snapshot of the registry (name → factory)."""
         return dict(self._factories)
+
+
+@dataclass(frozen=True)
+class RegistrySpec:
+    """A registry name plus declared, validated parameters.
+
+    The declarative counterpart of :meth:`SpecRegistry.create`,
+    parseable from the library's compact spec strings
+    (``"name:key=value,key=value"``).  Subclasses bind a registry and
+    an error-message noun as class attributes::
+
+        @dataclass(frozen=True)
+        class PolicySpec(RegistrySpec):
+            _registry = _REGISTRY
+            _what = "scheduler spec"
+    """
+
+    name: str
+    params: Mapping[str, object] = field(default_factory=dict)
+
+    #: The :class:`SpecRegistry` this spec family resolves against.
+    _registry: ClassVar[SpecRegistry]
+    #: How error messages name the spec family ("mechanism spec", …).
+    _what: ClassVar[str] = "spec"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError(
+                f"{self._what} needs a non-empty name")
+        object.__setattr__(self, "params", dict(self.params))
+
+    @classmethod
+    def parse(cls, text: str) -> "RegistrySpec":
+        """Parse ``"name"`` or ``"name:key=value,key=value"``."""
+        from repro.utils.specparse import parse_spec_text
+
+        name, params = parse_spec_text(text, what=cls._what)
+        return cls(name, params)
+
+    def validate(self) -> "RegistrySpec":
+        """Check name and params against the registry; returns self."""
+        self._registry.lookup(self.name)
+        self._registry.validate_params(self.name, self.params)
+        return self
+
+    def create(self):
+        """Instantiate whatever this spec describes."""
+        return self._registry.create(self.name, **self.params)
+
+    def accepts(self, param: str) -> bool:
+        """True if the factory takes a parameter called *param*."""
+        accepted = self._registry.params(self.name)
+        return accepted is None or param in accepted
+
+    def with_params(self, **params: object) -> "RegistrySpec":
+        """A copy of this spec with extra/overridden parameters."""
+        return type(self)(self.name, {**self.params, **params})
+
+    def __str__(self) -> str:
+        if not self.params:
+            return self.name
+        rendered = ",".join(f"{key}={value}"
+                            for key, value in sorted(self.params.items()))
+        return f"{self.name}:{rendered}"

@@ -32,6 +32,36 @@ class TestConfiguration:
         with pytest.raises(ValidationError):
             scheduler(categories=bad)
 
+    def test_fraction_error_names_the_categories(self):
+        bad = (SubscriptionCategory("gold", 1, 0.7),
+               SubscriptionCategory("silver", 7, 0.5))
+        with pytest.raises(ValidationError) as excinfo:
+            scheduler(categories=bad)
+        message = str(excinfo.value)
+        assert "gold=0.7" in message
+        assert "silver=0.5" in message
+        assert "1.2" in message
+
+    def test_fractions_summing_exactly_to_one_are_fine(self):
+        exact = (SubscriptionCategory("x", 1, 0.6),
+                 SubscriptionCategory("y", 1, 0.4))
+        assert scheduler(categories=exact).categories.keys() == {"x", "y"}
+
+    def test_fraction_barely_over_one_is_rejected(self):
+        bad = (SubscriptionCategory("x", 1, 0.6),
+               SubscriptionCategory("y", 1, 0.4 + 1e-6))
+        with pytest.raises(ValidationError) as excinfo:
+            scheduler(categories=bad)
+        assert "x=0.6" in str(excinfo.value)
+
+    def test_validate_categories_helper_returns_tuple(self):
+        from repro.cloud.subscriptions import validate_categories
+
+        mix = [SubscriptionCategory("x", 1, 0.3)]
+        assert validate_categories(mix) == tuple(mix)
+        with pytest.raises(ValidationError):
+            validate_categories([])
+
     def test_duplicate_names_rejected(self):
         bad = (SubscriptionCategory("x", 1, 0.3),
                SubscriptionCategory("x", 2, 0.3))

@@ -1,0 +1,104 @@
+"""Deterministic ordering of the simulation event queue."""
+
+import copy
+import pickle
+
+import pytest
+
+from repro.dsms.operators import SelectOperator
+from repro.dsms.plan import ContinuousQuery
+from repro.sim.events import (
+    ArrivalEvent,
+    EventQueue,
+    ExpiryEvent,
+    PeriodEvent,
+    RenewalEvent,
+    TickEvent,
+)
+from repro.utils.validation import ValidationError
+
+
+def _query(qid="q1"):
+    op = SelectOperator(f"sel_{qid}", "s", lambda t: True)
+    return ContinuousQuery(qid, (op,), sink_id=op.op_id, bid=1.0)
+
+
+class TestOrdering:
+    def test_time_orders_first(self):
+        queue = EventQueue()
+        queue.push(PeriodEvent(time=10.0, period=2))
+        queue.push(PeriodEvent(time=5.0, period=1))
+        assert queue.pop().period == 1
+        assert queue.pop().period == 2
+
+    def test_lifecycle_priority_at_equal_times(self):
+        queue = EventQueue()
+        queue.push(PeriodEvent(time=5.0, period=1))
+        queue.push(ArrivalEvent(time=5.0, query=_query()))
+        queue.push(RenewalEvent(time=5.0, query=_query("q2")))
+        queue.push(ExpiryEvent(time=5.0, query_id="q3"))
+        queue.push(TickEvent(time=5.0))
+        kinds = [queue.pop().kind for _ in range(5)]
+        assert kinds == ["tick", "expiry", "renewal", "arrival",
+                        "period"]
+
+    def test_stream_index_merges_same_time_arrivals(self):
+        queue = EventQueue()
+        queue.push(ArrivalEvent(time=1.0, query=_query("b"), stream=1),
+                   stream=1)
+        queue.push(ArrivalEvent(time=1.0, query=_query("a"), stream=0),
+                   stream=0)
+        assert queue.pop().query.query_id == "a"
+        assert queue.pop().query.query_id == "b"
+
+    def test_sequence_breaks_remaining_ties_fifo(self):
+        queue = EventQueue()
+        queue.push(ArrivalEvent(time=1.0, query=_query("first")))
+        queue.push(ArrivalEvent(time=1.0, query=_query("second")))
+        assert queue.pop().query.query_id == "first"
+        assert queue.pop().query.query_id == "second"
+
+    def test_sequence_survives_copy_and_pickle(self):
+        queue = EventQueue()
+        queue.push(TickEvent(time=1.0))
+        queue.pop()
+        restored = pickle.loads(pickle.dumps(copy.deepcopy(queue)))
+        restored.push(TickEvent(time=2.0))
+        assert restored._sequence == 2
+
+
+class TestQueueApi:
+    def test_peek_and_next_time(self):
+        queue = EventQueue()
+        assert queue.peek() is None
+        assert queue.next_time() is None
+        queue.push(TickEvent(time=3.0))
+        assert queue.peek().time == 3.0
+        assert queue.next_time() == 3.0
+        assert len(queue) == 1
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(ValidationError):
+            EventQueue().pop()
+
+    def test_events_listing_is_sorted_and_non_destructive(self):
+        queue = EventQueue()
+        queue.push(PeriodEvent(time=2.0, period=1))
+        queue.push(TickEvent(time=1.0))
+        listed = queue.events()
+        assert [e.kind for e in listed] == ["tick", "period"]
+        assert len(queue) == 2
+
+
+class TestValidation:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValidationError):
+            TickEvent(time=-1.0)
+
+    def test_arrival_needs_a_query(self):
+        with pytest.raises(ValidationError):
+            ArrivalEvent(time=1.0)
+
+    def test_renewal_needs_a_query(self):
+        with pytest.raises(ValidationError):
+            RenewalEvent(time=1.0)

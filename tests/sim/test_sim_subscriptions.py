@@ -1,0 +1,367 @@
+"""Subscription lifecycles: the Hypothesis invariant suite.
+
+Pins the four lifecycle guarantees of the open-system runtime:
+
+1. capacity is reclaimed *exactly* on expiry (shared operators only
+   once nobody holds them, engine runs exactly the active book);
+2. no double billing across renewals (one invoice per admission,
+   never two for the same query in one period);
+3. per-category auctions stay bid-strategyproof (misreporting never
+   beats truth within a category);
+4. a replayed trace reproduces the live run byte-identically.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloud.subscriptions import SubscriptionCategory
+from repro.dsms.operators import SelectOperator
+from repro.dsms.plan import ContinuousQuery
+from repro.dsms.streams import SyntheticStream
+from repro.service import ServiceBuilder
+from repro.sim import (
+    SimulationDriver,
+    SubscriptionManager,
+    SubscriptionOptions,
+    TraceArrivals,
+)
+from repro.utils.validation import ValidationError
+
+lifecycle_settings = settings(max_examples=30, deadline=None)
+
+
+def _keep(_t):
+    return True
+
+
+def build_service(capacity=35.0, rate=4.0, ticks=8, mechanism="CAT"):
+    return (ServiceBuilder()
+            .with_sources(SyntheticStream("s", rate=rate, seed=2))
+            .with_capacity(capacity)
+            .with_mechanism(mechanism)
+            .with_ticks_per_period(ticks)
+            .build())
+
+
+def category_mixes():
+    return st.sampled_from([
+        (SubscriptionCategory("day", 1, 0.5),
+         SubscriptionCategory("week", 3, 0.5)),
+        (SubscriptionCategory("day", 1, 0.4),
+         SubscriptionCategory("week", 2, 0.35),
+         SubscriptionCategory("month", 4, 0.25)),
+        (SubscriptionCategory("only", 2, 1.0),),
+    ])
+
+
+def plan(qid, cost=1.0, bid=10.0, valuation=None, owner=None,
+         op_id=None):
+    op = SelectOperator(op_id or f"sel_{qid}", "s", _keep,
+                        cost_per_tuple=cost, selectivity_estimate=1.0)
+    return ContinuousQuery(qid, (op,), sink_id=op.op_id, bid=bid,
+                           valuation=valuation, owner=owner)
+
+
+# ----------------------------------------------------------------------
+# 1. Capacity reclaimed exactly on expiry
+# ----------------------------------------------------------------------
+
+
+class TestCapacityReclamation:
+    def test_shared_operator_reclaimed_only_when_last_holder_expires(self):
+        service = build_service(capacity=100.0, rate=4.0)
+        options = SubscriptionOptions(
+            categories=(SubscriptionCategory("day", 1, 0.5),
+                        SubscriptionCategory("week", 3, 0.5)))
+        manager = SubscriptionManager(options, service.mechanism)
+        rates = {"s": 4.0}
+        shared = plan("day1", cost=2.0, bid=30.0, op_id="shared_op")
+        twin = plan("week1", cost=2.0, bid=30.0, op_id="shared_op")
+        solo = plan("day2", cost=1.0, bid=20.0)
+        manager.run_period(service, 1, [
+            (shared, "day"), (twin, "week"), (solo, "day")])
+        assert set(manager.active) == {"day1", "week1", "day2"}
+        # shared_op counted once: 2×4 + 1×4
+        assert manager.held_capacity(rates) == pytest.approx(12.0)
+
+        # The day subscriptions expire; shared_op is still held by the
+        # week subscription, so only solo's operator is reclaimed from
+        # the shared one's point of view.
+        _entries, reclaimed = manager.expire(service, ["day2"], rates)
+        assert reclaimed == pytest.approx(4.0)
+        _entries, reclaimed = manager.expire(service, ["day1"], rates)
+        assert reclaimed == pytest.approx(0.0)  # twin still holds it
+        assert manager.held_capacity(rates) == pytest.approx(8.0)
+        _entries, reclaimed = manager.expire(service, ["week1"], rates)
+        assert reclaimed == pytest.approx(8.0)
+        assert manager.held_capacity(rates) == 0.0
+        assert service.engine.admitted_ids == set()
+
+    def test_expiring_unknown_subscription_raises(self):
+        service = build_service()
+        manager = SubscriptionManager(SubscriptionOptions(),
+                                      service.mechanism)
+        with pytest.raises(ValidationError):
+            manager.expire(service, ["ghost"], {"s": 4.0})
+
+    @given(seed=st.integers(0, 500), categories=category_mixes())
+    @lifecycle_settings
+    def test_engine_runs_exactly_the_active_book(self, seed, categories):
+        service = build_service()
+        driver = SimulationDriver(
+            service,
+            arrivals=f"poisson:rate=1.2,seed={seed}",
+            subscriptions=SubscriptionOptions(categories=categories,
+                                              seed=seed))
+        for _ in range(4):
+            driver.run(1)
+            manager = driver.managers[0]
+            assert service.engine.admitted_ids == set(manager.active)
+            # Held capacity is exactly the union load of the active
+            # book, recomputed independently.
+            rates = {"s": 4.0}
+            # Union load recomputed independently: each active plan is
+            # one select whose load is cost × stream rate, deduplicated
+            # by operator id.
+            loads_by_op = {
+                entry.query.operators[0].op_id:
+                    entry.query.operators[0].cost_per_tuple * 4.0
+                for entry in manager.active.values()
+            }
+            assert manager.held_capacity(rates) == pytest.approx(
+                sum(loads_by_op.values()))
+
+
+# ----------------------------------------------------------------------
+# 2. No double billing across renewals
+# ----------------------------------------------------------------------
+
+
+class TestBilling:
+    @given(seed=st.integers(0, 500), categories=category_mixes())
+    @lifecycle_settings
+    def test_one_invoice_per_admission_never_two_per_period(
+            self, seed, categories):
+        service = build_service()
+        driver = SimulationDriver(
+            service,
+            arrivals=f"poisson:rate=1.5,seed={seed}",
+            subscriptions=SubscriptionOptions(categories=categories,
+                                              seed=seed))
+        reports = driver.run(5)
+        invoices = service.ledger.invoices
+        # Never two invoices for the same query in the same period.
+        keys = [(i.period, i.query_id) for i in invoices]
+        assert len(keys) == len(set(keys))
+        # Exactly one invoice per admission event (renewals re-bill
+        # only when re-admitted).
+        admissions = [(r.period, qid) for r in reports
+                      for qid in r.admitted]
+        assert sorted(admissions) == sorted(keys)
+        # Ledger total equals the reported revenue.
+        assert service.total_revenue() == pytest.approx(
+            sum(r.revenue for r in reports))
+
+    @given(seed=st.integers(0, 200))
+    @lifecycle_settings
+    def test_invoices_tag_the_category(self, seed):
+        service = build_service()
+        driver = SimulationDriver(
+            service, arrivals=f"poisson:rate=1.5,seed={seed}",
+            subscriptions=True)
+        driver.run(4)
+        for invoice in service.ledger.invoices:
+            assert "@" in invoice.mechanism
+            assert invoice.mechanism.split("@")[1] in (
+                "day", "week", "month")
+
+    def test_max_renewals_bounds_resubmission(self):
+        service = build_service(capacity=100.0)
+        driver = SimulationDriver(
+            service, arrivals="poisson:rate=0.4,seed=3,limit=4",
+            subscriptions=SubscriptionOptions(
+                categories=(SubscriptionCategory("day", 1, 1.0),),
+                max_renewals=1, seed=3))
+        reports = driver.run(8)
+        renewed = [qid for r in reports for qid in r.renewed]
+        # Each query renews at most max_renewals times.
+        from collections import Counter
+
+        assert all(count <= 1 for count in Counter(renewed).values())
+
+    def test_no_renew_lets_subscriptions_lapse(self):
+        service = build_service(capacity=100.0)
+        driver = SimulationDriver(
+            service, arrivals="poisson:rate=0.5,seed=3,limit=5",
+            subscriptions=SubscriptionOptions(
+                categories=(SubscriptionCategory("day", 1, 1.0),),
+                auto_renew=False, seed=3))
+        reports = driver.run(8)
+        assert all(not r.renewed for r in reports)
+        assert not driver.managers[0].active  # everything lapsed
+
+
+# ----------------------------------------------------------------------
+# 3. Per-category strategyproofness
+# ----------------------------------------------------------------------
+
+
+def _category_utility(requests, manipulator_bid):
+    """The manipulator's utility when bidding *manipulator_bid*."""
+    service = build_service(capacity=30.0, mechanism="CAT")
+    manager = SubscriptionManager(
+        SubscriptionOptions(
+            categories=(SubscriptionCategory("day", 1, 0.6),
+                        SubscriptionCategory("week", 2, 0.4)),
+            mechanism="CAT"),
+        service.mechanism)
+    pending = []
+    valuation = None
+    for qid, cost, bid, category, is_manipulator in requests:
+        if is_manipulator:
+            valuation = bid
+            pending.append((plan(qid, cost=cost, bid=manipulator_bid,
+                                 valuation=bid), category))
+        else:
+            pending.append((plan(qid, cost=cost, bid=bid), category))
+    result = manager.run_period(service, 1, pending)
+    manipulator = next(r for r in requests if r[4])
+    qid, category = manipulator[0], manipulator[3]
+    outcome = result.outcomes.get(category)
+    if outcome is None or not outcome.is_winner(qid):
+        return 0.0
+    return valuation - outcome.payment(qid)
+
+
+@st.composite
+def request_sets(draw):
+    count = draw(st.integers(3, 8))
+    requests = []
+    manipulator_index = draw(st.integers(0, count - 1))
+    for index in range(count):
+        cost = draw(st.floats(0.5, 3.0, allow_nan=False))
+        bid = draw(st.floats(1.0, 50.0, allow_nan=False))
+        category = draw(st.sampled_from(["day", "week"]))
+        requests.append((f"q{index}", round(cost, 2), round(bid, 2),
+                         category, index == manipulator_index))
+    lie = draw(st.floats(0.0, 80.0, allow_nan=False))
+    return requests, round(lie, 2)
+
+
+class TestStrategyproofness:
+    @given(request_sets())
+    @lifecycle_settings
+    def test_misreporting_never_beats_truth_within_a_category(
+            self, generated):
+        requests, lie = generated
+        manipulator = next(r for r in requests if r[4])
+        truthful = _category_utility(requests, manipulator[2])
+        lying = _category_utility(requests, lie)
+        assert lying <= truthful + 1e-9
+
+
+# ----------------------------------------------------------------------
+# 4. Replayed trace ≡ live run
+# ----------------------------------------------------------------------
+
+
+def _report_fingerprint(reports):
+    return [
+        (r.period, tuple(r.admitted), tuple(r.rejected),
+         tuple(r.expired), tuple(r.renewed), r.revenue,
+         r.reclaimed_capacity, r.engine_utilization)
+        for r in reports
+    ]
+
+
+class TestTraceReplay:
+    @given(seed=st.integers(0, 500), categories=category_mixes(),
+           rate=st.sampled_from([0.8, 1.5, 3.0]))
+    @lifecycle_settings
+    def test_replay_reproduces_the_live_run(self, seed, categories,
+                                            rate):
+        options = SubscriptionOptions(categories=categories, seed=seed)
+        live = SimulationDriver(
+            build_service(),
+            arrivals=f"poisson:rate={rate},seed={seed}",
+            subscriptions=options, record=True)
+        live_reports = live.run(4)
+
+        replay = SimulationDriver(
+            build_service(),
+            arrivals=TraceArrivals(trace=live.trace()),
+            subscriptions=options)
+        replay_reports = replay.run(4)
+        assert _report_fingerprint(live_reports) == \
+            _report_fingerprint(replay_reports)
+
+    def test_replay_via_json_file_is_identical(self, tmp_path):
+        from repro.io import load_sim_trace, save_sim_trace
+
+        live = SimulationDriver(
+            build_service(), arrivals="poisson:rate=1.5,seed=9",
+            subscriptions=True, record=True)
+        live_reports = live.run(4)
+        path = tmp_path / "run.trace.json"
+        save_sim_trace(live.trace(), path)
+
+        replay = SimulationDriver(
+            build_service(),
+            arrivals=TraceArrivals(trace=load_sim_trace(path)),
+            subscriptions=True)
+        assert _report_fingerprint(live_reports) == \
+            _report_fingerprint(replay.run(4))
+        # The JSON round-trip preserves every bid/cost bit-exactly.
+        document = json.loads(path.read_text())
+        assert document["schema"] == "repro/sim-trace"
+
+
+# ----------------------------------------------------------------------
+# Options validation
+# ----------------------------------------------------------------------
+
+
+class TestOptions:
+    def test_fraction_overflow_names_categories(self):
+        with pytest.raises(ValidationError) as excinfo:
+            SubscriptionOptions(categories=(
+                SubscriptionCategory("day", 1, 0.7),
+                SubscriptionCategory("week", 7, 0.6)))
+        assert "day=0.7" in str(excinfo.value)
+        assert "week=0.6" in str(excinfo.value)
+
+    def test_mechanism_spec_validated_up_front(self):
+        with pytest.raises(KeyError):
+            SubscriptionOptions(mechanism="nope")
+        with pytest.raises(ValidationError):
+            SubscriptionOptions(mechanism=42)
+
+    def test_max_renewals_must_be_non_negative(self):
+        with pytest.raises(ValidationError):
+            SubscriptionOptions(max_renewals=-1)
+
+    def test_unknown_requested_category_rejected_at_the_driver(self):
+        from repro.sim.arrivals import Arrival, ScheduledArrivals
+        from repro.sim import SimulationDriver
+
+        service = build_service()
+        driver = SimulationDriver(
+            service,
+            arrivals=ScheduledArrivals([
+                Arrival(1.0, plan("q1"), category="decade")]),
+            subscriptions=True)
+        with pytest.raises(ValidationError) as excinfo:
+            driver.run(2)
+        assert "decade" in str(excinfo.value)
+
+    def test_assign_category_is_deterministic_per_seed(self):
+        service = build_service()
+        options = SubscriptionOptions(seed=13)
+        a = SubscriptionManager(options, service.mechanism)
+        b = SubscriptionManager(options, service.mechanism)
+        queries = [plan(f"q{i}") for i in range(20)]
+        assert [a.assign_category(q) for q in queries] == \
+            [b.assign_category(q) for q in queries]
