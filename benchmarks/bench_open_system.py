@@ -82,8 +82,8 @@ def main(argv: "list[str] | None" = None) -> int:
     reports = driver.run(periods)
     elapsed = time.perf_counter() - started
 
-    percentiles = driver.latency_percentiles((50.0, 95.0, 99.0))
-    metrics = driver.tick_metrics()
+    snapshot = driver.metrics_snapshot()
+    percentiles = snapshot["latency"]
     admitted = sum(len(r.admitted) for r in reports)
     rejected = sum(len(r.rejected) for r in reports)
     expired = sum(len(r.expired) for r in reports)
@@ -106,12 +106,8 @@ def main(argv: "list[str] | None" = None) -> int:
         "rejected": rejected,
         "expired": expired,
         "revenue": driver.total_revenue(),
-        "latency_ticks": {
-            "p50": percentiles[50.0],
-            "p95": percentiles[95.0],
-            "p99": percentiles[99.0],
-        },
-        "max_queue": max((m.queued for m in metrics), default=0),
+        "latency_ticks": dict(percentiles),
+        "max_queue": snapshot["max_queue"],
         "smoke": bool(args.smoke),
     }
 
@@ -132,9 +128,9 @@ def main(argv: "list[str] | None" = None) -> int:
             ["rejected", rejected],
             ["expired", expired],
             ["revenue", result["revenue"]],
-            ["latency p50 (ticks)", percentiles[50.0]],
-            ["latency p95 (ticks)", percentiles[95.0]],
-            ["latency p99 (ticks)", percentiles[99.0]],
+            ["latency p50 (ticks)", percentiles["p50"]],
+            ["latency p95 (ticks)", percentiles["p95"]],
+            ["latency p99 (ticks)", percentiles["p99"]],
             ["max probe queue", result["max_queue"]],
         ],
         precision=2,

@@ -1,0 +1,212 @@
+"""Serving-layer throughput, latency, and equivalence benchmark.
+
+Stands up the :class:`~repro.serve.AdmissionGateway` over a
+multi-shard :class:`~repro.cluster.FederatedAdmissionService` on a
+real loopback socket and measures it with the seeded load generator
+(:mod:`repro.serve.loadgen`):
+
+* **equivalence** — the same seeded submissions driven through the
+  gateway and driven in-process must settle to *byte-identical*
+  period reports (the gateway adds transport, never semantics);
+* **throughput** — sustained requests/s and p50/p95/p99 request
+  latency for a concurrent seeded load with periodic auction settles.
+
+Standalone so CI can smoke it without pytest:
+
+    python benchmarks/bench_serve.py            # full-sized
+    python benchmarks/bench_serve.py --smoke    # CI-sized
+
+Results are printed, written to ``benchmarks/out/serve.txt``, and
+seeded into ``BENCH_serve.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.cluster import FederatedAdmissionService  # noqa: E402
+from repro.dsms.streams import SyntheticStream  # noqa: E402
+from repro.io import cluster_report_to_dict  # noqa: E402
+from repro.serve import (  # noqa: E402
+    AdmissionGateway,
+    GatewayClient,
+    GatewayConfig,
+    run_load,
+)
+from repro.serve.loadgen import materialize  # noqa: E402
+from repro.utils.tables import format_table  # noqa: E402
+
+OUT_DIR = Path(__file__).parent / "out"
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+
+def build_cluster(args) -> FederatedAdmissionService:
+    return FederatedAdmissionService.build(
+        num_shards=args.shards,
+        sources=[SyntheticStream("s", rate=2.0, seed=args.seed)],
+        capacity=args.capacity,
+        mechanism=args.mechanism,
+        ticks_per_period=args.ticks,
+        placement="round-robin",
+    )
+
+
+def report_bytes(report) -> str:
+    return json.dumps(cluster_report_to_dict(report), sort_keys=True)
+
+
+async def check_equivalence(args) -> dict:
+    """Gateway-mediated vs in-process: byte-identical period reports.
+
+    The same seeded arrivals are submitted in the same order to two
+    identically built federations — one over the wire (sequentially,
+    so the submission order on the wire is the list order), one by
+    direct calls — and both settle one period.
+    """
+    arrivals = materialize(args.arrivals_spec, args.equivalence_queries)
+
+    served = build_cluster(args)
+    gateway = AdmissionGateway(
+        served, GatewayConfig(quiet=True, client_rate=100_000.0,
+                              client_burst=100_000.0))
+    await gateway.start()
+    host, port = gateway.address
+    async with GatewayClient(host, port, client_id="equiv") as client:
+        for arrival in arrivals:
+            status, _body = await client.submit(arrival.query)
+            assert status == 200, f"submit failed with {status}"
+        status, body = await client.tick()
+        assert status == 200, f"tick failed with {status}"
+    await gateway.stop()
+    gateway_bytes = report_bytes(served.reports[-1])
+
+    local = build_cluster(args)
+    for arrival in arrivals:
+        local.submit(arrival.query)
+    local_bytes = report_bytes(local.run_period())
+
+    identical = gateway_bytes == local_bytes
+    assert identical, "gateway-mediated report diverged from in-process"
+    return {
+        "queries": len(arrivals),
+        "byte_identical": identical,
+        "report_bytes": len(gateway_bytes),
+    }
+
+
+async def measure_throughput(args) -> dict:
+    """Sustained requests/s + latency under concurrent seeded load."""
+    gateway = AdmissionGateway(
+        build_cluster(args),
+        GatewayConfig(quiet=True, client_rate=100_000.0,
+                      client_burst=100_000.0))
+    await gateway.start()
+    host, port = gateway.address
+    started = time.perf_counter()
+    result = await run_load(
+        host, port,
+        arrivals=args.arrivals_spec,
+        requests=args.requests,
+        concurrency=args.concurrency,
+        tick_every=max(1, args.requests // args.periods))
+    elapsed = time.perf_counter() - started
+    async with GatewayClient(host, port) as client:
+        _status, metrics = await client.metrics()
+    await gateway.stop()
+    assert result.completed == args.requests, result.statuses
+    return {
+        "requests": result.requests,
+        "concurrency": args.concurrency,
+        "ticks": result.ticks,
+        "seconds": elapsed,
+        "requests_per_s": result.requests_per_s,
+        "latency_ms": result.latency_ms,
+        "server_latency_ms": metrics["latency_ms"],
+        "statuses": result.statuses,
+    }
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="gateway serving throughput, latency, and "
+                    "gateway-vs-in-process equivalence")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (small counts, fast exit)")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="loadgen submissions "
+                             "(default 2000; smoke 300)")
+    parser.add_argument("--concurrency", type=int, default=8)
+    parser.add_argument("--periods", type=int, default=10,
+                        help="auction settles spread over the load")
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--capacity", type=float, default=40.0)
+    parser.add_argument("--mechanism", default="CAT")
+    parser.add_argument("--ticks", type=int, default=4)
+    parser.add_argument("--equivalence-queries", type=int, default=64)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    if args.requests is None:
+        args.requests = 300 if args.smoke else 2_000
+    args.arrivals_spec = f"poisson:rate=5,seed={args.seed}"
+
+    equivalence = asyncio.run(check_equivalence(args))
+    throughput = asyncio.run(measure_throughput(args))
+
+    result = {
+        "workload": {
+            "arrivals": args.arrivals_spec,
+            "requests": args.requests,
+            "concurrency": args.concurrency,
+            "shards": args.shards,
+            "capacity": args.capacity,
+            "mechanism": args.mechanism,
+            "ticks_per_period": args.ticks,
+            "seed": args.seed,
+        },
+        "equivalence": equivalence,
+        "throughput": throughput,
+        "smoke": bool(args.smoke),
+    }
+
+    latency = throughput["latency_ms"]
+    table = format_table(
+        ["metric", "value"],
+        [
+            ["requests", throughput["requests"]],
+            ["concurrency", throughput["concurrency"]],
+            ["settles", throughput["ticks"]],
+            ["seconds", throughput["seconds"]],
+            ["requests/s", throughput["requests_per_s"]],
+            ["latency p50 (ms)", latency["p50"]],
+            ["latency p95 (ms)", latency["p95"]],
+            ["latency p99 (ms)", latency["p99"]],
+            ["equivalence queries", equivalence["queries"]],
+            ["byte-identical report", equivalence["byte_identical"]],
+        ],
+        precision=2,
+        title=(f"Serving gateway — {args.shards} shards, "
+               f"{args.mechanism}, {args.requests} requests over "
+               f"loopback HTTP"))
+    print(table)
+
+    # Smoke runs go to the out dir (like the sibling benchmarks), so
+    # CI never clobbers the seeded full-run BENCH_serve.json.
+    bench_json = (OUT_DIR / "BENCH_serve_smoke.json" if args.smoke
+                  else BENCH_JSON)
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "serve.txt").write_text(table + "\n")
+    bench_json.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {bench_json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

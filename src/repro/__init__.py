@@ -27,6 +27,13 @@ Packages:
   ``"burst"``, ``"trace:path=..."``), subscription lifecycles
   (expiry, renewal, per-category billing), a latency probe, and
   byte-identical trace record/replay.
+* :mod:`repro.serve` — the serving layer: an asyncio HTTP/JSON
+  :class:`AdmissionGateway` over any service, federation, or
+  simulation driver (submit/subscribe/withdraw/tick/report plus
+  ``/healthz`` and ``/metrics``), hardened with per-client token
+  buckets, tiered timeouts, a server-side retry budget, and graceful
+  drain-then-settle shutdown; ships a seeded socket-level load
+  generator.
 * :mod:`repro.workload` — the Table III workload generator, including
   the operator-splitting procedure for varying the degree of sharing,
   and the lying workloads of Figure 5.

@@ -12,8 +12,15 @@ Commands
                trace record/replay, checkpoints)
 ``cluster``    run a sharded FederatedAdmissionService (placement
                policies, rebalancing, batch auctions, checkpoints)
+``serve``      put an admission host on the network: the HTTP/JSON
+               gateway (rate limits, retry budget, /metrics,
+               graceful drain)
 ``report``     regenerate the paper's tables and figures
 ``verify``     run the Table I property-verification battery
+
+Bad spec strings (``--selection warp``, ``--backend bogus``...) exit
+with code 2 and a one-line ``repro: error:`` message naming the flag
+and the offending spec — no tracebacks for misuse.
 
 Mechanisms are given as *specs*: a registry name, optionally followed
 by validated parameters — ``CAT``, ``two-price:seed=7``,
@@ -61,6 +68,7 @@ from repro.io import (
     save_instance,
     save_outcome,
 )
+from repro.utils.validation import ValidationError
 from repro.workload.generator import WorkloadConfig, WorkloadGenerator
 
 
@@ -73,14 +81,33 @@ def _spec_with_seed(text: str, seed: "int | None") -> MechanismSpec:
     return spec.validate()
 
 
+def _parse_spec(flag: str, text: str, parse):
+    """Resolve one spec-string flag, naming flag and value on failure.
+
+    Registry lookups raise ``KeyError`` (with the menu of known names)
+    and parameter validation raises :class:`ValidationError`; either
+    way the user typed a bad spec, so both become one
+    :class:`ValidationError` whose message leads with the offending
+    flag and spec string — which :func:`main` turns into a one-line
+    stderr error and exit code 2, never a traceback.
+    """
+    try:
+        return parse(text)
+    except (ValidationError, KeyError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        raise ValidationError(f"{flag} {text!r}: {message}") from exc
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.core.selection import SelectionSpec
 
-    spec = _spec_with_seed(args.mechanism, args.seed)
+    spec = _parse_spec("mechanism", args.mechanism,
+                       lambda text: _spec_with_seed(text, args.seed))
     mechanism = spec.create()
     if args.selection:
-        mechanism.use_selection(
-            SelectionSpec.parse(args.selection).validate())
+        mechanism.use_selection(_parse_spec(
+            "--selection", args.selection,
+            lambda text: SelectionSpec.parse(text).validate()))
     instances = [load_instance(path) for path in args.instance]
     outcomes = mechanism.run_many(instances)
     if len(outcomes) == 1:
@@ -167,25 +194,33 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if args.resume:
         service = AdmissionService.load_checkpoint(args.resume)
         if args.selection:
-            service.mechanism.use_selection(args.selection)
+            from repro.core.selection import SelectionSpec
+
+            service.mechanism.use_selection(_parse_spec(
+                "--selection", args.selection,
+                lambda text: SelectionSpec.parse(text).validate()))
         start = service.period
     else:
         from repro.dsms.backend import BackendSpec
 
-        spec = _spec_with_seed(args.mechanism, args.seed)
+        spec = _parse_spec(
+            "--mechanism", args.mechanism,
+            lambda text: _spec_with_seed(text, args.seed))
         builder = (ServiceBuilder()
                    .with_sources(SyntheticStream(
                        "s", rate=args.rate, seed=args.seed))
                    .with_capacity(args.capacity)
                    .with_mechanism(spec)
                    .with_ticks_per_period(args.ticks)
-                   .with_backend(
-                       BackendSpec.parse(args.backend).validate()))
+                   .with_backend(_parse_spec(
+                       "--backend", args.backend,
+                       lambda text: BackendSpec.parse(text).validate())))
         if args.selection:
             from repro.core.selection import SelectionSpec
 
-            builder.with_selection(
-                SelectionSpec.parse(args.selection).validate())
+            builder.with_selection(_parse_spec(
+                "--selection", args.selection,
+                lambda text: SelectionSpec.parse(text).validate()))
         service = builder.build()
         start = 0
 
@@ -330,7 +365,9 @@ def _cmd_sim(args: argparse.Namespace) -> int:
             texts = args.arrivals or ["poisson:rate=2"]
             arrivals = []
             for index, text in enumerate(texts):
-                spec = ArrivalSpec.parse(text)
+                spec = _parse_spec(
+                    "--arrivals", text,
+                    lambda t: ArrivalSpec.parse(t).validate())
                 # Each process gets its own derived seed and query-id
                 # prefix unless the spec pins them, so several
                 # --arrivals flags never collide on ids or share an
@@ -342,7 +379,9 @@ def _cmd_sim(args: argparse.Namespace) -> int:
                 if (len(texts) > 1 and spec.accepts("prefix")
                         and "prefix" not in spec.params):
                     spec = spec.with_params(prefix=f"s{index}a")
-                arrivals.append(spec.validate())
+                arrivals.append(_parse_spec(
+                    "--arrivals", text,
+                    lambda _t, spec=spec: spec.validate()))
         subscriptions = None
         if args.subscriptions or args.categories:
             subscriptions = SubscriptionOptions(
@@ -353,12 +392,18 @@ def _cmd_sim(args: argparse.Namespace) -> int:
                 max_renewals=args.max_renewals,
                 seed=args.seed,
             )
+        probe = None
+        if args.scheduler:
+            from repro.dsms.scheduler import resolve_policy
+
+            probe = _parse_spec("--scheduler", args.scheduler,
+                                resolve_policy)
         host = _build_sim_host(args)
         driver = SimulationDriver(
             host,
             arrivals=arrivals,
             subscriptions=subscriptions,
-            probe=args.scheduler,
+            probe=probe,
             record=bool(args.record),
             route=args.route,
             batch=args.batch,
@@ -385,15 +430,12 @@ def _cmd_sim(args: argparse.Namespace) -> int:
     print(f"events processed: {driver.events_processed} "
           f"({driver.events_processed / elapsed:.0f}/s)")
     if driver.probes:
-        metrics = driver.tick_metrics()
-        percentiles = driver.latency_percentiles((50.0, 95.0, 99.0))
-        max_queue = max((m.queued for m in metrics), default=0)
-        mean_queue = (sum(m.queued for m in metrics) / len(metrics)
-                      if metrics else 0.0)
-        print(f"probe: mean queue {mean_queue:.1f}, max queue "
-              f"{max_queue}, latency p50 {percentiles[50.0]:.1f} / "
-              f"p95 {percentiles[95.0]:.1f} / "
-              f"p99 {percentiles[99.0]:.1f} ticks")
+        snapshot = driver.metrics_snapshot()
+        latency = snapshot["latency"]
+        print(f"probe: mean queue {snapshot['mean_queue']:.1f}, "
+              f"max queue {snapshot['max_queue']}, latency "
+              f"p50 {latency['p50']:.1f} / p95 {latency['p95']:.1f} / "
+              f"p99 {latency['p99']:.1f} ticks")
     if args.record:
         from repro.io import save_sim_trace
 
@@ -460,10 +502,14 @@ def _build_sim_host(args: argparse.Namespace):
     from repro.dsms.streams import SyntheticStream
     from repro.service import ServiceBuilder
 
-    spec = _spec_with_seed(args.mechanism, args.seed)
-    backend = BackendSpec.parse(args.backend).validate()
+    spec = _parse_spec("--mechanism", args.mechanism,
+                       lambda text: _spec_with_seed(text, args.seed))
+    backend = _parse_spec(
+        "--backend", args.backend,
+        lambda text: BackendSpec.parse(text).validate())
     if args.shards > 1:
         from repro.cluster import FederatedAdmissionService
+        from repro.cluster.placement import resolve_placement
 
         return FederatedAdmissionService.build(
             num_shards=args.shards,
@@ -473,7 +519,8 @@ def _build_sim_host(args: argparse.Namespace):
             mechanism=spec,
             ticks_per_period=args.ticks,
             backend=backend,
-            placement=args.placement,
+            placement=_parse_spec("--placement", args.placement,
+                                  resolve_placement),
         )
     return (ServiceBuilder()
             .with_sources(SyntheticStream("s", rate=args.rate,
@@ -495,30 +542,39 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         if args.selection:
             from repro.core.selection import SelectionSpec
 
-            spec = SelectionSpec.parse(args.selection).validate()
+            spec = _parse_spec(
+                "--selection", args.selection,
+                lambda text: SelectionSpec.parse(text).validate())
             for shard in cluster.shards:
                 shard.mechanism.use_selection(spec)
         if args.auction_workers is not None:
             cluster.auction_workers = args.auction_workers
         start = cluster.period
     else:
+        from repro.cluster.placement import resolve_placement
         from repro.dsms.backend import BackendSpec
 
         selection = None
         if args.selection:
             from repro.core.selection import SelectionSpec
 
-            selection = SelectionSpec.parse(args.selection).validate()
-        spec = _spec_with_seed(args.mechanism, args.seed)
+            selection = _parse_spec(
+                "--selection", args.selection,
+                lambda text: SelectionSpec.parse(text).validate())
+        spec = _parse_spec("--mechanism", args.mechanism,
+                           lambda text: _spec_with_seed(text, args.seed))
         cluster = FederatedAdmissionService.build(
             num_shards=args.shards,
             sources=[SyntheticStream("s", rate=args.rate, seed=args.seed)],
             capacity=args.capacity,
             mechanism=spec,
             ticks_per_period=args.ticks,
-            backend=BackendSpec.parse(args.backend).validate(),
+            backend=_parse_spec(
+                "--backend", args.backend,
+                lambda text: BackendSpec.parse(text).validate()),
             selection=selection,
-            placement=args.placement,
+            placement=_parse_spec("--placement", args.placement,
+                                  resolve_placement),
             rebalance=not args.no_rebalance,
             auction_workers=args.auction_workers,
         )
@@ -552,6 +608,60 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     print(f"total revenue: {cluster.total_revenue():.2f}")
     if args.checkpoint:
         print(f"checkpoint written to {args.checkpoint}")
+    return 0
+
+
+def _serve_target_and_config(args: argparse.Namespace):
+    """Build the (backend target, gateway config) pair for ``serve``.
+
+    Split from :func:`_cmd_serve` so tests can exercise the wiring
+    without binding a socket or entering the event loop.
+    """
+    from repro.serve import GatewayConfig
+
+    host = _build_sim_host(args)
+    target: object = host
+    if args.subscriptions or args.categories or args.scheduler:
+        from repro.sim import SimulationDriver, SubscriptionOptions
+
+        subscriptions = None
+        if args.subscriptions or args.categories:
+            subscriptions = SubscriptionOptions(
+                categories=(_parse_categories(args.categories)
+                            if args.categories else
+                            SubscriptionOptions().categories),
+                seed=args.seed,
+            )
+        probe = None
+        if args.scheduler:
+            from repro.dsms.scheduler import resolve_policy
+
+            probe = _parse_spec("--scheduler", args.scheduler,
+                                resolve_policy)
+        target = SimulationDriver(
+            host, subscriptions=subscriptions, probe=probe)
+    config = GatewayConfig(
+        host=args.host,
+        port=args.port,
+        client_rate=args.client_rate,
+        client_burst=args.client_burst,
+        max_inflight=args.max_inflight,
+        fast_timeout=args.fast_timeout,
+        slow_timeout=args.slow_timeout,
+        tick_interval=args.tick_interval,
+        log_path=args.log,
+        quiet=args.quiet,
+    )
+    return target, config
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import serve_forever
+
+    target, config = _serve_target_and_config(args)
+    asyncio.run(serve_forever(target, config))
     return 0
 
 
@@ -768,6 +878,65 @@ def build_parser() -> argparse.ArgumentParser:
                               "instead of starting fresh")
     cluster.set_defaults(handler=_cmd_cluster)
 
+    serve = commands.add_parser(
+        "serve",
+        help="serve an admission host over HTTP/JSON (submit, "
+             "withdraw, subscribe, period ticks, /metrics)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="bind port (0 = ephemeral; default 8080)")
+    serve.add_argument("--shards", type=int, default=1,
+                       help="serve a federated cluster with this many "
+                            "shards (default 1: a single service)")
+    serve.add_argument("--placement", default="consistent-hash",
+                       help="cluster placement spec (with --shards > 1)")
+    serve.add_argument("--mechanism", default="CAT",
+                       help="mechanism spec (default CAT)")
+    serve.add_argument("--capacity", type=float, default=40.0,
+                       help="per-shard capacity (default 40)")
+    serve.add_argument("--rate", type=float, default=5.0,
+                       help="stream arrival rate (tuples/tick)")
+    serve.add_argument("--ticks", type=int, default=20,
+                       help="engine ticks per subscription period")
+    serve.add_argument("--backend", default="scalar",
+                       help="execution backend spec: scalar (default), "
+                            "columnar")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--subscriptions", action="store_true",
+                       help="serve subscription lifecycles "
+                            "(/v1/subscribe) through a simulation "
+                            "driver")
+    serve.add_argument("--categories", default=None,
+                       help="subscription category mix, e.g. "
+                            "day=1:0.4,week=7:0.35,month=30:0.25 "
+                            "(implies --subscriptions)")
+    serve.add_argument("--scheduler", default=None,
+                       help="attach per-shard latency probes with this "
+                            "scheduling-policy spec (surfaces in "
+                            "/metrics)")
+    serve.add_argument("--tick-interval", type=float, default=None,
+                       help="run an auction period automatically every "
+                            "this many seconds (default: only on "
+                            "POST /v1/tick)")
+    serve.add_argument("--client-rate", type=float, default=200.0,
+                       help="per-client sustained requests/s before "
+                            "429s (default 200)")
+    serve.add_argument("--client-burst", type=float, default=50.0,
+                       help="per-client burst allowance (default 50)")
+    serve.add_argument("--max-inflight", type=int, default=64,
+                       help="concurrent in-flight request cap "
+                            "(default 64)")
+    serve.add_argument("--fast-timeout", type=float, default=2.0,
+                       help="data-plane request timeout, seconds")
+    serve.add_argument("--slow-timeout", type=float, default=30.0,
+                       help="auction-settle request timeout, seconds")
+    serve.add_argument("--log", default=None,
+                       help="append structured JSONL request logs here")
+    serve.add_argument("--quiet", action="store_true",
+                       help="suppress the human-readable stderr log")
+    serve.set_defaults(handler=_cmd_serve)
+
     generate = commands.add_parser(
         "generate", help="generate a Table III workload instance")
     generate.add_argument("--queries", type=int, default=200)
@@ -791,10 +960,20 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: "list[str] | None" = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Misuse — a bad spec string, conflicting flags, a malformed
+    category list — prints one ``repro: error:`` line to stderr and
+    exits 2, argparse-style, instead of dumping a traceback.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except (ValidationError, KeyError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"repro: error: {message}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -111,15 +111,26 @@ class StreamEngine:
     # Admission
     # ------------------------------------------------------------------
 
-    def admit(self, query: ContinuousQuery) -> None:
-        """Register *query* for execution (validates stream inputs)."""
-        self.catalog.add(query)
-        missing = self.catalog.stream_names() - set(self._sources)
+    def validate_streams(self, query: ContinuousQuery) -> None:
+        """Reject *query* if its plan reads streams this engine lacks.
+
+        Checked before any state mutates, so callers (and the
+        transition phase) can rely on a failed admission leaving the
+        engine untouched.
+        """
+        known = (set(self._sources) | set(self.catalog.operators)
+                 | set(query.operator_ids))
+        missing = sorted({name for op in query.operators
+                          for name in op.inputs if name not in known})
         if missing:
-            self.catalog.remove(query.query_id)
             raise ValidationError(
                 f"query {query.query_id!r} references unknown "
-                f"streams {sorted(missing)}")
+                f"streams {missing}")
+
+    def admit(self, query: ContinuousQuery) -> None:
+        """Register *query* for execution (validates stream inputs)."""
+        self.validate_streams(query)
+        self.catalog.add(query)
         self.results.setdefault(query.query_id, [])
 
     def remove(self, query_id: str) -> ContinuousQuery:
@@ -242,6 +253,11 @@ class StreamEngine:
         for continuing queries.
         """
         require(self._in_transition, "no open transition")
+        # Validate every incoming plan before anything mutates: a bad
+        # query must fail its submitter, not strand the transition
+        # half-applied with the connection points holding forever.
+        for query in add:
+            self.validate_streams(query)
         for query_id in remove:
             self.remove(query_id)
         for query in add:
@@ -263,6 +279,10 @@ class StreamEngine:
         hold_ticks: int = 1,
     ) -> None:
         """Convenience: the full transition-phase sequence."""
+        # Fail fast, before the transition even opens: a bad plan in
+        # the add set must leave the engine exactly as it was.
+        for query in add:
+            self.validate_streams(query)
         self.begin_transition()
         drain_targets = set(remove)
         if drain_targets:

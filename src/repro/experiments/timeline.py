@@ -163,6 +163,10 @@ class BackpressureResult:
     ticks: int
     records: dict[float, list[BackpressureTick]] = field(
         default_factory=dict)
+    #: factor → :func:`repro.sim.metrics.metrics_snapshot` summary
+    #: (queue depths + exact latency percentiles), the same dict shape
+    #: the CLI, the benchmarks and the gateway's ``/metrics`` emit.
+    snapshots: dict[float, dict] = field(default_factory=dict)
 
     def final_queue(self, factor: float) -> int:
         """Queue depth at the end of the run for *factor*."""
@@ -193,6 +197,7 @@ def run_backpressure(
     from repro.dsms.streams import SyntheticStream
     from repro.sim.arrivals import _pass_all
     from repro.sim.driver import LatencyProbe
+    from repro.sim.metrics import metrics_snapshot
 
     result = BackpressureResult(capacity=float(capacity),
                                 ticks=int(ticks))
@@ -223,6 +228,8 @@ def run_backpressure(
                             for tick in range(1, int(ticks) + 1))
         ]
         result.records[float(factor)] = records
+        result.snapshots[float(factor)] = metrics_snapshot(
+            records, probe.engine.latency_samples)
     return result
 
 

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import json
 import pickle
+from dataclasses import dataclass
 from pathlib import Path
 
 from repro.core.model import AuctionInstance, Operator, Query
@@ -57,6 +58,10 @@ SIM_TRACE_SCHEMA = "repro/sim-trace"
 SIM_TRACE_VERSION = 1
 SIM_SNAPSHOT_SCHEMA = "repro/sim-snapshot"
 SIM_SNAPSHOT_VERSION = 1
+SERVE_REQUEST_SCHEMA = "repro/serve-request"
+SERVE_REQUEST_VERSION = 1
+SERVE_RESPONSE_SCHEMA = "repro/serve-response"
+SERVE_RESPONSE_VERSION = 1
 
 
 def instance_to_dict(instance: AuctionInstance) -> dict:
@@ -635,3 +640,148 @@ def load_cluster_snapshot(path: "str | Path") -> object:
         raise ValidationError(
             f"malformed cluster snapshot file {str(path)!r}: "
             f"{exc!r}") from exc
+
+
+# ----------------------------------------------------------------------
+# Serving-layer wire schemas (versioned request/response envelopes)
+# ----------------------------------------------------------------------
+
+#: Operations a gateway request may name.
+SERVE_OPS = ("submit", "subscribe", "withdraw")
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """One validated gateway request body.
+
+    ``op`` is one of :data:`SERVE_OPS`; ``submit``/``subscribe`` carry
+    a query plan (and ``subscribe`` a subscription category),
+    ``withdraw`` carries the query id to pull back.
+    """
+
+    op: str
+    query: "object | None" = None
+    query_id: "str | None" = None
+    category: "str | None" = None
+
+    def __post_init__(self) -> None:
+        if self.op not in SERVE_OPS:
+            raise ValidationError(
+                f"unknown serve op {self.op!r}; this build handles "
+                f"{', '.join(SERVE_OPS)}")
+        if self.op in ("submit", "subscribe") and self.query is None:
+            raise ValidationError(f"a {self.op!r} request needs a query")
+        if self.op == "subscribe" and self.category is None:
+            raise ValidationError(
+                "a 'subscribe' request needs a category")
+        if self.op == "withdraw" and not self.query_id:
+            raise ValidationError("a 'withdraw' request needs a query_id")
+
+
+def serve_request_to_dict(request: ServeRequest) -> dict:
+    """Versioned JSON document for one gateway request.
+
+    Query plans ride the sim-trace codec
+    (:func:`repro.sim.trace.encode_query`): compact for synthetic
+    single-select plans, base64-pickle for arbitrary ones.
+    """
+    from repro.sim.trace import encode_query
+
+    document: dict[str, object] = {
+        "schema": SERVE_REQUEST_SCHEMA,
+        "version": SERVE_REQUEST_VERSION,
+        "op": request.op,
+    }
+    if request.query is not None:
+        document["query"] = encode_query(request.query)
+    if request.query_id is not None:
+        document["query_id"] = request.query_id
+    if request.category is not None:
+        document["category"] = request.category
+    return document
+
+
+def serve_request_from_dict(payload: object) -> ServeRequest:
+    """Parse and validate a :func:`serve_request_to_dict` document."""
+    from repro.sim.trace import decode_query
+
+    if not isinstance(payload, dict):
+        raise ValidationError(
+            f"malformed serve request: expected an object, got "
+            f"{type(payload).__name__}")
+    schema = payload.get("schema")
+    if schema != SERVE_REQUEST_SCHEMA:
+        raise ValidationError(
+            f"not a serve request (schema {schema!r}, expected "
+            f"{SERVE_REQUEST_SCHEMA!r})")
+    version = payload.get("version")
+    if version != SERVE_REQUEST_VERSION:
+        raise ValidationError(
+            f"unsupported serve-request version {version!r}; this "
+            f"build reads version {SERVE_REQUEST_VERSION}")
+    try:
+        op = payload["op"]
+    except KeyError:
+        raise ValidationError(
+            "malformed serve request: missing 'op'") from None
+    query = payload.get("query")
+    if query is not None:
+        try:
+            query = decode_query(query)
+        except ValidationError:
+            raise
+        except Exception as exc:
+            # Pickled plans deserialize by reference: the *server*
+            # must be able to import the plan's modules.  A plan it
+            # cannot rebuild is the client's malformed request, not an
+            # internal error.
+            raise ValidationError(
+                f"could not decode the request's query plan "
+                f"({type(exc).__name__}: {exc}); custom plans must be "
+                f"importable where the gateway runs") from exc
+    return ServeRequest(
+        op=str(op),
+        query=query,
+        query_id=payload.get("query_id"),
+        category=payload.get("category"),
+    )
+
+
+def serve_response_to_dict(
+    status: str, request_id: str, **fields: object
+) -> dict:
+    """Versioned JSON document for one gateway response.
+
+    ``status`` is the application-level outcome (``"ok"``,
+    ``"queued"``, ``"throttled"``, ``"error"``...); extra *fields*
+    (shard, report, error message) merge into the envelope.
+    """
+    return {
+        "schema": SERVE_RESPONSE_SCHEMA,
+        "version": SERVE_RESPONSE_VERSION,
+        "status": str(status),
+        "request_id": str(request_id),
+        **fields,
+    }
+
+
+def serve_response_from_dict(payload: object) -> dict:
+    """Validate a :func:`serve_response_to_dict` envelope, return it."""
+    if not isinstance(payload, dict):
+        raise ValidationError(
+            f"malformed serve response: expected an object, got "
+            f"{type(payload).__name__}")
+    schema = payload.get("schema")
+    if schema != SERVE_RESPONSE_SCHEMA:
+        raise ValidationError(
+            f"not a serve response (schema {schema!r}, expected "
+            f"{SERVE_RESPONSE_SCHEMA!r})")
+    version = payload.get("version")
+    if version != SERVE_RESPONSE_VERSION:
+        raise ValidationError(
+            f"unsupported serve-response version {version!r}; this "
+            f"build reads version {SERVE_RESPONSE_VERSION}")
+    if "status" not in payload or "request_id" not in payload:
+        raise ValidationError(
+            "malformed serve response: missing 'status'/'request_id'")
+    return payload

@@ -1,0 +1,107 @@
+"""Load-shedding primitives: token buckets and retry budgets.
+
+Two small, clock-injectable mechanisms keep the gateway standing when
+"millions of users" actually show up:
+
+* :class:`TokenBucket` — per-client admission rate.  Each client id
+  owns a bucket refilled at ``rate`` tokens/second up to ``burst``;
+  a request that finds the bucket empty is answered ``429 Too Many
+  Requests`` with a precise ``Retry-After``.
+* :class:`RetryBudget` — the *server's* willingness to retry
+  internally.  Transient auction-phase contention (a period settle
+  holding the service lock) is retried only while the budget holds:
+  every accepted request deposits a fraction of a token, every retry
+  withdraws a whole one, so retries are bounded to a fixed percentage
+  of real traffic and cannot amplify an overload into a retry storm.
+
+Both take an injectable monotonic clock so tests drive them
+deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.utils.validation import require
+
+
+class TokenBucket:
+    """A standard token bucket: ``rate`` tokens/s, capacity ``burst``.
+
+    :meth:`try_acquire` either takes a token (returns 0.0) or returns
+    the seconds until one will be available — the ``Retry-After`` the
+    gateway sends with a 429.
+    """
+
+    def __init__(self, rate: float, burst: float,
+                 clock=time.monotonic) -> None:
+        require(rate > 0, "token rate must be positive")
+        require(burst >= 1, "burst must be >= 1")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._updated = float(clock())
+
+    def _refill(self) -> None:
+        now = float(self._clock())
+        elapsed = max(0.0, now - self._updated)
+        self._updated = now
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+
+    def try_acquire(self, tokens: float = 1.0) -> float:
+        """Take *tokens* if available; else seconds until they will be."""
+        self._refill()
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return 0.0
+        return (tokens - self._tokens) / self.rate
+
+    @property
+    def available(self) -> float:
+        """Tokens currently in the bucket."""
+        self._refill()
+        return self._tokens
+
+
+class RetryBudget:
+    """A deposit/withdraw retry budget (the Finagle scheme).
+
+    Every accepted request deposits ``deposit`` tokens (so the budget
+    scales with real traffic); every internal retry withdraws one.
+    ``initial`` seeds the budget so a cold server can still absorb a
+    first contention blip; ``cap`` bounds the balance so a long quiet
+    stretch cannot bank an unbounded retry storm.
+    """
+
+    def __init__(self, deposit: float = 0.1, initial: float = 10.0,
+                 cap: float = 100.0) -> None:
+        require(deposit >= 0, "deposit must be >= 0")
+        require(initial >= 0, "initial balance must be >= 0")
+        require(cap >= initial, "cap must be >= the initial balance")
+        self.deposit_per_request = float(deposit)
+        self.cap = float(cap)
+        self._balance = float(initial)
+        self.requests = 0
+        self.retries = 0
+        self.exhausted = 0
+
+    def record_request(self) -> None:
+        """Deposit for one accepted request."""
+        self.requests += 1
+        self._balance = min(self.cap,
+                            self._balance + self.deposit_per_request)
+
+    def try_withdraw(self) -> bool:
+        """Spend one retry token; ``False`` when the budget is dry."""
+        if self._balance >= 1.0:
+            self._balance -= 1.0
+            self.retries += 1
+            return True
+        self.exhausted += 1
+        return False
+
+    @property
+    def balance(self) -> float:
+        """Tokens currently available for retries."""
+        return self._balance

@@ -1,0 +1,774 @@
+"""The admission gateway: HTTP/JSON serving over any admission host.
+
+The paper's mechanisms assume requests *arrive*; this module is the
+front door they arrive through.  :class:`AdmissionGateway` wraps any
+:class:`~repro.service.AdmissionService`,
+:class:`~repro.cluster.FederatedAdmissionService`, or
+:class:`~repro.sim.SimulationDriver` behind a plain HTTP/1.1 JSON API
+(pure asyncio — no HTTP library needed):
+
+=======================  ==============================================
+``POST /v1/submit``      queue a query for the next auction period
+``POST /v1/subscribe``   queue a categoried subscription request
+``POST /v1/withdraw``    withdraw a not-yet-auctioned query
+``GET  /v1/report``      the last period report + running revenue
+``POST /v1/tick``        run one auction-period boundary now
+``GET  /healthz``        liveness / drain state (never throttled)
+``GET  /metrics``        queue depths, latencies, shed counts (ditto)
+=======================  ==============================================
+
+Load hardening, because admission control that falls over under load
+would be a poor advertisement for admission control:
+
+* per-client token buckets answer over-rate clients ``429`` with a
+  precise ``Retry-After`` (:class:`~repro.serve.backpressure.TokenBucket`);
+* a bounded in-flight gate sheds excess concurrency with ``503``;
+* tiered timeouts — data-plane requests get ``fast_timeout``, the
+  auction settle gets ``slow_timeout`` — turn stalls into ``504``;
+* contention with an in-progress settle is retried server-side only
+  while the :class:`~repro.serve.backpressure.RetryBudget` holds;
+* shutdown drains in-flight requests, then runs one final settle so
+  accepted-but-unauctioned submissions are not silently dropped;
+* every request is logged (stderr + JSONL) with a request id, and
+  credential-looking fields are redacted before they reach any sink.
+
+The auction itself runs in a worker thread under ``asyncio.shield``
+with the service lock released by a done-callback — a client whose
+``/v1/tick`` times out mid-auction gets its ``504``, but the settle
+still completes and the lock is released exactly once, when it does.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import itertools
+import sys
+import time
+from collections import Counter, deque
+from dataclasses import dataclass
+
+from repro.io import (
+    serve_request_from_dict,
+    serve_response_to_dict,
+)
+from repro.serve import http
+from repro.serve.backpressure import RetryBudget, TokenBucket
+from repro.serve.http import HttpError, HttpRequest
+from repro.serve.logs import StructuredLog
+from repro.sim.events import ArrivalEvent
+from repro.sim.hosts import wrap_host
+from repro.utils.validation import ValidationError, require
+
+
+def report_document(report: object) -> "dict | None":
+    """Any period report as a JSON-ready dict (``None`` passes through)."""
+    from repro.cluster.reports import ClusterReport
+    from repro.io import cluster_report_to_dict, report_to_dict
+    from repro.service.reports import PeriodReport
+    from repro.sim.driver import SimPeriodReport
+
+    if report is None:
+        return None
+    if isinstance(report, ClusterReport):
+        return cluster_report_to_dict(report)
+    if isinstance(report, PeriodReport):
+        return report_to_dict(report)
+    if isinstance(report, SimPeriodReport):
+        return {
+            "period": report.period,
+            "admitted": list(report.admitted),
+            "rejected": list(report.rejected),
+            "expired": list(report.expired),
+            "renewed": list(report.renewed),
+            "revenue": report.revenue,
+            "reclaimed_capacity": report.reclaimed_capacity,
+            "engine_ticks": report.engine_ticks,
+            "engine_utilization": report.engine_utilization,
+        }
+    raise ValidationError(
+        f"cannot serialize a {type(report).__name__} period report")
+
+
+# ----------------------------------------------------------------------
+# Backends: what the gateway serves
+# ----------------------------------------------------------------------
+
+
+def _validate_streams(query, services) -> None:
+    """Fail unknown-stream plans at the front door.
+
+    The engines check this again at settle time, but by then the
+    submission was already acknowledged — the 400 belongs to the
+    submitter, at submit.  Every shard must serve the plan's streams,
+    since placement may route it anywhere.
+    """
+    for service in services:
+        service.engine.validate_streams(query)
+
+
+class HostBackend:
+    """Serve a bare admission host (service or federation).
+
+    Submissions go straight to the host in request order — a gateway-
+    mediated run admits byte-identically to the same submissions made
+    in-process, which the serving benchmark asserts.
+    """
+
+    #: Whether ``/v1/subscribe`` is available.
+    subscriptions = False
+
+    def __init__(self, target: object) -> None:
+        self.host = wrap_host(target)
+        self.last_report: object = None
+
+    @property
+    def services(self):
+        return self.host.services
+
+    @property
+    def period(self) -> int:
+        return self.host.period
+
+    def submit(self, query, category: "str | None" = None) -> "int | None":
+        if category is not None:
+            raise ValidationError(
+                "subscription categories need a simulation-driver "
+                "backend; serve a SimulationDriver built with "
+                "subscriptions enabled")
+        _validate_streams(query, self.services)
+        return self.host.submit(query)
+
+    def withdraw(self, query_id: str):
+        cluster = getattr(self.host, "cluster", None)
+        if cluster is not None:
+            return cluster.withdraw(query_id)
+        return self.services[0].withdraw(query_id)
+
+    def tick(self):
+        self.last_report = self.host.run_auction_period(allow_idle=True)
+        return self.last_report
+
+    def pending_count(self) -> int:
+        return sum(len(service.pending_ids) for service in self.services)
+
+    def total_revenue(self) -> float:
+        return sum(service.total_revenue() for service in self.services)
+
+    def probe_snapshot(self) -> "dict | None":
+        return None
+
+
+class DriverBackend:
+    """Serve a :class:`~repro.sim.SimulationDriver`.
+
+    Submissions buffer in a gateway-side inbox and are pushed as
+    arrival events at the upcoming boundary's time when a tick runs —
+    the same schedule :meth:`SimulationDriver.run_lockstep` builds, so
+    withdrawing before the boundary is cheap (the event queue never
+    sees the query).  Subscriptions are available when the driver has
+    managers.
+    """
+
+    def __init__(self, driver) -> None:
+        self.driver = driver
+        self._inbox: list[tuple[object, "str | None"]] = []
+        self.last_report: object = None
+
+    @property
+    def subscriptions(self) -> bool:
+        return self.driver.managers is not None
+
+    @property
+    def services(self):
+        return self.driver.host.services
+
+    @property
+    def period(self) -> int:
+        return self.driver.period
+
+    def _known_ids(self) -> set[str]:
+        known = {query.query_id for query, _ in self._inbox}
+        for shard_pending in self.driver.pending:
+            known.update(query.query_id for query, _ in shard_pending)
+        for service in self.services:
+            known.update(service.pending_ids)
+            known.update(service.engine.admitted_ids)
+        for manager in self.driver.managers or ():
+            known.update(manager.active)
+        return known
+
+    def submit(self, query, category: "str | None" = None) -> None:
+        """Buffer *query*; routing happens at the boundary (shard is
+        therefore unknown until then — the response carries ``None``)."""
+        if category is not None:
+            if not self.subscriptions:
+                raise ValidationError(
+                    "this driver has no subscription managers; "
+                    "construct it with subscriptions enabled")
+            self.driver.managers[0].category(category)
+        if query.query_id in self._known_ids():
+            raise ValidationError(
+                f"query id {query.query_id!r} already submitted")
+        _validate_streams(query, self.services)
+        self._inbox.append((query, category))
+        return None
+
+    def withdraw(self, query_id: str):
+        for index, (query, _) in enumerate(self._inbox):
+            if query.query_id == query_id:
+                del self._inbox[index]
+                return query
+        for shard_pending in self.driver.pending:
+            for index, (query, _) in enumerate(shard_pending):
+                if query.query_id == query_id:
+                    del shard_pending[index]
+                    return query
+        for service in self.services:
+            if query_id in service.pending_ids:
+                return service.withdraw(query_id)
+        raise ValidationError(
+            f"unknown query id {query_id!r}; nothing to withdraw")
+
+    def tick(self):
+        boundary = float(
+            self.driver.period * self.driver.host.ticks_per_period)
+        for query, category in self._inbox:
+            self.driver.queue.push(ArrivalEvent(
+                time=boundary, query=query, category=category))
+        self._inbox.clear()
+        self.last_report = self.driver.run(1)[0]
+        return self.last_report
+
+    def pending_count(self) -> int:
+        return (len(self._inbox)
+                + sum(len(p) for p in self.driver.pending)
+                + sum(len(service.pending_ids)
+                      for service in self.services))
+
+    def total_revenue(self) -> float:
+        return self.driver.total_revenue()
+
+    def probe_snapshot(self) -> "dict | None":
+        if not self.driver.probes:
+            return None
+        return self.driver.metrics_snapshot()
+
+
+def make_backend(target: object):
+    """Coerce *target* into a gateway backend."""
+    from repro.sim.driver import SimulationDriver
+
+    if isinstance(target, (HostBackend, DriverBackend)):
+        return target
+    if isinstance(target, SimulationDriver):
+        return DriverBackend(target)
+    return HostBackend(target)
+
+
+# ----------------------------------------------------------------------
+# The gateway
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Every serving knob in one place (defaults suit tests/benches)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    #: Per-client token bucket: sustained requests/s and burst size.
+    client_rate: float = 200.0
+    client_burst: float = 50.0
+    #: Concurrent in-flight request cap (excess is shed with 503).
+    max_inflight: int = 64
+    #: Data-plane (submit/withdraw/report) request timeout, seconds.
+    fast_timeout: float = 2.0
+    #: Auction-settle (/v1/tick) request timeout, seconds.
+    slow_timeout: float = 30.0
+    #: How long one lock-acquisition attempt waits before it counts as
+    #: contention and a server-side retry is considered.
+    lock_patience: float = 0.25
+    #: Retry budget: deposit per accepted request, seed, and cap.
+    retry_deposit: float = 0.1
+    retry_initial: float = 10.0
+    retry_cap: float = 100.0
+    max_body: int = 1 << 20
+    #: Shutdown: how long to wait for in-flight requests to finish.
+    drain_timeout: float = 5.0
+    #: Period-tick driver interval, seconds (None = ticks only on
+    #: demand via /v1/tick).
+    tick_interval: "float | None" = None
+    #: JSONL log path (None disables the file sink).
+    log_path: "str | None" = None
+    #: Suppress the human-readable stderr log line.
+    quiet: bool = False
+
+    def __post_init__(self) -> None:
+        require(self.max_inflight >= 1, "max_inflight must be >= 1")
+        require(self.fast_timeout > 0, "fast_timeout must be positive")
+        require(self.slow_timeout > 0, "slow_timeout must be positive")
+        require(self.lock_patience > 0, "lock_patience must be positive")
+        require(self.drain_timeout >= 0, "drain_timeout must be >= 0")
+
+
+class AdmissionGateway:
+    """An asyncio HTTP/JSON gateway over an admission backend.
+
+    Usage::
+
+        gateway = AdmissionGateway(service, GatewayConfig(port=8080))
+        await gateway.start()
+        ...
+        await gateway.stop()       # drain + final settle
+
+    All service access is serialized by one asyncio lock; submits run
+    synchronously under it (cancel-safe), the period settle runs in a
+    worker thread with the lock released by its done-callback so a
+    timed-out client cannot release it mid-auction.
+    """
+
+    def __init__(self, target: object,
+                 config: "GatewayConfig | None" = None,
+                 log: "StructuredLog | None" = None) -> None:
+        self.backend = make_backend(target)
+        self.config = config or GatewayConfig()
+        self._owns_log = log is None
+        self.log = log if log is not None else StructuredLog(
+            path=self.config.log_path,
+            stream=None if self.config.quiet else sys.stderr)
+        self._server: "asyncio.AbstractServer | None" = None
+        self._lock = asyncio.Lock()
+        self._budget = RetryBudget(
+            deposit=self.config.retry_deposit,
+            initial=self.config.retry_initial,
+            cap=self.config.retry_cap)
+        self._buckets: dict[str, TokenBucket] = {}
+        self._ids = itertools.count(1)
+        self._inflight = 0
+        self._draining = False
+        self._stopped = False
+        self._started_at: "float | None" = None
+        self._tick_task: "asyncio.Task | None" = None
+        self._connections: set = set()
+        self.counters: Counter = Counter()
+        self._latency: dict[str, deque] = {
+            "fast": deque(maxlen=4096), "slow": deque(maxlen=512)}
+        self.port: "int | None" = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> "AdmissionGateway":
+        """Bind and start serving; resolves the ephemeral port."""
+        require(self._server is None, "the gateway is already started")
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started_at = time.monotonic()
+        if self.config.tick_interval:
+            self._tick_task = asyncio.create_task(self._auto_tick())
+        self.log.log("listening", host=self.config.host, port=self.port,
+                     backend=type(self.backend).__name__)
+        return self
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port) pair."""
+        require(self.port is not None, "the gateway is not started")
+        return (self.config.host, self.port)
+
+    async def stop(self, final_settle: bool = True) -> None:
+        """Drain in-flight requests, settle pending work, shut down."""
+        if self._stopped:
+            return
+        self._draining = True
+        if self._tick_task is not None:
+            self._tick_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._tick_task
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.config.drain_timeout
+        while self._inflight > 0 and loop.time() < deadline:
+            await asyncio.sleep(0.005)
+        if self._inflight:
+            self.log.log("drain_timeout", level="warning",
+                         abandoned=self._inflight)
+        if final_settle and self.backend.pending_count() > 0:
+            report = await self._tick_locked("shutdown")
+            document = report_document(report) or {}
+            self.log.log("final_settle",
+                         period=self.backend.period,
+                         admitted=len(document.get("admitted", ())),
+                         revenue=document.get("revenue"))
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Closing idle keep-alive connections sends their handlers a
+        # clean EOF, so no task is left to be cancelled at loop exit.
+        for writer in list(self._connections):
+            writer.close()
+        while self._connections:
+            await asyncio.sleep(0.005)
+        self._stopped = True
+        self.log.log("stopped", requests=self._budget.requests,
+                     retries=self._budget.retries,
+                     throttled=self.counters["throttled"],
+                     shed=self.counters["shed"],
+                     timeouts=self.counters["timeouts"])
+        if self._owns_log:
+            self.log.close()
+
+    async def _auto_tick(self) -> None:
+        while not self._draining:
+            await asyncio.sleep(self.config.tick_interval)
+            try:
+                await self._tick_locked("auto")
+            except HttpError as exc:
+                self.log.log("auto_tick_skipped", level="warning",
+                             error=exc.message)
+            except ValidationError as exc:
+                self.log.log("auto_tick_failed", level="error",
+                             error=str(exc))
+
+    # -- connection handling -------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        peer = writer.get_extra_info("peername")
+        client_host = str(peer[0]) if peer else "unknown"
+        self._connections.add(writer)
+        try:
+            while True:
+                try:
+                    request = await http.read_request(
+                        reader, max_body=self.config.max_body)
+                except HttpError as exc:
+                    writer.write(self._render_error(
+                        exc, "r000000", keep_alive=False))
+                    await writer.drain()
+                    return
+                if request is None:
+                    return
+                payload, keep_alive = await self._respond(
+                    request, client_host)
+                writer.write(payload)
+                await writer.drain()
+                if not keep_alive:
+                    return
+        except (ConnectionResetError, BrokenPipeError,
+                asyncio.IncompleteReadError):
+            pass
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+            # Swallowing CancelledError here is deliberate: the
+            # response (if any) is already written, the coroutine ends
+            # on the next line, and ending it cleanly instead of
+            # cancelled keeps loop teardown quiet.
+            with contextlib.suppress(Exception, asyncio.CancelledError):
+                await writer.wait_closed()
+
+    def _render_error(self, exc: HttpError, request_id: str,
+                      keep_alive: bool = True) -> bytes:
+        headers = {}
+        if exc.retry_after is not None:
+            headers["Retry-After"] = f"{max(exc.retry_after, 0.0):.3f}"
+        body = http.json_body(serve_response_to_dict(
+            "error", request_id, error=exc.message))
+        return http.render_response(exc.status, body, headers=headers,
+                                    keep_alive=keep_alive)
+
+    async def _respond(
+        self, request: HttpRequest, client_host: str
+    ) -> tuple[bytes, bool]:
+        request_id = f"r{next(self._ids):06d}"
+        client = request.headers.get("x-client-id", client_host)
+        started = time.monotonic()
+        headers: dict[str, str] = {}
+        tier = None
+        try:
+            handler, tier = self._route(request)
+            if tier == "open":
+                document = handler()
+                status = 200
+            else:
+                self._gate(client)
+                self._budget.record_request()
+                self._inflight += 1
+                timeout = (self.config.slow_timeout if tier == "slow"
+                           else self.config.fast_timeout)
+                try:
+                    fields = await asyncio.wait_for(
+                        handler(request, request_id), timeout)
+                except asyncio.TimeoutError:
+                    self.counters["timeouts"] += 1
+                    raise HttpError(
+                        504, f"{request.path} timed out after "
+                             f"{timeout:g}s") from None
+                finally:
+                    self._inflight -= 1
+                document = serve_response_to_dict(
+                    "ok", request_id, **fields)
+                status = 200
+        except HttpError as exc:
+            status = exc.status
+            document = serve_response_to_dict(
+                "error", request_id, error=exc.message)
+            if exc.retry_after is not None:
+                headers["Retry-After"] = (
+                    f"{max(exc.retry_after, 0.0):.3f}")
+        except ValidationError as exc:
+            status = 400
+            document = serve_response_to_dict(
+                "error", request_id, error=str(exc))
+        except Exception as exc:  # noqa: BLE001 - the server must stand
+            status = 500
+            document = serve_response_to_dict(
+                "error", request_id,
+                error=f"internal error: {type(exc).__name__}: {exc}")
+        elapsed = time.monotonic() - started
+        if tier in ("fast", "slow"):
+            self._latency[tier].append(elapsed)
+        self.counters[f"{request.path}:{status}"] += 1
+        self.log.log(
+            "request",
+            level="error" if status >= 500 else "info",
+            request_id=request_id, client=client,
+            method=request.method, path=request.path, status=status,
+            ms=round(elapsed * 1000.0, 3),
+            params=dict(request.params) or None)
+        keep_alive = request.keep_alive
+        return (http.render_response(
+            status, http.json_body(document), headers=headers,
+            keep_alive=keep_alive), keep_alive)
+
+    def _route(self, request: HttpRequest):
+        routes = {
+            "/healthz": ("GET", self.health_document, "open"),
+            "/metrics": ("GET", self.metrics_document, "open"),
+            "/v1/submit": ("POST", self._handle_submit, "fast"),
+            "/v1/subscribe": ("POST", self._handle_subscribe, "fast"),
+            "/v1/withdraw": ("POST", self._handle_withdraw, "fast"),
+            "/v1/report": ("GET", self._handle_report, "fast"),
+            "/v1/tick": ("POST", self._handle_tick, "slow"),
+        }
+        entry = routes.get(request.path)
+        if entry is None:
+            raise HttpError(404, f"no such endpoint {request.path!r}")
+        method, handler, tier = entry
+        if request.method != method:
+            raise HttpError(
+                405, f"{request.path} takes {method}, "
+                     f"not {request.method}")
+        return handler, tier
+
+    def _gate(self, client: str) -> None:
+        """Admission control for the admission controller."""
+        if self._draining:
+            raise HttpError(
+                503, "gateway is draining; resubmit elsewhere",
+                retry_after=self.config.drain_timeout)
+        if self._inflight >= self.config.max_inflight:
+            self.counters["shed"] += 1
+            raise HttpError(
+                503, f"gateway is at its in-flight cap "
+                     f"({self.config.max_inflight}); retry shortly",
+                retry_after=self.config.lock_patience)
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            bucket = self._buckets[client] = TokenBucket(
+                self.config.client_rate, self.config.client_burst)
+        wait = bucket.try_acquire()
+        if wait > 0.0:
+            self.counters["throttled"] += 1
+            raise HttpError(
+                429, f"client {client!r} is over its request rate "
+                     f"({self.config.client_rate:g}/s)",
+                retry_after=wait)
+
+    # -- the service lock ----------------------------------------------
+
+    async def _acquire_service_lock(self, request_id: str,
+                                    endpoint: str) -> None:
+        """Take the lock; retry contention only while the budget holds."""
+        patience = self.config.lock_patience
+        try:
+            await asyncio.wait_for(self._lock.acquire(), patience)
+            return
+        except asyncio.TimeoutError:
+            pass
+        while True:
+            if not self._budget.try_withdraw():
+                raise HttpError(
+                    503, f"{endpoint} contended with a settling "
+                         f"auction and the retry budget is exhausted",
+                    retry_after=patience)
+            self.log.log("contention_retry", level="debug",
+                         request_id=request_id, endpoint=endpoint,
+                         budget=round(self._budget.balance, 2))
+            try:
+                await asyncio.wait_for(self._lock.acquire(), patience)
+                return
+            except asyncio.TimeoutError:
+                continue
+
+    @contextlib.asynccontextmanager
+    async def _service_lock(self, request_id: str, endpoint: str):
+        await self._acquire_service_lock(request_id, endpoint)
+        try:
+            yield
+        finally:
+            self._lock.release()
+
+    async def _tick_locked(self, request_id: str):
+        """Run one period settle in a worker thread, shielded.
+
+        The lock is released by the future's done-callback, never by
+        the (possibly cancelled) awaiting request — a ``504`` mid-
+        auction leaves the settle to finish and unlock on its own.
+        """
+        await self._acquire_service_lock(request_id, "tick")
+        loop = asyncio.get_running_loop()
+        future = loop.run_in_executor(None, self.backend.tick)
+        future.add_done_callback(self._tick_done)
+        return await asyncio.shield(future)
+
+    def _tick_done(self, future) -> None:
+        self._lock.release()
+        if future.cancelled():
+            return
+        exc = future.exception()
+        if exc is not None:
+            self.log.log("tick_failed", level="error", error=repr(exc))
+
+    # -- endpoint handlers ---------------------------------------------
+
+    async def _handle_submit(self, request: HttpRequest,
+                             request_id: str) -> dict:
+        parsed = serve_request_from_dict(request.json())
+        if parsed.op not in ("submit", "subscribe"):
+            raise ValidationError(
+                f"/v1/submit got a {parsed.op!r} request")
+        async with self._service_lock(request_id, "submit"):
+            shard = self.backend.submit(parsed.query,
+                                        category=parsed.category)
+        return {"query_id": parsed.query.query_id, "shard": shard,
+                "period": self.backend.period,
+                "pending": self.backend.pending_count()}
+
+    async def _handle_subscribe(self, request: HttpRequest,
+                                request_id: str) -> dict:
+        parsed = serve_request_from_dict(request.json())
+        if parsed.op != "subscribe":
+            raise ValidationError(
+                f"/v1/subscribe got a {parsed.op!r} request")
+        if not self.backend.subscriptions:
+            raise HttpError(
+                409, "this gateway's backend takes plain submissions "
+                     "only; serve a SimulationDriver with "
+                     "subscriptions enabled")
+        async with self._service_lock(request_id, "subscribe"):
+            self.backend.submit(parsed.query, category=parsed.category)
+        return {"query_id": parsed.query.query_id,
+                "category": parsed.category,
+                "period": self.backend.period,
+                "pending": self.backend.pending_count()}
+
+    async def _handle_withdraw(self, request: HttpRequest,
+                               request_id: str) -> dict:
+        parsed = serve_request_from_dict(request.json())
+        if parsed.op != "withdraw":
+            raise ValidationError(
+                f"/v1/withdraw got a {parsed.op!r} request")
+        async with self._service_lock(request_id, "withdraw"):
+            try:
+                self.backend.withdraw(parsed.query_id)
+            except ValidationError as exc:
+                raise HttpError(404, str(exc)) from exc
+        return {"query_id": parsed.query_id, "withdrawn": True,
+                "pending": self.backend.pending_count()}
+
+    async def _handle_report(self, request: HttpRequest,
+                             request_id: str) -> dict:
+        async with self._service_lock(request_id, "report"):
+            report = self.backend.last_report
+            return {"period": self.backend.period,
+                    "revenue": self.backend.total_revenue(),
+                    "report": report_document(report)}
+
+    async def _handle_tick(self, request: HttpRequest,
+                           request_id: str) -> dict:
+        report = await self._tick_locked(request_id)
+        return {"period": self.backend.period,
+                "report": report_document(report)}
+
+    # -- operational documents -----------------------------------------
+
+    def health_document(self) -> dict:
+        """The ``/healthz`` body (cheap; never throttled)."""
+        uptime = (time.monotonic() - self._started_at
+                  if self._started_at is not None else 0.0)
+        return {
+            "status": "draining" if self._draining else "ok",
+            "period": self.backend.period,
+            "pending": self.backend.pending_count(),
+            "inflight": self._inflight,
+            "uptime_s": round(uptime, 3),
+        }
+
+    def metrics_document(self) -> dict:
+        """The ``/metrics`` body: the gateway's own vitals plus the
+        backend's queue depths, shard states, and (when the backend
+        drives latency probes) the shared
+        :func:`~repro.sim.metrics.metrics_snapshot` summary."""
+        from repro.sim.metrics import percentile_dict
+
+        document = {
+            "schema": "repro/serve-metrics",
+            "version": 1,
+            "draining": self._draining,
+            "inflight": self._inflight,
+            "period": self.backend.period,
+            "pending": self.backend.pending_count(),
+            "revenue": self.backend.total_revenue(),
+            "requests": dict(self.counters),
+            "backpressure": {
+                "throttled": self.counters["throttled"],
+                "shed": self.counters["shed"],
+                "timeouts": self.counters["timeouts"],
+                "retries": self._budget.retries,
+                "retry_budget": round(self._budget.balance, 3),
+                "retry_exhausted": self._budget.exhausted,
+            },
+            "latency_ms": {
+                tier: percentile_dict(
+                    [seconds * 1000.0 for seconds in samples])
+                for tier, samples in self._latency.items()},
+            "shards": [
+                {"shard": index,
+                 "pending": len(service.pending_ids),
+                 "admitted": len(service.engine.admitted_ids),
+                 "capacity": service.capacity}
+                for index, service in enumerate(self.backend.services)],
+        }
+        probe = self.backend.probe_snapshot()
+        if probe is not None:
+            document["probe"] = probe
+        return document
+
+
+async def serve_forever(target: object,
+                        config: "GatewayConfig | None" = None) -> None:
+    """Start a gateway and run until cancelled (SIGINT/SIGTERM safe)."""
+    import signal
+
+    gateway = AdmissionGateway(target, config)
+    await gateway.start()
+    loop = asyncio.get_running_loop()
+    closing = asyncio.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        with contextlib.suppress(NotImplementedError, RuntimeError):
+            loop.add_signal_handler(signum, closing.set)
+    try:
+        await closing.wait()
+    finally:
+        await gateway.stop()

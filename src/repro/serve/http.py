@@ -1,0 +1,246 @@
+"""Minimal HTTP/1.1 framing over asyncio streams.
+
+The gateway speaks plain HTTP/JSON so any client — curl, a browser, a
+load balancer's health checker — can talk to it, but the container
+ships no HTTP library; this module is the small, strict subset the
+gateway and its load generator need: request/response line parsing,
+headers, ``Content-Length`` bodies, and keep-alive.  Both directions
+live here so the server (:func:`read_request`) and the client
+(:func:`read_response`) cannot drift apart.
+
+Framing limits are explicit arguments — an over-long request line or
+an oversized body raises :class:`HttpError` with the right status
+(431/413) instead of buffering unboundedly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.utils.validation import ValidationError
+
+#: Reason phrases for every status the gateway emits.
+REASONS = {
+    200: "OK",
+    201: "Created",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class HttpError(Exception):
+    """A protocol-level failure with the HTTP status to report."""
+
+    def __init__(self, status: int, message: str,
+                 retry_after: "float | None" = None) -> None:
+        super().__init__(message)
+        self.status = int(status)
+        self.message = message
+        self.retry_after = retry_after
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request."""
+
+    method: str
+    target: str
+    path: str
+    params: dict[str, str]
+    headers: dict[str, str]
+    body: bytes = b""
+
+    def json(self) -> object:
+        """The body parsed as JSON (raises :class:`ValidationError`)."""
+        if not self.body:
+            raise ValidationError("request body is empty, expected JSON")
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ValidationError(
+                f"request body is not valid JSON: {exc}") from exc
+
+    @property
+    def keep_alive(self) -> bool:
+        """Whether the client asked to reuse the connection."""
+        return self.headers.get("connection", "keep-alive").lower() != "close"
+
+
+@dataclass
+class HttpResponse:
+    """One parsed response (client side)."""
+
+    status: int
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> object:
+        """The body parsed as JSON (raises :class:`ValidationError`)."""
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ValidationError(
+                f"response body is not valid JSON: {exc}") from exc
+
+
+async def _read_line(reader: asyncio.StreamReader, limit: int) -> bytes:
+    try:
+        line = await reader.readline()
+    except (asyncio.LimitOverrunError, ValueError) as exc:
+        raise HttpError(431, f"header line too long: {exc}") from exc
+    if len(line) > limit:
+        raise HttpError(431, "header line too long")
+    return line
+
+
+async def _read_headers(
+    reader: asyncio.StreamReader, max_line: int, max_headers: int
+) -> dict[str, str]:
+    headers: dict[str, str] = {}
+    while True:
+        line = await _read_line(reader, max_line)
+        if line in (b"\r\n", b"\n", b""):
+            return headers
+        if len(headers) >= max_headers:
+            raise HttpError(431, "too many headers")
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+
+async def _read_body(
+    reader: asyncio.StreamReader, headers: dict[str, str], max_body: int
+) -> bytes:
+    raw = headers.get("content-length", "0")
+    try:
+        length = int(raw)
+    except ValueError:
+        raise HttpError(400, f"bad Content-Length {raw!r}") from None
+    if length < 0:
+        raise HttpError(400, f"bad Content-Length {raw!r}")
+    if length > max_body:
+        raise HttpError(
+            413, f"body of {length} bytes exceeds the {max_body}-byte "
+                 f"limit")
+    if length == 0:
+        return b""
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise HttpError(
+            400, f"connection closed mid-body ({len(exc.partial)}/"
+                 f"{length} bytes)") from exc
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+    *,
+    max_line: int = 8192,
+    max_headers: int = 64,
+    max_body: int = 1 << 20,
+) -> "HttpRequest | None":
+    """Parse one request; ``None`` on a clean connection close."""
+    line = await _read_line(reader, max_line)
+    if not line:
+        return None
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1"):
+        raise HttpError(400, f"malformed request line {line!r}")
+    method, target, _version = parts
+    split = urlsplit(target)
+    headers = await _read_headers(reader, max_line, max_headers)
+    body = await _read_body(reader, headers, max_body)
+    return HttpRequest(
+        method=method.upper(),
+        target=target,
+        path=split.path or "/",
+        params=dict(parse_qsl(split.query)),
+        headers=headers,
+        body=body,
+    )
+
+
+async def read_response(
+    reader: asyncio.StreamReader,
+    *,
+    max_line: int = 8192,
+    max_headers: int = 64,
+    max_body: int = 8 << 20,
+) -> "HttpResponse | None":
+    """Parse one response; ``None`` on a clean connection close."""
+    line = await _read_line(reader, max_line)
+    if not line:
+        return None
+    parts = line.decode("latin-1").strip().split(None, 2)
+    if len(parts) < 2 or not parts[0].startswith("HTTP/1"):
+        raise HttpError(400, f"malformed status line {line!r}")
+    try:
+        status = int(parts[1])
+    except ValueError:
+        raise HttpError(
+            400, f"malformed status line {line!r}") from None
+    headers = await _read_headers(reader, max_line, max_headers)
+    body = await _read_body(reader, headers, max_body)
+    return HttpResponse(status=status, headers=headers, body=body)
+
+
+def render_response(
+    status: int,
+    body: bytes = b"",
+    *,
+    content_type: str = "application/json",
+    headers: "dict[str, str] | None" = None,
+    keep_alive: bool = True,
+) -> bytes:
+    """Serialize one response, ready for ``writer.write``."""
+    reason = REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}"]
+    if body:
+        lines.append(f"Content-Type: {content_type}")
+    lines.append(f"Content-Length: {len(body)}")
+    lines.append("Connection: " + ("keep-alive" if keep_alive else "close"))
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head + body
+
+
+def render_request(
+    method: str,
+    target: str,
+    body: bytes = b"",
+    *,
+    host: str = "localhost",
+    headers: "dict[str, str] | None" = None,
+    keep_alive: bool = True,
+) -> bytes:
+    """Serialize one request (the load generator's half)."""
+    lines = [f"{method.upper()} {target} HTTP/1.1", f"Host: {host}"]
+    if body:
+        lines.append("Content-Type: application/json")
+    lines.append(f"Content-Length: {len(body)}")
+    lines.append("Connection: " + ("keep-alive" if keep_alive else "close"))
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head + body
+
+
+def json_body(document: object) -> bytes:
+    """A JSON document as compact, sorted, UTF-8 bytes."""
+    return json.dumps(document, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")

@@ -1,0 +1,273 @@
+"""A seeded load generator for the admission gateway.
+
+Replays any arrival spec the simulator understands —
+``"poisson:rate=5,seed=7"``, ``"burst:size=20,every=10"``,
+``"trace:path=run.trace.json"`` — over *real sockets* against a
+running :class:`~repro.serve.gateway.AdmissionGateway`.  The arrival
+sequence is materialized up front from the seeded process, so two runs
+with the same spec submit exactly the same queries in the same order
+(with ``concurrency=1``, the same order *on the wire* too).
+
+Backpressure is honoured, not fought: a ``429`` sleeps for the
+server's ``Retry-After`` and retries; a ``503`` backs off briefly.
+Retries and final statuses are tallied in the returned
+:class:`LoadgenResult`, whose latency percentiles come from the same
+:func:`~repro.sim.metrics.percentile_dict` helper the gateway's
+``/metrics`` uses.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.io import ServeRequest, serve_request_to_dict
+from repro.serve import http
+from repro.serve.http import HttpError
+from repro.sim.arrivals import Arrival, resolve_arrivals
+from repro.utils.validation import ValidationError, require
+
+
+class GatewayClient:
+    """One keep-alive HTTP connection to the gateway.
+
+    Reconnects once per request if the server closed the connection
+    between keep-alive requests; protocol-level failures raise
+    :class:`~repro.serve.http.HttpError`.
+    """
+
+    def __init__(self, host: str, port: int,
+                 client_id: str = "client") -> None:
+        self.host = host
+        self.port = int(port)
+        self.client_id = client_id
+        self._reader: "asyncio.StreamReader | None" = None
+        self._writer: "asyncio.StreamWriter | None" = None
+        #: Headers of the most recent response (e.g. ``retry-after``).
+        self.last_headers: dict[str, str] = {}
+
+    async def connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port)
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            self._reader = self._writer = None
+
+    async def __aenter__(self) -> "GatewayClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *_exc: object) -> None:
+        await self.close()
+
+    async def request(
+        self, method: str, target: str,
+        document: "object | None" = None,
+    ) -> tuple[int, dict]:
+        """One request/response round trip; returns (status, body)."""
+        body = b"" if document is None else http.json_body(document)
+        payload = http.render_request(
+            method, target, body,
+            host=f"{self.host}:{self.port}",
+            headers={"x-client-id": self.client_id})
+        for attempt in (1, 2):
+            if self._writer is None:
+                await self.connect()
+            try:
+                self._writer.write(payload)
+                await self._writer.drain()
+                response = await http.read_response(self._reader)
+            except (ConnectionResetError, BrokenPipeError,
+                    asyncio.IncompleteReadError):
+                response = None
+            if response is not None:
+                self.last_headers = response.headers
+                return response.status, response.json()
+            # The server closed the keep-alive connection; reconnect
+            # once before giving up.
+            await self.close()
+            if attempt == 2:
+                raise HttpError(
+                    503, f"gateway at {self.host}:{self.port} closed "
+                         f"the connection")
+
+    # -- typed helpers -------------------------------------------------
+
+    async def submit(self, query,
+                     category: "str | None" = None) -> tuple[int, dict]:
+        op = "subscribe" if category is not None else "submit"
+        document = serve_request_to_dict(ServeRequest(
+            op=op, query=query, category=category))
+        return await self.request("POST", f"/v1/{op}", document)
+
+    async def withdraw(self, query_id: str) -> tuple[int, dict]:
+        document = serve_request_to_dict(ServeRequest(
+            op="withdraw", query_id=query_id))
+        return await self.request("POST", "/v1/withdraw", document)
+
+    async def tick(self) -> tuple[int, dict]:
+        return await self.request("POST", "/v1/tick")
+
+    async def report(self) -> tuple[int, dict]:
+        return await self.request("GET", "/v1/report")
+
+    async def health(self) -> tuple[int, dict]:
+        return await self.request("GET", "/healthz")
+
+    async def metrics(self) -> tuple[int, dict]:
+        return await self.request("GET", "/metrics")
+
+
+@dataclass
+class LoadgenResult:
+    """What a load run measured."""
+
+    arrivals: str
+    requests: int
+    completed: int
+    errors: int
+    retries: int
+    ticks: int
+    elapsed_s: float
+    requests_per_s: float
+    latency_ms: dict[str, float]
+    #: final HTTP status → count.
+    statuses: dict[str, int] = field(default_factory=dict)
+    #: query ids in completion order (submission order at
+    #: ``concurrency=1``).
+    query_ids: list[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "arrivals": self.arrivals,
+            "requests": self.requests,
+            "completed": self.completed,
+            "errors": self.errors,
+            "retries": self.retries,
+            "ticks": self.ticks,
+            "elapsed_s": round(self.elapsed_s, 6),
+            "requests_per_s": round(self.requests_per_s, 3),
+            "latency_ms": self.latency_ms,
+            "statuses": dict(self.statuses),
+        }
+
+
+def materialize(arrivals: object, requests: int) -> list[Arrival]:
+    """The first *requests* arrivals of a (seeded) process, up front."""
+    process = resolve_arrivals(arrivals)
+    out: list[Arrival] = []
+    while len(out) < int(requests):
+        arrival = process.next_arrival()
+        if arrival is None:
+            break
+        out.append(arrival)
+    if not out:
+        raise ValidationError(
+            f"arrival process {arrivals!r} produced no arrivals")
+    return out
+
+
+async def run_load(
+    host: str,
+    port: int,
+    *,
+    arrivals: object = "poisson:rate=5",
+    requests: int = 100,
+    concurrency: int = 4,
+    tick_every: "int | None" = None,
+    max_attempts: int = 5,
+    client_prefix: str = "client",
+) -> LoadgenResult:
+    """Drive *requests* seeded submissions at the gateway.
+
+    ``concurrency`` workers share one pre-materialized arrival list;
+    each worker owns a keep-alive connection and a distinct
+    ``x-client-id`` (so per-client rate limits behave as in
+    production).  ``tick_every`` runs a period settle after every that
+    many completed submissions — the open-loop analogue of the
+    simulator's period boundary.
+    """
+    require(int(requests) >= 1, "requests must be >= 1")
+    require(int(concurrency) >= 1, "concurrency must be >= 1")
+    require(int(max_attempts) >= 1, "max_attempts must be >= 1")
+    spec_label = str(arrivals)
+    work = materialize(arrivals, requests)
+    queue: asyncio.Queue = asyncio.Queue()
+    for arrival in work:
+        queue.put_nowait(arrival)
+
+    statuses: Counter = Counter()
+    latencies: list[float] = []
+    query_ids: list[str] = []
+    counts = {"retries": 0, "ticks": 0, "done": 0}
+
+    async def drive(arrival: Arrival, client: GatewayClient) -> None:
+        started = time.monotonic()
+        status, _document = await client.submit(
+            arrival.query, category=arrival.category)
+        attempts = 1
+        while status in (429, 503) and attempts < int(max_attempts):
+            # Honour the server's Retry-After via the JSON error's
+            # advisory pace: back off briefly and resubmit.
+            counts["retries"] += 1
+            await asyncio.sleep(0.01 * attempts)
+            status, _document = await client.submit(
+                arrival.query, category=arrival.category)
+            attempts += 1
+        latencies.append(time.monotonic() - started)
+        statuses[str(status)] += 1
+        counts["done"] += 1
+        if status == 200:
+            query_ids.append(arrival.query.query_id)
+        if tick_every and counts["done"] % int(tick_every) == 0:
+            counts["ticks"] += 1
+            await client.tick()
+
+    async def worker(index: int) -> None:
+        client = GatewayClient(
+            host, port, client_id=f"{client_prefix}{index}")
+        try:
+            while True:
+                try:
+                    arrival = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    return
+                try:
+                    await drive(arrival, client)
+                except HttpError as exc:
+                    statuses[f"conn:{exc.status}"] += 1
+        finally:
+            await client.close()
+
+    started = time.monotonic()
+    await asyncio.gather(*(worker(index)
+                           for index in range(int(concurrency))))
+    elapsed = max(time.monotonic() - started, 1e-9)
+
+    from repro.sim.metrics import percentile_dict
+
+    completed = sum(count for status, count in statuses.items()
+                    if status == "200")
+    errors = sum(statuses.values()) - completed
+    return LoadgenResult(
+        arrivals=spec_label,
+        requests=len(work),
+        completed=completed,
+        errors=errors,
+        retries=counts["retries"],
+        ticks=counts["ticks"],
+        elapsed_s=elapsed,
+        requests_per_s=len(work) / elapsed,
+        latency_ms=percentile_dict(
+            [seconds * 1000.0 for seconds in latencies]),
+        statuses=dict(statuses),
+        query_ids=query_ids,
+    )

@@ -51,6 +51,11 @@ from repro.sim.hosts import (
     SimulationHost,
     wrap_host,
 )
+from repro.sim.metrics import (
+    latency_percentiles,
+    metrics_snapshot,
+    percentile_dict,
+)
 from repro.sim.subscriptions import (
     SubscriptionEntry,
     SubscriptionManager,
@@ -90,7 +95,10 @@ __all__ = [
     "TraceArrivals",
     "TraceEntry",
     "TraceRecorder",
+    "latency_percentiles",
     "make_arrivals",
+    "metrics_snapshot",
+    "percentile_dict",
     "register_arrivals",
     "registered_arrivals",
     "resolve_arrivals",

@@ -40,8 +40,6 @@ import dataclasses
 from dataclasses import dataclass
 from collections.abc import Iterable, Mapping, Sequence
 
-import numpy as np
-
 from repro.dsms.plan import ContinuousQuery
 from repro.dsms.scheduler import (
     PolicySpec,
@@ -59,6 +57,8 @@ from repro.sim.events import (
     TickEvent,
 )
 from repro.sim.hosts import SimulationHost, restore_host, wrap_host
+from repro.sim.metrics import metrics_snapshot as _metrics_snapshot
+from repro.sim.metrics import latency_percentiles as _latency_percentiles
 from repro.sim.subscriptions import (
     SubscriptionManager,
     SubscriptionOptions,
@@ -75,17 +75,6 @@ _STATE_FIELDS = (
     "processes", "route", "managers", "pending", "probes", "recorder",
     "reports", "events_processed", "allow_idle",
 )
-
-
-def _latency_percentiles(
-    samples: Sequence[int], percentiles: Sequence[float]
-) -> dict[float, float]:
-    """Exact percentiles over raw delivery-latency samples (ticks)."""
-    if not samples:
-        return {float(p): 0.0 for p in percentiles}
-    values = np.percentile(np.asarray(samples, dtype=float),
-                           list(percentiles))
-    return {float(p): float(v) for p, v in zip(percentiles, values)}
 
 
 @dataclass(frozen=True)
@@ -352,6 +341,19 @@ class SimulationDriver:
         for probe in self.probes or ():
             samples.extend(probe.engine.latency_samples or [])
         return _latency_percentiles(samples, percentiles)
+
+    def metrics_snapshot(
+        self, percentiles: Sequence[float] = (50.0, 95.0, 99.0)
+    ) -> dict:
+        """Plain-dict summary of the probed run (see
+        :func:`repro.sim.metrics.metrics_snapshot`): tick count, queue
+        depths, deliveries, and exact latency percentiles merged over
+        every shard's probe."""
+        samples: list[int] = []
+        for probe in self.probes or ():
+            samples.extend(probe.engine.latency_samples or [])
+        return _metrics_snapshot(self.tick_metrics(), samples,
+                                 percentiles)
 
     def total_revenue(self) -> float:
         """Revenue billed across all shards so far."""

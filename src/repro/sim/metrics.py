@@ -1,0 +1,75 @@
+"""Shared summarization of probe metrics: one code path, plain dicts.
+
+Three layers report the same numbers — per-tick queue depths and exact
+delivery-latency percentiles from a :class:`~repro.sim.LatencyProbe`:
+the ``python -m repro sim`` CLI, the backpressure experiment export,
+the open-system benchmark, and the serving layer's ``/metrics``
+endpoint.  Before this module each computed its own percentiles; now
+they all call :func:`metrics_snapshot` (or the lower-level
+:func:`percentile_dict`) and the numbers cannot drift.
+
+Everything here is duck-typed over the :class:`~repro.sim.TickMetrics`
+fields (``queued``, ``delivered``, ``work``) and plain latency-sample
+sequences, so the helpers also summarize gateway request latencies and
+experiment records that are not literally ``TickMetrics``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+#: The default percentiles every reporting surface shows.
+DEFAULT_PERCENTILES = (50.0, 95.0, 99.0)
+
+
+def latency_percentiles(
+    samples: Sequence[float], percentiles: Sequence[float] = DEFAULT_PERCENTILES
+) -> dict[float, float]:
+    """Exact percentiles over raw latency samples, keyed by percentile.
+
+    Empty *samples* yield 0.0 for every percentile (a probe that never
+    delivered has no latency to report, not an error).
+    """
+    if not samples:
+        return {float(p): 0.0 for p in percentiles}
+    values = np.percentile(np.asarray(samples, dtype=float),
+                           list(percentiles))
+    return {float(p): float(v) for p, v in zip(percentiles, values)}
+
+
+def percentile_dict(
+    samples: Sequence[float], percentiles: Sequence[float] = DEFAULT_PERCENTILES
+) -> dict[str, float]:
+    """:func:`latency_percentiles` with JSON-friendly ``"p50"`` keys."""
+    return {f"p{p:g}": value
+            for p, value in latency_percentiles(samples, percentiles).items()}
+
+
+def metrics_snapshot(
+    ticks: Iterable,
+    latency_samples: "Sequence[float] | None" = None,
+    percentiles: Sequence[float] = DEFAULT_PERCENTILES,
+) -> dict:
+    """One plain-dict summary of a probed run.
+
+    *ticks* is any iterable of records with ``queued``, ``delivered``
+    and ``work`` attributes (:class:`~repro.sim.TickMetrics`, the
+    backpressure experiment's per-tick records, ...); *latency_samples*
+    are the raw delivery latencies backing the exact percentiles.
+
+    Returns ``{"ticks", "delivered", "work", "mean_queue",
+    "max_queue", "latency": {"p50": ...}}`` — JSON-ready, the shape
+    the CLI, the benchmarks and the gateway's ``/metrics`` all emit.
+    """
+    records = list(ticks)
+    queued = [record.queued for record in records]
+    return {
+        "ticks": len(records),
+        "delivered": int(sum(record.delivered for record in records)),
+        "work": float(sum(record.work for record in records)),
+        "mean_queue": (float(sum(queued)) / len(queued)) if queued else 0.0,
+        "max_queue": int(max(queued, default=0)),
+        "latency": percentile_dict(latency_samples or [], percentiles),
+    }

@@ -134,6 +134,14 @@ def decode_query(entry: dict) -> ContinuousQuery:
             return query
     except ValidationError:
         raise
+    except (ImportError, AttributeError) as exc:
+        # Pickled plans deserialize by reference: the decoding side
+        # must be able to import every module the plan names.  A plan
+        # only the encoding side can rebuild is the sender's problem.
+        raise ValidationError(
+            f"could not rebuild the pickled query plan ({exc!r}); "
+            f"pickled plans must be importable where they are "
+            f"decoded") from exc
     except (KeyError, TypeError, ValueError, pickle.UnpicklingError) as exc:
         raise ValidationError(
             f"malformed trace query entry: {exc!r}") from exc

@@ -133,3 +133,18 @@ class TestTransition:
         engine.begin_transition()
         with pytest.raises(ValidationError):
             engine.begin_transition()
+
+    def test_bad_query_fails_transition_atomically(self, engine):
+        """An unknown-stream plan in the add set must not strand the
+        transition half-applied (removals done, points holding)."""
+        engine.admit(ContinuousQuery("q1", (passthrough("a"),),
+                                     sink_id="a"))
+        engine.run(2)
+        bad = ContinuousQuery("q2", (passthrough("b", source="nope"),),
+                              sink_id="b")
+        with pytest.raises(ValidationError, match="unknown streams"):
+            engine.transition(add=[bad], remove=["q1"], hold_ticks=1)
+        # q1 still runs; the next transition opens cleanly.
+        assert engine.admitted_ids == {"q1"}
+        engine.transition(hold_ticks=0)
+        engine.run(1)

@@ -1,0 +1,454 @@
+"""Gateway integration tests over real loopback sockets.
+
+Every test stands up a real :class:`AdmissionGateway` on an ephemeral
+port and drives it with :class:`GatewayClient`; the interesting cases
+are the *failure* paths — bursts that must be throttled, settles that
+outlive their caller, a retry budget run dry, and shutdown with work
+still pending.
+"""
+
+import asyncio
+import json
+import time
+
+import pytest
+
+from repro.cluster import FederatedAdmissionService
+from repro.dsms.streams import SyntheticStream
+from repro.serve import (
+    AdmissionGateway,
+    GatewayClient,
+    GatewayConfig,
+    HostBackend,
+    REDACTED,
+)
+from repro.sim import SimulationDriver, SubscriptionOptions
+from tests.strategies import select_query
+
+pytestmark = pytest.mark.serve
+
+QUIET = {"quiet": True}
+
+
+def build_cluster(shards: int = 2, seed: int = 0):
+    return FederatedAdmissionService.build(
+        num_shards=shards,
+        sources=[SyntheticStream("s", rate=2.0, seed=seed)],
+        capacity=20.0,
+        mechanism="CAT",
+        ticks_per_period=4,
+        placement="round-robin",
+    )
+
+
+def query(n: int, bid: float = 4.0):
+    return select_query(f"q{n}", f"owner{n}", bid=bid, cost=1.0)
+
+
+async def started_gateway(target, **overrides):
+    config = GatewayConfig(**{**QUIET, **overrides})
+    gateway = AdmissionGateway(target, config)
+    await gateway.start()
+    return gateway
+
+
+class TestHappyPath:
+    def test_submit_tick_report_round_trip(self):
+        async def go():
+            gateway = await started_gateway(build_cluster())
+            host, port = gateway.address
+            async with GatewayClient(host, port) as client:
+                for n in range(4):
+                    status, body = await client.submit(query(n))
+                    assert status == 200
+                    assert body["query_id"] == f"q{n}"
+                    assert body["shard"] in (0, 1)
+                status, health = await client.health()
+                assert status == 200
+                assert health["status"] == "ok"
+                assert health["pending"] == 4
+                status, ticked = await client.tick()
+                assert status == 200
+                assert ticked["period"] == 1
+                admitted = [qid for shard in ticked["report"]["shards"]
+                            for qid in shard["admitted"]]
+                assert sorted(admitted) == ["q0", "q1", "q2", "q3"]
+                status, report = await client.report()
+                assert status == 200
+                assert report["period"] == 1
+                # /v1/report re-serves the settled period's report.
+                assert report["report"] == ticked["report"]
+            await gateway.stop()
+
+        asyncio.run(go())
+
+    def test_metrics_exposes_shards_and_latency(self):
+        async def go():
+            gateway = await started_gateway(build_cluster())
+            host, port = gateway.address
+            async with GatewayClient(host, port) as client:
+                await client.submit(query(0))
+                status, metrics = await client.metrics()
+            await gateway.stop()
+            assert status == 200
+            assert metrics["schema"] == "repro/serve-metrics"
+            assert len(metrics["shards"]) == 2
+            assert metrics["pending"] == 1
+            assert metrics["latency_ms"]["fast"]["p50"] >= 0.0
+            assert metrics["requests"]["/v1/submit:200"] == 1
+            assert metrics["backpressure"]["throttled"] == 0
+
+        asyncio.run(go())
+
+
+class TestProtocolErrors:
+    def test_unknown_endpoint_404(self):
+        async def go():
+            gateway = await started_gateway(build_cluster())
+            async with GatewayClient(*gateway.address) as client:
+                status, body = await client.request("GET", "/v2/nope")
+            await gateway.stop()
+            assert status == 404
+            assert "/v2/nope" in body["error"]
+
+        asyncio.run(go())
+
+    def test_wrong_method_405(self):
+        async def go():
+            gateway = await started_gateway(build_cluster())
+            async with GatewayClient(*gateway.address) as client:
+                status, body = await client.request("GET", "/v1/tick")
+            await gateway.stop()
+            assert status == 405
+            assert "POST" in body["error"]
+
+        asyncio.run(go())
+
+    def test_bad_json_body_400(self):
+        async def go():
+            gateway = await started_gateway(build_cluster())
+            async with GatewayClient(*gateway.address) as client:
+                status, body = await client.request(
+                    "POST", "/v1/submit", {"schema": "wrong"})
+            await gateway.stop()
+            assert status == 400
+            assert "serve request" in body["error"]
+
+        asyncio.run(go())
+
+    def test_duplicate_query_id_400_via_driver_backend(self):
+        async def go():
+            driver = SimulationDriver(build_cluster())
+            gateway = await started_gateway(driver)
+            async with GatewayClient(*gateway.address) as client:
+                status, _ = await client.submit(query(1))
+                assert status == 200
+                status, body = await client.submit(query(1))
+            await gateway.stop(final_settle=False)
+            assert status == 400
+            assert "already submitted" in body["error"]
+
+        asyncio.run(go())
+
+    def test_unknown_stream_rejected_at_submit(self):
+        """A plan over a stream no shard serves is the submitter's 400
+        — not a poisoned settle for everyone else later."""
+
+        async def go():
+            gateway = await started_gateway(build_cluster())
+            async with GatewayClient(*gateway.address) as client:
+                bad = select_query("qx", "mallory", bid=9.0, cost=1.0,
+                                   stream="no_such_stream")
+                status, body = await client.submit(bad)
+                assert status == 400
+                assert "no_such_stream" in body["error"]
+                # The period still settles cleanly afterwards.
+                await client.submit(query(1))
+                status, ticked = await client.tick()
+                assert status == 200
+                assert ticked["period"] == 1
+            await gateway.stop()
+
+        asyncio.run(go())
+
+    def test_withdraw_unknown_id_404(self):
+        async def go():
+            gateway = await started_gateway(build_cluster())
+            async with GatewayClient(*gateway.address) as client:
+                status, body = await client.withdraw("ghost")
+            await gateway.stop()
+            assert status == 404
+            assert "ghost" in body["error"]
+
+        asyncio.run(go())
+
+    def test_subscribe_without_managers_409(self):
+        async def go():
+            gateway = await started_gateway(build_cluster())
+            async with GatewayClient(*gateway.address) as client:
+                status, body = await client.submit(
+                    query(1), category="day")
+            await gateway.stop()
+            assert status == 409
+            assert "subscriptions" in body["error"]
+
+        asyncio.run(go())
+
+
+class TestSubscriptions:
+    def test_subscribe_and_settle_through_driver(self):
+        async def go():
+            driver = SimulationDriver(
+                build_cluster(),
+                subscriptions=SubscriptionOptions(seed=0))
+            gateway = await started_gateway(driver)
+            async with GatewayClient(*gateway.address) as client:
+                status, body = await client.submit(
+                    query(1), category="day")
+                assert status == 200
+                assert body["category"] == "day"
+                status, ticked = await client.tick()
+                assert status == 200
+                assert "q1" in ticked["report"]["admitted"]
+            await gateway.stop()
+
+        asyncio.run(go())
+
+    def test_unknown_category_400(self):
+        async def go():
+            driver = SimulationDriver(
+                build_cluster(),
+                subscriptions=SubscriptionOptions(seed=0))
+            gateway = await started_gateway(driver)
+            async with GatewayClient(*gateway.address) as client:
+                status, body = await client.submit(
+                    query(1), category="fortnight")
+            await gateway.stop(final_settle=False)
+            assert status == 400
+            assert "fortnight" in body["error"]
+
+        asyncio.run(go())
+
+    def test_withdraw_from_gateway_inbox(self):
+        async def go():
+            driver = SimulationDriver(build_cluster())
+            gateway = await started_gateway(driver)
+            async with GatewayClient(*gateway.address) as client:
+                await client.submit(query(1))
+                status, body = await client.withdraw("q1")
+                assert status == 200
+                assert body["withdrawn"]
+                assert body["pending"] == 0
+                status, ticked = await client.tick()
+                assert all(shard["admitted"] == []
+                           for shard in ticked["report"]["shards"])
+            await gateway.stop()
+
+        asyncio.run(go())
+
+
+class TestBackpressure:
+    def test_concurrent_burst_is_throttled_with_retry_after(self):
+        """Clients past their burst get 429 + a parseable Retry-After."""
+
+        async def go():
+            gateway = await started_gateway(
+                build_cluster(), client_rate=1.0, client_burst=3)
+            host, port = gateway.address
+
+            async def hammer(index: int):
+                statuses = []
+                async with GatewayClient(
+                        host, port, client_id=f"burst{index}") as client:
+                    for n in range(6):
+                        status, _ = await client.submit(
+                            query(index * 100 + n))
+                        statuses.append(
+                            (status, dict(client.last_headers)))
+                return statuses
+
+            results = await asyncio.gather(hammer(0), hammer(1))
+            await gateway.stop(final_settle=False)
+            for statuses in results:
+                accepted = [s for s, _ in statuses if s == 200]
+                throttled = [(s, h) for s, h in statuses if s == 429]
+                assert len(accepted) == 3
+                assert len(throttled) == 3
+                for _, headers in throttled:
+                    assert float(headers["retry-after"]) > 0.0
+            assert gateway.counters["throttled"] == 6
+
+        asyncio.run(go())
+
+    def test_inflight_cap_sheds_503(self):
+        async def go():
+            backend = HostBackend(build_cluster())
+            gateway = await started_gateway(backend, max_inflight=1)
+            gateway._inflight = 1
+            async with GatewayClient(*gateway.address) as client:
+                status, body = await client.submit(query(1))
+            gateway._inflight = 0
+            await gateway.stop(final_settle=False)
+            assert status == 503
+            assert "in-flight cap" in body["error"]
+            assert gateway.counters["shed"] == 1
+
+        asyncio.run(go())
+
+
+class SlowTickBackend(HostBackend):
+    """A backend whose settle takes ``delay`` wall-clock seconds."""
+
+    def __init__(self, target, delay: float) -> None:
+        super().__init__(target)
+        self.delay = delay
+        self.ticks_finished = 0
+
+    def tick(self):
+        time.sleep(self.delay)
+        report = super().tick()
+        self.ticks_finished += 1
+        return report
+
+
+class TestTimeoutsAndRetryBudget:
+    def test_timeout_mid_auction_still_settles_and_unlocks(self):
+        """A 504'd /v1/tick leaves the settle to finish on its own."""
+
+        async def go():
+            backend = SlowTickBackend(build_cluster(), delay=0.4)
+            gateway = await started_gateway(backend, slow_timeout=0.05)
+            async with GatewayClient(*gateway.address) as client:
+                await client.submit(query(1))
+                status, body = await client.tick()
+                assert status == 504
+                assert "timed out" in body["error"]
+                # The shielded settle completes in its worker thread
+                # and the done-callback releases the lock.
+                deadline = time.monotonic() + 5.0
+                while (backend.ticks_finished == 0
+                       and time.monotonic() < deadline):
+                    await asyncio.sleep(0.02)
+                assert backend.ticks_finished == 1
+                assert backend.period == 1
+                status, body = await client.submit(query(2))
+                assert status == 200
+            assert gateway.counters["timeouts"] == 1
+            await gateway.stop()
+
+        asyncio.run(go())
+
+    def test_retry_budget_exhaustion_503(self):
+        """Contention with no banked retries is refused, not queued."""
+
+        async def go():
+            gateway = await started_gateway(
+                build_cluster(), lock_patience=0.02,
+                retry_deposit=0.0, retry_initial=0.0, retry_cap=1.0,
+                fast_timeout=5.0)
+            await gateway._lock.acquire()      # a settle in progress
+            try:
+                async with GatewayClient(*gateway.address) as client:
+                    status, body = await client.submit(query(1))
+            finally:
+                gateway._lock.release()
+            await gateway.stop(final_settle=False)
+            assert status == 503
+            assert "retry budget is exhausted" in body["error"]
+            assert gateway._budget.exhausted == 1
+            assert float(client.last_headers["retry-after"]) > 0.0
+
+        asyncio.run(go())
+
+    def test_retry_budget_absorbs_transient_contention(self):
+        """With budget banked, the gateway retries and succeeds."""
+
+        async def go():
+            gateway = await started_gateway(
+                build_cluster(), lock_patience=0.05,
+                retry_initial=5.0, fast_timeout=5.0)
+            await gateway._lock.acquire()
+
+            async def release_soon():
+                await asyncio.sleep(0.12)
+                gateway._lock.release()
+
+            release = asyncio.create_task(release_soon())
+            async with GatewayClient(*gateway.address) as client:
+                status, _ = await client.submit(query(1))
+            await release
+            await gateway.stop()
+            assert status == 200
+            assert gateway._budget.retries >= 1
+
+        asyncio.run(go())
+
+
+class TestShutdown:
+    def test_stop_runs_final_settle_over_pending_work(self):
+        async def go():
+            cluster = build_cluster()
+            gateway = await started_gateway(cluster)
+            async with GatewayClient(*gateway.address) as client:
+                for n in range(3):
+                    await client.submit(query(n))
+            assert gateway.backend.pending_count() == 3
+            await gateway.stop()
+            assert gateway.backend.pending_count() == 0
+            assert gateway.backend.period == 1
+            assert len(cluster.reports) == 1
+
+        asyncio.run(go())
+
+    def test_draining_gateway_refuses_new_work(self):
+        async def go():
+            gateway = await started_gateway(build_cluster())
+            gateway._draining = True
+            async with GatewayClient(*gateway.address) as client:
+                status, body = await client.submit(query(1))
+                s_health, health = await client.health()
+            gateway._draining = False
+            await gateway.stop(final_settle=False)
+            assert status == 503
+            assert "draining" in body["error"]
+            # /healthz stays reachable and reports the drain.
+            assert s_health == 200
+
+        asyncio.run(go())
+
+    def test_stop_without_final_settle_leaves_pending(self):
+        async def go():
+            gateway = await started_gateway(build_cluster())
+            async with GatewayClient(*gateway.address) as client:
+                await client.submit(query(1))
+            await gateway.stop(final_settle=False)
+            assert gateway.backend.pending_count() == 1
+            assert gateway.backend.period == 0
+
+        asyncio.run(go())
+
+
+class TestLogging:
+    def test_secrets_are_redacted_through_the_wire(self, tmp_path):
+        log_path = tmp_path / "gateway.jsonl"
+
+        async def go():
+            gateway = await started_gateway(
+                build_cluster(), log_path=str(log_path))
+            async with GatewayClient(*gateway.address) as client:
+                status, _ = await client.request(
+                    "GET", "/healthz?token=hunter2&shard=1")
+                assert status == 200
+            await gateway.stop()
+
+        asyncio.run(go())
+        raw = log_path.read_text()
+        assert "hunter2" not in raw
+        assert REDACTED in raw
+        records = [json.loads(line) for line in raw.splitlines()]
+        request = next(r for r in records if r["event"] == "request")
+        assert request["params"]["token"] == REDACTED
+        assert request["params"]["shard"] == "1"
+        assert request["request_id"].startswith("r")
+        events = {r["event"] for r in records}
+        assert {"listening", "request", "stopped"} <= events

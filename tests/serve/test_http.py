@@ -1,0 +1,114 @@
+"""HTTP/1.1 framing: parse, render, and the protocol-limit errors."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.http import (
+    HttpError,
+    json_body,
+    read_request,
+    read_response,
+    render_request,
+    render_response,
+)
+from repro.utils.validation import ValidationError
+
+
+def parse_request(raw: bytes, **limits):
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader, **limits)
+
+    return asyncio.run(go())
+
+
+def parse_response(raw: bytes, **limits):
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_response(reader, **limits)
+
+    return asyncio.run(go())
+
+
+class TestRequestParsing:
+    def test_round_trip(self):
+        raw = render_request(
+            "post", "/v1/submit?a=1&b=two", json_body({"x": 1}),
+            headers={"x-client-id": "c7"})
+        request = parse_request(raw)
+        assert request.method == "POST"
+        assert request.path == "/v1/submit"
+        assert request.params == {"a": "1", "b": "two"}
+        assert request.headers["x-client-id"] == "c7"
+        assert request.json() == {"x": 1}
+        assert request.keep_alive
+
+    def test_connection_close_honoured(self):
+        raw = render_request("GET", "/healthz", keep_alive=False)
+        assert not parse_request(raw).keep_alive
+
+    def test_clean_eof_returns_none(self):
+        assert parse_request(b"") is None
+
+    def test_malformed_request_line_is_400(self):
+        with pytest.raises(HttpError) as excinfo:
+            parse_request(b"NOT-HTTP\r\n\r\n")
+        assert excinfo.value.status == 400
+
+    def test_oversized_body_is_413(self):
+        raw = render_request("POST", "/v1/submit", b"x" * 100)
+        with pytest.raises(HttpError) as excinfo:
+            parse_request(raw, max_body=10)
+        assert excinfo.value.status == 413
+
+    def test_too_many_headers_is_431(self):
+        headers = {f"h{i}": "v" for i in range(100)}
+        raw = render_request("GET", "/healthz", headers=headers)
+        with pytest.raises(HttpError) as excinfo:
+            parse_request(raw, max_headers=8)
+        assert excinfo.value.status == 431
+
+    def test_bad_content_length_is_400(self):
+        raw = (b"POST /x HTTP/1.1\r\nContent-Length: ten\r\n\r\n")
+        with pytest.raises(HttpError) as excinfo:
+            parse_request(raw)
+        assert excinfo.value.status == 400
+
+    def test_truncated_body_is_400(self):
+        raw = b"POST /x HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort"
+        with pytest.raises(HttpError) as excinfo:
+            parse_request(raw)
+        assert excinfo.value.status == 400
+        assert "mid-body" in excinfo.value.message
+
+    def test_non_json_body_raises_validation_error(self):
+        raw = render_request("POST", "/x", b"not json")
+        with pytest.raises(ValidationError, match="not valid JSON"):
+            parse_request(raw).json()
+
+
+class TestResponseParsing:
+    def test_round_trip(self):
+        raw = render_response(200, json_body({"ok": True}),
+                              headers={"Retry-After": "0.5"})
+        response = parse_response(raw)
+        assert response.status == 200
+        assert response.headers["retry-after"] == "0.5"
+        assert response.json() == {"ok": True}
+
+    def test_reason_phrases_cover_gateway_statuses(self):
+        for status in (200, 400, 404, 405, 413, 429, 431, 500, 503,
+                       504):
+            line = render_response(status).split(b"\r\n")[0]
+            assert str(status).encode() in line
+            assert line != f"HTTP/1.1 {status} Unknown".encode()
+
+    def test_malformed_status_line_is_400(self):
+        with pytest.raises(HttpError) as excinfo:
+            parse_response(b"HTTP/1.1 abc\r\n\r\n")
+        assert excinfo.value.status == 400

@@ -1,0 +1,79 @@
+"""Token buckets and retry budgets under a deterministic clock."""
+
+import pytest
+
+from repro.serve.backpressure import RetryBudget, TokenBucket
+from repro.utils.validation import ValidationError
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_throttle_then_refill(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=3, clock=clock)
+        assert [bucket.try_acquire() for _ in range(3)] == [0.0] * 3
+        wait = bucket.try_acquire()
+        assert wait == pytest.approx(0.5)
+        clock.advance(wait)
+        assert bucket.try_acquire() == 0.0
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=2, clock=clock)
+        clock.advance(60.0)
+        assert bucket.available == pytest.approx(2.0)
+
+    def test_retry_after_is_proportional_to_deficit(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=1, clock=clock)
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() == pytest.approx(1.0)
+        clock.advance(0.25)
+        assert bucket.try_acquire() == pytest.approx(0.75)
+
+    def test_validates_parameters(self):
+        with pytest.raises(ValidationError):
+            TokenBucket(rate=0.0, burst=1)
+        with pytest.raises(ValidationError):
+            TokenBucket(rate=1.0, burst=0.5)
+
+
+class TestRetryBudget:
+    def test_deposits_scale_with_traffic(self):
+        budget = RetryBudget(deposit=0.25, initial=0.0, cap=10.0)
+        for _ in range(4):
+            budget.record_request()
+        assert budget.balance == pytest.approx(1.0)
+        assert budget.try_withdraw()
+        assert not budget.try_withdraw()
+        assert budget.exhausted == 1
+
+    def test_initial_balance_absorbs_cold_start(self):
+        budget = RetryBudget(deposit=0.0, initial=2.0, cap=10.0)
+        assert budget.try_withdraw()
+        assert budget.try_withdraw()
+        assert not budget.try_withdraw()
+        assert budget.retries == 2
+
+    def test_cap_bounds_banked_retries(self):
+        budget = RetryBudget(deposit=1.0, initial=0.0, cap=3.0)
+        for _ in range(100):
+            budget.record_request()
+        assert budget.balance == pytest.approx(3.0)
+        assert budget.requests == 100
+
+    def test_validates_parameters(self):
+        with pytest.raises(ValidationError):
+            RetryBudget(deposit=-0.1)
+        with pytest.raises(ValidationError):
+            RetryBudget(initial=5.0, cap=1.0)

@@ -1,0 +1,115 @@
+"""Serving-layer wire schemas: request/response envelopes."""
+
+import base64
+
+import pytest
+
+from repro.io import (
+    ServeRequest,
+    serve_request_from_dict,
+    serve_request_to_dict,
+    serve_response_from_dict,
+    serve_response_to_dict,
+)
+from repro.utils.validation import ValidationError
+from tests.strategies import select_query
+
+
+class TestServeRequest:
+    def test_submit_round_trip(self):
+        query = select_query("q1", "alice", bid=4.0, cost=2.0)
+        request = ServeRequest(op="submit", query=query)
+        parsed = serve_request_from_dict(serve_request_to_dict(request))
+        assert parsed.op == "submit"
+        assert parsed.query.query_id == "q1"
+        assert parsed.query.bid == pytest.approx(4.0)
+        assert parsed.category is None
+
+    def test_subscribe_round_trip_keeps_category(self):
+        query = select_query("q2", "bob", bid=3.0, cost=1.0)
+        request = ServeRequest(op="subscribe", query=query,
+                               category="gold")
+        parsed = serve_request_from_dict(serve_request_to_dict(request))
+        assert parsed.op == "subscribe"
+        assert parsed.category == "gold"
+
+    def test_withdraw_round_trip(self):
+        request = ServeRequest(op="withdraw", query_id="q9")
+        parsed = serve_request_from_dict(serve_request_to_dict(request))
+        assert parsed.op == "withdraw"
+        assert parsed.query_id == "q9"
+        assert parsed.query is None
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValidationError, match="unknown serve op"):
+            ServeRequest(op="teleport")
+
+    def test_submit_without_query_rejected(self):
+        with pytest.raises(ValidationError, match="needs a query"):
+            ServeRequest(op="submit")
+
+    def test_subscribe_without_category_rejected(self):
+        query = select_query("q3", "carol", bid=1.0, cost=1.0)
+        with pytest.raises(ValidationError, match="needs a category"):
+            ServeRequest(op="subscribe", query=query)
+
+    def test_withdraw_without_id_rejected(self):
+        with pytest.raises(ValidationError, match="needs a query_id"):
+            ServeRequest(op="withdraw")
+
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(ValidationError, match="not a serve request"):
+            serve_request_from_dict({"schema": "repro/other",
+                                     "version": 1, "op": "submit"})
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ValidationError, match="expected an object"):
+            serve_request_from_dict([1, 2, 3])
+
+    def test_corrupt_pickle_plan_is_a_bad_request(self):
+        # Corrupt plan bytes must classify as the client's error (the
+        # gateway maps ValidationError to a 400), never as a 500.
+        query = select_query("q1", "alice", bid=4.0, cost=2.0)
+        document = serve_request_to_dict(
+            ServeRequest(op="submit", query=query))
+        document["query"] = {"plan": "pickle", "id": "q1",
+                             "data": "bm90LWEtcGlja2xl"}
+        with pytest.raises(ValidationError,
+                           match="malformed trace query entry"):
+            serve_request_from_dict(document)
+
+    def test_unimportable_plan_is_a_bad_request(self):
+        # Pickled plans deserialize by reference: a plan naming a
+        # module only the *client* can import must fail its sender
+        # with a clear 400, not surface as an internal error.
+        ghost = base64.b64encode(
+            b"cmodule_only_the_client_has\nGhost\n.").decode("ascii")
+        query = select_query("q1", "alice", bid=4.0, cost=2.0)
+        document = serve_request_to_dict(
+            ServeRequest(op="submit", query=query))
+        document["query"] = {"plan": "pickle", "id": "q1",
+                             "data": ghost}
+        with pytest.raises(ValidationError, match="importable"):
+            serve_request_from_dict(document)
+
+
+class TestServeResponse:
+    def test_round_trip_with_fields(self):
+        document = serve_response_to_dict(
+            "ok", "r000001", shard=2, query_id="q1")
+        parsed = serve_response_from_dict(document)
+        assert parsed["status"] == "ok"
+        assert parsed["request_id"] == "r000001"
+        assert parsed["shard"] == 2
+
+    def test_missing_status_rejected(self):
+        document = serve_response_to_dict("ok", "r1")
+        del document["status"]
+        with pytest.raises(ValidationError, match="missing"):
+            serve_response_from_dict(document)
+
+    def test_wrong_version_rejected(self):
+        document = serve_response_to_dict("ok", "r1")
+        document["version"] = 99
+        with pytest.raises(ValidationError, match="version"):
+            serve_response_from_dict(document)

@@ -41,9 +41,9 @@ class TestSim:
         assert document["schema"] == "repro/sim-trace"
 
         # --replay replaces the workload, so --arrivals must go.
-        with pytest.raises(ValidationError):
-            main(["sim", *FAST, "--subscriptions",
-                  "--replay", str(trace_path)])
+        assert main(["sim", *FAST, "--subscriptions",
+                     "--replay", str(trace_path)]) == 2
+        assert "repro: error:" in capsys.readouterr().err
         assert main(["sim", *FAST_NO_ARRIVALS, "--subscriptions",
                      "--replay", str(trace_path)]) == 0
         replayed = capsys.readouterr().out
@@ -81,36 +81,52 @@ class TestSim:
         ckpt = tmp_path / "sim.ckpt"
         assert main(["sim", *FAST, "--checkpoint", str(ckpt)]) == 0
         capsys.readouterr()
-        with pytest.raises(ValidationError) as excinfo:
-            main(["sim", "--periods", "1", "--resume", str(ckpt),
-                  "--subscriptions", "--shards", "3"])
-        message = str(excinfo.value)
+        assert main(["sim", "--periods", "1", "--resume", str(ckpt),
+                     "--subscriptions", "--shards", "3"]) == 2
+        message = capsys.readouterr().err
         assert "--subscriptions" in message
         assert "--shards" in message
         # Workload settings are conflicts too, not silent no-ops.
-        with pytest.raises(ValidationError) as excinfo:
-            main(["sim", "--periods", "1", "--resume", str(ckpt),
-                  "--mechanism", "CAF", "--capacity", "999"])
-        message = str(excinfo.value)
+        assert main(["sim", "--periods", "1", "--resume", str(ckpt),
+                     "--mechanism", "CAF", "--capacity", "999"]) == 2
+        message = capsys.readouterr().err
         assert "--mechanism" in message
         assert "--capacity" in message
 
-    def test_batch_requires_a_real_cluster(self):
-        with pytest.raises(ValidationError):
-            main(["sim", *FAST, "--batch"])
-        with pytest.raises(ValidationError):
-            main(["sim", *FAST, "--batch", "--shards", "2",
-                  "--subscriptions"])
+    def test_batch_requires_a_real_cluster(self, capsys):
+        assert main(["sim", *FAST, "--batch"]) == 2
+        assert "--shards" in capsys.readouterr().err
+        assert main(["sim", *FAST, "--batch", "--shards", "2",
+                     "--subscriptions"]) == 2
+        assert "repro: error:" in capsys.readouterr().err
 
     def test_resume_rejects_record_on_non_recording_checkpoint(
             self, tmp_path, capsys):
         ckpt = tmp_path / "sim.ckpt"
         assert main(["sim", *FAST, "--checkpoint", str(ckpt)]) == 0
         capsys.readouterr()
-        with pytest.raises(ValidationError) as excinfo:
-            main(["sim", "--periods", "1", "--resume", str(ckpt),
-                  "--record", str(tmp_path / "t.json")])
-        assert "not recording" in str(excinfo.value)
+        assert main(["sim", "--periods", "1", "--resume", str(ckpt),
+                     "--record", str(tmp_path / "t.json")]) == 2
+        assert "not recording" in capsys.readouterr().err
+
+    def test_bad_spec_strings_exit_2_naming_the_spec(self, capsys):
+        cases = [
+            (["sim", *FAST_NO_ARRIVALS, "--arrivals", "nope:x=1"],
+             "--arrivals 'nope:x=1'"),
+            (["sim", *FAST, "--scheduler", "warp"],
+             "--scheduler 'warp'"),
+            (["sim", *FAST, "--backend", "gpu"], "--backend 'gpu'"),
+            (["sim", *FAST, "--mechanism", "VCG"],
+             "--mechanism 'VCG'"),
+            (["sim", *FAST, "--shards", "2", "--placement", "pin"],
+             "--placement 'pin'"),
+        ]
+        for argv, needle in cases:
+            assert main(argv) == 2, argv
+            err = capsys.readouterr().err
+            assert err.count("\n") == 1, err
+            assert err.startswith("repro: error:"), err
+            assert needle in err, err
 
     def test_multiple_arrivals_get_distinct_default_prefixes(
             self, capsys):

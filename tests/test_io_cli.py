@@ -98,12 +98,14 @@ class TestCLI:
                      "--selection", "fast:strict=true"]) == 0
         assert capsys.readouterr().out == reference
 
-    def test_run_rejects_unknown_selection(self, tmp_path):
+    def test_run_rejects_unknown_selection(self, tmp_path, capsys):
         instance_path = tmp_path / "wl.json"
         save_instance(example1(), instance_path)
-        with pytest.raises(KeyError, match="selection path"):
-            main(["run", "CAT", str(instance_path),
-                  "--selection", "warp"])
+        assert main(["run", "CAT", str(instance_path),
+                     "--selection", "warp"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error: --selection 'warp'")
+        assert "selection path" in err
 
     def test_simulate_profile_dumps_phase_timings(self, capsys):
         assert main(["simulate", "--periods", "2", "--ticks", "2",
