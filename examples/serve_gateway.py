@@ -27,15 +27,14 @@ from repro.serve import (
     GatewayConfig,
     run_load,
 )
-
-
-def accept_every_tuple(_tuple) -> bool:
-    return True
+from repro.sim.arrivals import pass_all
 
 
 def client_query(qid: str, owner: str, bid: float,
                  cost: float) -> ContinuousQuery:
-    op = SelectOperator(f"sel_{qid}", "events", accept_every_tuple,
+    # pass_all plans ride the compact 'select' wire codec — the only
+    # plan shape a gateway accepts without the pickle opt-in.
+    op = SelectOperator(f"sel_{qid}", "events", pass_all,
                         cost_per_tuple=cost, selectivity_estimate=1.0)
     return ContinuousQuery(qid, (op,), sink_id=op.op_id, bid=bid,
                            owner=owner)

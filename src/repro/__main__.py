@@ -648,6 +648,7 @@ def _serve_target_and_config(args: argparse.Namespace):
         max_inflight=args.max_inflight,
         fast_timeout=args.fast_timeout,
         slow_timeout=args.slow_timeout,
+        allow_pickle_plans=args.allow_pickle,
         tick_interval=args.tick_interval,
         log_path=args.log,
         quiet=args.quiet,
@@ -931,6 +932,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="data-plane request timeout, seconds")
     serve.add_argument("--slow-timeout", type=float, default=30.0,
                        help="auction-settle request timeout, seconds")
+    serve.add_argument("--allow-pickle", action="store_true",
+                       help="accept base64-pickle query plans from "
+                            "the wire (unpickling runs client-chosen "
+                            "code: trusted clients only)")
     serve.add_argument("--log", default=None,
                        help="append structured JSONL request logs here")
     serve.add_argument("--quiet", action="store_true",

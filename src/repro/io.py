@@ -683,7 +683,9 @@ def serve_request_to_dict(request: ServeRequest) -> dict:
 
     Query plans ride the sim-trace codec
     (:func:`repro.sim.trace.encode_query`): compact for synthetic
-    single-select plans, base64-pickle for arbitrary ones.
+    single-select plans, base64-pickle for arbitrary ones.  Note that
+    servers refuse pickle plans by default — see
+    :func:`serve_request_from_dict`.
     """
     from repro.sim.trace import encode_query
 
@@ -701,8 +703,17 @@ def serve_request_to_dict(request: ServeRequest) -> dict:
     return document
 
 
-def serve_request_from_dict(payload: object) -> ServeRequest:
-    """Parse and validate a :func:`serve_request_to_dict` document."""
+def serve_request_from_dict(payload: object,
+                            allow_pickle: bool = False) -> ServeRequest:
+    """Parse and validate a :func:`serve_request_to_dict` document.
+
+    ``'pickle'``-encoded query plans are refused unless *allow_pickle*
+    is set: unpickling executes arbitrary code chosen by whoever built
+    the bytes, which is fine for local trace files you wrote yourself
+    and catastrophic for request bodies arriving over a socket.  A
+    gateway must leave this off unless every client is trusted
+    (:attr:`~repro.serve.gateway.GatewayConfig.allow_pickle_plans`).
+    """
     from repro.sim.trace import decode_query
 
     if not isinstance(payload, dict):
@@ -726,6 +737,13 @@ def serve_request_from_dict(payload: object) -> ServeRequest:
             "malformed serve request: missing 'op'") from None
     query = payload.get("query")
     if query is not None:
+        if (not allow_pickle and isinstance(query, dict)
+                and query.get("plan") == "pickle"):
+            raise ValidationError(
+                "'pickle'-encoded query plans are refused at the "
+                "network boundary; send a 'select' plan, or run the "
+                "gateway with pickle plans explicitly enabled for "
+                "trusted clients only")
         try:
             query = decode_query(query)
         except ValidationError:

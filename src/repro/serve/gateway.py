@@ -21,7 +21,9 @@ Load hardening, because admission control that falls over under load
 would be a poor advertisement for admission control:
 
 * per-client token buckets answer over-rate clients ``429`` with a
-  precise ``Retry-After`` (:class:`~repro.serve.backpressure.TokenBucket`);
+  precise ``Retry-After`` (:class:`~repro.serve.backpressure.TokenBucket`),
+  with a per-peer-address floor beneath the client-chosen id and an
+  LRU-bounded bucket table;
 * a bounded in-flight gate sheds excess concurrency with ``503``;
 * tiered timeouts — data-plane requests get ``fast_timeout``, the
   auction settle gets ``slow_timeout`` — turn stalls into ``504``;
@@ -278,8 +280,22 @@ class GatewayConfig:
     host: str = "127.0.0.1"
     port: int = 0
     #: Per-client token bucket: sustained requests/s and burst size.
+    #: The client id comes from the ``x-client-id`` header, which the
+    #: client chooses — so a per-peer-address bucket sits beneath it
+    #: as the floor an id-rotating client cannot duck under.
     client_rate: float = 200.0
     client_burst: float = 50.0
+    #: Per-peer-address token bucket (all client ids from one address
+    #: combined).
+    peer_rate: float = 1000.0
+    peer_burst: float = 250.0
+    #: Most token buckets kept at once; the longest-idle bucket is
+    #: evicted first (an evicted client restarts with a full burst).
+    max_tracked_clients: int = 1024
+    #: Accept base64-pickle query plans from the wire.  Unpickling
+    #: runs arbitrary client-chosen code: leave this off unless every
+    #: client is trusted.  Compact 'select' plans always work.
+    allow_pickle_plans: bool = False
     #: Concurrent in-flight request cap (excess is shed with 503).
     max_inflight: int = 64
     #: Data-plane (submit/withdraw/report) request timeout, seconds.
@@ -306,6 +322,8 @@ class GatewayConfig:
 
     def __post_init__(self) -> None:
         require(self.max_inflight >= 1, "max_inflight must be >= 1")
+        require(self.max_tracked_clients >= 2,
+                "max_tracked_clients must be >= 2")
         require(self.fast_timeout > 0, "fast_timeout must be positive")
         require(self.slow_timeout > 0, "slow_timeout must be positive")
         require(self.lock_patience > 0, "lock_patience must be positive")
@@ -351,6 +369,7 @@ class AdmissionGateway:
         self._started_at: "float | None" = None
         self._tick_task: "asyncio.Task | None" = None
         self._connections: set = set()
+        self._backend_cache: "dict | None" = None
         self.counters: Counter = Counter()
         self._latency: dict[str, deque] = {
             "fast": deque(maxlen=4096), "slow": deque(maxlen=512)}
@@ -361,6 +380,7 @@ class AdmissionGateway:
     async def start(self) -> "AdmissionGateway":
         """Bind and start serving; resolves the ephemeral port."""
         require(self._server is None, "the gateway is already started")
+        self._backend_stats()       # prime the open-tier snapshot
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port)
         self.port = self._server.sockets[0].getsockname()[1]
@@ -394,12 +414,20 @@ class AdmissionGateway:
             self.log.log("drain_timeout", level="warning",
                          abandoned=self._inflight)
         if final_settle and self.backend.pending_count() > 0:
-            report = await self._tick_locked("shutdown")
-            document = report_document(report) or {}
-            self.log.log("final_settle",
-                         period=self.backend.period,
-                         admitted=len(document.get("admitted", ())),
-                         revenue=document.get("revenue"))
+            # Best effort only: a drain-abandoned tick still holding
+            # the lock can exhaust the retry budget here, and a settle
+            # failure must not leak the sockets or the JSONL sink.
+            try:
+                report = await self._tick_locked("shutdown")
+                document = report_document(report) or {}
+                self.log.log("final_settle",
+                             period=self.backend.period,
+                             admitted=len(document.get("admitted", ())),
+                             revenue=document.get("revenue"))
+            except Exception as exc:  # noqa: BLE001 - shutdown proceeds
+                self.log.log("final_settle_failed", level="error",
+                             pending=self.backend.pending_count(),
+                             error=repr(exc))
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -491,7 +519,7 @@ class AdmissionGateway:
                 document = handler()
                 status = 200
             else:
-                self._gate(client)
+                self._gate(client, client_host)
                 self._budget.record_request()
                 self._inflight += 1
                 timeout = (self.config.slow_timeout if tier == "slow"
@@ -561,7 +589,25 @@ class AdmissionGateway:
                      f"not {request.method}")
         return handler, tier
 
-    def _gate(self, client: str) -> None:
+    def _bucket(self, key: str, rate: float, burst: float) -> TokenBucket:
+        """The token bucket for *key*, bounding the table as it grows.
+
+        Client ids are client-chosen, so the table would otherwise
+        grow one bucket per id forever; past ``max_tracked_clients``
+        the longest-idle bucket is evicted (that client merely
+        restarts with a full burst — the per-peer floor still holds).
+        """
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            if len(self._buckets) >= self.config.max_tracked_clients:
+                idle = min(self._buckets,
+                           key=lambda k: self._buckets[k]._updated)
+                del self._buckets[idle]
+                self.counters["buckets_evicted"] += 1
+            bucket = self._buckets[key] = TokenBucket(rate, burst)
+        return bucket
+
+    def _gate(self, client: str, peer: str) -> None:
         """Admission control for the admission controller."""
         if self._draining:
             raise HttpError(
@@ -573,11 +619,20 @@ class AdmissionGateway:
                 503, f"gateway is at its in-flight cap "
                      f"({self.config.max_inflight}); retry shortly",
                 retry_after=self.config.lock_patience)
-        bucket = self._buckets.get(client)
-        if bucket is None:
-            bucket = self._buckets[client] = TokenBucket(
-                self.config.client_rate, self.config.client_burst)
-        wait = bucket.try_acquire()
+        # The peer-address floor first: rotating x-client-id values
+        # must not buy a client more rate than its address is allowed.
+        wait = self._bucket(f"peer\x00{peer}", self.config.peer_rate,
+                            self.config.peer_burst).try_acquire()
+        if wait > 0.0:
+            self.counters["throttled"] += 1
+            raise HttpError(
+                429, f"address {peer!r} is over its request rate "
+                     f"({self.config.peer_rate:g}/s across all "
+                     f"client ids)",
+                retry_after=wait)
+        wait = self._bucket(f"client\x00{client}",
+                            self.config.client_rate,
+                            self.config.client_burst).try_acquire()
         if wait > 0.0:
             self.counters["throttled"] += 1
             raise HttpError(
@@ -642,9 +697,14 @@ class AdmissionGateway:
 
     # -- endpoint handlers ---------------------------------------------
 
+    def _parse_request(self, request: HttpRequest):
+        return serve_request_from_dict(
+            request.json(),
+            allow_pickle=self.config.allow_pickle_plans)
+
     async def _handle_submit(self, request: HttpRequest,
                              request_id: str) -> dict:
-        parsed = serve_request_from_dict(request.json())
+        parsed = self._parse_request(request)
         if parsed.op not in ("submit", "subscribe"):
             raise ValidationError(
                 f"/v1/submit got a {parsed.op!r} request")
@@ -657,7 +717,7 @@ class AdmissionGateway:
 
     async def _handle_subscribe(self, request: HttpRequest,
                                 request_id: str) -> dict:
-        parsed = serve_request_from_dict(request.json())
+        parsed = self._parse_request(request)
         if parsed.op != "subscribe":
             raise ValidationError(
                 f"/v1/subscribe got a {parsed.op!r} request")
@@ -675,7 +735,7 @@ class AdmissionGateway:
 
     async def _handle_withdraw(self, request: HttpRequest,
                                request_id: str) -> dict:
-        parsed = serve_request_from_dict(request.json())
+        parsed = self._parse_request(request)
         if parsed.op != "withdraw":
             raise ValidationError(
                 f"/v1/withdraw got a {parsed.op!r} request")
@@ -703,14 +763,45 @@ class AdmissionGateway:
 
     # -- operational documents -----------------------------------------
 
+    def _backend_stats(self) -> dict:
+        """Backend-derived vitals for the open-tier documents.
+
+        ``/healthz`` and ``/metrics`` skip the service lock so probes
+        stay answerable during a settle — but the settle mutates the
+        very structures they report, in an executor thread.  The lock
+        is held (and released only by the tick's done-callback) for
+        that whole window, so: lock free ⇒ no thread is mutating, read
+        fresh and cache; lock held ⇒ serve the last snapshot.  Both
+        branches run on the event loop with no await in between, so
+        the check cannot go stale mid-read.
+        """
+        if self._lock.locked() and self._backend_cache is not None:
+            return self._backend_cache
+        backend = self.backend
+        probe = backend.probe_snapshot()
+        self._backend_cache = {
+            "period": backend.period,
+            "pending": backend.pending_count(),
+            "revenue": backend.total_revenue(),
+            "shards": [
+                {"shard": index,
+                 "pending": len(service.pending_ids),
+                 "admitted": len(service.engine.admitted_ids),
+                 "capacity": service.capacity}
+                for index, service in enumerate(backend.services)],
+            "probe": probe,
+        }
+        return self._backend_cache
+
     def health_document(self) -> dict:
         """The ``/healthz`` body (cheap; never throttled)."""
         uptime = (time.monotonic() - self._started_at
                   if self._started_at is not None else 0.0)
+        stats = self._backend_stats()
         return {
             "status": "draining" if self._draining else "ok",
-            "period": self.backend.period,
-            "pending": self.backend.pending_count(),
+            "period": stats["period"],
+            "pending": stats["pending"],
             "inflight": self._inflight,
             "uptime_s": round(uptime, 3),
         }
@@ -722,14 +813,15 @@ class AdmissionGateway:
         :func:`~repro.sim.metrics.metrics_snapshot` summary."""
         from repro.sim.metrics import percentile_dict
 
+        stats = self._backend_stats()
         document = {
             "schema": "repro/serve-metrics",
             "version": 1,
             "draining": self._draining,
             "inflight": self._inflight,
-            "period": self.backend.period,
-            "pending": self.backend.pending_count(),
-            "revenue": self.backend.total_revenue(),
+            "period": stats["period"],
+            "pending": stats["pending"],
+            "revenue": stats["revenue"],
             "requests": dict(self.counters),
             "backpressure": {
                 "throttled": self.counters["throttled"],
@@ -743,16 +835,10 @@ class AdmissionGateway:
                 tier: percentile_dict(
                     [seconds * 1000.0 for seconds in samples])
                 for tier, samples in self._latency.items()},
-            "shards": [
-                {"shard": index,
-                 "pending": len(service.pending_ids),
-                 "admitted": len(service.engine.admitted_ids),
-                 "capacity": service.capacity}
-                for index, service in enumerate(self.backend.services)],
+            "shards": stats["shards"],
         }
-        probe = self.backend.probe_snapshot()
-        if probe is not None:
-            document["probe"] = probe
+        if stats["probe"] is not None:
+            document["probe"] = stats["probe"]
         return document
 
 

@@ -215,10 +215,17 @@ async def run_load(
             arrival.query, category=arrival.category)
         attempts = 1
         while status in (429, 503) and attempts < int(max_attempts):
-            # Honour the server's Retry-After via the JSON error's
-            # advisory pace: back off briefly and resubmit.
+            # Honour the server's Retry-After (with a small growing
+            # backoff as the floor when the header is absent).
             counts["retries"] += 1
-            await asyncio.sleep(0.01 * attempts)
+            backoff = 0.01 * attempts
+            advised = client.last_headers.get("retry-after")
+            if advised is not None:
+                try:
+                    backoff = max(backoff, float(advised))
+                except ValueError:
+                    pass
+            await asyncio.sleep(backoff)
             status, _document = await client.submit(
                 arrival.query, category=arrival.category)
             attempts += 1

@@ -56,9 +56,21 @@ class Arrival:
     stream: "int | None" = None
 
 
-def _pass_all(_tuple: object) -> bool:
-    """Module-level select predicate: keeps arrival plans picklable."""
+def pass_all(_tuple: object) -> bool:
+    """The canonical keep-everything select predicate.
+
+    Module-level, so plans stay checkpoint-picklable — and *this exact
+    function* is what the trace codec recognizes: a single-select plan
+    over it travels as a compact ``'select'`` wire entry, the only
+    plan shape an untrusting gateway accepts (pickle plans are refused
+    at the network boundary by default).  Client code building plans
+    to submit over HTTP should use it.
+    """
     return True
+
+
+#: Backwards-compatible private alias (the codec pins identity to it).
+_pass_all = pass_all
 
 
 def synthetic_query(

@@ -27,7 +27,10 @@ from tests.strategies import select_query
 
 pytestmark = pytest.mark.serve
 
-QUIET = {"quiet": True}
+# tests.strategies queries carry a custom predicate, so they travel
+# as pickle plans — these gateways opt in as a trusted operator would
+# (the default-deny itself is covered in TestWireHardening).
+QUIET = {"quiet": True, "allow_pickle_plans": True}
 
 
 def build_cluster(shards: int = 2, seed: int = 0):
@@ -247,6 +250,63 @@ class TestSubscriptions:
         asyncio.run(go())
 
 
+class TestWireHardening:
+    def test_pickle_plan_refused_by_default(self):
+        """Without the explicit opt-in, a pickle-encoded plan is the
+        client's 400 — never bytes fed to ``pickle.loads``."""
+
+        async def go():
+            gateway = AdmissionGateway(
+                build_cluster(), GatewayConfig(quiet=True))
+            await gateway.start()
+            async with GatewayClient(*gateway.address) as client:
+                status, body = await client.submit(query(1))
+            await gateway.stop(final_settle=False)
+            assert status == 400
+            assert "pickle" in body["error"]
+            assert gateway.backend.pending_count() == 0
+
+        asyncio.run(go())
+
+    def test_client_id_rotation_cannot_duck_the_peer_floor(self):
+        """Rotating x-client-id buys no rate: the per-peer-address
+        bucket still throttles the connection's sixth request."""
+
+        async def go():
+            gateway = await started_gateway(
+                build_cluster(), client_rate=10_000.0,
+                client_burst=10_000.0, peer_rate=1.0, peer_burst=3)
+            statuses = []
+            async with GatewayClient(*gateway.address) as client:
+                for n in range(6):
+                    client.client_id = f"rotated{n}"
+                    status, _ = await client.submit(query(n))
+                    statuses.append(status)
+            await gateway.stop(final_settle=False)
+            assert statuses.count(200) == 3
+            assert statuses.count(429) == 3
+            assert gateway.counters["throttled"] == 3
+
+        asyncio.run(go())
+
+    def test_bucket_table_is_bounded(self):
+        """Client-chosen ids cannot grow the bucket table without
+        bound; the longest-idle bucket is evicted."""
+
+        async def go():
+            gateway = await started_gateway(
+                build_cluster(), max_tracked_clients=8)
+            async with GatewayClient(*gateway.address) as client:
+                for n in range(30):
+                    client.client_id = f"ephemeral{n}"
+                    await client.submit(query(n))
+            await gateway.stop(final_settle=False)
+            assert len(gateway._buckets) <= 8
+            assert gateway.counters["buckets_evicted"] >= 22
+
+        asyncio.run(go())
+
+
 class TestBackpressure:
     def test_concurrent_burst_is_throttled_with_retry_after(self):
         """Clients past their burst get 429 + a parseable Retry-After."""
@@ -338,6 +398,37 @@ class TestTimeoutsAndRetryBudget:
 
         asyncio.run(go())
 
+    def test_probes_serve_a_snapshot_mid_settle(self):
+        """/healthz and /metrics answer during a settle from the last
+        uncontended snapshot instead of reading structures the worker
+        thread is mutating."""
+
+        async def go():
+            backend = SlowTickBackend(build_cluster(), delay=0.5)
+            gateway = await started_gateway(backend, slow_timeout=5.0)
+            host, port = gateway.address
+            async with GatewayClient(host, port) as submitter:
+                await submitter.submit(query(1))
+                _, fresh = await submitter.health()
+                assert fresh["pending"] == 1
+                tick_task = asyncio.create_task(submitter.tick())
+                await asyncio.sleep(0.1)      # settle underway
+                assert gateway._lock.locked()
+                assert backend.ticks_finished == 0
+                async with GatewayClient(
+                        host, port, client_id="probe") as probe:
+                    s_health, health = await probe.health()
+                    s_metrics, metrics = await probe.metrics()
+                status, _ = await tick_task
+            await gateway.stop()
+            assert status == 200
+            assert s_health == s_metrics == 200
+            # The pre-settle snapshot, not a torn mid-settle read.
+            assert health["pending"] == 1
+            assert metrics["pending"] == 1
+
+        asyncio.run(go())
+
     def test_retry_budget_exhaustion_503(self):
         """Contention with no banked retries is refused, not queued."""
 
@@ -413,6 +504,24 @@ class TestShutdown:
             assert "draining" in body["error"]
             # /healthz stays reachable and reports the drain.
             assert s_health == 200
+
+        asyncio.run(go())
+
+    def test_failed_final_settle_still_shuts_down(self):
+        """A final settle that cannot take the lock is logged and
+        skipped — sockets and the log sink still close."""
+
+        async def go():
+            gateway = await started_gateway(
+                build_cluster(), lock_patience=0.02,
+                retry_deposit=0.0, retry_initial=0.0,
+                drain_timeout=0.05)
+            async with GatewayClient(*gateway.address) as client:
+                await client.submit(query(1))
+            await gateway._lock.acquire()      # a stuck settle
+            await gateway.stop()               # must not raise
+            assert gateway._stopped
+            assert gateway.backend.pending_count() == 1
 
         asyncio.run(go())
 

@@ -121,6 +121,32 @@ class TestSeededRuns:
         assert document["requests"] == 30
         assert document["statuses"] == {"200": 30}
 
+    def test_retry_after_is_honoured(self):
+        """A throttled submit sleeps for the server's Retry-After —
+        the fixed 0.01s·attempts floor alone (≈0.45s over ten tries)
+        would exhaust the attempts before a 1 token/s bucket refills."""
+
+        async def go():
+            gateway = AdmissionGateway(
+                build_cluster(),
+                GatewayConfig(quiet=True, client_rate=1.0,
+                              client_burst=1))
+            await gateway.start()
+            host, port = gateway.address
+            started = asyncio.get_running_loop().time()
+            result = await run_load(
+                host, port, arrivals=ARRIVALS, requests=2,
+                concurrency=1, max_attempts=10)
+            elapsed = asyncio.get_running_loop().time() - started
+            await gateway.stop()
+            return result, elapsed
+
+        result, elapsed = asyncio.run(go())
+        assert result.completed == 2
+        assert result.retries >= 1
+        # The second submit waited out the advised refill (~1s).
+        assert elapsed >= 0.5
+
     def test_loadgen_retries_through_throttling(self):
         """A throttled client backs off and still lands every query."""
 

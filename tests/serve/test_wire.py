@@ -17,9 +17,13 @@ from tests.strategies import select_query
 
 class TestServeRequest:
     def test_submit_round_trip(self):
+        # tests.strategies plans carry a custom predicate, so they
+        # travel base64-pickled — decoding them back needs the
+        # trusted-side opt-in.
         query = select_query("q1", "alice", bid=4.0, cost=2.0)
         request = ServeRequest(op="submit", query=query)
-        parsed = serve_request_from_dict(serve_request_to_dict(request))
+        parsed = serve_request_from_dict(serve_request_to_dict(request),
+                                         allow_pickle=True)
         assert parsed.op == "submit"
         assert parsed.query.query_id == "q1"
         assert parsed.query.bid == pytest.approx(4.0)
@@ -29,9 +33,35 @@ class TestServeRequest:
         query = select_query("q2", "bob", bid=3.0, cost=1.0)
         request = ServeRequest(op="subscribe", query=query,
                                category="gold")
-        parsed = serve_request_from_dict(serve_request_to_dict(request))
+        parsed = serve_request_from_dict(serve_request_to_dict(request),
+                                         allow_pickle=True)
         assert parsed.op == "subscribe"
         assert parsed.category == "gold"
+
+    def test_compact_select_round_trip_needs_no_opt_in(self):
+        # Synthetic pass-all selects use the compact 'select' codec —
+        # the only plan shape an untrusting server accepts.
+        import numpy as np
+
+        from repro.sim.arrivals import synthetic_query
+
+        query = synthetic_query(np.random.default_rng(0), 1)
+        document = serve_request_to_dict(
+            ServeRequest(op="submit", query=query))
+        assert document["query"]["plan"] == "select"
+        parsed = serve_request_from_dict(document)
+        assert parsed.query.query_id == query.query_id
+        assert parsed.query.bid == pytest.approx(query.bid)
+
+    def test_pickle_plan_refused_without_opt_in(self):
+        # pickle.loads on wire bytes is remote code execution; the
+        # default parse must refuse before any unpickling happens.
+        query = select_query("q1", "alice", bid=4.0, cost=2.0)
+        document = serve_request_to_dict(
+            ServeRequest(op="submit", query=query))
+        assert document["query"]["plan"] == "pickle"
+        with pytest.raises(ValidationError, match="network boundary"):
+            serve_request_from_dict(document)
 
     def test_withdraw_round_trip(self):
         request = ServeRequest(op="withdraw", query_id="q9")
@@ -76,7 +106,7 @@ class TestServeRequest:
                              "data": "bm90LWEtcGlja2xl"}
         with pytest.raises(ValidationError,
                            match="malformed trace query entry"):
-            serve_request_from_dict(document)
+            serve_request_from_dict(document, allow_pickle=True)
 
     def test_unimportable_plan_is_a_bad_request(self):
         # Pickled plans deserialize by reference: a plan naming a
@@ -90,7 +120,7 @@ class TestServeRequest:
         document["query"] = {"plan": "pickle", "id": "q1",
                              "data": ghost}
         with pytest.raises(ValidationError, match="importable"):
-            serve_request_from_dict(document)
+            serve_request_from_dict(document, allow_pickle=True)
 
 
 class TestServeResponse:
