@@ -33,7 +33,7 @@ OUT_DIR = Path(__file__).parent / "out"
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_sim.json"
 
 
-def build_driver(args) -> SimulationDriver:
+def build_driver(args, batch_arrivals: bool = True) -> SimulationDriver:
     service = (ServiceBuilder()
                .with_sources(SyntheticStream("s", rate=args.stream_rate,
                                              seed=args.seed))
@@ -48,7 +48,62 @@ def build_driver(args) -> SimulationDriver:
                   f"limit={args.arrivals},seed={args.seed}"),
         subscriptions=SubscriptionOptions(seed=args.seed),
         probe="fifo",
+        batch_arrivals=batch_arrivals,
     )
+
+
+def compare_dispatch(args, periods: int) -> int:
+    """Batched vs per-event dispatch: same results, batched faster.
+
+    Runs the identical workload through both dispatch paths and
+    asserts (a) equivalence — identical revenue, admissions and event
+    counts — and (b) that the batched fast path actually wins on
+    throughput, so a regression that quietly disables batching fails
+    CI instead of shipping.
+    """
+    results = {}
+    for label, batch in (("batched", True), ("per-event", False)):
+        driver = build_driver(args, batch_arrivals=batch)
+        started = time.perf_counter()
+        reports = driver.run(periods)
+        elapsed = time.perf_counter() - started
+        results[label] = {
+            "seconds": elapsed,
+            "events_per_sec": driver.events_processed / elapsed,
+            "events_processed": driver.events_processed,
+            "admitted": sum(len(r.admitted) for r in reports),
+            "revenue": driver.total_revenue(),
+        }
+    batched, legacy = results["batched"], results["per-event"]
+    speedup = batched["events_per_sec"] / legacy["events_per_sec"]
+    table = format_table(
+        ["metric", "batched", "per-event"],
+        [
+            ["seconds", batched["seconds"], legacy["seconds"]],
+            ["events/s", batched["events_per_sec"],
+             legacy["events_per_sec"]],
+            ["events", batched["events_processed"],
+             legacy["events_processed"]],
+            ["admitted", batched["admitted"], legacy["admitted"]],
+            ["revenue", batched["revenue"], legacy["revenue"]],
+        ],
+        precision=2,
+        title=(f"Dispatch comparison — {args.arrivals} arrivals, "
+               f"speedup {speedup:.2f}x"))
+    print(table)
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "dispatch_compare.json").write_text(json.dumps({
+        "results": results, "speedup": speedup}, indent=2) + "\n")
+
+    # Equivalence is exact; the speed assertion is deliberately just
+    # "faster", not a ratio, to stay robust on noisy CI runners.
+    assert batched["revenue"] == legacy["revenue"]
+    assert batched["admitted"] == legacy["admitted"]
+    assert batched["events_processed"] == legacy["events_processed"]
+    assert speedup > 1.0, (
+        f"batched dispatch is not faster than per-event "
+        f"({speedup:.2f}x)")
+    return 0
 
 
 def main(argv: "list[str] | None" = None) -> int:
@@ -69,13 +124,20 @@ def main(argv: "list[str] | None" = None) -> int:
                         help="engine ticks per subscription period")
     parser.add_argument("--mechanism", default="GV")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--compare-dispatch", action="store_true",
+                        help="run batched vs per-event dispatch, "
+                             "assert equivalence and speedup")
     args = parser.parse_args(argv)
 
     if args.arrivals is None:
-        args.arrivals = 2_000 if args.smoke else 50_000
+        args.arrivals = 20_000 if args.compare_dispatch else (
+            2_000 if args.smoke else 50_000)
     # Enough boundaries to consume every arrival, plus one spare so
     # the tail of the stream still gets auctioned.
     periods = int(args.arrivals / (args.arrival_rate * args.ticks)) + 2
+
+    if args.compare_dispatch:
+        return compare_dispatch(args, periods)
 
     driver = build_driver(args)
     started = time.perf_counter()

@@ -129,11 +129,6 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _pass_all(_tuple: object) -> bool:
-    """Module-level select predicate: keeps simulate plans picklable."""
-    return True
-
-
 def _synthetic_submissions(period, count, seed, owner_of):
     """The per-period synthetic workload shared by ``simulate`` and
     ``cluster``: derived per-period rng, so a resumed run draws the
@@ -143,12 +138,13 @@ def _synthetic_submissions(period, count, seed, owner_of):
 
     from repro.dsms.operators import SelectOperator
     from repro.dsms.plan import ContinuousQuery
+    from repro.sim.arrivals import pass_all
 
     rng = np.random.default_rng([seed, period])
     for index in range(count):
         qid = f"p{period}_q{index}"
         op = SelectOperator(
-            f"sel_{qid}", "s", _pass_all,
+            f"sel_{qid}", "s", pass_all,
             cost_per_tuple=float(np.round(rng.uniform(0.5, 2.0), 2)),
             selectivity_estimate=1.0)
         yield ContinuousQuery(
@@ -326,6 +322,7 @@ def _cmd_sim(args: argparse.Namespace) -> int:
                 ("--ticks", args.ticks is not None),
                 ("--backend", args.backend is not None),
                 ("--seed", args.seed is not None),
+                ("--probe-retention", args.probe_retention is not None),
             ) if is_set
         ]
         if conflicting:
@@ -334,6 +331,7 @@ def _cmd_sim(args: argparse.Namespace) -> int:
                 f"--resume; the checkpoint already fixes the "
                 f"simulation's configuration")
         driver = SimulationDriver.load_checkpoint(args.resume)
+        _apply_auction_tuning(driver.host, args)
         if args.record and driver.recorder is None:
             raise ValidationError(
                 f"checkpoint {args.resume!r} was not recording, so a "
@@ -407,15 +405,25 @@ def _cmd_sim(args: argparse.Namespace) -> int:
             record=bool(args.record),
             route=args.route,
             batch=args.batch,
+            probe_retention=args.probe_retention,
         )
+        _apply_auction_tuning(driver.host, args)
 
     started = time.perf_counter()
     rows = []
-    for _ in range(args.periods):
-        report = driver.run(1)[0]
-        rows.append(_sim_report_row(report))
-        if args.checkpoint:
-            driver.save_checkpoint(args.checkpoint)
+    try:
+        for _ in range(args.periods):
+            report = driver.run(1)[0]
+            rows.append(_sim_report_row(report))
+            if args.checkpoint:
+                driver.save_checkpoint(args.checkpoint)
+    finally:
+        # Shut auction worker processes down cleanly (no-op for the
+        # thread path) so the interpreter exits without executor noise.
+        close_pool = getattr(
+            getattr(driver.host, "cluster", None), "close_pool", None)
+        if close_pool is not None:
+            close_pool()
     elapsed = time.perf_counter() - started
 
     mode = "subscriptions" if driver.managers else "re-auction"
@@ -444,6 +452,29 @@ def _cmd_sim(args: argparse.Namespace) -> int:
     if args.checkpoint:
         print(f"checkpoint written to {args.checkpoint}")
     return 0
+
+
+def _apply_auction_tuning(host, args: argparse.Namespace) -> None:
+    """Apply the ``--workers``/``--auction-mode`` pool knobs to *host*.
+
+    Runtime tuning, not simulation state — so, unlike the workload
+    flags, both compose with ``--resume``.  They only make sense on a
+    federated host's batch auction path; setting them on a single
+    service is rejected rather than silently ignored.
+    """
+    from repro.utils.validation import ValidationError
+
+    cluster = getattr(host, "cluster", None)
+    if cluster is None:
+        if args.workers is not None or args.auction_mode is not None:
+            raise ValidationError(
+                "--workers/--auction-mode tune the cluster batch "
+                "auction pool and need --shards > 1 (with --batch)")
+        return
+    if args.workers is not None:
+        cluster.auction_workers = args.workers
+    if args.auction_mode is not None:
+        cluster.auction_mode = args.auction_mode
 
 
 def _apply_sim_defaults(args: argparse.Namespace) -> None:
@@ -549,6 +580,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
                 shard.mechanism.use_selection(spec)
         if args.auction_workers is not None:
             cluster.auction_workers = args.auction_workers
+        cluster.auction_mode = args.auction_mode
         start = cluster.period
     else:
         from repro.cluster.placement import resolve_placement
@@ -577,27 +609,32 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
                                   resolve_placement),
             rebalance=not args.no_rebalance,
             auction_workers=args.auction_workers,
+            auction_mode=args.auction_mode,
         )
         start = 0
 
     rows = []
-    for period in range(start + 1, start + args.periods + 1):
-        for query in _synthetic_submissions(
-                period, args.queries_per_period, args.seed,
-                lambda index: f"user_{index % max(1, args.clients)}"):
-            cluster.submit(query)
-        report = (cluster.run_period_all() if args.batch
-                  else cluster.run_period())
-        rows.append([
-            report.period,
-            len(report.admitted),
-            len(report.rejected),
-            len(report.migrated),
-            report.total_revenue,
-            (0.0 if report.utilization is None else report.utilization),
-        ])
-        if args.checkpoint:
-            cluster.save_checkpoint(args.checkpoint)
+    try:
+        for period in range(start + 1, start + args.periods + 1):
+            for query in _synthetic_submissions(
+                    period, args.queries_per_period, args.seed,
+                    lambda index: f"user_{index % max(1, args.clients)}"):
+                cluster.submit(query)
+            report = (cluster.run_period_all() if args.batch
+                      else cluster.run_period())
+            rows.append([
+                report.period,
+                len(report.admitted),
+                len(report.rejected),
+                len(report.migrated),
+                report.total_revenue,
+                (0.0 if report.utilization is None
+                 else report.utilization),
+            ])
+            if args.checkpoint:
+                cluster.save_checkpoint(args.checkpoint)
+    finally:
+        cluster.close_pool()
     print(format_table(
         ["period", "admitted", "rejected", "migrated", "revenue",
          "cluster util"],
@@ -805,8 +842,20 @@ def build_parser() -> argparse.ArgumentParser:
                           "shard i")
     sim.add_argument("--batch", action="store_true",
                      help="auction re-auction cluster boundaries on "
-                          "the thread-pooled batch path (needs "
+                          "the pooled batch path (needs "
                           "--shards > 1)")
+    sim.add_argument("--workers", type=int, default=None,
+                     help="pool width for --batch auction boundaries "
+                          "(default: CPU count)")
+    sim.add_argument("--auction-mode", choices=("thread", "process"),
+                     default=None,
+                     help="pool flavor for --batch boundaries: "
+                          "thread (default) or a persistent "
+                          "multiprocessing pool")
+    sim.add_argument("--probe-retention", type=int, default=None,
+                     help="keep only the most recent N probe tick "
+                          "records and latency samples (default: "
+                          "unbounded, exact over the whole run)")
     sim.add_argument("--mechanism", default=None,
                      help="mechanism spec (default CAT)")
     sim.add_argument("--capacity", type=float, default=None,
@@ -866,8 +915,14 @@ def build_parser() -> argparse.ArgumentParser:
                               "path (independent shard auctions run "
                               "on a thread pool)")
     cluster.add_argument("--auction-workers", type=int, default=None,
-                         help="thread-pool width for --batch auctions "
+                         help="pool width for --batch auctions "
                               "(default: CPU count)")
+    cluster.add_argument("--auction-mode",
+                         choices=("thread", "process"),
+                         default="thread",
+                         help="pool flavor for --batch auctions: "
+                              "thread (default) or a persistent "
+                              "multiprocessing pool")
     cluster.add_argument("--no-rebalance", action="store_true",
                          help="disable cross-shard migration of "
                               "rejected queries")

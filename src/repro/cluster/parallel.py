@@ -1,0 +1,155 @@
+"""A persistent process pool for the batch auction path.
+
+The federation's ``run_period_all`` historically dispatched shard
+auctions across a :class:`~concurrent.futures.ThreadPoolExecutor` —
+correct, but GIL-bound: the auction kernels are pure Python + numpy,
+so threads serialize on the interpreter lock and the "parallel" path
+buys little on CPU-heavy periods.  :class:`AuctionProcessPool` runs
+the same mechanism groups on a *persistent* pool of worker processes
+instead.
+
+The contract that keeps ``process ≡ thread ≡ sequential`` byte-exact:
+
+* **jobs are self-contained** — each job ships ``(mechanism,
+  instances)`` to a worker, which runs
+  :meth:`~repro.core.Mechanism.run_many` and returns the outcomes
+  *plus the mechanism's evolved state*.  Workers keep nothing between
+  jobs; the parent's mechanism objects remain the single source of
+  truth.
+* **state round-trips** — the parent re-applies the returned state to
+  its own mechanism object (identity preserved, so shards sharing one
+  mechanism keep sharing it), which advances per-mechanism RNG streams
+  exactly as an in-process run would.  The next period continues the
+  stream byte-identically.
+* **numpy columns survive the hop** — an
+  :class:`~repro.core.model.AuctionInstance` drops its cached
+  ``_select_columns`` on pickling (caches are derived state); the pool
+  ships those bid/load columns alongside and re-attaches them in the
+  worker, so the columnar select fast path stays warm across the
+  process boundary instead of being re-extracted per query.
+
+Failure semantics match the thread path: the first group exception
+(in deterministic group order) propagates to the caller's rollback;
+groups that already completed have consumed their randomness, so a
+retried period with randomized mechanisms is valid but not bit-equal
+(documented on ``_run_cluster_period``; restore a checkpoint for
+that).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from collections.abc import Sequence
+
+from repro.core.mechanism import Mechanism
+from repro.core.model import AuctionInstance
+from repro.core.result import AuctionOutcome
+from repro.utils.validation import require
+
+
+def _pack_instance(instance: AuctionInstance):
+    """An instance plus its derived numpy columns, ready to ship.
+
+    Pickling drops ``_select_columns`` (cache policy on the model);
+    shipping the arrays explicitly keeps the worker on the columnar
+    fast path.  numpy arrays pickle as raw binary buffers, so the
+    transfer is one memcpy per column, not a per-query re-extraction.
+    """
+    return instance, getattr(instance, "_select_columns", None)
+
+
+def _unpack_instance(packed) -> AuctionInstance:
+    instance, columns = packed
+    if columns is not None:
+        object.__setattr__(instance, "_select_columns", columns)
+    return instance
+
+
+def _run_mechanism_group(mechanism: Mechanism, packed_instances):
+    """Worker-side job: run one mechanism group, return evolved state.
+
+    Runs in a pool worker.  The returned ``mechanism.__dict__`` carries
+    everything the run mutated (RNG bit-generator state, counters);
+    the parent splices it back into its own object.
+    """
+    instances = [_unpack_instance(packed) for packed in packed_instances]
+    outcomes = mechanism.run_many(instances)
+    return outcomes, mechanism.__dict__
+
+
+class AuctionProcessPool:
+    """A persistent, lazily started pool of auction worker processes.
+
+    Created once per federation and reused every period, so the
+    fork/spawn cost is paid once, not per boundary.  ``fork`` is
+    preferred where available (workers inherit the imported modules);
+    elsewhere the platform default start method is used and jobs are
+    fully pickled either way.
+    """
+
+    def __init__(self, workers: int) -> None:
+        require(int(workers) >= 1, "pool workers must be >= 1")
+        self.workers = int(workers)
+        self._executor: "ProcessPoolExecutor | None" = None
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            methods = multiprocessing.get_all_start_methods()
+            context = (multiprocessing.get_context("fork")
+                       if "fork" in methods else None)
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=context)
+        return self._executor
+
+    def run_groups(
+        self,
+        jobs: "Sequence[tuple[Mechanism, Sequence[AuctionInstance]]]",
+    ) -> "list[list[AuctionOutcome]]":
+        """Run every ``(mechanism, instances)`` group; outcomes in order.
+
+        Groups execute concurrently across the workers; results (and
+        the first exception, if any) surface in deterministic group
+        order.  Each group's mechanism state is spliced back into the
+        caller's object before its outcomes are returned, so the
+        parent-side RNG streams advance exactly as a sequential run's
+        would.
+        """
+        executor = self._ensure_executor()
+        futures = [
+            executor.submit(
+                _run_mechanism_group, mechanism,
+                [_pack_instance(instance) for instance in instances])
+            for mechanism, instances in jobs
+        ]
+        grouped: "list[list[AuctionOutcome]]" = []
+        for (mechanism, _instances), future in zip(jobs, futures):
+            outcomes, evolved = future.result()
+            mechanism.__dict__.clear()
+            mechanism.__dict__.update(evolved)
+            grouped.append(outcomes)
+        return grouped
+
+    def close(self) -> None:
+        """Shut the worker processes down (the pool restarts on use)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+
+    def __getstate__(self) -> dict:
+        # Live worker processes are runtime machinery, never state: a
+        # pickled/copied pool comes back cold and restarts on use.
+        state = dict(self.__dict__)
+        state["_executor"] = None
+        return state
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        status = "live" if self._executor is not None else "cold"
+        return (f"<AuctionProcessPool workers={self.workers} "
+                f"{status}>")
+
+
+def default_auction_workers() -> int:
+    """The default pool width: one worker per CPU, capped at 32."""
+    return min(32, os.cpu_count() or 1)

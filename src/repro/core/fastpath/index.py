@@ -83,48 +83,70 @@ class InstanceIndex:
         # CSR membership, operator indices in declared query order, and
         # the sequentially-accumulated load measures (the accumulation
         # order matters: it reproduces the reference sums bitwise).
-        indptr = np.zeros(n + 1, dtype=np.int64)
-        indices: list[int] = []
-        query_ops: list[list[int]] = []
-        total_loads: list[float] = []
-        fair_share_loads: list[float] = []
-        loads = self.op_loads_list
-        for qi, query in enumerate(queries):
-            ops = [op_index[op_id] for op_id in query.operator_ids]
-            query_ops.append(ops)
-            indices.extend(ops)
-            indptr[qi + 1] = len(indices)
-            total = 0.0
-            fair = 0.0
-            for o in ops:
-                load = loads[o]
-                total += load
-                fair += load / sharing_list[o]
-            total_loads.append(total)
-            fair_share_loads.append(fair)
-        self.indptr = indptr
-        self.indices = np.asarray(indices, dtype=np.int64)
-        self.query_ops = query_ops
-        self.total_loads_list = total_loads
-        self.fair_share_loads_list = fair_share_loads
-        self.total_loads = np.asarray(total_loads, dtype=np.float64)
-        self.fair_share_loads = np.asarray(
-            fair_share_loads, dtype=np.float64)
+        ops_per_query = [query.operator_ids for query in queries]
+        if all(len(op_ids) == 1 for op_ids in ops_per_query):
+            # Single-operator queries — the open-system admission
+            # workload, where thousands of these are built per run.
+            # Every sequential accumulation collapses to one term
+            # (0.0 + x == x exactly; x/k matches the scalar division
+            # bitwise), so the measures vectorize without breaking the
+            # exactness contract.
+            ops = [op_index[op_ids[0]] for op_ids in ops_per_query]
+            indices = np.asarray(ops, dtype=np.int64)
+            self.indptr = np.arange(n + 1, dtype=np.int64)
+            self.indices = indices
+            self.query_ops = [[o] for o in ops]
+            total_arr = self.op_loads[indices]
+            fair_arr = total_arr / self.sharing[indices]
+            self.total_loads = total_arr
+            self.fair_share_loads = fair_arr
+            self.total_loads_list = total_arr.tolist()
+            self.fair_share_loads_list = fair_arr.tolist()
+            self.simple_queries = (self.sharing[indices] == 1).tolist()
+        else:
+            indptr = np.zeros(n + 1, dtype=np.int64)
+            flat: list[int] = []
+            query_ops: list[list[int]] = []
+            total_loads: list[float] = []
+            fair_share_loads: list[float] = []
+            loads = self.op_loads_list
+            for qi, op_ids in enumerate(ops_per_query):
+                ops = [op_index[op_id] for op_id in op_ids]
+                query_ops.append(ops)
+                flat.extend(ops)
+                indptr[qi + 1] = len(flat)
+                total = 0.0
+                fair = 0.0
+                for o in ops:
+                    load = loads[o]
+                    total += load
+                    fair += load / sharing_list[o]
+                total_loads.append(total)
+                fair_share_loads.append(fair)
+            self.indptr = indptr
+            self.indices = np.asarray(flat, dtype=np.int64)
+            self.query_ops = query_ops
+            self.total_loads_list = total_loads
+            self.fair_share_loads_list = fair_share_loads
+            self.total_loads = np.asarray(total_loads, dtype=np.float64)
+            self.fair_share_loads = np.asarray(
+                fair_share_loads, dtype=np.float64)
+            # Queries whose operators are all unshared (degree 1):
+            # their marginal load is always their full total load, and
+            # admitting them can never change any other query's
+            # marginal — the skip-over movement-window kernel exploits
+            # both.
+            self.simple_queries = [
+                all(sharing_list[o] == 1 for o in ops)
+                for ops in query_ops]
 
         self.bids_list = [q.bid for q in queries]
         self.bids = np.asarray(self.bids_list, dtype=np.float64)
 
-        # Queries whose operators are all unshared (degree 1): their
-        # marginal load is always their full total load, and admitting
-        # them can never change any other query's marginal — the
-        # skip-over movement-window kernel exploits both.
-        self.simple_queries = [
-            all(sharing_list[o] == 1 for o in ops) for ops in query_ops]
-
         # Transpose: operator → queries containing it, in instance query
         # order (CAR's incremental remaining-load updates walk these).
         op_members: list[list[int]] = [[] for _ in range(self.num_operators)]
-        for qi, ops in enumerate(query_ops):
+        for qi, ops in enumerate(self.query_ops):
             for o in ops:
                 op_members[o].append(qi)
         self.op_queries = [
@@ -132,10 +154,11 @@ class InstanceIndex:
 
         # Rank of each query id in lexicographic order: the vectorized
         # tie-break key standing in for the reference's string compare.
-        order = sorted(range(n), key=self.query_ids.__getitem__)
+        # Ids are unique, so the unstable argsort is deterministic; the
+        # numpy comparison agrees with Python's for these plain strings.
+        order = np.argsort(np.asarray(self.query_ids))
         id_rank = np.empty(n, dtype=np.int64)
-        for rank, qi in enumerate(order):
-            id_rank[qi] = rank
+        id_rank[order] = np.arange(n, dtype=np.int64)
         self.id_rank = id_rank
 
     @classmethod

@@ -58,6 +58,9 @@ def fast_select(mechanism, instance: AuctionInstance) -> SelectResult:
         return _car(InstanceIndex.of(instance))
     if (isinstance(mechanism, GreedyByValuation)
             and cls._select is GreedyByValuation._select):
+        result = _gv_columnar(instance)
+        if result is not None:
+            return result
         return _greedy_by_valuation(InstanceIndex.of(instance))
     if isinstance(mechanism, TwoPrice) and cls._select is TwoPrice._select:
         return _two_price(mechanism, instance,
@@ -209,6 +212,70 @@ def _car(index: InstanceIndex):
 # ----------------------------------------------------------------------
 # GV and Two-price (bid-ordered)
 # ----------------------------------------------------------------------
+
+
+def _gv_columnar(instance: AuctionInstance) -> SelectResult:
+    """GV without an index: the single-operator, unshared case.
+
+    When every query owns exactly one private operator, GV's greedy
+    walk degenerates: each query's marginal load is its operator's
+    full load regardless of what was admitted before, so the walk is a
+    running sum over the bid order and the whole auction collapses to
+    one ``lexsort`` + ``cumsum``.  This is the open-system admission
+    workload — hundreds of auctions over thousands of arrivals per
+    run — where index construction would dominate the kernel.
+
+    Bitwise equal to the reference: ``cumsum`` accumulates float64
+    partial sums in the same left-to-right order as the tracker's
+    ``used += margin`` (and ``0.0 + load == load`` exactly), the sort
+    key matches ``(-bid, query_id)``, and the capacity test uses the
+    same ``EPSILON`` slack.  Returns ``None`` (caller falls back to
+    the indexed kernel) on any sharing or multi-operator query.
+    """
+    if instance.max_sharing_degree() > 1:
+        return None
+    queries = instance.queries
+    n = len(queries)
+    if n == 0:
+        return {}, {"bid_order": [], "first_loser": None, "price": 0.0}
+    columns = getattr(instance, "_select_columns", None)
+    if columns is not None and len(columns[0]) == n:
+        # The instance builder already mirrored ids/bids/loads into
+        # flat columns (repro.sim.subscriptions) — same values the
+        # extraction below would read back one query at a time.
+        ids, bids, loads = columns
+    else:
+        operators = instance.operators
+        ids = []
+        bids = np.empty(n, dtype=np.float64)
+        loads = np.empty(n, dtype=np.float64)
+        for i, query in enumerate(queries):
+            op_ids = query.operator_ids
+            if len(op_ids) != 1:
+                return None
+            ids.append(query.query_id)
+            bids[i] = query.bid
+            loads[i] = operators[op_ids[0]].load
+    order = np.lexsort((np.asarray(ids), -bids))
+    used = np.cumsum(loads[order])
+    fits = used <= instance.capacity + EPSILON
+    if fits.all():
+        winner_count = n
+        lost = None
+    else:
+        winner_count = int(np.argmin(fits))
+        lost = int(order[winner_count])
+    order_list = order.tolist()
+    details: dict[str, object] = {
+        "bid_order": [ids[qi] for qi in order_list],
+        "first_loser": None if lost is None else ids[lost],
+    }
+    # float(): payments travel into ledgers and JSON reports, which
+    # expect plain floats, not numpy scalars.
+    price = 0.0 if lost is None else float(bids[lost])
+    details["price"] = price
+    payments = {ids[qi]: price for qi in order_list[:winner_count]}
+    return payments, details
 
 
 def _greedy_by_valuation(index: InstanceIndex):

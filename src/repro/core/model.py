@@ -45,6 +45,19 @@ class Operator:
         require(bool(self.op_id), "operator id must be a non-empty string")
         require_non_negative(self.load, f"load of operator {self.op_id!r}")
 
+    @classmethod
+    def _trusted(cls, op_id: str, load: float) -> "Operator":
+        """Validation-free constructor for pre-validated inputs.
+
+        The subscription boundary builds thousands of these per period
+        from loads it just computed; the caller guarantees a non-empty
+        id and a non-negative load.
+        """
+        operator = object.__new__(cls)
+        object.__setattr__(operator, "op_id", op_id)
+        object.__setattr__(operator, "load", load)
+        return operator
+
 
 @dataclass(frozen=True)
 class Query:
@@ -77,6 +90,31 @@ class Query:
                 self.valuation, f"valuation of query {self.query_id!r}")
         # Normalize to tuple so callers may pass any sequence.
         object.__setattr__(self, "operator_ids", tuple(self.operator_ids))
+
+    @classmethod
+    def _trusted(
+        cls,
+        query_id: str,
+        operator_ids: tuple[str, ...],
+        bid: float,
+        valuation: "float | None" = None,
+        owner: "str | None" = None,
+    ) -> "Query":
+        """Validation-free constructor for pre-validated inputs.
+
+        The caller guarantees what ``__post_init__`` would check: a
+        non-empty id, a non-empty duplicate-free *tuple* of operator
+        ids (no normalization happens here), and non-negative
+        bid/valuation.  Used on the admission hot path, where every
+        pending plan was validated when it entered the system.
+        """
+        query = object.__new__(cls)
+        object.__setattr__(query, "query_id", query_id)
+        object.__setattr__(query, "operator_ids", operator_ids)
+        object.__setattr__(query, "bid", bid)
+        object.__setattr__(query, "valuation", valuation)
+        object.__setattr__(query, "owner", owner)
+        return query
 
     @property
     def true_value(self) -> float:
@@ -142,6 +180,7 @@ class AuctionInstance:
         """
         state = dict(self.__dict__)
         state.pop("_fastpath_cache", None)
+        state.pop("_select_columns", None)
         return state
 
     def __setstate__(self, state: dict) -> None:
@@ -171,6 +210,33 @@ class AuctionInstance:
         object.__setattr__(
             instance, "_queries_by_id", {q.query_id: q for q in queries})
         object.__setattr__(instance, "_sharing", source._sharing)
+        return instance
+
+    @classmethod
+    def _from_parts(
+        cls,
+        operators: dict[str, Operator],
+        queries: tuple["Query", ...],
+        capacity: float,
+        queries_by_id: dict[str, "Query"],
+        sharing: dict[str, int],
+    ) -> "AuctionInstance":
+        """Fast private constructor from pre-computed derived state.
+
+        The caller owns every argument (nothing is copied) and
+        guarantees the ``__post_init__`` invariants: positive
+        capacity, unique query ids, every referenced operator present,
+        and ``queries_by_id``/``sharing`` consistent with ``queries``.
+        Used by the subscription boundary, which builds the operator
+        table *from* the query set and so satisfies all of them by
+        construction.
+        """
+        instance = object.__new__(cls)
+        object.__setattr__(instance, "operators", operators)
+        object.__setattr__(instance, "queries", queries)
+        object.__setattr__(instance, "capacity", capacity)
+        object.__setattr__(instance, "_queries_by_id", queries_by_id)
+        object.__setattr__(instance, "_sharing", sharing)
         return instance
 
     @classmethod

@@ -100,8 +100,20 @@ class ScalarBackend(ExecutionBackend):
         outputs: dict[str, list[StreamTuple]] = {
             name: list(batch) for name, batch in arrivals.items()}
         work_by_op: dict[str, float] = {}
+        stock_work = StreamOperator.work
+        stock_execute = StreamOperator.execute
         for op in operators:
-            batches = {name: outputs.get(name, []) for name in op.inputs}
+            inputs = op.inputs
+            if (len(inputs) == 1 and type(op).work is stock_work
+                    and type(op).execute is stock_execute):
+                # Single-input operator with stock metering: no
+                # per-input dict round-trip.  Subclasses overriding
+                # ``work``/``execute`` keep the reference path.
+                batch = outputs.get(inputs[0], ())
+                work_by_op[op.op_id] = len(batch) * op.cost_per_tuple
+                outputs[op.op_id] = op.execute_drained(batch)
+                continue
+            batches = {name: outputs.get(name, []) for name in inputs}
             work_by_op[op.op_id] = op.work(batches)
             outputs[op.op_id] = op.execute(batches)
         return outputs, work_by_op

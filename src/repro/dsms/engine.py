@@ -176,15 +176,15 @@ class StreamEngine:
         source_count: int,
     ) -> None:
         sink_ids = {query.sink_id
-                    for query in self.catalog.queries.values()}
+                    for query in self.catalog.iter_queries()}
         outputs, work_by_op = self.backend.run_operators(
-            self.catalog.topological_order(), arrivals, sink_ids)
+            self.catalog.ordered_operators(), arrivals, sink_ids)
         self.meter.record_tick(work_by_op)
         delivered: dict[str, int] = {}
-        for query_id, query in self.catalog.queries.items():
+        for query in self.catalog.iter_queries():
             produced = outputs.get(query.sink_id, [])
-            self.results[query_id].extend(produced)
-            delivered[query_id] = len(produced)
+            self.results[query.query_id].extend(produced)
+            delivered[query.query_id] = len(produced)
         self.report.merge_tick(
             source_count, sum(work_by_op.values()), delivered)
 

@@ -56,9 +56,15 @@ class StreamOperator(abc.ABC):
         self.processed_tuples = 0
         self.emitted_tuples = 0
 
+    def _consumed(self, batches: Batches) -> int:
+        inputs = self.inputs
+        if len(inputs) == 1:
+            return len(batches.get(inputs[0], ()))
+        return sum(len(batches.get(name, ())) for name in inputs)
+
     def execute(self, batches: Batches) -> list[StreamTuple]:
         """Process this tick's input batches; returns the output batch."""
-        consumed = sum(len(batches.get(name, ())) for name in self.inputs)
+        consumed = self._consumed(batches)
         output = self._process(batches)
         self.processed_tuples += consumed
         self.emitted_tuples += len(output)
@@ -66,8 +72,16 @@ class StreamOperator(abc.ABC):
 
     def work(self, batches: Batches) -> float:
         """Work units this tick's input would cost (before execute)."""
-        consumed = sum(len(batches.get(name, ())) for name in self.inputs)
-        return consumed * self.cost_per_tuple
+        return self._consumed(batches) * self.cost_per_tuple
+
+    def execute_drained(self, batch: Sequence[StreamTuple]) -> list[StreamTuple]:
+        """Single-input fast path: like :meth:`execute`, but the caller
+        already drained our only input into *batch* (no per-input dict).
+        Callers must only use this on operators with one input."""
+        output = self._process({self.inputs[0]: batch})
+        self.processed_tuples += len(batch)
+        self.emitted_tuples += len(output)
+        return output
 
     @abc.abstractmethod
     def _process(self, batches: Batches) -> list[StreamTuple]:
@@ -105,11 +119,29 @@ class SelectOperator(StreamOperator):
         super().__init__(op_id, [input_name], cost_per_tuple,
                          share_key=share_key)
         self._predicate = predicate
+        # Predicates marked constant-true (``selects_all``) skip the
+        # per-tuple call — the dominant select shape of the synthetic
+        # open-system workloads.
+        self._passthrough = bool(getattr(predicate, "selects_all", False))
         self._selectivity = float(selectivity_estimate)
 
     def _process(self, batches: Batches) -> list[StreamTuple]:
-        return [t for t in batches.get(self.inputs[0], ())
-                if self._predicate(t)]
+        batch = batches.get(self.inputs[0], ())
+        if self._passthrough:
+            return list(batch)
+        return [t for t in batch if self._predicate(t)]
+
+    def execute_drained(self, batch: Sequence[StreamTuple]) -> list[StreamTuple]:
+        n = len(batch)
+        if self._passthrough:
+            # The caller hands over a fresh list it no longer owns, so
+            # the passthrough can return it without copying.
+            output = batch if isinstance(batch, list) else list(batch)
+        else:
+            output = [t for t in batch if self._predicate(t)]
+        self.processed_tuples += n
+        self.emitted_tuples += len(output)
+        return output
 
     def selectivity(self) -> float:
         return self._selectivity

@@ -144,6 +144,24 @@ class QueryPlanCatalog:
         """Merged (shared) operators by id."""
         return dict(self._operators)
 
+    def iter_queries(self) -> "Iterable[ContinuousQuery]":
+        """Iterate registered queries without copying the table.
+
+        The ``queries`` property copies its dict on every access —
+        right for callers that hold the view across mutations, wasted
+        inside per-tick loops that only walk it once."""
+        return iter(self._queries.values())
+
+    def ordered_operators(self) -> "Sequence[StreamOperator]":
+        """The cached topological order, without the defensive copy.
+
+        Callers must not mutate the returned list and must not hold it
+        across :meth:`add`/:meth:`remove` (use
+        :meth:`topological_order` for a private copy)."""
+        if self._order_cache is None:
+            self.topological_order()
+        return self._order_cache
+
     def sharing_degree(self, op_id: str) -> int:
         """How many registered queries contain *op_id*."""
         return sum(

@@ -34,6 +34,7 @@ import abc
 from collections import deque
 from dataclasses import dataclass
 from collections.abc import Callable, Iterable, Mapping, Sequence
+from itertools import repeat
 
 from repro.dsms.operators import StreamOperator
 from repro.dsms.plan import ContinuousQuery, QueryPlanCatalog
@@ -206,6 +207,8 @@ class ScheduledEngine:
         capacity: float,
         policy: "SchedulingPolicy | PolicySpec | str | None" = None,
         keep_latency_samples: bool = False,
+        max_latency_samples: "int | None" = None,
+        count_mode: bool = False,
     ) -> None:
         require(capacity > 0, "capacity must be positive")
         self._sources: dict[str, StreamSource] = {}
@@ -222,11 +225,46 @@ class ScheduledEngine:
         self.latency: dict[str, LatencyStats] = {}
         #: Raw per-delivery latencies (ticks), kept only on request —
         #: the SLA percentiles of the open-system simulation need the
-        #: distribution, not just the running mean.
-        self.latency_samples: "list[int] | None" = (
-            [] if keep_latency_samples else None)
+        #: distribution, not just the running mean.  A cap turns the
+        #: store into a sliding window over the most recent deliveries
+        #: (long open-system runs would otherwise grow without bound).
+        if max_latency_samples is not None:
+            require(int(max_latency_samples) >= 1,
+                    "max_latency_samples must be >= 1")
+        self.latency_samples: "list[int] | deque | None" = None
+        if keep_latency_samples:
+            self.latency_samples = (
+                [] if max_latency_samples is None
+                else deque(maxlen=int(max_latency_samples)))
         # op id -> input name -> queue of (arrival tick, tuple)
         self._queues: dict[str, dict[str, deque]] = {}
+        # Count mode (latency accounting only): queues carry
+        # ``[birth tick, count]`` runs instead of tuples and result
+        # logs stay empty — valid only while every admitted network is
+        # a source-fed passthrough select delivering straight to its
+        # sink, over sources whose origins embed the emitting tick.
+        # The engine drops back to tuple queues (permanently, results
+        # still skipped) the moment a non-conforming plan is admitted.
+        self._keep_results = not count_mode
+        self._counts = bool(count_mode) and all(
+            getattr(source, "origin_tick_stamped", False)
+            for source in self._sources.values())
+        self._run_queues: dict[str, deque] = {}
+        #: Running delivery totals across every sink query — O(1)
+        #: reads for per-tick metrics (summing the per-query stats
+        #: each tick is quadratic over a long run).  Latencies are
+        #: integers, so the totals are exact.
+        self.delivered_count = 0
+        self.delivered_latency = 0
+        # Derived routing/accounting state, rebuilt on admit/remove:
+        # catalog views copy their dicts, far too slow per tick.
+        self._order: list[StreamOperator] = []
+        self._consumers: dict[str, list[StreamOperator]] = {}
+        self._sinks: dict[str, list[str]] = {}
+        self._stream_consumers: dict[str, list[StreamOperator]] = {}
+        self._queued: dict[str, int] = {}
+        self._nonempty: set[str] = set()
+        self._birth_memo: dict[str, int] = {}
         self._tick = 0
         self.work_done = 0.0
         self.ticks_run = 0
@@ -250,6 +288,10 @@ class ScheduledEngine:
             queues = self._queues.setdefault(op.op_id, {})
             for name in op.inputs:
                 queues.setdefault(name, deque())
+            self._queued.setdefault(op.op_id, 0)
+            if self._counts:
+                self._run_queues.setdefault(op.op_id, deque())
+        self._rebuild_routing()
 
     def remove(self, query_id: str) -> ContinuousQuery:
         """Deregister *query_id*; orphaned operators drop their queues.
@@ -260,10 +302,74 @@ class ScheduledEngine:
         nobody is paying for those results).
         """
         query = self.catalog.remove(query_id)
+        live = self.catalog.operators
         for op_id in list(self._queues):
-            if op_id not in self.catalog.operators:
+            if op_id not in live:
                 del self._queues[op_id]
+                del self._queued[op_id]
+                self._nonempty.discard(op_id)
+                self._run_queues.pop(op_id, None)
+        self._rebuild_routing()
         return query
+
+    def _rebuild_routing(self) -> None:
+        """Recompute the per-tick routing maps from the catalog.
+
+        The catalog's ``operators``/``queries`` views copy their dicts
+        on every access, and routing by scanning them is quadratic in
+        the admitted set — both are fine at admission frequency but
+        not inside the tick loop, so the loop reads these instead.
+        """
+        operators = self.catalog.operators
+        self._order = list(self.catalog.topological_order())
+        self._consumers = {op_id: [] for op_id in operators}
+        self._stream_consumers = {}
+        for op in operators.values():
+            for name in op.inputs:
+                if name in operators:
+                    self._consumers[name].append(op)
+                if name in self._sources:
+                    self._stream_consumers.setdefault(
+                        name, []).append(op)
+        self._sinks = {}
+        for query_id, query in self.catalog.queries.items():
+            self._sinks.setdefault(query.sink_id, []).append(query_id)
+        if self._counts and not self._counts_supported():
+            self._deactivate_counts()
+
+    def _counts_supported(self) -> bool:
+        """True while every operator is a source-fed passthrough
+        select feeding only sinks (the count-mode contract)."""
+        for op in self._order:
+            if (len(op.inputs) != 1
+                    or op.inputs[0] not in self._sources
+                    or not getattr(op, "_passthrough", False)
+                    or self._consumers.get(op.op_id)):
+                return False
+        return True
+
+    def _deactivate_counts(self) -> None:
+        """One-way fallback from run-length to tuple queues.
+
+        Queued runs materialize as placeholder tuples whose origins
+        embed the recorded birth ticks, so downstream latency
+        accounting is unchanged (payloads are never inspected on a
+        passthrough network and results are not kept in this mode).
+        """
+        for op_id, runs in self._run_queues.items():
+            queues = self._queues[op_id]
+            name = next(iter(queues))
+            queue = queues[name]
+            serial = 0
+            for birth, count in runs:
+                for _ in range(count):
+                    t = StreamTuple(
+                        stream=name, tick=birth, payload={},
+                        origin=(f"{name}@{birth}#cnt{serial}",))
+                    queue.append((birth, t))
+                    serial += 1
+        self._run_queues = {}
+        self._counts = False
 
     @property
     def admitted_ids(self) -> set[str]:
@@ -276,11 +382,11 @@ class ScheduledEngine:
 
     def queue_length(self, op_id: str) -> int:
         """Total queued tuples across an operator's inputs."""
-        return sum(len(q) for q in self._queues.get(op_id, {}).values())
+        return self._queued.get(op_id, 0)
 
     def total_queued(self) -> int:
         """Tuples waiting anywhere in the network."""
-        return sum(self.queue_length(op_id) for op_id in self._queues)
+        return sum(self._queued.values())
 
     def run(self, ticks: int) -> None:
         """Execute *ticks* budget-bounded ticks."""
@@ -288,17 +394,27 @@ class ScheduledEngine:
             self._execute_tick()
 
     def _execute_tick(self) -> None:
+        if self._counts:
+            self._execute_tick_counts()
+            return
         self._tick += 1
         self.ticks_run += 1
+        self._birth_memo.clear()
         # 1. Source arrivals enter the queues of consuming operators.
-        arrivals = {name: source.emit(self._tick)
-                    for name, source in self._sources.items()}
-        for op in self.catalog.operators.values():
-            for name in op.inputs:
-                if name in arrivals:
-                    queue = self._queues[op.op_id][name]
-                    for t in arrivals[name]:
-                        queue.append((self._tick, t))
+        # Every source emits (emission advances its state) even when
+        # nothing currently consumes it.
+        queued = self._queued
+        nonempty = self._nonempty
+        for name, source in self._sources.items():
+            tuples = source.emit(self._tick)
+            if not tuples:
+                continue
+            for op in self._stream_consumers.get(name, ()):
+                queue = self._queues[op.op_id][name]
+                for t in tuples:
+                    queue.append((self._tick, t))
+                queued[op.op_id] += len(tuples)
+                nonempty.add(op.op_id)
 
         # 2. Spend the work budget according to the policy.  Multiple
         # passes let downstream operators consume what upstream ones
@@ -306,13 +422,20 @@ class ScheduledEngine:
         # out.
         budget = self.capacity
         progressed = True
-        while budget > 1e-12 and progressed:
+        # Fifo keeps the offered (topological) order untouched, so the
+        # per-pass queue-length snapshot it ignores is skipped.
+        fifo = type(self.policy) is FifoPolicy
+        while budget > 1e-12 and progressed and nonempty:
             progressed = False
-            operators = [op for op in self.catalog.topological_order()
-                         if self.queue_length(op.op_id) > 0]
-            queue_lengths = {op.op_id: self.queue_length(op.op_id)
-                             for op in operators}
-            for op in self.policy.order(operators, queue_lengths):
+            operators = [op for op in self._order
+                         if op.op_id in nonempty]
+            if fifo:
+                ordered = operators
+            else:
+                queue_lengths = {op.op_id: queued[op.op_id]
+                                 for op in operators}
+                ordered = self.policy.order(operators, queue_lengths)
+            for op in ordered:
                 if budget <= 1e-12:
                     break
                 consumed, emitted = self._run_operator(op, budget)
@@ -326,52 +449,209 @@ class ScheduledEngine:
         self, op: StreamOperator, budget: float
     ) -> tuple[int, list[StreamTuple]]:
         """Drain as much of *op*'s queues as the budget allows."""
+        op_id = op.op_id
         if op.cost_per_tuple <= 0:
-            affordable = self.queue_length(op.op_id)
+            affordable = self._queued.get(op_id, 0)
         else:
             affordable = int(budget / op.cost_per_tuple)
         if affordable <= 0:
             return 0, []
+        queues = self._queues[op_id]
+        if len(queues) == 1 and type(op).execute is StreamOperator.execute:
+            # Single-input operator (the dominant shape) with the stock
+            # execute: drain the one queue straight into a batch, no
+            # per-input dict.  Subclasses overriding ``execute`` keep
+            # the reference path.
+            name, queue = next(iter(queues.items()))
+            take = min(len(queue), affordable)
+            if take == 0:
+                return 0, []
+            if take == len(queue):
+                # Full drain — the common under-load case.
+                batch = [t for _arrival, t in queue]
+                queue.clear()
+            else:
+                popleft = queue.popleft
+                batch = [popleft()[1] for _ in range(take)]
+            remaining = self._queued[op_id] - take
+            self._queued[op_id] = remaining
+            if not remaining:
+                self._nonempty.discard(op_id)
+            return take, op.execute_drained(batch)
         batches: dict[str, list[StreamTuple]] = {}
         consumed = 0
-        for name, queue in self._queues[op.op_id].items():
+        for name, queue in queues.items():
             take = min(len(queue), affordable - consumed)
-            batch = []
-            for _ in range(take):
-                _arrival, t = queue.popleft()
-                batch.append(t)
+            if take == len(queue):
+                batch = [t for _arrival, t in queue]
+                queue.clear()
+            else:
+                batch = []
+                for _ in range(take):
+                    _arrival, t = queue.popleft()
+                    batch.append(t)
             batches[name] = batch
             consumed += take
             if consumed >= affordable:
                 break
         if consumed == 0:
             return 0, []
+        self._queued[op_id] -= consumed
+        if not self._queued[op_id]:
+            self._nonempty.discard(op_id)
         emitted = op.execute(batches)
         return consumed, emitted
+
+    def _execute_tick_counts(self) -> None:
+        """One budget-bounded tick over run-length queues.
+
+        Mirrors :meth:`_execute_tick` exactly — same budget maths,
+        same policy ordering, same latency sequence — but tracks
+        ``[birth tick, count]`` runs instead of tuples.
+        """
+        self._tick += 1
+        self.ticks_run += 1
+        tick = self._tick
+        queued = self._queued
+        nonempty = self._nonempty
+        for name, source in self._sources.items():
+            n = source.emit_count(tick)
+            if n is None:
+                n = len(source.emit(tick))
+            if not n:
+                continue
+            for op in self._stream_consumers.get(name, ()):
+                self._run_queues[op.op_id].append([tick, n])
+                queued[op.op_id] += n
+                nonempty.add(op.op_id)
+
+        budget = self.capacity
+        progressed = True
+        fifo = type(self.policy) is FifoPolicy
+        while budget > 1e-12 and progressed and nonempty:
+            progressed = False
+            operators = [op for op in self._order
+                         if op.op_id in nonempty]
+            if fifo:
+                ordered = operators
+            else:
+                queue_lengths = {op.op_id: queued[op.op_id]
+                                 for op in operators}
+                ordered = self.policy.order(operators, queue_lengths)
+            for op in ordered:
+                if budget <= 1e-12:
+                    break
+                consumed = self._drain_counts(op, budget)
+                if consumed:
+                    progressed = True
+                    budget -= consumed * op.cost_per_tuple
+                    self.work_done += consumed * op.cost_per_tuple
+
+    def _drain_counts(self, op: StreamOperator, budget: float) -> int:
+        """Drain runs under the budget; deliver latencies to sinks."""
+        op_id = op.op_id
+        queued = self._queued.get(op_id, 0)
+        if op.cost_per_tuple <= 0:
+            affordable = queued
+        else:
+            affordable = int(budget / op.cost_per_tuple)
+        if affordable <= 0 or not queued:
+            return 0
+        take = queued if queued <= affordable else affordable
+        runs = self._run_queues[op_id]
+        tick = self._tick
+        remaining = take
+        lat_sum = 0
+        lat_max = 0
+        segments: list[tuple[int, int]] = []
+        while remaining:
+            head = runs[0]
+            birth, count = head
+            use = count if count <= remaining else remaining
+            if use == count:
+                runs.popleft()
+            else:
+                head[1] = count - use
+            latency = tick - birth
+            lat_sum += latency * use
+            if latency > lat_max:
+                lat_max = latency
+            segments.append((latency, use))
+            remaining -= use
+        self._queued[op_id] = queued - take
+        if queued == take:
+            self._nonempty.discard(op_id)
+        op.processed_tuples += take
+        op.emitted_tuples += take
+        samples = self.latency_samples
+        for query_id in self._sinks.get(op_id, ()):
+            stats = self.latency[query_id]
+            stats.total += lat_sum
+            stats.count += take
+            if lat_max > stats.maximum:
+                stats.maximum = lat_max
+            self.delivered_count += take
+            self.delivered_latency += lat_sum
+            if samples is not None:
+                for latency, use in segments:
+                    samples.extend(repeat(latency, use))
+        return take
+
+    def _birth_tick(self, t: StreamTuple) -> int:
+        """Earliest source tick in *t*'s provenance (this tick when
+        the tuple carries no source origin)."""
+        # Memoized on the ``stream@tick`` prefix: every tuple born the
+        # same tick from the same stream shares one entry, whereas the
+        # full origin string is unique per tuple.
+        memo = self._birth_memo
+        birth: "int | None" = None
+        for origin in t.origin:
+            head = origin.partition("#")[0]
+            parsed = memo.get(head)
+            if parsed is None:
+                if "@" not in head:
+                    continue
+                parsed = int(head.partition("@")[2])
+                memo[head] = parsed
+            if birth is None or parsed < birth:
+                birth = parsed
+        return self._tick if birth is None else birth
 
     def _route(self, op: StreamOperator,
                emitted: list[StreamTuple]) -> None:
         """Deliver an operator's output to consumers and sinks."""
         if not emitted:
             return
-        for downstream in self.catalog.operators.values():
-            if op.op_id in downstream.inputs:
-                queue = self._queues[downstream.op_id][op.op_id]
-                for t in emitted:
-                    queue.append((self._tick, t))
-        for query_id, query in self.catalog.queries.items():
-            if query.sink_id == op.op_id:
-                stats = self.latency[query_id]
-                for t in emitted:
-                    self.results[query_id].append(t)
-                    birth = min(
-                        (int(origin.split("@")[1].split("#")[0])
-                         for origin in t.origin
-                         if "@" in origin),
-                        default=self._tick)
-                    stats.record(self._tick - birth)
-                    if self.latency_samples is not None:
-                        self.latency_samples.append(self._tick - birth)
+        tick = self._tick
+        count = len(emitted)
+        for downstream in self._consumers.get(op.op_id, ()):
+            queue = self._queues[downstream.op_id][op.op_id]
+            queue.extend((tick, t) for t in emitted)
+            self._queued[downstream.op_id] += count
+            self._nonempty.add(downstream.op_id)
+        sinks = self._sinks.get(op.op_id)
+        if not sinks:
+            return
+        birth = self._birth_tick
+        latencies = [tick - birth(t) for t in emitted]
+        # Latencies are small ints, so the batched sum/max updates stay
+        # exact (no float rounding) — identical to per-item record().
+        lat_sum = sum(latencies)
+        lat_max = max(latencies)
+        samples = self.latency_samples
+        keep_results = self._keep_results
+        for query_id in sinks:
+            stats = self.latency[query_id]
+            if keep_results:
+                self.results[query_id].extend(emitted)
+            stats.total += lat_sum
+            stats.count += count
+            if lat_max > stats.maximum:
+                stats.maximum = lat_max
+            self.delivered_count += count
+            self.delivered_latency += lat_sum
+            if samples is not None:
+                samples.extend(latencies)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -22,6 +22,12 @@ from repro.utils.validation import require_non_negative
 class StreamSource(abc.ABC):
     """A named source emitting tuples per tick."""
 
+    #: True when every emitted tuple's origin embeds the emitting tick
+    #: (``name@tick#index``) — the invariant count-based latency
+    #: accounting relies on (:class:`~repro.dsms.scheduler.ScheduledEngine`
+    #: count mode).
+    origin_tick_stamped = False
+
     def __init__(self, name: str) -> None:
         self.name = name
         self.emitted = 0
@@ -36,6 +42,13 @@ class StreamSource(abc.ABC):
         self.emitted += len(batch)
         return batch
 
+    def emit_count(self, tick: int) -> "int | None":
+        """Emit, returning only this tick's tuple count — or ``None``
+        when the source cannot count without materializing (callers
+        then fall back to :meth:`emit`).  Must consume exactly the
+        state :meth:`emit` would (RNG draws, counters)."""
+        return None
+
     @abc.abstractmethod
     def expected_rate(self) -> float:
         """Mean tuples per tick (drives analytic load estimation)."""
@@ -48,6 +61,8 @@ class SyntheticStream(StreamSource):
     default emits an empty record.  ``rate`` is the Poisson mean per
     tick (``poisson=False`` makes it an exact constant batch size).
     """
+
+    origin_tick_stamped = True
 
     def __init__(
         self,
@@ -77,6 +92,18 @@ class SyntheticStream(StreamSource):
                 stream=self.name, tick=tick, payload=payload,
                 origin=(f"{self.name}@{tick}#{index}",)))
         return batch
+
+    def emit_count(self, tick: int) -> "int | None":
+        if self._payload_fn is not None:
+            # Payload generation draws from the RNG per tuple; only a
+            # real emit keeps the stream state aligned.
+            return None
+        if self._poisson:
+            count = int(self._rng.poisson(self._rate))
+        else:
+            count = int(round(self._rate))
+        self.emitted += count
+        return count
 
     def expected_rate(self) -> float:
         return self._rate

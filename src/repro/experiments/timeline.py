@@ -195,7 +195,7 @@ def run_backpressure(
     from repro.dsms.operators import SelectOperator
     from repro.dsms.plan import ContinuousQuery
     from repro.dsms.streams import SyntheticStream
-    from repro.sim.arrivals import _pass_all
+    from repro.sim.arrivals import pass_all
     from repro.sim.driver import LatencyProbe
     from repro.sim.metrics import metrics_snapshot
 
@@ -210,7 +210,7 @@ def run_backpressure(
         cost = (float(factor) * capacity) / (queries * rate)
         plans = {}
         for index in range(queries):
-            op = SelectOperator(f"bp{index}", "s", _pass_all,
+            op = SelectOperator(f"bp{index}", "s", pass_all,
                                 cost_per_tuple=cost,
                                 selectivity_estimate=1.0)
             plans[f"q{index}"] = ContinuousQuery(

@@ -56,6 +56,7 @@ CLUSTER_SNAPSHOT_SCHEMA = "repro/cluster-snapshot"
 CLUSTER_SNAPSHOT_VERSION = 1
 SIM_TRACE_SCHEMA = "repro/sim-trace"
 SIM_TRACE_VERSION = 1
+SIM_TRACE_BINARY_VERSION = 2
 SIM_SNAPSHOT_SCHEMA = "repro/sim-snapshot"
 SIM_SNAPSHOT_VERSION = 1
 SERVE_REQUEST_SCHEMA = "repro/serve-request"
@@ -474,8 +475,16 @@ def sim_trace_to_dict(trace: object) -> dict:
 
 
 def sim_trace_from_dict(payload: dict) -> object:
-    """Parse a :func:`sim_trace_to_dict` document into a SimTrace."""
-    from repro.sim.trace import SimTrace, entry_from_dict
+    """Parse a :func:`sim_trace_to_dict` document into a SimTrace.
+
+    The result is column-backed, exactly like a v2 binary load:
+    select-encoded arrivals come back as compact
+    :class:`~repro.sim.arrivals.SelectPlan` rows, so a v1 replay
+    drives the very same objects through routing and the auctions as
+    the recorded run did (and as a v2 replay would) — not freshly
+    materialized plan graphs.
+    """
+    from repro.sim.trace import SimTrace, TraceColumns, entry_from_dict
 
     if not isinstance(payload, dict):
         raise ValidationError(
@@ -495,24 +504,206 @@ def sim_trace_from_dict(payload: dict) -> object:
     if not isinstance(entries, list):
         raise ValidationError(
             "malformed trace document: 'arrivals' must be an array")
-    return SimTrace(entries=tuple(
+    return SimTrace(columns=TraceColumns.from_entries(
         entry_from_dict(entry) for entry in entries))
 
 
-def save_sim_trace(trace: object, path: "str | Path") -> None:
-    """Write a simulation trace as versioned JSON to *path*."""
+def _intern_column(values: list) -> tuple:
+    """(codes int32, table U-strings) for a column of str-or-None."""
+    import numpy as np
+
+    index: dict[str, int] = {}
+    table: list[str] = []
+    codes = []
+    for value in values:
+        if value is None:
+            codes.append(-1)
+            continue
+        code = index.get(value)
+        if code is None:
+            code = len(table)
+            index[value] = code
+            table.append(value)
+        codes.append(code)
+    return (np.asarray(codes, dtype=np.int32),
+            np.asarray(table, dtype="U") if table
+            else np.empty(0, dtype="U1"))
+
+
+def _uncode_column(codes, table) -> list:
+    """Invert :func:`_intern_column` back to str-or-None cells."""
+    names = [str(name) for name in table.tolist()]
+    lookup = dict(enumerate(names))
+    return [lookup.get(code) for code in codes.tolist()]
+
+
+def sim_trace_to_arrays(trace: object) -> dict:
+    """The v2 (binary) column arrays of a :class:`SimTrace`.
+
+    One structured numeric array (``rows``: time, stream, cost,
+    selectivity, bid, valuation + presence flag, interned owner /
+    category / input-stream codes) plus the id/op string columns and
+    the interned string tables.  Opaque plans ride as JSON-encoded
+    :func:`~repro.sim.trace.encode_query` documents in a plain string
+    array, so the container never needs ``allow_pickle`` at the numpy
+    layer — the pickle payload (if any) stays inside the inspectable
+    query codec, exactly as in the v1 format.
+    """
+    import numpy as np
+
+    from repro.sim.trace import TraceColumns, encode_query
+
+    columns = trace.columns()
+    if columns is None:
+        columns = TraceColumns.from_entries(trace.entries)
+    count = len(columns)
+    rows = np.zeros(count, dtype=[
+        ("time", "f8"), ("stream", "i4"), ("cost", "f8"),
+        ("selectivity", "f8"), ("bid", "f8"), ("valuation", "f8"),
+        ("has_valuation", "u1"), ("owner", "i4"), ("category", "i4"),
+        ("input", "i4")])
+    rows["time"] = columns.times
+    rows["stream"] = columns.streams
+    rows["cost"] = columns.costs
+    rows["selectivity"] = columns.selectivities
+    rows["bid"] = columns.bids
+    rows["valuation"] = [0.0 if value is None else value
+                         for value in columns.valuations]
+    rows["has_valuation"] = [value is not None
+                             for value in columns.valuations]
+    owner_codes, owner_table = _intern_column(columns.owners)
+    category_codes, category_table = _intern_column(columns.categories)
+    input_codes, input_table = _intern_column(columns.inputs)
+    rows["owner"] = owner_codes
+    rows["category"] = category_codes
+    rows["input"] = input_codes
+    opaque_rows = sorted(columns.opaque)
+    return {
+        "schema": np.asarray(SIM_TRACE_SCHEMA),
+        "version": np.asarray(SIM_TRACE_BINARY_VERSION),
+        "rows": rows,
+        "ids": (np.asarray(columns.ids, dtype="U") if count
+                else np.empty(0, dtype="U1")),
+        "ops": (np.asarray(columns.ops, dtype="U") if count
+                else np.empty(0, dtype="U1")),
+        "owner_table": owner_table,
+        "category_table": category_table,
+        "input_table": input_table,
+        "opaque_rows": np.asarray(opaque_rows, dtype=np.int64),
+        "opaque_queries": (np.asarray(
+            [json.dumps(encode_query(columns.opaque[row]),
+                        sort_keys=True) for row in opaque_rows],
+            dtype="U") if opaque_rows else np.empty(0, dtype="U1")),
+    }
+
+
+def sim_trace_from_arrays(arrays) -> object:
+    """Rebuild a column-backed :class:`SimTrace` from the v2 arrays."""
+    from repro.sim.trace import SimTrace, TraceColumns, decode_query
+
+    try:
+        schema = str(arrays["schema"])
+        version = int(arrays["version"])
+    except KeyError as exc:
+        raise ValidationError(
+            f"malformed binary trace: missing {exc}") from exc
+    if schema != SIM_TRACE_SCHEMA:
+        raise ValidationError(
+            f"not a sim-trace document (schema {schema!r}, expected "
+            f"{SIM_TRACE_SCHEMA!r})")
+    if version != SIM_TRACE_BINARY_VERSION:
+        raise ValidationError(
+            f"unsupported binary sim-trace version {version!r}; this "
+            f"build reads version {SIM_TRACE_BINARY_VERSION}")
+    try:
+        rows = arrays["rows"]
+        columns = TraceColumns(
+            times=rows["time"].tolist(),
+            streams=rows["stream"].tolist(),
+            categories=_uncode_column(rows["category"],
+                                      arrays["category_table"]),
+            ids=[str(value) for value in arrays["ids"].tolist()],
+            ops=[str(value) for value in arrays["ops"].tolist()],
+            inputs=_uncode_column(rows["input"],
+                                  arrays["input_table"]),
+            costs=rows["cost"].tolist(),
+            selectivities=rows["selectivity"].tolist(),
+            bids=rows["bid"].tolist(),
+            valuations=[
+                value if present else None
+                for value, present in zip(
+                    rows["valuation"].tolist(),
+                    rows["has_valuation"].tolist())],
+            owners=_uncode_column(rows["owner"],
+                                  arrays["owner_table"]),
+            opaque={
+                int(row): decode_query(json.loads(str(payload)))
+                for row, payload in zip(
+                    arrays["opaque_rows"].tolist(),
+                    arrays["opaque_queries"].tolist())},
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        if isinstance(exc, ValidationError):
+            raise
+        raise ValidationError(
+            f"malformed binary trace: {exc!r}") from exc
+    return SimTrace(columns=columns)
+
+
+def save_sim_trace(trace: object, path: "str | Path",
+                   format: "str | None" = None) -> None:
+    """Write a simulation trace to *path*.
+
+    *format* picks the container: ``"json"`` (the v1 document),
+    ``"binary"`` (the v2 numpy ``.npz`` columns), or ``None`` to
+    choose by suffix — ``.npz`` writes binary, anything else JSON.
+    """
+    if format is None:
+        format = ("binary" if str(path).endswith(".npz") else "json")
+    if format == "binary":
+        import numpy as np
+
+        with open(path, "wb") as handle:
+            np.savez(handle, **sim_trace_to_arrays(trace))
+        return
+    if format != "json":
+        raise ValidationError(
+            f"unknown trace format {format!r}; this build writes "
+            f"'json' and 'binary'")
     Path(path).write_text(
         json.dumps(sim_trace_to_dict(trace), indent=2, sort_keys=True)
         + "\n")
 
 
 def load_sim_trace(path: "str | Path") -> object:
-    """Read a trace written by :func:`save_sim_trace`.
+    """Read a trace written by :func:`save_sim_trace` (either format).
 
-    Traces of non-synthetic plans may carry base64-pickled queries,
+    The container is sniffed, not trusted from the suffix: a zip
+    magic number means the v2 binary columns (loaded with
+    ``allow_pickle=False`` — the numpy layer never unpickles),
+    anything else the v1 JSON document.  Traces of non-synthetic
+    plans may carry base64-pickled queries *inside the query codec*,
     which execute code on load — only replay traces you trust.
     """
-    return sim_trace_from_dict(json.loads(Path(path).read_text()))
+    raw = Path(path).read_bytes()
+    if raw[:2] == b"PK":
+        import io as _io
+
+        import numpy as np
+
+        try:
+            with np.load(_io.BytesIO(raw), allow_pickle=False) as data:
+                return sim_trace_from_arrays(data)
+        except (ValueError, OSError) as exc:
+            raise ValidationError(
+                f"malformed binary trace file {str(path)!r}: "
+                f"{exc!r}") from exc
+    try:
+        payload = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ValidationError(
+            f"malformed trace file {str(path)!r}: {exc!r}") from exc
+    return sim_trace_from_dict(payload)
 
 
 # ----------------------------------------------------------------------

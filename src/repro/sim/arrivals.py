@@ -69,8 +69,105 @@ def pass_all(_tuple: object) -> bool:
     return True
 
 
+#: Constant-true marker: lets the engine skip the per-tuple predicate
+#: call entirely for selects built over this function.
+pass_all.selects_all = True
+
 #: Backwards-compatible private alias (the codec pins identity to it).
 _pass_all = pass_all
+
+
+class SelectPlan:
+    """The columnar form of a synthetic single-select plan.
+
+    Exactly the fields the trace codec's compact ``'select'`` encoding
+    carries — id, operator id, input stream, cost, selectivity, bid,
+    valuation, owner — held as plain slots instead of a full
+    :class:`~repro.dsms.plan.ContinuousQuery` + operator graph.  The
+    auction layer only ever reads ``query_id`` / ``operator_ids`` /
+    ``bid`` / ``valuation`` / ``owner``, so a plan stays in this form
+    through routing, category assignment and the admission auction;
+    only *winners* pay for :meth:`materialize` (the engine needs a real
+    plan to run).  That keeps the per-arrival hot path free of operator
+    construction and plan validation for the ~99% of arrivals a loaded
+    system rejects.
+    """
+
+    __slots__ = ("query_id", "op_id", "stream", "cost", "selectivity",
+                 "bid", "valuation", "owner")
+
+    def __init__(
+        self,
+        query_id: str,
+        op_id: str,
+        stream: str,
+        cost: float,
+        selectivity: float,
+        bid: float,
+        valuation: "float | None" = None,
+        owner: "str | None" = None,
+    ) -> None:
+        self.query_id = query_id
+        self.op_id = op_id
+        self.stream = stream
+        self.cost = cost
+        self.selectivity = selectivity
+        self.bid = bid
+        self.valuation = valuation
+        self.owner = owner
+
+    @property
+    def operator_ids(self) -> tuple[str, ...]:
+        """The plan's operator ids (always the one select)."""
+        return (self.op_id,)
+
+    @property
+    def sink_id(self) -> str:
+        """The sink operator (the select itself)."""
+        return self.op_id
+
+    @property
+    def true_value(self) -> float:
+        """The private valuation, defaulting to the submitted bid."""
+        return self.bid if self.valuation is None else self.valuation
+
+    @property
+    def owner_id(self) -> str:
+        """The owning user, defaulting to the query id itself."""
+        return self.owner if self.owner is not None else self.query_id
+
+    def with_bid(self, bid: float) -> "SelectPlan":
+        """A copy of this plan bidding *bid* (valuation kept)."""
+        return SelectPlan(
+            self.query_id, self.op_id, self.stream, self.cost,
+            self.selectivity, float(bid),
+            valuation=self.true_value, owner=self.owner)
+
+    def materialize(self) -> ContinuousQuery:
+        """Build the real (validated) plan this record describes.
+
+        The select runs :func:`pass_all`, so a materialized plan
+        round-trips through the trace codec's compact encoding and is
+        accepted at the gateway's pickle-refusing wire boundary.
+        """
+        op = SelectOperator(
+            self.op_id, self.stream, pass_all,
+            cost_per_tuple=self.cost,
+            selectivity_estimate=self.selectivity)
+        return ContinuousQuery(
+            self.query_id, (op,), sink_id=self.op_id,
+            bid=self.bid, valuation=self.valuation, owner=self.owner)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"SelectPlan({self.query_id!r}, bid={self.bid}, "
+                f"cost={self.cost}, stream={self.stream!r})")
+
+
+def as_continuous_query(query) -> ContinuousQuery:
+    """Materialize *query* if it is a :class:`SelectPlan` (else as-is)."""
+    if isinstance(query, SelectPlan):
+        return query.materialize()
+    return query
 
 
 def synthetic_query(
@@ -113,12 +210,93 @@ class ArrivalProcess(abc.ABC):
     def next_arrival(self) -> "Arrival | None":
         """Produce the next arrival, advancing the process state."""
 
+    def next_arrivals(self, limit: int) -> "list[Arrival]":
+        """Up to *limit* next arrivals in one call (the pump lookahead).
+
+        The batch counterpart of :meth:`next_arrival`: times are
+        non-decreasing, a short (or empty) list means the process ran
+        dry or chose to cut the batch early — callers must keep
+        pumping until an *empty* list comes back.  Subclasses with a
+        per-arrival ``stream`` must cut a batch before a same-time
+        stream change, so the driver's event-queue keys stay
+        non-decreasing within one push run.
+        """
+        out: list[Arrival] = []
+        for _ in range(int(limit)):
+            arrival = self.next_arrival()
+            if arrival is None:
+                break
+            out.append(arrival)
+        return out
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} {self.name!r}>"
 
 
-class PoissonArrivals(ArrivalProcess):
-    """Poisson arrivals: exponential gaps with mean ``1/rate`` ticks."""
+class _BlockSynthesizer:
+    """Shared block machinery of the synthetic processes.
+
+    Bids and costs are drawn as numpy *blocks* (one ``uniform(n)`` call
+    per column instead of two scalar draws per arrival), which is where
+    the synthetic hot path spends its time.  A ``Generator``'s block
+    draw is bit-identical to the same number of sequential scalar
+    draws, so block size never changes the stream — it only changes
+    how the exponential/uniform draws *interleave* across columns,
+    which is why the block layout is fixed (gaps, then costs, then
+    bids) rather than configurable per call.
+    """
+
+    def _init_blocks(self, block: int) -> None:
+        require(int(block) >= 1, "block size must be >= 1")
+        self._block = int(block)
+        self._buffer: list[Arrival] = []
+        self._cursor = 0
+
+    def _buffered(self) -> "Arrival | None":
+        if self._cursor >= len(self._buffer):
+            self._refill()
+            if not self._buffer:
+                return None
+        arrival = self._buffer[self._cursor]
+        self._cursor += 1
+        return arrival
+
+    def _buffered_batch(self, limit: int) -> "list[Arrival]":
+        if self._cursor >= len(self._buffer):
+            self._refill()
+        out = self._buffer[self._cursor:self._cursor + int(limit)]
+        self._cursor += len(out)
+        return out
+
+    def _draw_queries(self, count: int) -> "list[SelectPlan]":
+        """*count* synthetic plans, columns drawn in one block each."""
+        costs = np.round(
+            self._rng.uniform(0.5, 2.0, count), 2).tolist()
+        bids = np.round(
+            self._rng.uniform(5.0, 100.0, count), 2).tolist()
+        clients = max(1, self._clients)
+        prefix = self._prefix
+        stream = self._stream
+        base = self._count
+        plans = []
+        for offset in range(count):
+            index = base + offset
+            query_id = f"{prefix}{index}"
+            plans.append(SelectPlan(
+                query_id, "sel_" + query_id, stream,
+                costs[offset], 1.0, bids[offset],
+                None, f"user_{index % clients}"))
+        return plans
+
+
+class PoissonArrivals(_BlockSynthesizer, ArrivalProcess):
+    """Poisson arrivals: exponential gaps with mean ``1/rate`` ticks.
+
+    Arrivals are generated in blocks of ``block`` (queries come out as
+    compact :class:`SelectPlan` records); the buffered tail is part of
+    the process state, so a pickled process resumes mid-block exactly
+    where it stopped.
+    """
 
     name = "poisson"
 
@@ -131,6 +309,7 @@ class PoissonArrivals(ArrivalProcess):
         clients: int = 8,
         prefix: str = "a",
         start: float = 0.0,
+        block: int = 256,
     ) -> None:
         require(rate > 0, "arrival rate must be positive")
         if limit is not None:
@@ -143,19 +322,36 @@ class PoissonArrivals(ArrivalProcess):
         self._prefix = prefix
         self._time = float(start)
         self._count = 0
+        self._init_blocks(block)
+
+    def _refill(self) -> None:
+        count = self._block
+        if self._limit is not None:
+            count = min(count, self._limit - self._count)
+        if count <= 0:
+            self._buffer = []
+            self._cursor = 0
+            return
+        gaps = self._rng.exponential(1.0 / self._rate, count).tolist()
+        plans = self._draw_queries(count)
+        time = self._time
+        buffer = []
+        for gap, plan in zip(gaps, plans):
+            time += gap
+            buffer.append(Arrival(time=time, query=plan))
+        self._time = time
+        self._count += count
+        self._buffer = buffer
+        self._cursor = 0
 
     def next_arrival(self) -> "Arrival | None":
-        if self._limit is not None and self._count >= self._limit:
-            return None
-        self._time += float(self._rng.exponential(1.0 / self._rate))
-        query = synthetic_query(
-            self._rng, self._count, stream=self._stream,
-            prefix=self._prefix, clients=self._clients)
-        self._count += 1
-        return Arrival(time=self._time, query=query)
+        return self._buffered()
+
+    def next_arrivals(self, limit: int) -> "list[Arrival]":
+        return self._buffered_batch(limit)
 
 
-class BurstArrivals(ArrivalProcess):
+class BurstArrivals(_BlockSynthesizer, ArrivalProcess):
     """Flash crowds: ``size`` simultaneous arrivals every ``every`` ticks."""
 
     name = "burst"
@@ -170,6 +366,7 @@ class BurstArrivals(ArrivalProcess):
         clients: int = 8,
         prefix: str = "a",
         start: float = 0.0,
+        block: int = 256,
     ) -> None:
         require(int(size) >= 1, "burst size must be >= 1")
         require(every > 0, "burst interval must be positive")
@@ -186,20 +383,34 @@ class BurstArrivals(ArrivalProcess):
         self._burst = 1
         self._within = 0
         self._count = 0
+        self._init_blocks(block)
+
+    def _refill(self) -> None:
+        count = self._block
+        if self._limit is not None:
+            count = min(count, self._limit - self._count)
+        if count <= 0:
+            self._buffer = []
+            self._cursor = 0
+            return
+        plans = self._draw_queries(count)
+        buffer = []
+        for plan in plans:
+            time = self._start + self._burst * self._every
+            buffer.append(Arrival(time=time, query=plan))
+            self._within += 1
+            if self._within >= self._size:
+                self._within = 0
+                self._burst += 1
+        self._count += count
+        self._buffer = buffer
+        self._cursor = 0
 
     def next_arrival(self) -> "Arrival | None":
-        if self._limit is not None and self._count >= self._limit:
-            return None
-        time = self._start + self._burst * self._every
-        query = synthetic_query(
-            self._rng, self._count, stream=self._stream,
-            prefix=self._prefix, clients=self._clients)
-        self._count += 1
-        self._within += 1
-        if self._within >= self._size:
-            self._within = 0
-            self._burst += 1
-        return Arrival(time=time, query=query)
+        return self._buffered()
+
+    def next_arrivals(self, limit: int) -> "list[Arrival]":
+        return self._buffered_batch(limit)
 
 
 class TraceArrivals(ArrivalProcess):
@@ -231,16 +442,38 @@ class TraceArrivals(ArrivalProcess):
         if not isinstance(trace, SimTrace):
             raise ValidationError(
                 f"expected a SimTrace, got {type(trace).__name__}")
-        self._entries = trace.entries
+        #: Column-backed traces replay straight off the columns:
+        #: compact SelectPlan queries built per batch, no per-entry
+        #: plan rebuilds and no up-front materialization.
+        self._columns = trace.columns()
+        if self._columns is None:
+            self._arrivals = [
+                Arrival(time=entry.time, query=entry.query,
+                        category=entry.category, stream=entry.stream)
+                for entry in trace.entries]
+        else:
+            self._arrivals = None
+        self._length = len(trace)
         self._index = 0
 
     def next_arrival(self) -> "Arrival | None":
-        if self._index >= len(self._entries):
+        if self._index >= self._length:
             return None
-        entry = self._entries[self._index]
+        index = self._index
         self._index += 1
-        return Arrival(time=entry.time, query=entry.query,
-                       category=entry.category, stream=entry.stream)
+        if self._columns is not None:
+            return self._columns.arrival(index)
+        return self._arrivals[index]
+
+    def next_arrivals(self, limit: int) -> "list[Arrival]":
+        if self._columns is None:
+            return _cut_stream_batch(self._arrivals, self, limit)
+        columns = self._columns
+        start = self._index
+        stop = _cut_rows(columns.times, columns.streams, start,
+                         min(start + int(limit), self._length))
+        self._index = stop
+        return columns.arrivals_slice(start, stop)
 
 
 class ScheduledArrivals(ArrivalProcess):
@@ -274,6 +507,42 @@ class ScheduledArrivals(ArrivalProcess):
         entry = self._entries[self._index]
         self._index += 1
         return entry
+
+    def next_arrivals(self, limit: int) -> "list[Arrival]":
+        return _cut_stream_batch(self._entries, self, limit)
+
+
+def _cut_stream_batch(arrivals, process, limit: int) -> "list[Arrival]":
+    """Slice the next batch, cut before a same-time stream change.
+
+    Replay processes carry per-arrival stream pins; two same-time
+    arrivals on *different* streams must not ride one pump batch, or
+    the event queue's ``(time, priority, stream, sequence)`` key would
+    re-order them against recorded order.  The cut keeps every batch's
+    keys non-decreasing; the next pump picks up right after the cut.
+    """
+    start = process._index
+    end = min(start + int(limit), len(arrivals))
+    stop = start + 1 if end > start else start
+    while stop < end:
+        previous, current = arrivals[stop - 1], arrivals[stop]
+        if (current.time == previous.time
+                and current.stream != previous.stream):
+            break
+        stop += 1
+    process._index = stop
+    return list(arrivals[start:stop])
+
+
+def _cut_rows(times, streams, start: int, end: int) -> int:
+    """The columnar counterpart of :func:`_cut_stream_batch`'s cut."""
+    stop = start + 1 if end > start else start
+    while stop < end:
+        if (times[stop] == times[stop - 1]
+                and streams[stop] != streams[stop - 1]):
+            break
+        stop += 1
+    return stop
 
 
 # ----------------------------------------------------------------------

@@ -35,6 +35,7 @@ byte-identically mid-simulation.
 
 from __future__ import annotations
 
+import collections
 import copy
 import dataclasses
 from dataclasses import dataclass
@@ -47,7 +48,12 @@ from repro.dsms.scheduler import (
     SchedulingPolicy,
     resolve_policy,
 )
-from repro.sim.arrivals import ArrivalProcess, ArrivalSpec, resolve_arrivals
+from repro.sim.arrivals import (
+    ArrivalProcess,
+    ArrivalSpec,
+    as_continuous_query,
+    resolve_arrivals,
+)
 from repro.sim.events import (
     ArrivalEvent,
     EventQueue,
@@ -73,7 +79,9 @@ SIM_STATE_VERSION = 1
 _STATE_FIELDS = (
     "host_kind", "host", "batch", "clock", "period", "queue",
     "processes", "route", "managers", "pending", "probes", "recorder",
-    "reports", "events_processed", "allow_idle",
+    "reports", "events_processed", "allow_idle", "lookahead",
+    "batch_arrivals", "expired_buffer", "renewed_buffer",
+    "reclaimed_buffer",
 )
 
 
@@ -146,12 +154,26 @@ class LatencyProbe:
         capacity: float,
         policy: "SchedulingPolicy | PolicySpec | str | None" = None,
         shard: int = 0,
+        retention: "int | None" = None,
     ) -> None:
+        # count_mode: the probe only reads latency accounting, never
+        # result tuples, so the engine runs its run-length fast lane
+        # while the mirrored plans stay passthrough selects (it falls
+        # back to tuple queues by itself on anything richer).
         self.engine = ScheduledEngine(
             copy.deepcopy(tuple(sources)), capacity,
-            policy=policy, keep_latency_samples=True)
+            policy=policy, keep_latency_samples=True,
+            max_latency_samples=retention, count_mode=True)
         self.shard = int(shard)
-        self.metrics: list[TickMetrics] = []
+        self.retention = None if retention is None else int(retention)
+        if self.retention is not None:
+            require(self.retention >= 1, "probe retention must be >= 1")
+        #: Per-tick records; capped to the most recent ``retention``
+        #: ticks when a cap is set (older records roll off), exact and
+        #: unbounded otherwise.
+        self.metrics: "list[TickMetrics]" = (
+            [] if self.retention is None
+            else collections.deque(maxlen=self.retention))
         self._delivered = 0
         self._latency_total = 0.0
 
@@ -167,8 +189,11 @@ class LatencyProbe:
         """Execute one probed tick and record its metrics."""
         work_before = self.engine.work_done
         self.engine.run(1)
-        total = sum(s.total for s in self.engine.latency.values())
-        count = sum(s.count for s in self.engine.latency.values())
+        # Engine-level running totals: equal to summing the per-query
+        # stats (all-integer arithmetic, so exactly), but O(1) instead
+        # of O(admitted queries) per tick.
+        total = self.engine.delivered_latency
+        count = self.engine.delivered_count
         delivered = count - self._delivered
         mean = (((total - self._latency_total) / delivered)
                 if delivered else 0.0)
@@ -222,8 +247,21 @@ class SimulationDriver:
         ``"placement"`` routes arrivals via the host's placement
         policy; ``"stream"`` pins arrival process *i* to shard *i*.
     batch:
-        Auction federated boundaries through the thread-pooled batch
-        path.
+        Auction federated boundaries through the pooled batch path.
+    lookahead:
+        How many arrivals the pump pulls from a process per call (the
+        per-source event-queue fill).  Purely a throughput knob: any
+        value produces the identical event order.
+    batch_arrivals:
+        Drain adjacent arrival runs as one vectorized admission pass
+        (the fast path, default).  ``False`` dispatches arrivals one
+        event at a time — the reference path the equivalence suite
+        compares against.
+    probe_retention:
+        Cap each probe's per-tick metric records and latency samples
+        to the most recent N (oldest roll off, so percentiles cover
+        the trailing window).  ``None`` (default) keeps everything —
+        exact, but unbounded on long-horizon runs.
     """
 
     def __init__(
@@ -237,6 +275,9 @@ class SimulationDriver:
         route: str = "placement",
         batch: bool = False,
         allow_idle: bool = True,
+        lookahead: int = 64,
+        batch_arrivals: bool = True,
+        probe_retention: "int | None" = None,
     ) -> None:
         from repro.cluster.federation import FederatedAdmissionService
 
@@ -260,6 +301,9 @@ class SimulationDriver:
                 f"only {shards} shard(s)")
         self.route = route
         self.allow_idle = bool(allow_idle)
+        require(int(lookahead) >= 1, "lookahead must be >= 1")
+        self.lookahead = int(lookahead)
+        self.batch_arrivals = bool(batch_arrivals)
 
         self.managers: "tuple[SubscriptionManager, ...] | None" = None
         if subscriptions:
@@ -284,7 +328,7 @@ class SimulationDriver:
                     policy=(copy.deepcopy(policy_spec)
                             if isinstance(policy_spec, SchedulingPolicy)
                             else resolve_policy(policy_spec)),
-                    shard=i)
+                    shard=i, retention=probe_retention)
                 for i, service in enumerate(self.host.services))
 
         self.recorder: "TraceRecorder | None" = (
@@ -389,7 +433,10 @@ class SimulationDriver:
         self.events_processed += 1
         self.clock = max(self.clock, float(event.time))
         if isinstance(event, ArrivalEvent):
-            self._on_arrival(event)
+            if self.batch_arrivals:
+                self._on_arrival_run(event)
+            else:
+                self._on_arrival(event)
         elif isinstance(event, ExpiryEvent):
             self._on_expiry(event)
         elif isinstance(event, RenewalEvent):
@@ -402,26 +449,32 @@ class SimulationDriver:
             raise ValidationError(f"unknown event {event!r}")
 
     def _pump(self, index: int) -> None:
-        """Pull the next arrival of process *index* into the queue.
+        """Pull the next arrivals of process *index* into the queue.
 
-        A no-op for events pushed outside any process (the lockstep
-        schedule feeds batches directly).
+        Pulls up to :attr:`lookahead` arrivals in one call; only the
+        batch's final event re-triggers the pump when consumed, so a
+        live process always has events queued.  A no-op for events
+        pushed outside any process (the lockstep schedule feeds
+        batches directly).
         """
         if not 0 <= index < len(self.processes):
             return
-        arrival = self.processes[index].next_arrival()
-        if arrival is not None:
+        arrivals = self.processes[index].next_arrivals(self.lookahead)
+        if not arrivals:
+            return
+        push = self.queue.push
+        final = len(arrivals) - 1
+        for position, arrival in enumerate(arrivals):
             # An arrival may pin its own stream (trace replay carries
             # the recorded index); otherwise it inherits the producing
             # process's index.  The producing index still drives the
             # pump, so the event remembers both.
             stream = (index if arrival.stream is None
                       else int(arrival.stream))
-            self.queue.push(
-                ArrivalEvent(time=arrival.time, query=arrival.query,
-                             category=arrival.category, stream=stream,
-                             source=index),
-                stream=stream)
+            push(ArrivalEvent(time=arrival.time, query=arrival.query,
+                              category=arrival.category, stream=stream,
+                              source=index, final=position == final),
+                 stream=stream)
 
     def _on_arrival(self, event: ArrivalEvent) -> None:
         pinned = event.stream if self.route == "stream" else None
@@ -446,9 +499,96 @@ class SimulationDriver:
             if self.recorder is not None:
                 self.recorder.record(event.time, event.query,
                                      event.category, event.stream)
-            self.host.submit(event.query, shard=pinned)
-        if event.source is not None:
+            self.host.submit(as_continuous_query(event.query),
+                             shard=pinned)
+        if event.source is not None and event.final:
             self._pump(event.source)
+
+    def _on_arrival_run(self, first: ArrivalEvent) -> None:
+        """Drain the adjacent run of arrivals, admit them as a batch.
+
+        The arrival counterpart of :meth:`_on_expiry`'s run merging:
+        keep popping while the queue's head is an arrival, pumping a
+        source the moment its batch-final event pops (its next
+        arrivals enter the heap and extend the run in correct order),
+        and hand the whole run to one admission pass.  Pop order — and
+        with it every per-manager RNG draw, recorder row and pending
+        append — is exactly what one-at-a-time dispatch produces; the
+        equivalence suite pins that.
+        """
+        queue = self.queue
+        events = [first]
+        if first.source is not None and first.final:
+            self._pump(first.source)
+        while True:
+            head = queue.peek()
+            if type(head) is not ArrivalEvent:
+                break
+            queue.pop()
+            self.events_processed += 1
+            events.append(head)
+            if head.source is not None and head.final:
+                self._pump(head.source)
+        self.clock = max(self.clock, float(events[-1].time))
+        self._admit_batch(events)
+
+    def _admit_batch(self, events: "list[ArrivalEvent]") -> None:
+        """One vectorized admission pass over a run of arrivals."""
+        route_stream = self.route == "stream"
+        shards = len(self.host.services)
+        recorder = self.recorder
+        if self.managers is None:
+            for event in events:
+                pinned = self._pinned_shard(event, route_stream, shards)
+                if recorder is not None:
+                    recorder.record(event.time, event.query,
+                                    event.category, event.stream)
+                self.host.submit(as_continuous_query(event.query),
+                                 shard=pinned)
+            return
+        shard_of = []
+        by_shard: dict[int, list[int]] = {}
+        for position, event in enumerate(events):
+            pinned = self._pinned_shard(event, route_stream, shards)
+            shard = (pinned if pinned is not None
+                     else self.host.route(event.query))
+            shard_of.append(shard)
+            by_shard.setdefault(shard, []).append(position)
+        # Resolve categories shard by shard: one vectorized draw per
+        # manager covers its arrivals in pop order, which consumes
+        # each manager's RNG exactly as per-event assignment does.
+        category_of: list = [event.category for event in events]
+        for shard, positions in by_shard.items():
+            manager = self.managers[shard]
+            unassigned = [position for position in positions
+                          if events[position].category is None]
+            if unassigned:
+                drawn = manager.assign_categories(len(unassigned))
+                for position, name in zip(unassigned, drawn):
+                    category_of[position] = name
+            for position in positions:
+                if events[position].category is not None:
+                    # validate requested names too
+                    manager.category(events[position].category)
+        pending = self.pending
+        for position, event in enumerate(events):
+            category = category_of[position]
+            if recorder is not None:
+                recorder.record(event.time, event.query, category,
+                                event.stream)
+            pending[shard_of[position]].append((event.query, category))
+
+    def _pinned_shard(self, event: ArrivalEvent, route_stream: bool,
+                      shards: int) -> "int | None":
+        if not route_stream:
+            return None
+        pinned = event.stream
+        if not 0 <= pinned < shards:
+            raise ValidationError(
+                f"arrival {event.query.query_id!r} is pinned to "
+                f"stream {pinned}, but the host has only "
+                f"{shards} shard(s)")
+        return pinned
 
     def _on_expiry(self, event: ExpiryEvent) -> None:
         # Merge the adjacent run of same-time, same-shard expiries into
@@ -635,6 +775,8 @@ class SimulationDriver:
             "reports": self.reports,
             "events_processed": self.events_processed,
             "allow_idle": self.allow_idle,
+            "lookahead": self.lookahead,
+            "batch_arrivals": self.batch_arrivals,
             "expired_buffer": self._expired_buffer,
             "renewed_buffer": self._renewed_buffer,
             "reclaimed_buffer": self._reclaimed_buffer,
@@ -665,10 +807,14 @@ class SimulationDriver:
         driver.clock = state["clock"]
         driver.reports = list(state["reports"])
         driver.events_processed = state["events_processed"]
-        driver._expired_buffer = dict(state.get("expired_buffer", {}))
-        driver._renewed_buffer = list(state.get("renewed_buffer", []))
-        driver._reclaimed_buffer = dict(
-            state.get("reclaimed_buffer", {}))
+        driver.lookahead = int(state["lookahead"])
+        driver.batch_arrivals = bool(state["batch_arrivals"])
+        # Strict access: a snapshot missing the expiry-attribution
+        # buffers is truncated, and silently defaulting them would
+        # drop expiries from the next boundary's report.
+        driver._expired_buffer = dict(state["expired_buffer"])
+        driver._renewed_buffer = list(state["renewed_buffer"])
+        driver._reclaimed_buffer = dict(state["reclaimed_buffer"])
         return driver
 
     def save_checkpoint(self, path: object) -> None:

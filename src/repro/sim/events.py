@@ -64,13 +64,17 @@ class ArrivalEvent(Event):
     arrival *process* that produced it (``None`` for events pushed
     outside any process, e.g. the lockstep schedule).  The two differ
     only during trace replay, where one process re-emits arrivals
-    recorded from many streams.
+    recorded from many streams.  ``final`` marks the last arrival of
+    its source's pump batch: consuming it is what triggers the next
+    lookahead pull, so a source always has events queued until it
+    runs dry.
     """
 
     query: ContinuousQuery = None
     category: "str | None" = None
     stream: int = 0
     source: "int | None" = None
+    final: bool = True
 
     priority = ARRIVAL_PRIORITY
     kind = "arrival"

@@ -31,6 +31,8 @@ import copy
 from dataclasses import dataclass, field, replace
 from collections.abc import Mapping, Sequence
 
+import numpy as np
+
 from repro.cloud.subscriptions import (
     DEFAULT_CATEGORIES,
     SubscriptionCategory,
@@ -40,7 +42,9 @@ from repro.core.mechanism import Mechanism, MechanismSpec
 from repro.core.model import AuctionInstance, Operator
 from repro.core.result import AuctionOutcome
 from repro.dsms.load import estimate_operator_loads
+from repro.dsms.operators import SelectOperator
 from repro.dsms.plan import ContinuousQuery, QueryPlanCatalog
+from repro.sim.arrivals import SelectPlan, as_continuous_query
 from repro.utils.rng import derive_seed, spawn_rng
 from repro.utils.validation import ValidationError, require
 
@@ -167,14 +171,28 @@ class SubscriptionManager:
         Weighted by the capacity fractions — bigger slices attract
         proportionally more of the anonymous demand.
         """
-        weights = [c.capacity_fraction for c in self.options.categories]
-        total = sum(weights)
-        pick = self._rng.random() * total
-        for category, weight in zip(self.options.categories, weights):
-            pick -= weight
-            if pick < 0:
-                return category.name
-        return self.options.categories[-1].name
+        return self.assign_categories(1)[0]
+
+    def assign_categories(self, count: int) -> list[str]:
+        """Draw categories for *count* anonymous arrivals at once.
+
+        One vectorized draw consuming the assignment RNG exactly as
+        *count* sequential :meth:`assign_category` calls would (a
+        ``Generator``'s block draw is bit-identical to the same number
+        of scalar draws), so batched and per-event admission assign
+        identical categories.
+        """
+        categories = self.options.categories
+        bounds = []
+        acc = 0.0
+        for category in categories:
+            acc += category.capacity_fraction
+            bounds.append(acc)
+        picks = self._rng.random(int(count)) * acc
+        indices = np.searchsorted(
+            np.asarray(bounds), picks, side="right")
+        indices = np.minimum(indices, len(categories) - 1)
+        return [categories[index].name for index in indices.tolist()]
 
     # ------------------------------------------------------------------
     # Capacity accounting
@@ -185,7 +203,11 @@ class SubscriptionManager:
         plans: Sequence[ContinuousQuery],
         stream_rates: Mapping[str, float],
     ) -> dict[str, float]:
-        catalog = QueryPlanCatalog(plans)
+        loads = _single_select_loads(plans, stream_rates)
+        if loads is not None:
+            return loads
+        catalog = QueryPlanCatalog(
+            [as_continuous_query(plan) for plan in plans])
         return estimate_operator_loads(catalog, stream_rates)
 
     def held_capacity(
@@ -292,19 +314,61 @@ class SubscriptionManager:
                 rejected.extend(query.query_id for query, _name in requests)
                 continue
             plans = {query.query_id: query for query, _name in requests}
-            operators = {
-                op_id: Operator(op_id,
-                                0.0 if op_id in held_ops
+            # Build the auction instance through the trusted
+            # constructors: every pending plan was validated on entry,
+            # and the operator table is derived from the query set, so
+            # the instance invariants hold by construction.  The
+            # validating path costs ~10µs per candidate — per period,
+            # that dwarfs the auction itself.
+            operators: dict[str, Operator] = {}
+            sharing: dict[str, int] = {}
+            by_id: dict[str, object] = {}
+            auction_queries = []
+            # While every candidate is an unshared single-select plan,
+            # mirror its id/bid/load into flat columns — the columnar
+            # GV kernel then selects straight off these arrays instead
+            # of re-walking the instance per query.
+            col_ids: list[str] = []
+            col_bids: list[float] = []
+            col_loads: list[float] = []
+            columnar = True
+            for query in plans.values():
+                candidate = _auction_query(query)
+                auction_queries.append(candidate)
+                by_id[candidate.query_id] = candidate
+                if columnar and type(candidate) is SelectPlan:
+                    op_id = candidate.op_id
+                    if op_id in operators:
+                        sharing[op_id] += 1
+                        columnar = False
+                    else:
+                        load = (0.0 if op_id in held_ops
                                 else loads.get(op_id, 0.0))
-                for query in plans.values()
-                for op_id in query.operator_ids
-            }
-            instance = AuctionInstance(
-                operators=operators,
-                queries=tuple(_auction_query(query)
-                              for query in plans.values()),
-                capacity=slice_capacity,
-            )
+                        operators[op_id] = Operator._trusted(op_id, load)
+                        sharing[op_id] = 1
+                        col_ids.append(candidate.query_id)
+                        col_bids.append(candidate.bid)
+                        col_loads.append(load)
+                    continue
+                columnar = False
+                for op_id in candidate.operator_ids:
+                    if op_id in operators:
+                        sharing[op_id] += 1
+                    else:
+                        operators[op_id] = Operator._trusted(
+                            op_id,
+                            0.0 if op_id in held_ops
+                            else loads.get(op_id, 0.0))
+                        sharing[op_id] = 1
+            instance = AuctionInstance._from_parts(
+                operators, tuple(auction_queries), slice_capacity,
+                by_id, sharing)
+            if columnar and auction_queries:
+                object.__setattr__(
+                    instance, "_select_columns",
+                    (col_ids,
+                     np.asarray(col_bids, dtype=np.float64),
+                     np.asarray(col_loads, dtype=np.float64)))
             outcome = self.mechanisms[category.name].run(instance)
             outcome = replace(
                 outcome,
@@ -316,6 +380,9 @@ class SubscriptionManager:
                     rejected.append(query_id)
                     continue
                 admitted.append(query_id)
+                # Only winners materialize: the engine needs a real
+                # plan to run, losers never leave their compact form.
+                query = as_continuous_query(query)
                 to_admit.append(query)
                 self.active[query_id] = SubscriptionEntry(
                     query=query,
@@ -345,13 +412,70 @@ class SubscriptionManager:
 
 
 def _auction_query(query: ContinuousQuery):
-    """The auction-layer view of a continuous query."""
+    """The auction-layer view of a continuous query.
+
+    A :class:`~repro.sim.arrivals.SelectPlan` already *is* the
+    auction-layer view — it exposes the whole query protocol the
+    mechanisms read (``query_id`` / ``operator_ids`` / ``bid`` /
+    ``valuation`` / ``owner`` / ``true_value`` / ``owner_id`` /
+    ``with_bid``) — so it passes through untouched.  Full continuous
+    queries go through the trusted :class:`~repro.core.model.Query`
+    constructor: plans reaching the subscription manager were
+    validated when built (synthesis, trace decode, or gateway
+    ingress) and expose their operator ids as a tuple.
+    """
+    if type(query) is SelectPlan:
+        return query
     from repro.core.model import Query
 
-    return Query(
-        query_id=query.query_id,
-        operator_ids=query.operator_ids,
-        bid=query.bid,
-        valuation=query.valuation,
-        owner=query.owner,
+    return Query._trusted(
+        query.query_id,
+        tuple(query.operator_ids),
+        query.bid,
+        query.valuation,
+        query.owner,
     )
+
+
+def _single_select_loads(
+    plans: Sequence, stream_rates: Mapping[str, float]
+) -> "dict[str, float] | None":
+    """Operator loads without building a catalog, when plans allow.
+
+    Every single-select plan over a source stream loads its operator
+    with ``stream_rate * cost_per_tuple`` — bitwise exactly what
+    :func:`~repro.dsms.load.estimate_operator_loads` computes for it.
+    Returns ``None`` (fall back to the full catalog walk) as soon as
+    any plan has another shape, two plans disagree on a shared
+    operator's definition, or an operator feeds another — the cases
+    where topology actually matters.
+    """
+    loads: dict[str, float] = {}
+    inputs: set[str] = set()
+    for plan in plans:
+        if type(plan) is SelectPlan:
+            op_id = plan.op_id
+            name = plan.stream
+            cost = plan.cost
+        elif isinstance(plan, ContinuousQuery):
+            operators = plan.operators
+            if len(operators) != 1:
+                return None
+            op = operators[0]
+            if type(op) is not SelectOperator or len(op.inputs) != 1:
+                return None
+            op_id = op.op_id
+            name = op.inputs[0]
+            cost = op.cost_per_tuple
+        else:
+            return None
+        load = stream_rates.get(name, 0.0) * cost
+        previous = loads.get(op_id)
+        if previous is not None and previous != load:
+            return None
+        loads[op_id] = load
+        inputs.add(name)
+    if inputs & loads.keys():
+        # An operator feeds another: rates chain, topology matters.
+        return None
+    return loads

@@ -2,34 +2,47 @@
 
 A trace is the workload of an open-system run — every arrival's
 virtual time, query, and requested subscription category — captured as
-a versioned JSON document (``repro/sim-trace``, written and read by
+a versioned document (``repro/sim-trace``, written and read by
 :func:`repro.io.save_sim_trace` / :func:`repro.io.load_sim_trace`).
 Replaying a trace through :class:`~repro.sim.arrivals.TraceArrivals`
 against an identically configured service reproduces the recorded run
 byte-identically: same auctions, same bills, same reports.
 
-Query plans carry arbitrary Python callables, which JSON cannot hold,
-so the codec has two encodings:
+Two file formats share the schema:
+
+* **v1 (JSON)** — one ``arrivals`` array of per-entry documents.
+  Readable, greppable, and still both written and read.
+* **v2 (binary)** — the select-encoded arrivals as numpy columns
+  (times, bids, costs, selectivities, plus interned owner/category/
+  stream string tables) in one ``.npz`` container, loaded with
+  ``allow_pickle=False`` always.  Orders of magnitude faster and
+  smaller for the synthetic workloads whose traces are millions of
+  rows.
+
+Query plans carry arbitrary Python callables, which neither format can
+hold directly, so the query codec has two encodings:
 
 * ``"select"`` — the compact form for the library's synthetic
-  single-select plans (the output of
-  :func:`~repro.sim.arrivals.synthetic_query` and the CLI workloads):
+  single-select plans over :func:`~repro.sim.arrivals.pass_all` (the
+  output of :func:`~repro.sim.arrivals.synthetic_query`, the CLI
+  workloads and :class:`~repro.sim.arrivals.SelectPlan` records):
   just the id, bid, owner, stream, cost and selectivity;
-* ``"pickle"`` — a base64 pickle fallback for arbitrary plans.  Like
-  snapshot files, a trace using it executes code on load — only
-  replay traces you trust (the JSON is inspectable: grep for
-  ``"plan": "pickle"``).
+* ``"pickle"`` — a base64 pickle fallback for genuinely opaque plans.
+  Like snapshot files, a trace using it executes code on load — only
+  replay traces you trust (both formats stay inspectable: grep the
+  JSON, or check :attr:`TraceColumns.opaque`) — and the gateway wire
+  codec refuses it by default.
 """
 
 from __future__ import annotations
 
 import base64
 import pickle
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.dsms.operators import SelectOperator
 from repro.dsms.plan import ContinuousQuery
-from repro.sim.arrivals import _pass_all
+from repro.sim.arrivals import Arrival, SelectPlan, pass_all
 from repro.utils.validation import ValidationError
 
 
@@ -43,37 +56,223 @@ class TraceEntry:
     stream: int = 0
 
 
-@dataclass(frozen=True)
-class SimTrace:
-    """An ordered record of every arrival of one simulation run."""
+def as_select_plan(query) -> "SelectPlan | None":
+    """*query* as a compact :class:`SelectPlan`, or ``None``.
 
-    entries: tuple[TraceEntry, ...] = ()
+    Recognizes a live :class:`SelectPlan` and any single-select
+    :class:`ContinuousQuery` whose predicate is *identically* the
+    public :func:`~repro.sim.arrivals.pass_all` — the only plan shape
+    the compact ``'select'`` encoding (and therefore the gateway's
+    untrusting wire boundary) can carry.
+    """
+    if type(query) is SelectPlan:
+        return query
+    if (isinstance(query, ContinuousQuery)
+            and len(query.operators) == 1
+            and type(query.operators[0]) is SelectOperator
+            and query.operators[0]._predicate is pass_all):
+        op = query.operators[0]
+        return SelectPlan(
+            query.query_id, op.op_id, op.inputs[0],
+            op.cost_per_tuple, op.selectivity(),
+            query.bid, query.valuation, query.owner)
+    return None
+
+
+@dataclass
+class TraceColumns:
+    """The columnar body of a trace: one row per arrival.
+
+    Select-encoded arrivals live entirely in the parallel columns;
+    the rare opaque plan keeps its query object in :attr:`opaque`
+    (row → query) with placeholder column values, so row order — and
+    therefore replay order — is exactly recording order.
+    """
+
+    times: list = field(default_factory=list)
+    streams: list = field(default_factory=list)
+    categories: list = field(default_factory=list)
+    ids: list = field(default_factory=list)
+    ops: list = field(default_factory=list)
+    inputs: list = field(default_factory=list)
+    costs: list = field(default_factory=list)
+    selectivities: list = field(default_factory=list)
+    bids: list = field(default_factory=list)
+    valuations: list = field(default_factory=list)
+    owners: list = field(default_factory=list)
+    #: row index → the opaque (non-select) query recorded there.
+    opaque: dict = field(default_factory=dict)
 
     def __len__(self) -> int:
-        return len(self.entries)
+        return len(self.times)
+
+    def append_select(
+        self, time: float, plan: SelectPlan,
+        category: "str | None", stream: int,
+    ) -> None:
+        """Append one select-encoded arrival row."""
+        self.times.append(time)
+        self.streams.append(stream)
+        self.categories.append(category)
+        self.ids.append(plan.query_id)
+        self.ops.append(plan.op_id)
+        self.inputs.append(plan.stream)
+        self.costs.append(plan.cost)
+        self.selectivities.append(plan.selectivity)
+        self.bids.append(plan.bid)
+        self.valuations.append(plan.valuation)
+        self.owners.append(plan.owner)
+
+    def append_opaque(
+        self, time: float, query,
+        category: "str | None", stream: int,
+    ) -> None:
+        """Append one arrival whose plan has no compact encoding."""
+        self.opaque[len(self.times)] = query
+        self.times.append(time)
+        self.streams.append(stream)
+        self.categories.append(category)
+        self.ids.append(getattr(query, "query_id", ""))
+        self.ops.append("")
+        self.inputs.append("")
+        self.costs.append(0.0)
+        self.selectivities.append(0.0)
+        self.bids.append(0.0)
+        self.valuations.append(None)
+        self.owners.append(None)
+
+    def query(self, row: int):
+        """The recorded query of *row* (a SelectPlan when compact)."""
+        opaque = self.opaque.get(row)
+        if opaque is not None:
+            return opaque
+        return SelectPlan(
+            self.ids[row], self.ops[row], self.inputs[row],
+            self.costs[row], self.selectivities[row], self.bids[row],
+            self.valuations[row], self.owners[row])
+
+    def arrival(self, row: int) -> Arrival:
+        """Row *row* as a replayable :class:`Arrival`."""
+        return Arrival(
+            time=self.times[row], query=self.query(row),
+            category=self.categories[row], stream=self.streams[row])
+
+    def arrivals_slice(self, start: int, stop: int) -> list[Arrival]:
+        """Rows ``[start, stop)`` as arrivals, in order."""
+        return [self.arrival(row) for row in range(start, stop)]
+
+    def entries(self) -> list[TraceEntry]:
+        """Every row as a :class:`TraceEntry`, in recording order."""
+        return [
+            TraceEntry(time=self.times[row], query=self.query(row),
+                       category=self.categories[row],
+                       stream=self.streams[row])
+            for row in range(len(self.times))
+        ]
+
+    def copy(self) -> "TraceColumns":
+        """A shallow row-snapshot (new lists, shared immutable cells)."""
+        return TraceColumns(
+            times=list(self.times), streams=list(self.streams),
+            categories=list(self.categories), ids=list(self.ids),
+            ops=list(self.ops), inputs=list(self.inputs),
+            costs=list(self.costs),
+            selectivities=list(self.selectivities),
+            bids=list(self.bids), valuations=list(self.valuations),
+            owners=list(self.owners), opaque=dict(self.opaque))
+
+    @classmethod
+    def from_entries(cls, entries) -> "TraceColumns":
+        """Columns for an iterable of :class:`TraceEntry` rows."""
+        columns = cls()
+        for entry in entries:
+            plan = as_select_plan(entry.query)
+            if plan is not None:
+                columns.append_select(entry.time, plan,
+                                      entry.category, entry.stream)
+            else:
+                columns.append_opaque(entry.time, entry.query,
+                                      entry.category, entry.stream)
+        return columns
+
+
+class SimTrace:
+    """An ordered record of every arrival of one simulation run.
+
+    Backed either by a tuple of :class:`TraceEntry` (the v1 JSON
+    shape) or by :class:`TraceColumns` (what the recorder produces and
+    the v2 binary format stores); ``entries`` materializes lazily from
+    columns, so column-backed traces save and replay without building
+    a million entry objects first.
+    """
+
+    def __init__(self, entries=(), columns: "TraceColumns | None" = None):
+        if columns is not None and entries:
+            raise ValidationError(
+                "pass entries or columns, not both")
+        self._entries = None if columns is not None else tuple(entries)
+        self._columns = columns
+
+    @property
+    def entries(self) -> tuple[TraceEntry, ...]:
+        """The trace as entry records (materialized once, cached)."""
+        if self._entries is None:
+            self._entries = tuple(self._columns.entries())
+        return self._entries
+
+    def columns(self) -> "TraceColumns | None":
+        """The columnar body, when this trace is column-backed."""
+        return self._columns
+
+    def __len__(self) -> int:
+        if self._columns is not None:
+            return len(self._columns)
+        return len(self._entries)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, SimTrace):
+            return NotImplemented
+        return self.entries == other.entries
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<SimTrace {len(self)} arrivals>"
 
 
 class TraceRecorder:
-    """Collects arrivals as the driver processes them."""
+    """Collects arrivals as the driver processes them.
+
+    Select-shaped plans append straight onto :class:`TraceColumns` —
+    a handful of scalar list appends per arrival, no entry or plan
+    objects — which is what keeps ``record=True`` viable on
+    million-arrival runs.
+    """
 
     def __init__(self) -> None:
-        self._entries: list[TraceEntry] = []
+        self._columns = TraceColumns()
 
     def record(
         self,
         time: float,
-        query: ContinuousQuery,
+        query,
         category: "str | None",
         stream: int = 0,
     ) -> None:
         """Append one arrival to the recording."""
-        self._entries.append(TraceEntry(
-            time=float(time), query=query, category=category,
-            stream=int(stream)))
+        if type(query) is SelectPlan:
+            self._columns.append_select(
+                float(time), query, category, int(stream))
+            return
+        plan = as_select_plan(query)
+        if plan is not None:
+            self._columns.append_select(
+                float(time), plan, category, int(stream))
+        else:
+            self._columns.append_opaque(
+                float(time), query, category, int(stream))
 
     def trace(self) -> SimTrace:
         """The recording so far, as an immutable trace."""
-        return SimTrace(entries=tuple(self._entries))
+        return SimTrace(columns=self._columns.copy())
 
 
 # ----------------------------------------------------------------------
@@ -81,25 +280,23 @@ class TraceRecorder:
 # ----------------------------------------------------------------------
 
 
-def encode_query(query: ContinuousQuery) -> dict:
+def encode_query(query) -> dict:
     """JSON-able representation of *query* (compact when possible)."""
-    if (len(query.operators) == 1
-            and type(query.operators[0]) is SelectOperator
-            and query.operators[0]._predicate is _pass_all):
-        op = query.operators[0]
+    plan = as_select_plan(query)
+    if plan is not None:
         entry: dict[str, object] = {
             "plan": "select",
-            "id": query.query_id,
-            "op": op.op_id,
-            "stream": op.inputs[0],
-            "cost": op.cost_per_tuple,
-            "selectivity": op.selectivity(),
-            "bid": query.bid,
+            "id": plan.query_id,
+            "op": plan.op_id,
+            "stream": plan.stream,
+            "cost": plan.cost,
+            "selectivity": plan.selectivity,
+            "bid": plan.bid,
         }
-        if query.valuation is not None:
-            entry["valuation"] = query.valuation
-        if query.owner is not None:
-            entry["owner"] = query.owner
+        if plan.valuation is not None:
+            entry["valuation"] = plan.valuation
+        if plan.owner is not None:
+            entry["owner"] = plan.owner
         return entry
     return {
         "plan": "pickle",
@@ -115,16 +312,15 @@ def decode_query(entry: dict) -> ContinuousQuery:
     try:
         plan = entry["plan"]
         if plan == "select":
-            op = SelectOperator(
-                entry["op"], entry["stream"], _pass_all,
-                cost_per_tuple=float(entry["cost"]),
-                selectivity_estimate=float(entry["selectivity"]))
-            return ContinuousQuery(
-                entry["id"], (op,), sink_id=op.op_id,
-                bid=float(entry["bid"]),
-                valuation=(float(entry["valuation"])
-                           if "valuation" in entry else None),
-                owner=entry.get("owner"))
+            return SelectPlan(
+                str(entry["id"]), str(entry["op"]),
+                str(entry["stream"]),
+                float(entry["cost"]), float(entry["selectivity"]),
+                float(entry["bid"]),
+                (float(entry["valuation"])
+                 if "valuation" in entry else None),
+                entry.get("owner"),
+            ).materialize()
         if plan == "pickle":
             query = pickle.loads(base64.b64decode(entry["data"]))
             if not isinstance(query, ContinuousQuery):

@@ -1,11 +1,13 @@
-"""The thread-pooled batch auction path: parallel == sequential.
+"""The pooled batch auction paths: parallel == sequential.
 
 ``run_period_all`` dispatches independent shard auctions across a
-thread pool (auctions are side-effect-free until settlement); these
-tests pin that the pooled path produces byte-identical cluster reports
-to the sequential :meth:`run_period` — including for randomized
-mechanisms, whose per-shard RNG streams must be consumed in shard
-order either way — and that auction failures still roll back cleanly.
+pool — threads by default, worker processes with
+``auction_mode="process"`` (auctions are side-effect-free until
+settlement); these tests pin that both pooled paths produce
+byte-identical cluster reports to the sequential :meth:`run_period` —
+including for randomized mechanisms, whose per-shard RNG streams must
+be consumed in shard order either way, and round-tripped back from the
+worker processes — and that auction failures still roll back cleanly.
 """
 
 import json
@@ -24,7 +26,8 @@ pytestmark = pytest.mark.cluster
 
 
 def build_cluster(mechanism="two-price:seed=7", num_shards=3,
-                  capacity=8.0, selection=None, auction_workers=None):
+                  capacity=8.0, selection=None, auction_workers=None,
+                  auction_mode="thread"):
     return FederatedAdmissionService.build(
         num_shards=num_shards,
         sources=[SyntheticStream("s", rate=4, seed=5, poisson=False)],
@@ -34,6 +37,7 @@ def build_cluster(mechanism="two-price:seed=7", num_shards=3,
         selection=selection,
         placement="round-robin",
         auction_workers=auction_workers,
+        auction_mode=auction_mode,
     )
 
 
@@ -146,3 +150,135 @@ class TestFailurePropagation:
         cluster = build_cluster(auction_workers=4)
         restored = FederatedAdmissionService.restore(cluster.snapshot())
         assert restored.auction_workers is None
+
+
+@pytest.mark.sim_parallel
+class TestProcessPool:
+    """``auction_mode="process"``: worker processes, same bytes.
+
+    Marked ``sim_parallel`` so CI can exercise the multiprocessing
+    pool in its own leg (``pytest -m sim_parallel``); every test pins
+    the pool at 2 workers.
+    """
+
+    def test_process_equals_sequential_over_periods(self):
+        """Randomized per-shard mechanisms: RNG state round-trips.
+
+        Three periods, so period N+1 only matches if the parent-side
+        mechanism RNGs advanced exactly as a sequential run's would
+        after period N — the worker's evolved state must come back.
+        """
+        sequential = build_cluster()
+        pooled = build_cluster(auction_mode="process",
+                               auction_workers=2)
+        try:
+            for left, right in zip(
+                    run_periods(sequential, 3, batch=False),
+                    run_periods(pooled, 3, batch=True)):
+                assert report_bytes(left) == report_bytes(right)
+        finally:
+            pooled.close_pool()
+        assert sequential.total_revenue() == pooled.total_revenue()
+
+    def test_process_equals_thread(self):
+        threaded = build_cluster(auction_workers=2)
+        pooled = build_cluster(auction_mode="process",
+                               auction_workers=2)
+        try:
+            for left, right in zip(run_periods(threaded, 2, batch=True),
+                                   run_periods(pooled, 2, batch=True)):
+                assert report_bytes(left) == report_bytes(right)
+        finally:
+            pooled.close_pool()
+
+    def test_shared_mechanism_object_stays_one_group(self):
+        """One shared mechanism: one worker job, state still returns."""
+        from repro.core import TwoPrice
+
+        sequential = build_cluster(mechanism=TwoPrice(seed=3))
+        pooled = build_cluster(mechanism=TwoPrice(seed=3),
+                               auction_mode="process",
+                               auction_workers=2)
+        mechanism = pooled.shards[0].mechanism
+        assert all(s.mechanism is mechanism for s in pooled.shards)
+        try:
+            for left, right in zip(
+                    run_periods(sequential, 2, batch=False),
+                    run_periods(pooled, 2, batch=True)):
+                assert report_bytes(left) == report_bytes(right)
+        finally:
+            pooled.close_pool()
+        # The parent-side object survived state splicing untouched in
+        # identity: shards still share the very same mechanism.
+        assert all(s.mechanism is mechanism for s in pooled.shards)
+
+    def test_worker_failure_rolls_back_and_is_retryable(self):
+        register_mechanism("explosive-process", _Explosive)
+        cluster = build_cluster(mechanism="explosive-process",
+                                num_shards=2,
+                                auction_mode="process",
+                                auction_workers=2)
+        try:
+            for query in submissions(1, count=4):
+                cluster.submit(query)
+            pending_before = set(cluster.pending_ids)
+            with pytest.raises(RuntimeError, match="auction blew up"):
+                cluster.run_period_all()
+            assert cluster.period == 0
+            assert cluster.pending_ids == pending_before
+            for shard in cluster.shards:
+                shard.mechanism = (
+                    __import__("repro.core", fromlist=["CAT"]).CAT())
+            report = cluster.run_period_all()
+            assert report.period == 1
+        finally:
+            cluster.close_pool()
+
+    def test_checkpoint_resume_continues_identically(self):
+        """A mid-run checkpoint resumes byte-identically on the pool."""
+        reference = build_cluster()
+        pooled = build_cluster(auction_mode="process",
+                               auction_workers=2)
+        try:
+            for query in submissions(1):
+                reference.submit(query)
+            for query in submissions(1):
+                pooled.submit(query)
+            reference.run_period()
+            pooled.run_period_all()
+            restored = FederatedAdmissionService.restore(
+                pooled.snapshot())
+        finally:
+            pooled.close_pool()
+        # Pool configuration is runtime tuning, not state.
+        assert restored.auction_mode == "thread"
+        restored.auction_mode = "process"
+        restored.auction_workers = 2
+        for query in submissions(2):
+            reference.submit(query)
+        for query in submissions(2):
+            restored.submit(query)
+        left = reference.run_period()
+        try:
+            right = restored.run_period_all()
+        finally:
+            restored.close_pool()
+        assert report_bytes(left) == report_bytes(right)
+
+    def test_pool_survives_copy_and_pickle_cold(self):
+        import copy as copy_module
+        import pickle
+
+        cluster = build_cluster(auction_mode="process",
+                                auction_workers=2)
+        try:
+            run_periods(cluster, 1, batch=True)
+            assert cluster._process_pool is not None
+            clone = copy_module.deepcopy(cluster)
+            assert clone._process_pool is None
+            wire = pickle.loads(pickle.dumps(cluster._process_pool))
+            assert wire._executor is None
+            assert wire.workers == 2
+        finally:
+            cluster.close_pool()
+        assert cluster._process_pool is None

@@ -54,6 +54,42 @@ class TestSim:
 
         assert table_lines(recorded) == table_lines(replayed)
 
+    def test_recorded_traces_are_pickle_free_and_wire_safe(
+            self, tmp_path, capsys):
+        """CLI recordings never fall back to the pickle encoding.
+
+        The CLI's synthetic workloads are all single-select plans over
+        the public ``pass_all`` predicate, so every recorded entry
+        must use the compact ``'select'`` encoding — and therefore
+        round-trip through the gateway wire codec with its default
+        pickle-refusing posture.
+        """
+        from repro.io import (
+            ServeRequest,
+            serve_request_from_dict,
+            serve_request_to_dict,
+        )
+        from repro.sim.trace import decode_query
+
+        trace_path = tmp_path / "run.trace.json"
+        assert main(["sim", *FAST, "--subscriptions",
+                     "--record", str(trace_path)]) == 0
+        capsys.readouterr()
+        document = json.loads(trace_path.read_text())
+        arrivals = document["arrivals"]
+        assert arrivals, "recording produced no arrivals"
+        plans = {entry["query"]["plan"] for entry in arrivals}
+        assert plans == {"select"}
+
+        # Every recorded plan survives the gateway boundary without
+        # allow_pickle (the default for untrusted clients).
+        for entry in arrivals:
+            query = decode_query(entry["query"])
+            wire = serve_request_to_dict(
+                ServeRequest(op="submit", query=query))
+            parsed = serve_request_from_dict(wire)
+            assert parsed.query.query_id == entry["query"]["id"]
+
     def test_checkpoint_resume_continues_the_run(self, tmp_path,
                                                  capsys):
         ckpt = tmp_path / "sim.ckpt"
