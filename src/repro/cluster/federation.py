@@ -102,6 +102,7 @@ class FederatedAdmissionService:
         rebalancer: "Rebalancer | None" = None,
         auction_workers: "int | None" = None,
         auction_mode: str = "thread",
+        auction_columns: str = "pickle",
     ) -> None:
         shards = tuple(shards)
         require(len(shards) >= 1, "a federation needs at least one shard")
@@ -117,6 +118,10 @@ class FederatedAdmissionService:
             raise ValidationError(
                 f"auction_mode must be 'thread' or 'process', got "
                 f"{auction_mode!r}")
+        if auction_columns not in ("pickle", "shm"):
+            raise ValidationError(
+                f"auction_columns must be 'pickle' or 'shm', got "
+                f"{auction_columns!r}")
         self.shards: tuple[AdmissionService, ...] = shards
         self.placement = resolve_placement(placement)
         self.rebalancer = rebalancer
@@ -130,6 +135,12 @@ class FederatedAdmissionService:
         #: :mod:`repro.cluster.parallel`).  Runtime tuning like
         #: ``auction_workers``; byte-identical results either way.
         self.auction_mode = auction_mode
+        #: How the process pool ships each instance's numeric select
+        #: columns to its workers: ``"pickle"`` (with the job) or
+        #: ``"shm"`` (one shared-memory segment per boundary, ids-only
+        #: pickling).  Runtime tuning like ``auction_workers``;
+        #: byte-identical results either way.
+        self.auction_columns = auction_columns
         self._process_pool: "AuctionProcessPool | None" = None
         self._period = 0
         self.reports: list[ClusterReport] = []
@@ -157,6 +168,7 @@ class FederatedAdmissionService:
         rebalance: bool = True,
         auction_workers: "int | None" = None,
         auction_mode: str = "thread",
+        auction_columns: str = "pickle",
     ) -> "FederatedAdmissionService":
         """Assemble a homogeneous cluster of *num_shards* shards.
 
@@ -209,6 +221,7 @@ class FederatedAdmissionService:
             rebalancer=Rebalancer() if rebalance else None,
             auction_workers=auction_workers,
             auction_mode=auction_mode,
+            auction_columns=auction_columns,
         )
 
     # ------------------------------------------------------------------
@@ -316,10 +329,12 @@ class FederatedAdmissionService:
         from repro.cluster.parallel import AuctionProcessPool
 
         pool = self._process_pool
-        if pool is None or pool.workers != workers:
+        if (pool is None or pool.workers != workers
+                or pool.columns != self.auction_columns):
             if pool is not None:
                 pool.close()
-            pool = self._process_pool = AuctionProcessPool(workers)
+            pool = self._process_pool = AuctionProcessPool(
+                workers, columns=self.auction_columns)
         return pool
 
     def close_pool(self) -> None:
@@ -521,6 +536,7 @@ class FederatedAdmissionService:
         cluster.rebalancer = copy.deepcopy(snapshot.rebalancer)
         cluster.auction_workers = None  # runtime tuning, not state
         cluster.auction_mode = "thread"
+        cluster.auction_columns = "pickle"
         cluster._process_pool = None
         cluster._period = snapshot.period
         cluster.reports = list(copy.deepcopy(snapshot.reports))

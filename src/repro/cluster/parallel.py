@@ -43,10 +43,17 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from collections.abc import Sequence
 
+import numpy as np
+
 from repro.core.mechanism import Mechanism
 from repro.core.model import AuctionInstance
 from repro.core.result import AuctionOutcome
-from repro.utils.validation import require
+from repro.utils.validation import ValidationError, require
+
+try:
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - always present on CPython 3.8+
+    _shared_memory = None
 
 
 def _pack_instance(instance: AuctionInstance):
@@ -79,6 +86,99 @@ def _run_mechanism_group(mechanism: Mechanism, packed_instances):
     return outcomes, mechanism.__dict__
 
 
+def _extract_select_columns(instance: AuctionInstance):
+    """Single-select columns of *instance*, extracted once and cached.
+
+    The shared-memory transport needs flat numeric columns to pack;
+    instances built by the service coordinator don't carry them yet.
+    This mirrors the columnar fast path's extraction exactly — same
+    values, same dtypes — so a worker handed these columns computes
+    bitwise what it would have extracted itself.  Returns ``None``
+    for shapes the columnar select can't use anyway (shared or
+    multi-operator queries); those instances ship pickled as-is.
+    """
+    columns = getattr(instance, "_select_columns", None)
+    if columns is not None:
+        return columns
+    if instance.max_sharing_degree() > 1:
+        return None
+    queries = instance.queries
+    operators = instance.operators
+    n = len(queries)
+    if n == 0:
+        return None
+    ids = []
+    bids = np.empty(n, dtype=np.float64)
+    loads = np.empty(n, dtype=np.float64)
+    for i, query in enumerate(queries):
+        op_ids = query.operator_ids
+        if len(op_ids) != 1:
+            return None
+        ids.append(query.query_id)
+        bids[i] = query.bid
+        loads[i] = operators[op_ids[0]].load
+    columns = (ids, bids, loads)
+    object.__setattr__(instance, "_select_columns", columns)
+    return columns
+
+
+def _attach_segment(name: str):
+    """Attach a shared-memory segment without registering ownership.
+
+    Before Python 3.13 (``track=False``), merely *attaching* registers
+    the segment with the worker's resource tracker, which then tries
+    to unlink it again at process exit — after the parent already has
+    — and spams stderr.  Unregistering right after the attach keeps
+    the parent the sole owner.
+    """
+    try:
+        return _shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        # No ``track`` parameter before 3.13.  Silencing ``register``
+        # for the duration of the attach (rather than unregistering
+        # afterwards) matters when several workers share one tracker
+        # process (fork): registers dedupe in the tracker's cache, so
+        # a second worker's unregister would miss and spam stderr.
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return _shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+def _run_mechanism_group_shm(mechanism: Mechanism, instances, layout,
+                             segment_name: str):
+    """Worker-side job for the shared-memory column transport.
+
+    *layout* holds, per instance, either ``None`` (no columns shipped)
+    or ``(ids, offset, count)``: the query ids plus where in the
+    segment that instance's bid and load float64 blocks start.  The
+    worker copies the blocks out (so the parent may unlink the segment
+    the moment every job is done) and re-attaches them as the
+    instance's ``_select_columns``, identical to the pickled transport.
+    """
+    segment = _attach_segment(segment_name)
+    try:
+        for instance, packed in zip(instances, layout):
+            if packed is None:
+                continue
+            ids, offset, count = packed
+            bids = np.frombuffer(segment.buf, dtype=np.float64,
+                                 count=count, offset=offset).copy()
+            loads = np.frombuffer(
+                segment.buf, dtype=np.float64, count=count,
+                offset=offset + bids.nbytes).copy()
+            object.__setattr__(instance, "_select_columns",
+                               (ids, bids, loads))
+    finally:
+        segment.close()
+    outcomes = mechanism.run_many(instances)
+    return outcomes, mechanism.__dict__
+
+
 class AuctionProcessPool:
     """A persistent, lazily started pool of auction worker processes.
 
@@ -89,9 +189,25 @@ class AuctionProcessPool:
     fully pickled either way.
     """
 
-    def __init__(self, workers: int) -> None:
+    def __init__(self, workers: int, columns: str = "pickle") -> None:
         require(int(workers) >= 1, "pool workers must be >= 1")
+        if columns not in ("pickle", "shm"):
+            raise ValidationError(
+                f"pool column transport must be 'pickle' or 'shm', "
+                f"got {columns!r}")
         self.workers = int(workers)
+        #: How each job's numeric select columns travel to the worker:
+        #: ``"pickle"`` serializes them through the executor pipe with
+        #: the rest of the job, ``"shm"`` packs every instance's bid
+        #: and load arrays into one shared-memory segment per
+        #: ``run_groups`` call (one memcpy in, one out) and pickles
+        #: only the ids.  Results are identical; jobs with no columns
+        #: to ship fall back to the pickled transport per call.
+        self.columns = columns
+        #: Transport counters: shared-memory segments created, bytes
+        #: packed into them, and calls that went out pickled.
+        self.stats = {"shm_segments": 0, "shm_bytes": 0,
+                      "pickled_calls": 0}
         self._executor: "ProcessPoolExecutor | None" = None
 
     def _ensure_executor(self) -> ProcessPoolExecutor:
@@ -117,19 +233,85 @@ class AuctionProcessPool:
         would.
         """
         executor = self._ensure_executor()
-        futures = [
-            executor.submit(
-                _run_mechanism_group, mechanism,
-                [_pack_instance(instance) for instance in instances])
-            for mechanism, instances in jobs
-        ]
-        grouped: "list[list[AuctionOutcome]]" = []
-        for (mechanism, _instances), future in zip(jobs, futures):
-            outcomes, evolved = future.result()
-            mechanism.__dict__.clear()
-            mechanism.__dict__.update(evolved)
-            grouped.append(outcomes)
+        futures = segment = None
+        if self.columns == "shm" and _shared_memory is not None:
+            packed = self._pack_shm(jobs)
+            if packed is not None:
+                segment, layouts = packed
+                futures = [
+                    executor.submit(
+                        _run_mechanism_group_shm, mechanism,
+                        list(instances), layout, segment.name)
+                    for (mechanism, instances), layout
+                    in zip(jobs, layouts)
+                ]
+        if futures is None:
+            self.stats["pickled_calls"] += 1
+            futures = [
+                executor.submit(
+                    _run_mechanism_group, mechanism,
+                    [_pack_instance(instance) for instance in instances])
+                for mechanism, instances in jobs
+            ]
+        try:
+            grouped: "list[list[AuctionOutcome]]" = []
+            for (mechanism, _instances), future in zip(jobs, futures):
+                outcomes, evolved = future.result()
+                mechanism.__dict__.clear()
+                mechanism.__dict__.update(evolved)
+                grouped.append(outcomes)
+        finally:
+            if segment is not None:
+                # Every worker copied its blocks out before its future
+                # resolved, so the segment can go the moment all jobs
+                # are settled (or the first one failed).
+                segment.close()
+                segment.unlink()
         return grouped
+
+    def _pack_shm(self, jobs):
+        """Pack every job's numeric columns into one shm segment.
+
+        Returns ``(segment, layouts)`` — ``layouts[j][i]`` is ``None``
+        or ``(ids, offset, count)`` for job *j*'s instance *i* — or
+        ``None`` when there is nothing worth a segment (no instance
+        carries columns) or the segment cannot be created, in which
+        case the caller falls back to the pickled transport.
+        """
+        layouts = []
+        blocks: "list[np.ndarray]" = []
+        offsets: "list[int]" = []
+        total = 0
+        for _mechanism, instances in jobs:
+            layout = []
+            for instance in instances:
+                columns = _extract_select_columns(instance)
+                if columns is None:
+                    layout.append(None)
+                    continue
+                ids, bids, loads = columns
+                bids = np.ascontiguousarray(bids, dtype=np.float64)
+                loads = np.ascontiguousarray(loads, dtype=np.float64)
+                layout.append((list(ids), total, len(bids)))
+                blocks.extend((bids, loads))
+                offsets.extend((total, total + bids.nbytes))
+                total += bids.nbytes + loads.nbytes
+            layouts.append(layout)
+        if total == 0:
+            return None
+        try:
+            segment = _shared_memory.SharedMemory(create=True,
+                                                  size=total)
+        except (OSError, ValueError):  # pragma: no cover - shm full
+            return None
+        for block, offset in zip(blocks, offsets):
+            target = np.frombuffer(segment.buf, dtype=np.float64,
+                                   count=len(block), offset=offset)
+            target[:] = block
+        del target
+        self.stats["shm_segments"] += 1
+        self.stats["shm_bytes"] += total
+        return segment, layouts
 
     def close(self) -> None:
         """Shut the worker processes down (the pool restarts on use)."""

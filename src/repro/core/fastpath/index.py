@@ -162,12 +162,64 @@ class InstanceIndex:
         self.id_rank = id_rank
 
     @classmethod
+    def from_select_columns(cls, ids, op_ids, bids, loads,
+                            capacity: float) -> "InstanceIndex":
+        """Build an index straight from single-select columns.
+
+        The columnar pump's instances know their shape up front: one
+        private operator per query (sharing degree 1 throughout), ids
+        and operators in row order.  That pins every derived value —
+        the CSR matrix is the identity layout, fair-share equals total
+        load, and all the ``__init__`` accumulations collapse to array
+        copies — so the index can skip materializing the query objects
+        entirely.  Values are bitwise what ``__init__`` would produce
+        for the eager twin instance.
+        """
+        index = object.__new__(cls)
+        n = len(ids)
+        index.capacity = float(capacity)
+        index.num_queries = n
+        index.num_operators = n
+        index.query_ids = list(ids)
+        index.op_ids = list(op_ids)
+        loads_arr = np.asarray(loads, dtype=np.float64)
+        index.op_loads = loads_arr
+        index.op_loads_list = loads_arr.tolist()
+        index.sharing = np.ones(n, dtype=np.int64)
+        arange = np.arange(n, dtype=np.int64)
+        index.indptr = np.arange(n + 1, dtype=np.int64)
+        index.indices = arange
+        index.query_ops = [[o] for o in range(n)]
+        index.op_queries = [arange[o:o + 1] for o in range(n)]
+        index.total_loads = loads_arr
+        index.total_loads_list = index.op_loads_list
+        index.fair_share_loads = loads_arr / index.sharing
+        index.fair_share_loads_list = index.fair_share_loads.tolist()
+        index.simple_queries = [True] * n
+        bids_arr = np.asarray(bids, dtype=np.float64)
+        index.bids = bids_arr
+        index.bids_list = bids_arr.tolist()
+        order = np.argsort(np.asarray(index.query_ids))
+        id_rank = np.empty(n, dtype=np.int64)
+        id_rank[order] = arange
+        index.id_rank = id_rank
+        return index
+
+    @classmethod
     def of(cls, instance: AuctionInstance) -> "InstanceIndex":
         """The index of *instance*, built once and cached on it."""
         cached = getattr(instance, _CACHE_ATTR, None)
         if cached is not None:
             return cached
-        index = cls(instance)
+        # Lazy columnar instances (repro.sim.columnar) expose their
+        # rows through a duck-typed hook so the index builds without
+        # materializing their query objects.
+        hook = getattr(instance, "_index_columns", None)
+        if hook is not None:
+            index = cls.from_select_columns(*hook(),
+                                            capacity=instance.capacity)
+        else:
+            index = cls(instance)
         object.__setattr__(instance, _CACHE_ATTR, index)
         return index
 

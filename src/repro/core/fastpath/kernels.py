@@ -117,6 +117,39 @@ def bid_order_indices(index: InstanceIndex) -> list[int]:
     return np.lexsort((index.id_rank, -index.bids)).tolist()
 
 
+def select_screen(
+    ids: "list[str] | np.ndarray",
+    bids: np.ndarray,
+    loads: np.ndarray,
+    capacity: float,
+) -> "tuple[np.ndarray, int, int | None]":
+    """Bulk bid/load/capacity screen for single-select admission rows.
+
+    The columnar pump's pre-screen: given one block of admission
+    candidates — each a single private operator, so marginal load is
+    just ``loads[i]`` — rank them by ``(-bid, query_id)`` and find how
+    many fit.  Returns ``(order, winner_count, first_loser)`` where
+    ``order`` is the full ranking, ``order[:winner_count]`` are the
+    rows that survive to materialization, and ``first_loser`` is the
+    row index that sets the critical price (``None`` when everything
+    fits).
+
+    Exactness: ``lexsort`` reproduces the reference ``(-bid, id)`` sort
+    (numpy string compare agrees with Python's for these plain ids),
+    ``cumsum`` accumulates float64 partial sums in the reference's
+    left-to-right order, and the capacity test uses the same
+    ``EPSILON`` slack — so winners and the critical price are bitwise
+    identical to a per-object greedy walk over the same rows.
+    """
+    order = np.lexsort((np.asarray(ids), -bids))
+    used = np.cumsum(loads[order])
+    fits = used <= capacity + EPSILON
+    if fits.all():
+        return order, int(order.size), None
+    winner_count = int(np.argmin(fits))
+    return order, winner_count, int(order[winner_count])
+
+
 def greedy_walk(
     index: InstanceIndex,
     order: list[int],

@@ -29,6 +29,7 @@ from repro.core.fastpath.kernels import (
     greedy_walk,
     movement_window_lasts,
     optimal_single_price_array,
+    select_screen,
 )
 from repro.core.greedy import priority_of
 from repro.core.gv import GreedyByValuation
@@ -234,17 +235,21 @@ def _gv_columnar(instance: AuctionInstance) -> SelectResult:
     """
     if instance.max_sharing_degree() > 1:
         return None
-    queries = instance.queries
-    n = len(queries)
+    n = instance.num_queries
     if n == 0:
         return {}, {"bid_order": [], "first_loser": None, "price": 0.0}
+    # Columns first, .queries only as a fallback: for the pump's lazy
+    # columnar instances touching .queries would materialize a
+    # SelectPlan per loser — the exact cost this kernel exists to skip.
     columns = getattr(instance, "_select_columns", None)
     if columns is not None and len(columns[0]) == n:
         # The instance builder already mirrored ids/bids/loads into
-        # flat columns (repro.sim.subscriptions) — same values the
-        # extraction below would read back one query at a time.
+        # flat columns (repro.sim.subscriptions / repro.sim.columnar) —
+        # same values the extraction below would read back one query
+        # at a time.
         ids, bids, loads = columns
     else:
+        queries = instance.queries
         operators = instance.operators
         ids = []
         bids = np.empty(n, dtype=np.float64)
@@ -256,15 +261,8 @@ def _gv_columnar(instance: AuctionInstance) -> SelectResult:
             ids.append(query.query_id)
             bids[i] = query.bid
             loads[i] = operators[op_ids[0]].load
-    order = np.lexsort((np.asarray(ids), -bids))
-    used = np.cumsum(loads[order])
-    fits = used <= instance.capacity + EPSILON
-    if fits.all():
-        winner_count = n
-        lost = None
-    else:
-        winner_count = int(np.argmin(fits))
-        lost = int(order[winner_count])
+    order, winner_count, lost = select_screen(
+        ids, bids, loads, instance.capacity)
     order_list = order.tolist()
     details: dict[str, object] = {
         "bid_order": [ids[qi] for qi in order_list],

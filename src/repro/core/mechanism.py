@@ -134,7 +134,13 @@ class Mechanism(abc.ABC):
         from its bid — the instance already *is* its sealed view, and
         is returned unchanged: no per-query copies, no rebuilt index
         maps, and any cached fast-path index stays warm.
+
+        Lazy columnar instances (repro.sim.columnar) assert the
+        truthful case up front via ``_all_truthful`` so sealing does
+        not force their query objects into existence.
         """
+        if getattr(instance, "_all_truthful", False):
+            return instance
         if all(q.valuation is None or q.valuation == q.bid
                for q in instance.queries):
             return instance

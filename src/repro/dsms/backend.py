@@ -30,7 +30,8 @@ import abc
 from dataclasses import dataclass, field
 from collections.abc import Callable, Mapping, Sequence
 
-from repro.dsms.operators import AggregateOperator, StreamOperator
+from repro.dsms.operators import (
+    AggregateOperator, SelectOperator, StreamOperator)
 from repro.dsms.tuples import StreamTuple
 from repro.utils.registry import SpecRegistry
 from repro.utils.specparse import parse_spec_text
@@ -102,6 +103,7 @@ class ScalarBackend(ExecutionBackend):
         work_by_op: dict[str, float] = {}
         stock_work = StreamOperator.work
         stock_execute = StreamOperator.execute
+        stock_select_drained = SelectOperator.execute_drained
         for op in operators:
             inputs = op.inputs
             if (len(inputs) == 1 and type(op).work is stock_work
@@ -111,6 +113,18 @@ class ScalarBackend(ExecutionBackend):
                 # ``work``/``execute`` keep the reference path.
                 batch = outputs.get(inputs[0], ())
                 work_by_op[op.op_id] = len(batch) * op.cost_per_tuple
+                if (type(op).execute_drained is stock_select_drained
+                        and op._passthrough):
+                    # Constant-true select: nothing left but the
+                    # counter updates, so skip the method call too.
+                    # Same aliasing as execute_drained — the caller
+                    # no longer owns the batch list.
+                    n = len(batch)
+                    outputs[op.op_id] = (batch if isinstance(batch, list)
+                                         else list(batch))
+                    op.processed_tuples += n
+                    op.emitted_tuples += n
+                    continue
                 outputs[op.op_id] = op.execute_drained(batch)
                 continue
             batches = {name: outputs.get(name, []) for name in inputs}

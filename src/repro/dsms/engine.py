@@ -175,8 +175,13 @@ class StreamEngine:
         arrivals: Mapping[str, list[StreamTuple]],
         source_count: int,
     ) -> None:
-        sink_ids = {query.sink_id
-                    for query in self.catalog.iter_queries()}
+        generation = self.catalog.generation
+        cache = getattr(self, "_sink_cache", None)
+        if cache is None or cache[0] != generation:
+            sink_ids = {query.sink_id
+                        for query in self.catalog.iter_queries()}
+            self._sink_cache = cache = (generation, sink_ids)
+        sink_ids = cache[1]
         outputs, work_by_op = self.backend.run_operators(
             self.catalog.ordered_operators(), arrivals, sink_ids)
         self.meter.record_tick(work_by_op)

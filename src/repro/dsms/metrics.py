@@ -49,7 +49,11 @@ class EngineReport:
         self.total_work += work
         if self.capacity is not None and work > self.capacity:
             self.overload_ticks += 1
-        merged = dict(self.delivered_tuples)
+        # Accumulate in place: copying the whole per-query dict every
+        # tick is quadratic over a long run.  Instances deserialized
+        # from old snapshots may hold a shared mapping, so rebind once.
+        counts = self.delivered_tuples
+        if type(counts) is not dict:
+            self.delivered_tuples = counts = dict(counts)
         for query_id, count in delivered.items():
-            merged[query_id] = merged.get(query_id, 0) + count
-        self.delivered_tuples = merged
+            counts[query_id] = counts.get(query_id, 0) + count

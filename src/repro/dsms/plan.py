@@ -16,6 +16,7 @@ consumes.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from collections.abc import Iterable, Mapping, Sequence
 
 from repro.dsms.operators import StreamOperator
@@ -49,9 +50,12 @@ class ContinuousQuery:
                 f"sink {self.sink_id!r} is not an operator of query "
                 f"{self.query_id!r}")
 
-    @property
+    @cached_property
     def operator_ids(self) -> tuple[str, ...]:
-        """Ids of the operators this query contains."""
+        """Ids of the operators this query contains.
+
+        Cached: the query is frozen, and admission/auction code walks
+        this per period for every held query."""
         return tuple(op.op_id for op in self.operators)
 
     @property
@@ -89,14 +93,26 @@ class QueryPlanCatalog:
         self._queries: dict[str, ContinuousQuery] = {}
         self._operators: dict[str, StreamOperator] = {}
         self._order_cache: "list[StreamOperator] | None" = None
+        self._generation = 0
         for query in queries:
             self.add(query)
 
     def __setstate__(self, state: dict) -> None:
         # Catalogs pickled before the order cache existed get an
-        # (empty) cache on resume.
+        # (empty) cache on resume; same for the generation counter.
         self.__dict__.update(state)
         self.__dict__.setdefault("_order_cache", None)
+        self.__dict__.setdefault("_generation", 0)
+
+    @property
+    def generation(self) -> int:
+        """Bumped by every :meth:`add`/:meth:`remove`.
+
+        Lets per-tick callers cache derived views (sink sets, query
+        lists) and revalidate with one integer compare instead of
+        rebuilding from the tables each tick.
+        """
+        return self._generation
 
     # ------------------------------------------------------------------
     # Mutation
@@ -115,6 +131,7 @@ class QueryPlanCatalog:
                 _check_compatible(existing, op)
         self._queries[query.query_id] = query
         self._order_cache = None
+        self._generation += 1
 
     def remove(self, query_id: str) -> ContinuousQuery:
         """Deregister a query; orphaned operators are dropped too."""
@@ -128,6 +145,7 @@ class QueryPlanCatalog:
             if op_id not in still_used:
                 del self._operators[op_id]
         self._order_cache = None
+        self._generation += 1
         return query
 
     # ------------------------------------------------------------------

@@ -599,6 +599,8 @@ def sim_trace_to_arrays(trace: object) -> dict:
 
 def sim_trace_from_arrays(arrays) -> object:
     """Rebuild a column-backed :class:`SimTrace` from the v2 arrays."""
+    import numpy as np
+
     from repro.sim.trace import SimTrace, TraceColumns, decode_query
 
     try:
@@ -647,6 +649,16 @@ def sim_trace_from_arrays(arrays) -> object:
             raise
         raise ValidationError(
             f"malformed binary trace: {exc!r}") from exc
+    # Keep the numeric columns as float64 arrays alongside the list
+    # form: TraceArrivals slices them straight into arrival blocks
+    # instead of re-converting list slices, which is most of the replay
+    # setup cost on million-row traces.  The values are the same
+    # objects either way (tolist() round-trips float64 bitwise).
+    columns._numeric_cache = (
+        np.ascontiguousarray(rows["time"], dtype=np.float64),
+        np.ascontiguousarray(rows["cost"], dtype=np.float64),
+        np.ascontiguousarray(rows["bid"], dtype=np.float64),
+    )
     return SimTrace(columns=columns)
 
 

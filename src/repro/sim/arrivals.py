@@ -27,6 +27,7 @@ CLI's closed-loop workload uses.
 from __future__ import annotations
 
 import abc
+import bisect
 from dataclasses import dataclass
 from collections.abc import Callable, Mapping, Sequence
 
@@ -170,6 +171,94 @@ def as_continuous_query(query) -> ContinuousQuery:
     return query
 
 
+class ArrivalBlock:
+    """A contiguous run of arrivals held as parallel columns.
+
+    The columnar counterpart of a ``list[Arrival]`` pump batch: one
+    numpy row-block the driver consumes directly — admission
+    bookkeeping runs over the arrays, and a :class:`SelectPlan` object
+    is built (via :meth:`plan`) only for rows that actually need one.
+
+    Columns with a single value for every row may be stored as a
+    scalar: ``inputs`` is usually the one stream name, ``streams`` is
+    ``None`` ("pin to the producing process", like
+    ``Arrival.stream=None``) for synthetic processes, ``valuations`` /
+    ``categories`` are ``None`` when every row is truthful /
+    unassigned.  ``times`` is always a float64 array in non-decreasing
+    order, with no same-time stream change inside one block (the same
+    cut :func:`_cut_rows` applies to object batches).
+    """
+
+    __slots__ = ("times", "ids", "ops", "owners", "inputs", "costs",
+                 "selectivities", "bids", "valuations", "categories",
+                 "streams")
+
+    def __init__(self, times, ids, ops, owners, inputs, costs,
+                 selectivities, bids, valuations=None, categories=None,
+                 streams=None):
+        self.times = times
+        self.ids = ids
+        self.ops = ops
+        self.owners = owners
+        self.inputs = inputs
+        self.costs = costs
+        self.selectivities = selectivities
+        self.bids = bids
+        self.valuations = valuations
+        self.categories = categories
+        self.streams = streams
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    def input_at(self, row: int) -> str:
+        inputs = self.inputs
+        return inputs if type(inputs) is str else inputs[row]
+
+    def selectivity_at(self, row: int) -> float:
+        selectivities = self.selectivities
+        if type(selectivities) is float:
+            return selectivities
+        return float(selectivities[row])
+
+    def category_at(self, row: int) -> "str | None":
+        categories = self.categories
+        return None if categories is None else categories[row]
+
+    def stream_at(self, row: int, default: int) -> int:
+        """The event-stream sort key of *row* (the shard, under
+        ``route="stream"``); *default* is the producing process index,
+        mirroring ``Arrival.stream=None``."""
+        streams = self.streams
+        if streams is None:
+            return default
+        if type(streams) is int:
+            return streams
+        return int(streams[row])
+
+    def plan(self, row: int) -> SelectPlan:
+        """Materialize the :class:`SelectPlan` of one row."""
+        valuations = self.valuations
+        return SelectPlan(
+            self.ids[row], self.ops[row], self.input_at(row),
+            float(self.costs[row]), self.selectivity_at(row),
+            float(self.bids[row]),
+            None if valuations is None else valuations[row],
+            self.owners[row])
+
+    def arrival(self, row: int) -> Arrival:
+        """The object form of one row (fallback interop)."""
+        streams = self.streams
+        if streams is not None and type(streams) is not int:
+            streams = int(streams[row])
+        return Arrival(
+            time=float(self.times[row]), query=self.plan(row),
+            category=self.category_at(row), stream=streams)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ArrivalBlock {len(self)} rows>"
+
+
 def synthetic_query(
     rng: np.random.Generator,
     index: int,
@@ -229,6 +318,20 @@ class ArrivalProcess(abc.ABC):
             out.append(arrival)
         return out
 
+    def next_block(self) -> "ArrivalBlock | None":
+        """The next arrivals as one columnar row-block, or ``None``.
+
+        ``None`` means "no block available *right now*" — the process
+        may be exhausted, may not support blocks at all (this default),
+        or may be sitting on rows only the object path can express
+        (e.g. an opaque trace entry).  Callers must fall back to
+        :meth:`next_arrivals` and may try :meth:`next_block` again
+        afterwards.  A returned block is never empty, draws from the
+        same RNG stream as the object path (block ≡ objects,
+        bit-identical), and obeys the same same-time stream-change cut.
+        """
+        return None
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} {self.name!r}>"
 
@@ -287,6 +390,60 @@ class _BlockSynthesizer:
                 costs[offset], 1.0, bids[offset],
                 None, f"user_{index % clients}"))
         return plans
+
+    def _draw_columns(self, count: int):
+        """The column form of :meth:`_draw_queries`.
+
+        Consumes the RNG identically (one uniform block for costs, one
+        for bids) but keeps the numeric columns as arrays — the ids
+        still have to be Python strings either way.
+        """
+        costs = np.round(self._rng.uniform(0.5, 2.0, count), 2)
+        bids = np.round(self._rng.uniform(5.0, 100.0, count), 2)
+        clients = max(1, self._clients)
+        prefix = self._prefix
+        base = self._count
+        ids = [f"{prefix}{base + offset}" for offset in range(count)]
+        ops = ["sel_" + query_id for query_id in ids]
+        owners = [f"user_{(base + offset) % clients}"
+                  for offset in range(count)]
+        return ids, ops, owners, costs, bids
+
+    def _tail_block(self) -> "ArrivalBlock | None":
+        """Drain a buffered object tail as one block.
+
+        A process checkpointed mid-block resumes with part of its
+        buffer unconsumed; converting that tail keeps the block path
+        bit-identical to the object path after a restore.
+        """
+        entries = self._buffer[self._cursor:]
+        self._buffer = []
+        self._cursor = 0
+        if not entries:
+            return None
+        plans = [arrival.query for arrival in entries]
+        times = np.asarray([arrival.time for arrival in entries],
+                           dtype=np.float64)
+        valuations = [plan.valuation for plan in plans]
+        if all(valuation is None for valuation in valuations):
+            valuations = None
+        return ArrivalBlock(
+            times,
+            [plan.query_id for plan in plans],
+            [plan.op_id for plan in plans],
+            [plan.owner for plan in plans],
+            [plan.stream for plan in plans],
+            np.asarray([plan.cost for plan in plans], dtype=np.float64),
+            [plan.selectivity for plan in plans],
+            np.asarray([plan.bid for plan in plans], dtype=np.float64),
+            valuations=valuations)
+
+    def _synth_block_header(self) -> "int | None":
+        """Common ``next_block`` prologue: rows to draw, or ``None``."""
+        count = self._block
+        if self._limit is not None:
+            count = min(count, self._limit - self._count)
+        return count if count > 0 else None
 
 
 class PoissonArrivals(_BlockSynthesizer, ArrivalProcess):
@@ -350,6 +507,24 @@ class PoissonArrivals(_BlockSynthesizer, ArrivalProcess):
     def next_arrivals(self, limit: int) -> "list[Arrival]":
         return self._buffered_batch(limit)
 
+    def next_block(self) -> "ArrivalBlock | None":
+        if self._cursor < len(self._buffer):
+            return self._tail_block()
+        count = self._synth_block_header()
+        if count is None:
+            return None
+        # Same RNG order as _refill: gaps first, then the query columns.
+        gaps = self._rng.exponential(1.0 / self._rate, count)
+        gaps[0] += self._time
+        # cumsum accumulates sequentially, so the running times are
+        # bit-identical to the object path's scalar `time += gap` loop.
+        times = np.cumsum(gaps)
+        ids, ops, owners, costs, bids = self._draw_columns(count)
+        self._time = float(times[-1])
+        self._count += count
+        return ArrivalBlock(times, ids, ops, owners, self._stream,
+                            costs, 1.0, bids)
+
 
 class BurstArrivals(_BlockSynthesizer, ArrivalProcess):
     """Flash crowds: ``size`` simultaneous arrivals every ``every`` ticks."""
@@ -412,6 +587,25 @@ class BurstArrivals(_BlockSynthesizer, ArrivalProcess):
     def next_arrivals(self, limit: int) -> "list[Arrival]":
         return self._buffered_batch(limit)
 
+    def next_block(self) -> "ArrivalBlock | None":
+        if self._cursor < len(self._buffer):
+            return self._tail_block()
+        count = self._synth_block_header()
+        if count is None:
+            return None
+        ids, ops, owners, costs, bids = self._draw_columns(count)
+        # Row i fires in burst number burst0 + (within0 + i) // size —
+        # exactly the object loop's counter walk, vectorized.
+        offsets = self._within + np.arange(count, dtype=np.int64)
+        bursts = self._burst + offsets // self._size
+        times = self._start + bursts.astype(np.float64) * self._every
+        total = self._within + count
+        self._burst += total // self._size
+        self._within = total % self._size
+        self._count += count
+        return ArrivalBlock(times, ids, ops, owners, self._stream,
+                            costs, 1.0, bids)
+
 
 class TraceArrivals(ArrivalProcess):
     """Replays the arrivals of a recorded ``repro/sim-trace`` document.
@@ -451,10 +645,30 @@ class TraceArrivals(ArrivalProcess):
                 Arrival(time=entry.time, query=entry.query,
                         category=entry.category, stream=entry.stream)
                 for entry in trace.entries]
+            self._opaque_rows = []
         else:
             self._arrivals = None
+            self._opaque_rows = sorted(self._columns.opaque)
         self._length = len(trace)
         self._index = 0
+        self._block = 1024
+        if self._columns is not None:
+            # One up-front conversion of the numeric columns (or the
+            # loader's retained arrays, when the trace came off disk)
+            # lets next_block hand out array *views* instead of
+            # re-converting a list slice per block.  float64 round-trips
+            # tolist() bitwise, so blocks are identical either way.
+            cache = getattr(self._columns, "_numeric_cache", None)
+            if cache is not None and len(cache[0]) == self._length:
+                self._times, self._costs, self._bids = cache
+            else:
+                columns = self._columns
+                self._times = np.asarray(columns.times,
+                                         dtype=np.float64)
+                self._costs = np.asarray(columns.costs,
+                                         dtype=np.float64)
+                self._bids = np.asarray(columns.bids,
+                                        dtype=np.float64)
 
     def next_arrival(self) -> "Arrival | None":
         if self._index >= self._length:
@@ -474,6 +688,39 @@ class TraceArrivals(ArrivalProcess):
                          min(start + int(limit), self._length))
         self._index = stop
         return columns.arrivals_slice(start, stop)
+
+    def next_block(self) -> "ArrivalBlock | None":
+        columns = self._columns
+        start = self._index
+        if columns is None or start >= self._length:
+            return None
+        end = min(start + self._block, self._length)
+        if self._opaque_rows:
+            cut = bisect.bisect_left(self._opaque_rows, start)
+            if cut < len(self._opaque_rows):
+                opaque = self._opaque_rows[cut]
+                if opaque == start:
+                    # The object path must carry this row; the caller
+                    # falls back to next_arrivals and retries blocks.
+                    return None
+                end = min(end, opaque)
+        stop = _cut_rows(columns.times, columns.streams, start, end)
+        self._index = stop
+        valuations = columns.valuations[start:stop]
+        if all(valuation is None for valuation in valuations):
+            valuations = None
+        return ArrivalBlock(
+            self._times[start:stop],
+            columns.ids[start:stop],
+            columns.ops[start:stop],
+            columns.owners[start:stop],
+            columns.inputs[start:stop],
+            self._costs[start:stop],
+            columns.selectivities[start:stop],
+            self._bids[start:stop],
+            valuations=valuations,
+            categories=columns.categories[start:stop],
+            streams=columns.streams[start:stop])
 
 
 class ScheduledArrivals(ArrivalProcess):

@@ -41,6 +41,8 @@ import dataclasses
 from dataclasses import dataclass
 from collections.abc import Iterable, Mapping, Sequence
 
+import numpy as np
+
 from repro.dsms.plan import ContinuousQuery
 from repro.dsms.scheduler import (
     PolicySpec,
@@ -49,12 +51,16 @@ from repro.dsms.scheduler import (
     resolve_policy,
 )
 from repro.sim.arrivals import (
+    ArrivalBlock,
     ArrivalProcess,
     ArrivalSpec,
     as_continuous_query,
     resolve_arrivals,
 )
+from repro.sim.columnar import RowChunk
 from repro.sim.events import (
+    ARRIVAL_PRIORITY,
+    ArrivalBlockEvent,
     ArrivalEvent,
     EventQueue,
     ExpiryEvent,
@@ -62,7 +68,7 @@ from repro.sim.events import (
     RenewalEvent,
     TickEvent,
 )
-from repro.sim.hosts import SimulationHost, restore_host, wrap_host
+from repro.sim.hosts import ServiceHost, SimulationHost, restore_host, wrap_host
 from repro.sim.metrics import metrics_snapshot as _metrics_snapshot
 from repro.sim.metrics import latency_percentiles as _latency_percentiles
 from repro.sim.subscriptions import (
@@ -74,7 +80,9 @@ from repro.sim.trace import SimTrace, TraceRecorder
 from repro.utils.validation import ValidationError, require
 
 #: Version of the in-memory simulation snapshot layout below.
-SIM_STATE_VERSION = 1
+#: v2 added the columnar-pump state (pump / blocks / pump_stats);
+#: v1 snapshots restore with the pump off.
+SIM_STATE_VERSION = 2
 
 _STATE_FIELDS = (
     "host_kind", "host", "batch", "clock", "period", "queue",
@@ -83,6 +91,14 @@ _STATE_FIELDS = (
     "batch_arrivals", "expired_buffer", "renewed_buffer",
     "reclaimed_buffer",
 )
+
+_STATE_FIELDS_V2 = _STATE_FIELDS + ("pump", "blocks", "pump_stats")
+
+
+def _fresh_pump_stats() -> dict:
+    """Zeroed columnar-pump counters (see ``metrics_snapshot``)."""
+    return {"rows": 0, "winners": 0, "blocks": 0, "fallbacks": 0,
+            "yields": 0}
 
 
 @dataclass(frozen=True)
@@ -131,7 +147,9 @@ class SimSnapshot:
     state: Mapping[str, object]
 
     def __post_init__(self) -> None:
-        missing = [f for f in _STATE_FIELDS if f not in self.state]
+        required = (_STATE_FIELDS if self.version < 2
+                    else _STATE_FIELDS_V2)
+        missing = [f for f in required if f not in self.state]
         if missing:
             raise ValidationError(
                 f"simulation snapshot is missing state field(s) "
@@ -257,6 +275,18 @@ class SimulationDriver:
         (the fast path, default).  ``False`` dispatches arrivals one
         event at a time — the reference path the equivalence suite
         compares against.
+    pump:
+        Run the columnar arrival pump: processes that can hand whole
+        numpy row-blocks (``ArrivalProcess.next_block``) skip the
+        per-arrival event objects entirely — one
+        :class:`~repro.sim.events.ArrivalBlockEvent` marker per block
+        cursor keeps the event order, rows are consumed in array
+        slices, and boundary auctions score them through the columnar
+        fastpath, materializing ``SelectPlan`` objects for winners
+        only.  Reports, RNG streams and recorder rows are pinned
+        byte-identical to the object path; anything the pump cannot
+        columnarize (opaque trace rows, per-row cluster placement,
+        shared operators) falls back to it automatically.
     probe_retention:
         Cap each probe's per-tick metric records and latency samples
         to the most recent N (oldest roll off, so percentiles cover
@@ -277,6 +307,7 @@ class SimulationDriver:
         allow_idle: bool = True,
         lookahead: int = 64,
         batch_arrivals: bool = True,
+        pump: bool = False,
         probe_retention: "int | None" = None,
     ) -> None:
         from repro.cluster.federation import FederatedAdmissionService
@@ -343,6 +374,11 @@ class SimulationDriver:
         self._expired_buffer: dict[int, list[str]] = {}
         self._reclaimed_buffer: dict[int, float] = {}
         self._renewed_buffer: list[str] = []
+        self.pump = bool(pump)
+        #: source index → (ArrivalBlock, cursor): the parked row-blocks
+        #: the markers in the queue point into.
+        self._blocks: dict[int, tuple[ArrivalBlock, int]] = {}
+        self._pump_stats = _fresh_pump_stats()
         for index in range(len(self.processes)):
             self._pump(index)
         self.queue.push(PeriodEvent(time=self.clock,
@@ -396,8 +432,10 @@ class SimulationDriver:
         samples: list[int] = []
         for probe in self.probes or ():
             samples.extend(probe.engine.latency_samples or [])
-        return _metrics_snapshot(self.tick_metrics(), samples,
-                                 percentiles)
+        snapshot = _metrics_snapshot(self.tick_metrics(), samples,
+                                     percentiles)
+        snapshot["pump"] = {"enabled": self.pump, **self._pump_stats}
+        return snapshot
 
     def total_revenue(self) -> float:
         """Revenue billed across all shards so far."""
@@ -430,6 +468,13 @@ class SimulationDriver:
 
     def _step(self) -> None:
         event = self.queue.pop()
+        if type(event) is ArrivalBlockEvent:
+            # Markers are bookkeeping, not simulated events: the rows
+            # they release count as processed (and advance the clock)
+            # inside _on_block, exactly as their ArrivalEvent twins
+            # would have when popped.
+            self._on_block(event)
+            return
         self.events_processed += 1
         self.clock = max(self.clock, float(event.time))
         if isinstance(event, ArrivalEvent):
@@ -451,17 +496,32 @@ class SimulationDriver:
     def _pump(self, index: int) -> None:
         """Pull the next arrivals of process *index* into the queue.
 
-        Pulls up to :attr:`lookahead` arrivals in one call; only the
-        batch's final event re-triggers the pump when consumed, so a
-        live process always has events queued.  A no-op for events
-        pushed outside any process (the lockstep schedule feeds
-        batches directly).
+        With the columnar pump on, a process that can produce a row
+        block gets it parked in :attr:`_blocks` behind one marker
+        event; otherwise (pump off, block-incapable process, or an
+        opaque row next) up to :attr:`lookahead` arrival objects are
+        pushed — only the batch's final event re-triggers the pump
+        when consumed, so a live process always has events queued.  A
+        no-op for events pushed outside any process (the lockstep
+        schedule feeds batches directly).
         """
         if not 0 <= index < len(self.processes):
             return
+        if self.pump and index not in self._blocks:
+            block = self.processes[index].next_block()
+            if block is not None:
+                self._blocks[index] = (block, 0)
+                self._pump_stats["blocks"] += 1
+                self._push_block_marker(index, block, 0)
+                return
+        if self._pump_objects(index) and self.pump:
+            self._pump_stats["fallbacks"] += 1
+
+    def _pump_objects(self, index: int) -> bool:
+        """The per-arrival-object pump; True if anything was pushed."""
         arrivals = self.processes[index].next_arrivals(self.lookahead)
         if not arrivals:
-            return
+            return False
         push = self.queue.push
         final = len(arrivals) - 1
         for position, arrival in enumerate(arrivals):
@@ -475,6 +535,227 @@ class SimulationDriver:
                               category=arrival.category, stream=stream,
                               source=index, final=position == final),
                  stream=stream)
+        return True
+
+    def _push_block_marker(self, index: int, block: ArrivalBlock,
+                           cursor: int) -> None:
+        """Queue the marker carrying the cursor row's event key."""
+        stream = block.stream_at(cursor, index)
+        self.queue.push(
+            ArrivalBlockEvent(time=float(block.times[cursor]),
+                              source=index, stream=stream),
+            stream=stream)
+
+    def _on_block(self, event: ArrivalBlockEvent) -> None:
+        """Consume rows from the marker's block up to the next event.
+
+        The marker's key equals its cursor row's would-be ArrivalEvent
+        key, so when it pops every queued event orders at-or-after that
+        row.  Rows are consumed in slices up to the queue head's key
+        (the exact set of arrivals the reference loop would have popped
+        before the head), the block is refilled from its process when
+        it drains, and the marker is re-queued at the new cursor row
+        whenever a non-arrival event is due first.
+        """
+        source = event.source
+        entry = self._blocks.get(source)
+        if entry is None:
+            return  # stale marker: the block drained via another path
+        block, cursor = entry
+        stats = self._pump_stats
+        while True:
+            stop, tie = self._consume_stop(block, cursor, source)
+            if stop > cursor:
+                self._admit_rows(block, cursor, stop, source)
+                rows = stop - cursor
+                self.events_processed += rows
+                stats["rows"] += rows
+                self.clock = max(self.clock,
+                                 float(block.times[stop - 1]))
+                cursor = stop
+            if cursor >= len(block.ids):
+                fresh = self.processes[source].next_block()
+                if fresh is not None:
+                    block, cursor = fresh, 0
+                    self._blocks[source] = (fresh, 0)
+                    stats["blocks"] += 1
+                    continue
+                del self._blocks[source]
+                # The process may still hold object-form arrivals
+                # (opaque trace rows): hand it back to the object pump;
+                # _pump retries blocks once those are consumed.
+                if self._pump_objects(source):
+                    stats["fallbacks"] += 1
+                return
+            self._blocks[source] = (block, cursor)
+            if not tie:
+                self._push_block_marker(source, block, cursor)
+                return
+            head = self.queue._heap[0][4]
+            if type(head) is ArrivalBlockEvent:
+                # Two pump markers at the identical (time, priority,
+                # stream) key would re-queue behind each other forever.
+                # Ours popped first (earlier sequence — the reference
+                # would pop its row first for the same reason), so
+                # consume one row to guarantee progress.
+                self._admit_rows(block, cursor, cursor + 1, source)
+                self.events_processed += 1
+                stats["rows"] += 1
+                self.clock = max(self.clock, float(block.times[cursor]))
+                cursor += 1
+                self._blocks[source] = (block, cursor)
+                continue
+            # An object-path arrival holds the identical key; it was
+            # queued before our re-pushed marker would be, so it goes
+            # first.
+            stats["yields"] += 1
+            self._push_block_marker(source, block, cursor)
+            return
+
+    def _consume_stop(self, block: ArrivalBlock, cursor: int,
+                      source: int) -> "tuple[int, bool]":
+        """How far the block may be consumed before the queue head.
+
+        Returns ``(stop, tie)``: rows ``[cursor, stop)`` order strictly
+        before the head event; ``tie`` flags a head whose key exactly
+        equals row ``stop``'s (same time, arrival priority, same
+        stream), where insertion order decides and :meth:`_on_block`
+        arbitrates.
+        """
+        heap = self.queue._heap
+        times = block.times
+        end = len(times)
+        if not heap:
+            return end, False
+        head_time, head_priority, head_stream = heap[0][:3]
+        if float(times[end - 1]) < head_time:
+            return end, False
+        # Lower-priority heads (ticks, expiries, renewals) run before
+        # same-time arrivals, so rows at exactly head_time stay; a
+        # PeriodEvent head runs after them, so they go.
+        side = "right" if head_priority > ARRIVAL_PRIORITY else "left"
+        stop = cursor + int(np.searchsorted(times[cursor:], head_time,
+                                            side=side))
+        if head_priority != ARRIVAL_PRIORITY:
+            return stop, False
+        tie = False
+        while stop < end and float(times[stop]) == head_time:
+            row_stream = block.stream_at(stop, source)
+            if row_stream < head_stream:
+                stop += 1
+                continue
+            tie = row_stream == head_stream
+            break
+        return stop, tie
+
+    def _admit_rows(self, block: ArrivalBlock, start: int, stop: int,
+                    source: int) -> None:
+        """Admit one consumed row slice — `_admit_batch` over columns.
+
+        Open system: every row materializes once (it is submitted into
+        the service queue either way) but skips the event objects and
+        heap churn.  Subscription mode: a slice that resolves to one
+        shard parks as a :class:`RowChunk` in that shard's pending
+        list — categories drawn/validated now, in pop order, so the
+        manager RNG matches the object path draw for draw — and the
+        boundary auction scores it columnar.  Slices needing per-row
+        routing state (cluster placement, mixed per-row streams) take
+        the object path row by row, which is the reference per-event
+        dispatch verbatim.
+        """
+        route_stream = self.route == "stream"
+        shards = len(self.host.services)
+        recorder = self.recorder
+        stats = self._pump_stats
+        if self.managers is None:
+            submit = self.host.submit
+            for row in range(start, stop):
+                plan = block.plan(row)
+                pinned = None
+                if route_stream:
+                    pinned = block.stream_at(row, source)
+                    if not 0 <= pinned < shards:
+                        raise ValidationError(
+                            f"arrival {plan.query_id!r} is pinned to "
+                            f"stream {pinned}, but the host has only "
+                            f"{shards} shard(s)")
+                if recorder is not None:
+                    recorder.record(float(block.times[row]), plan,
+                                    block.category_at(row),
+                                    block.stream_at(row, source))
+                submit(plan.materialize(), shard=pinned)
+                stats["winners"] += 1
+            return
+
+        shard: "int | None" = None
+        if route_stream:
+            streams = block.streams
+            if streams is None or isinstance(streams, int):
+                shard = block.stream_at(start, source)
+            else:
+                first = int(streams[start])
+                if all(int(streams[row]) == first
+                       for row in range(start + 1, stop)):
+                    shard = first
+            if shard is not None and not 0 <= shard < shards:
+                raise ValidationError(
+                    f"arrival {block.ids[start]!r} is pinned to "
+                    f"stream {shard}, but the host has only "
+                    f"{shards} shard(s)")
+        elif isinstance(self.host, ServiceHost):
+            # A bare service routes everything to shard 0 statelessly.
+            shard = 0
+
+        if shard is None:
+            # Placement routing (or mixed per-row streams): the
+            # reference per-event path, row by row.
+            stats["fallbacks"] += 1
+            for row in range(start, stop):
+                plan = block.plan(row)
+                if route_stream:
+                    pinned = block.stream_at(row, source)
+                    if not 0 <= pinned < shards:
+                        raise ValidationError(
+                            f"arrival {plan.query_id!r} is pinned to "
+                            f"stream {pinned}, but the host has only "
+                            f"{shards} shard(s)")
+                    row_shard = pinned
+                else:
+                    row_shard = self.host.route(plan)
+                manager = self.managers[row_shard]
+                category = block.category_at(row)
+                if category is None:
+                    category = manager.assign_category(plan)
+                else:
+                    manager.category(category)
+                if recorder is not None:
+                    recorder.record(float(block.times[row]), plan,
+                                    category,
+                                    block.stream_at(row, source))
+                self.pending[row_shard].append((plan, category))
+            return
+
+        manager = self.managers[shard]
+        requested = block.categories
+        if requested is None:
+            categories = manager.assign_categories(stop - start)
+        else:
+            categories = list(requested[start:stop])
+            unassigned = [i for i, name in enumerate(categories)
+                          if name is None]
+            # Draw first, then validate the requested names — the
+            # batched reference order (RNG before validation errors).
+            if unassigned:
+                drawn = manager.assign_categories(len(unassigned))
+                for i, name in zip(unassigned, drawn):
+                    categories[i] = name
+            for name in requested[start:stop]:
+                if name is not None:
+                    manager.category(name)
+        if recorder is not None:
+            recorder.record_rows(block, start, stop, categories, source)
+        self.pending[shard].append(
+            RowChunk(block, start, stop, categories))
 
     def _on_arrival(self, event: ArrivalEvent) -> None:
         pinned = event.stream if self.route == "stream" else None
@@ -659,8 +940,15 @@ class SimulationDriver:
         ticks_per_period = self.host.ticks_per_period
         for index, service in enumerate(services):
             manager = self.managers[index]
-            result = manager.run_period(
-                service, period, self.pending[index])
+            pending = self.pending[index]
+            if any(type(item) is RowChunk for item in pending):
+                result, row_stats = manager.run_period_rows(
+                    service, period, pending)
+                self._pump_stats["winners"] += row_stats["winners"]
+                if row_stats["fell_back"]:
+                    self._pump_stats["fallbacks"] += 1
+            else:
+                result = manager.run_period(service, period, pending)
             result = dataclasses.replace(
                 result,
                 expired=tuple(self._expired_buffer.get(index, ())),
@@ -780,17 +1068,20 @@ class SimulationDriver:
             "expired_buffer": self._expired_buffer,
             "renewed_buffer": self._renewed_buffer,
             "reclaimed_buffer": self._reclaimed_buffer,
+            "pump": self.pump,
+            "blocks": self._blocks,
+            "pump_stats": self._pump_stats,
         }))
         return SimSnapshot(version=SIM_STATE_VERSION, state=state)
 
     @classmethod
     def restore(cls, snapshot: SimSnapshot) -> "SimulationDriver":
         """Rebuild a live driver from *snapshot* (copied, reusable)."""
-        if snapshot.version != SIM_STATE_VERSION:
+        if snapshot.version not in (1, SIM_STATE_VERSION):
             raise ValidationError(
                 f"cannot restore simulation snapshot version "
-                f"{snapshot.version}; this build supports version "
-                f"{SIM_STATE_VERSION}")
+                f"{snapshot.version}; this build supports versions "
+                f"1..{SIM_STATE_VERSION}")
         state = copy.deepcopy(dict(snapshot.state))
         driver = object.__new__(cls)
         driver.host = restore_host(
@@ -815,6 +1106,12 @@ class SimulationDriver:
         driver._expired_buffer = dict(state["expired_buffer"])
         driver._renewed_buffer = list(state["renewed_buffer"])
         driver._reclaimed_buffer = dict(state["reclaimed_buffer"])
+        # v1 snapshots predate the columnar pump: no markers can be in
+        # their queues, so defaulting to pump-off is exact.
+        driver.pump = bool(state.get("pump", False))
+        driver._blocks = dict(state.get("blocks") or {})
+        driver._pump_stats = dict(state.get("pump_stats")
+                                  or _fresh_pump_stats())
         return driver
 
     def save_checkpoint(self, path: object) -> None:

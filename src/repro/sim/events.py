@@ -86,6 +86,27 @@ class ArrivalEvent(Event):
 
 
 @dataclass(frozen=True)
+class ArrivalBlockEvent(Event):
+    """Marker: the columnar pump's next pending row.
+
+    Carries *no* queries — the actual row-block lives in the driver's
+    ``_blocks`` table, keyed by ``source`` (snapshots deep-copy driver
+    state once; an event carrying the block would fork it).  The
+    marker's ``(time, priority, stream)`` is exactly the queue key the
+    block's cursor row would have as an :class:`ArrivalEvent`, so
+    popping it tells the driver "consume rows from source ``source``
+    until the next non-arrival event is due", preserving the reference
+    interleaving event-for-event.
+    """
+
+    source: int = 0
+    stream: int = 0
+
+    priority = ARRIVAL_PRIORITY
+    kind = "arrival-block"
+
+
+@dataclass(frozen=True)
 class PeriodEvent(Event):
     """A subscription-period boundary: run the admission auction."""
 

@@ -45,6 +45,8 @@ from repro.dsms.load import estimate_operator_loads
 from repro.dsms.operators import SelectOperator
 from repro.dsms.plan import ContinuousQuery, QueryPlanCatalog
 from repro.sim.arrivals import SelectPlan, as_continuous_query
+from repro.sim.columnar import ColumnarSelectInstance, RowChunk
+from repro.sim.trace import as_select_plan
 from repro.utils.rng import derive_seed, spawn_rng
 from repro.utils.validation import ValidationError, require
 
@@ -410,6 +412,241 @@ class SubscriptionManager:
             held_capacity=held,
         )
 
+    def run_period_rows(
+        self,
+        service,
+        period: int,
+        pending: Sequence,
+    ) -> "tuple[SubscriptionPeriodResult, dict]":
+        """Columnar twin of :meth:`run_period` over a mixed pending list.
+
+        *pending* interleaves ``(query, category)`` pairs (renewals,
+        object-path arrivals) with :class:`~repro.sim.columnar.RowChunk`
+        row slices the pump parked, in arrival order.  The loads, the
+        held capacity, and every per-category auction run over flat
+        columns; ``SelectPlan`` objects materialize for winners only
+        (the losers' ids already exist as strings).  Whenever the rows
+        leave the shape the columnar math pins bitwise — duplicate ids
+        or operators, operators feeding operators, shapes the
+        single-select load estimate cannot cover — the whole boundary
+        falls back to :meth:`run_period` on the expanded object list,
+        so the result is the reference result by construction either
+        way.
+
+        Returns ``(result, stats)`` with ``stats`` the pump counters
+        for this boundary (``rows``, ``winners``, ``fell_back``).
+        """
+        ids: list[str] = []
+        ops: list[str] = []
+        inputs: list[str] = []
+        owners: list[str] = []
+        sels: list = []
+        valuations: list = []
+        objs: list = []
+        cats: list[str] = []
+        cost_list: list[float] = []
+        bid_list: list[float] = []
+        convertible = True
+        for item in pending:
+            if type(item) is RowChunk:
+                block = item.block
+                start, stop = item.start, item.stop
+                rows = stop - start
+                ids.extend(block.ids[start:stop])
+                ops.extend(block.ops[start:stop])
+                owners.extend(block.owners[start:stop])
+                block_inputs = block.inputs
+                if type(block_inputs) is str:
+                    inputs.extend([block_inputs] * rows)
+                else:
+                    inputs.extend(block_inputs[start:stop])
+                block_sels = block.selectivities
+                if isinstance(block_sels, float):
+                    sels.extend([block_sels] * rows)
+                else:
+                    sels.extend(block_sels[start:stop])
+                block_vals = block.valuations
+                valuations.extend([None] * rows if block_vals is None
+                                  else block_vals[start:stop])
+                objs.extend([None] * rows)
+                cost_list.extend(block.costs[start:stop].tolist())
+                bid_list.extend(block.bids[start:stop].tolist())
+                cats.extend(item.categories)
+            else:
+                query, name = item
+                plan = as_select_plan(query)
+                if plan is None:
+                    convertible = False
+                    break
+                ids.append(plan.query_id)
+                ops.append(plan.op_id)
+                owners.append(plan.owner)
+                inputs.append(plan.stream)
+                sels.append(plan.selectivity)
+                valuations.append(plan.valuation)
+                objs.append(query)
+                cost_list.append(plan.cost)
+                bid_list.append(plan.bid)
+                cats.append(name)
+
+        row_count = len(ids)
+        stats = {"rows": row_count, "winners": 0, "fell_back": False}
+        if not convertible:
+            return self._run_period_fallback(service, period, pending,
+                                             stats)
+
+        # Category validation first, in arrival order — the reference's
+        # error surfaces before any other work.
+        known = {category.name for category in self.options.categories}
+        for name in cats:
+            if name not in known:
+                self.category(name)  # raises the reference message
+
+        stream_rates = {source.name: source.expected_rate()
+                        for source in service.sources}
+        active_plans = self._deduplicated_active_plans()
+        active = (_single_select_loads_ex(active_plans, stream_rates)
+                  if active_plans else ({}, set()))
+        op_set = set(ops)
+        if (active is None
+                # Duplicate pending ids/operators: the reference dedups
+                # per category (last wins) and merges shared operators —
+                # shapes the flat columns do not model.
+                or len(op_set) != row_count
+                or len(set(ids)) != row_count
+                # Pending rows touching operators the active book holds
+                # (zero-load in the reference instance), or any
+                # operator feeding another: topology matters, so the
+                # joint load estimate would take the catalog walk.
+                or (op_set & active[0].keys())
+                or ((active[1] | set(inputs))
+                    & (active[0].keys() | op_set))):
+            return self._run_period_fallback(service, period, pending,
+                                             stats)
+        loads_active, _active_inputs = active
+
+        held_ops: set[str] = set()
+        for entry in self.active.values():
+            held_ops.update(entry.query.operator_ids)
+        held = sum(loads_active.get(op_id, 0.0) for op_id in held_ops)
+        free = max(service.capacity - held, 0.0)
+
+        # Vectorized twin of the reference's per-plan
+        # ``stream_rate * cost`` (elementwise float64 multiplies are
+        # the scalar products, bitwise).
+        costs_arr = np.asarray(cost_list, dtype=np.float64)
+        bids_arr = np.asarray(bid_list, dtype=np.float64)
+        if len(set(inputs)) == 1:
+            loads_arr = stream_rates.get(inputs[0], 0.0) * costs_arr
+        else:
+            rates = np.asarray(
+                [stream_rates.get(name, 0.0) for name in inputs],
+                dtype=np.float64)
+            loads_arr = rates * costs_arr
+
+        by_cat: dict[str, list[int]] = {}
+        for row, name in enumerate(cats):
+            by_cat.setdefault(name, []).append(row)
+        has_vals = any(v is not None for v in valuations)
+        has_objs = any(obj is not None for obj in objs)
+
+        outcomes: dict[str, AuctionOutcome] = {}
+        admitted: list[str] = []
+        rejected: list[str] = []
+        revenue = 0.0
+        to_admit: list[ContinuousQuery] = []
+        for category in self.options.categories:
+            rows = by_cat.get(category.name)
+            if not rows:
+                continue
+            slice_capacity = free * category.capacity_fraction
+            if slice_capacity <= 0:
+                rejected.extend(ids[row] for row in rows)
+                continue
+            take = np.asarray(rows, dtype=np.intp)
+            cat_ids = [ids[row] for row in rows]
+            instance = ColumnarSelectInstance._from_rows(
+                ids=cat_ids,
+                ops=[ops[row] for row in rows],
+                inputs=[inputs[row] for row in rows],
+                costs=costs_arr[take],
+                selectivities=[sels[row] for row in rows],
+                bids=bids_arr[take],
+                loads=loads_arr[take],
+                valuations=([valuations[row] for row in rows]
+                            if has_vals else None),
+                owners=[owners[row] for row in rows],
+                objs=([objs[row] for row in rows]
+                      if has_objs else None),
+                capacity=slice_capacity,
+            )
+            outcome = self.mechanisms[category.name].run(instance)
+            outcome = replace(
+                outcome,
+                mechanism=f"{outcome.mechanism}@{category.name}")
+            outcomes[category.name] = outcome
+            revenue += service.ledger.bill_outcome(period, outcome)
+            # is_winner is payments-membership; hoisting the dict off
+            # the outcome skips a method call per (mostly losing) row.
+            payments = outcome.payments
+            for row, query_id in zip(rows, cat_ids):
+                if query_id not in payments:
+                    rejected.append(query_id)
+                    continue
+                admitted.append(query_id)
+                # Only winners materialize; object rows (renewals) keep
+                # their original plan object, exactly as the reference
+                # winner loop would see it.
+                obj = objs[row]
+                query = as_continuous_query(
+                    obj if obj is not None
+                    else instance.query(query_id))
+                to_admit.append(query)
+                self.active[query_id] = SubscriptionEntry(
+                    query=query,
+                    category=category.name,
+                    start_period=period,
+                    expires_period=period + category.length_days,
+                    payment=outcome.payment(query_id),
+                    renewals=self.renewal_counts.get(query_id, 0),
+                )
+        if to_admit:
+            engine = service.engine
+            if engine.admitted_ids:
+                engine.transition(
+                    add=tuple(to_admit), remove=(),
+                    hold_ticks=service.transitions.hold_ticks)
+            else:
+                for query in to_admit:
+                    engine.admit(query)
+        stats["winners"] = len(admitted)
+        result = SubscriptionPeriodResult(
+            period=period,
+            outcomes=outcomes,
+            admitted=tuple(sorted(admitted)),
+            rejected=tuple(sorted(rejected)),
+            revenue=revenue,
+            held_capacity=held,
+        )
+        return result, stats
+
+    def _run_period_fallback(self, service, period, pending, stats):
+        """Expand row chunks to objects and run the reference boundary."""
+        stats["fell_back"] = True
+        expanded: list[tuple[ContinuousQuery, str]] = []
+        for item in pending:
+            if type(item) is RowChunk:
+                block = item.block
+                for offset, row in enumerate(
+                        range(item.start, item.stop)):
+                    expanded.append(
+                        (block.plan(row), item.categories[offset]))
+            else:
+                expanded.append(item)
+        result = self.run_period(service, period, expanded)
+        stats["winners"] = len(result.admitted)
+        return result, stats
+
 
 def _auction_query(query: ContinuousQuery):
     """The auction-layer view of a continuous query.
@@ -450,6 +687,19 @@ def _single_select_loads(
     operator's definition, or an operator feeds another — the cases
     where topology actually matters.
     """
+    result = _single_select_loads_ex(plans, stream_rates)
+    return None if result is None else result[0]
+
+
+def _single_select_loads_ex(
+    plans: Sequence, stream_rates: Mapping[str, float]
+) -> "tuple[dict[str, float], set[str]] | None":
+    """:func:`_single_select_loads` plus the input-stream names.
+
+    The columnar boundary needs the inputs to decide whether *pending*
+    rows chain onto the active plans' topology without re-walking the
+    active book.
+    """
     loads: dict[str, float] = {}
     inputs: set[str] = set()
     for plan in plans:
@@ -478,4 +728,4 @@ def _single_select_loads(
     if inputs & loads.keys():
         # An operator feeds another: rates chain, topology matters.
         return None
-    return loads
+    return loads, inputs

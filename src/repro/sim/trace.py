@@ -123,6 +123,53 @@ class TraceColumns:
         self.valuations.append(plan.valuation)
         self.owners.append(plan.owner)
 
+    def extend_select_block(
+        self, block, start: int, stop: int,
+        categories, default_stream: int,
+    ) -> None:
+        """Append rows ``[start, stop)`` of an arrival block.
+
+        Column-to-column bulk appends, byte-identical to calling
+        :meth:`append_select` with ``block.plan(row)`` for each row
+        (the numpy ``.tolist()`` items are exactly the ``float(...)``
+        casts the per-row path performs).  *categories* is the
+        resolved per-row category list for the slice — the driver
+        records assigned categories, not requested ones, matching the
+        per-event recorder calls.
+        """
+        count = stop - start
+        self.times.extend(block.times[start:stop].tolist())
+        streams = block.streams
+        if streams is None:
+            self.streams.extend([int(default_stream)] * count)
+        elif type(streams) is int:
+            self.streams.extend([streams] * count)
+        else:
+            self.streams.extend(
+                int(streams[row]) for row in range(start, stop))
+        self.categories.extend(categories)
+        self.ids.extend(block.ids[start:stop])
+        self.ops.extend(block.ops[start:stop])
+        inputs = block.inputs
+        if type(inputs) is str:
+            self.inputs.extend([inputs] * count)
+        else:
+            self.inputs.extend(inputs[start:stop])
+        self.costs.extend(block.costs[start:stop].tolist())
+        selectivities = block.selectivities
+        if type(selectivities) is float:
+            self.selectivities.extend([selectivities] * count)
+        else:
+            self.selectivities.extend(
+                float(selectivities[row]) for row in range(start, stop))
+        self.bids.extend(block.bids[start:stop].tolist())
+        valuations = block.valuations
+        if valuations is None:
+            self.valuations.extend([None] * count)
+        else:
+            self.valuations.extend(valuations[start:stop])
+        self.owners.extend(block.owners[start:stop])
+
     def append_opaque(
         self, time: float, query,
         category: "str | None", stream: int,
@@ -269,6 +316,19 @@ class TraceRecorder:
         else:
             self._columns.append_opaque(
                 float(time), query, category, int(stream))
+
+    def record_rows(
+        self, block, start: int, stop: int,
+        categories, default_stream: int,
+    ) -> None:
+        """Append one consumed row slice of an arrival block.
+
+        The columnar pump's recorder call: whole-slice list extends
+        instead of per-arrival :meth:`record` calls, producing rows
+        byte-identical to recording each ``block.plan(row)``.
+        """
+        self._columns.extend_select_block(
+            block, start, stop, categories, default_stream)
 
     def trace(self) -> SimTrace:
         """The recording so far, as an immutable trace."""

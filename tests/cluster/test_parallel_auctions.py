@@ -27,7 +27,7 @@ pytestmark = pytest.mark.cluster
 
 def build_cluster(mechanism="two-price:seed=7", num_shards=3,
                   capacity=8.0, selection=None, auction_workers=None,
-                  auction_mode="thread"):
+                  auction_mode="thread", auction_columns="pickle"):
     return FederatedAdmissionService.build(
         num_shards=num_shards,
         sources=[SyntheticStream("s", rate=4, seed=5, poisson=False)],
@@ -38,6 +38,7 @@ def build_cluster(mechanism="two-price:seed=7", num_shards=3,
         placement="round-robin",
         auction_workers=auction_workers,
         auction_mode=auction_mode,
+        auction_columns=auction_columns,
     )
 
 
@@ -264,6 +265,109 @@ class TestProcessPool:
         finally:
             restored.close_pool()
         assert report_bytes(left) == report_bytes(right)
+
+    def test_shm_columns_equal_sequential_over_periods(self):
+        """Shared-memory column transport: same bytes, segments used.
+
+        Three periods so RNG state must round-trip through the shm
+        jobs too; the pool's counters prove the segment path actually
+        engaged rather than silently falling back to pickling.
+        """
+        sequential = build_cluster()
+        pooled = build_cluster(auction_mode="process",
+                               auction_workers=2,
+                               auction_columns="shm")
+        try:
+            for left, right in zip(
+                    run_periods(sequential, 3, batch=False),
+                    run_periods(pooled, 3, batch=True)):
+                assert report_bytes(left) == report_bytes(right)
+            stats = pooled._process_pool.stats
+            assert stats["shm_segments"] == 3
+            assert stats["shm_bytes"] > 0
+            assert stats["pickled_calls"] == 0
+        finally:
+            pooled.close_pool()
+
+    def test_shm_columns_equal_pickled_columns(self):
+        pickled = build_cluster(auction_mode="process",
+                                auction_workers=2)
+        shm = build_cluster(auction_mode="process",
+                            auction_workers=2,
+                            auction_columns="shm")
+        try:
+            for left, right in zip(run_periods(pickled, 2, batch=True),
+                                   run_periods(shm, 2, batch=True)):
+                assert report_bytes(left) == report_bytes(right)
+        finally:
+            pickled.close_pool()
+            shm.close_pool()
+
+    def test_switching_transport_rebuilds_pool_mid_run(self):
+        """Flipping ``auction_columns`` between periods takes effect."""
+        sequential = build_cluster()
+        pooled = build_cluster(auction_mode="process",
+                               auction_workers=2)
+        try:
+            left = run_periods(sequential, 1, batch=False)[0]
+            right = run_periods(pooled, 1, batch=True)[0]
+            assert report_bytes(left) == report_bytes(right)
+            first_pool = pooled._process_pool
+            assert first_pool.columns == "pickle"
+            pooled.auction_columns = "shm"
+            for query in submissions(2):
+                sequential.submit(query)
+            for query in submissions(2):
+                pooled.submit(query)
+            left = sequential.run_period()
+            right = pooled.run_period_all()
+            assert report_bytes(left) == report_bytes(right)
+            assert pooled._process_pool is not first_pool
+            assert pooled._process_pool.stats["shm_segments"] == 1
+        finally:
+            pooled.close_pool()
+
+    def test_multi_operator_instances_fall_back_to_pickling(self):
+        """Shapes the columnar select can't pack still run correctly."""
+        from repro.cluster.parallel import AuctionProcessPool
+        from repro.core import CAT
+        from repro.core.model import AuctionInstance, Operator, Query
+
+        operators = {"o0": Operator("o0", 1.0),
+                     "o1": Operator("o1", 2.0)}
+        queries = (Query("q0", ("o0", "o1"), bid=5.0),
+                   Query("q1", ("o0",), bid=3.0))
+        instance = AuctionInstance(operators, queries, capacity=4.0)
+        pool = AuctionProcessPool(2, columns="shm")
+        try:
+            grouped = pool.run_groups([(CAT(), [instance])])
+        finally:
+            pool.close()
+        assert pool.stats["shm_segments"] == 0
+        assert pool.stats["pickled_calls"] == 1
+        expected = CAT().run_many([instance])
+        assert repr(grouped[0]) == repr(expected)
+
+    def test_invalid_transport_rejected(self):
+        from repro.cluster.parallel import AuctionProcessPool
+        from repro.utils.validation import ValidationError
+
+        with pytest.raises(ValidationError, match="pickle"):
+            AuctionProcessPool(2, columns="mmap")
+        with pytest.raises(ValidationError, match="pickle"):
+            build_cluster(auction_columns="mmap")
+
+    def test_restored_cluster_defaults_columns_to_pickle(self):
+        cluster = build_cluster(auction_mode="process",
+                                auction_workers=2,
+                                auction_columns="shm")
+        try:
+            run_periods(cluster, 1, batch=True)
+            restored = FederatedAdmissionService.restore(
+                cluster.snapshot())
+        finally:
+            cluster.close_pool()
+        assert restored.auction_columns == "pickle"
 
     def test_pool_survives_copy_and_pickle_cold(self):
         import copy as copy_module
