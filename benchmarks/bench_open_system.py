@@ -167,6 +167,143 @@ def compare_pump(args, periods: int) -> int:
     return 0
 
 
+def compare_wal(args, periods: int) -> int:
+    """WAL on vs off: identical results, bounded overhead.
+
+    Durability's admissibility contract, executed: a run logging every
+    settle window to a write-ahead log (``--wal-fsync`` policy,
+    compaction every 64 periods) must produce byte-identical period
+    reports and revenue, and stay within 15% of the bare event loop's
+    events/s — the budget ISSUE'd for the batched-fsync default.  The
+    result lands in the ``wal`` section of ``BENCH_sim.json``.
+    """
+    import shutil
+    import tempfile
+
+    results = {}
+    reports_by_label = {}
+    drivers_by_label = {}
+    samples_by_label = {"no-wal": [], "wal": []}
+    wal_stats = None
+    compaction = None
+    repeats = max(1, int(args.repeats))
+    # Repeats are interleaved (no-wal, wal, no-wal, wal, ...) and the
+    # verdict uses the median of each label, so neither one-off
+    # scheduling noise nor slow frequency drift across the whole
+    # comparison can set the overhead number.
+    for repeat in range(repeats):
+        for label in ("no-wal", "wal"):
+            driver = build_driver(args)
+            log = None
+            wal_dir = None
+            if label == "wal":
+                from repro.wal import WriteAheadLog
+
+                wal_dir = tempfile.mkdtemp(prefix="bench-wal-")
+                log = WriteAheadLog.create(
+                    wal_dir, driver.snapshot(), fsync=args.wal_fsync,
+                    compact_every=0)
+                driver.attach_wal(log)
+            started = time.perf_counter()
+            reports = driver.run(periods)
+            samples_by_label[label].append(time.perf_counter() - started)
+            if log is not None:
+                log.sync()
+                wal_stats = log.stats_snapshot()
+                if repeat == repeats - 1:
+                    # Compaction is timed separately, once: its cost
+                    # is a full state snapshot (O(run history) today —
+                    # see the ROADMAP durability follow-ons), so
+                    # folding it into the per-event throughput figure
+                    # would report a number that depends on the
+                    # compaction cadence rather than on the log.
+                    from repro.wal import list_snapshots
+
+                    snapshot = driver.snapshot()
+                    compact_started = time.perf_counter()
+                    log.compact(snapshot, driver.period)
+                    compact_elapsed = (time.perf_counter()
+                                       - compact_started)
+                    _, ckpt = list_snapshots(wal_dir)[-1]
+                    compaction = {
+                        "seconds": compact_elapsed,
+                        "period": driver.period,
+                        "snapshot_bytes": ckpt.stat().st_size,
+                    }
+                log.close()
+                shutil.rmtree(wal_dir, ignore_errors=True)
+            reports_by_label[label] = repr(reports)
+            drivers_by_label[label] = driver
+    for label in ("no-wal", "wal"):
+        driver = drivers_by_label[label]
+        samples = samples_by_label[label]
+        elapsed = statistics.median(samples)
+        results[label] = {
+            "seconds": elapsed,
+            "seconds_samples": samples,
+            "events_per_sec": driver.events_processed / elapsed,
+            "events_processed": driver.events_processed,
+            "admitted": sum(
+                len(r.admitted) for r in driver.reports),
+            "revenue": driver.total_revenue(),
+        }
+    bare, logged = results["no-wal"], results["wal"]
+    overhead = (bare["events_per_sec"] / logged["events_per_sec"]) - 1.0
+    table = format_table(
+        ["metric", "no-wal", "wal"],
+        [
+            ["seconds", bare["seconds"], logged["seconds"]],
+            ["events/s", bare["events_per_sec"],
+             logged["events_per_sec"]],
+            ["events", bare["events_processed"],
+             logged["events_processed"]],
+            ["revenue", bare["revenue"], logged["revenue"]],
+            ["wal records", "-", wal_stats["records"]],
+            ["wal fsyncs", "-", wal_stats["fsyncs"]],
+            ["wal MiB", "-",
+             wal_stats["appended_bytes"] / (1024 * 1024)],
+            ["compaction s", "-", compaction["seconds"]],
+            ["snapshot MiB", "-",
+             compaction["snapshot_bytes"] / (1024 * 1024)],
+        ],
+        precision=2,
+        title=(f"WAL comparison — {args.arrivals} arrivals, "
+               f"fsync {args.wal_fsync}, overhead "
+               f"{overhead * 100.0:.1f}%"))
+    print(table)
+    document = {
+        "arrivals": args.arrivals,
+        "fsync": args.wal_fsync,
+        "results": results,
+        "overhead": overhead,
+        "wal_stats": wal_stats,
+        "compaction": compaction,
+    }
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "wal_compare.json").write_text(
+        json.dumps(document, indent=2) + "\n")
+    if not args.smoke and BENCH_JSON.is_file():
+        # Merge, don't clobber: the wal section rides the seeded
+        # full-run BENCH_sim.json next to the headline numbers.
+        seeded = json.loads(BENCH_JSON.read_text())
+        seeded["wal"] = document
+        BENCH_JSON.write_text(json.dumps(seeded, indent=2) + "\n")
+        print(f"merged wal section into {BENCH_JSON}")
+
+    assert reports_by_label["wal"] == reports_by_label["no-wal"], (
+        "WAL-attached run diverges from the bare run")
+    assert logged["revenue"] == bare["revenue"]
+    # The 15% budget is judged on the full-size run, where fixed
+    # costs (genesis snapshot, file creation) amortize and a shared
+    # runner's scheduling noise stops dominating the seconds column;
+    # smoke runs get a loose sanity bound only.
+    budget = 0.40 if args.smoke else 0.15
+    assert overhead <= budget, (
+        f"WAL overhead {overhead * 100.0:.1f}% exceeds the "
+        f"{budget * 100.0:.0f}% budget")
+    return 0
+
+
 def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(
         description="event throughput + SLA latency of the open-system "
@@ -194,6 +331,12 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument("--pump", action="store_true",
                         help="consume arrivals through the columnar "
                              "pump (numpy row blocks)")
+    parser.add_argument("--compare-wal", action="store_true",
+                        help="run WAL-attached vs bare, assert "
+                             "equivalence and <=15%% overhead")
+    parser.add_argument("--wal-fsync", default="batch:256",
+                        help="fsync policy for --compare-wal "
+                             "(default batch:256)")
     parser.add_argument("--repeats", type=int, default=3,
                         help="timed repetitions; every sample is "
                              "recorded, the median is the headline")
@@ -201,7 +344,8 @@ def main(argv: "list[str] | None" = None) -> int:
 
     if args.arrivals is None:
         args.arrivals = 20_000 if (
-            args.compare_dispatch or args.compare_pump) else (
+            args.compare_dispatch or args.compare_pump
+            or args.compare_wal) else (
             2_000 if args.smoke else 50_000)
     # Enough boundaries to consume every arrival, plus one spare so
     # the tail of the stream still gets auctioned.
@@ -211,6 +355,8 @@ def main(argv: "list[str] | None" = None) -> int:
         return compare_dispatch(args, periods)
     if args.compare_pump:
         return compare_pump(args, periods)
+    if args.compare_wal:
+        return compare_wal(args, periods)
 
     # Every repeat runs the identical (deterministic) workload on a
     # fresh driver; all samples are recorded, the median is the

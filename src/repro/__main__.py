@@ -297,7 +297,42 @@ def _cmd_sim(args: argparse.Namespace) -> int:
     from repro.sim import ArrivalSpec, SimulationDriver
     from repro.utils.tables import format_table
 
-    if args.resume:
+    wal_log = None
+    if args.wal and args.resume:
+        from repro.utils.validation import ValidationError
+
+        raise ValidationError(
+            "--wal recovers from its own log directory and cannot "
+            "be combined with --resume")
+    if args.wal:
+        from repro.wal import wal_exists
+
+        wal_recover = wal_exists(args.wal)
+    else:
+        wal_recover = False
+
+    if wal_recover:
+        from repro.utils.validation import ValidationError
+        from repro.wal import recover_sim_driver
+
+        # The WAL directory fixes the simulation's configuration; the
+        # workload flags on a recovering invocation are accepted (so
+        # the original command line can simply be re-run after a
+        # crash) but the recovered state wins.
+        driver, wal_log = recover_sim_driver(
+            args.wal, fsync=args.wal_fsync,
+            compact_every=args.compact_every)
+        _apply_auction_tuning(driver.host, args)
+        if args.record and driver.recorder is None:
+            raise ValidationError(
+                f"WAL {args.wal!r} was created without --record, so "
+                f"a recovered run cannot produce a complete trace")
+        print(f"wal: recovered {args.wal} at period {driver.period} "
+              f"(replayed {wal_log.stats.get('replayed', 0)} period "
+              f"record(s)"
+              + (", torn tail truncated)" if wal_log.stats["torn_tail"]
+                 else ")"))
+    elif args.resume:
         from repro.utils.validation import ValidationError
 
         # A checkpoint carries the whole simulation configuration;
@@ -410,11 +445,24 @@ def _cmd_sim(args: argparse.Namespace) -> int:
             pump=args.pump,
         )
         _apply_auction_tuning(driver.host, args)
+        if args.wal:
+            from repro.wal import WriteAheadLog
 
+            wal_log = WriteAheadLog.create(
+                args.wal, driver.snapshot(), fsync=args.wal_fsync,
+                compact_every=args.compact_every)
+            driver.attach_wal(wal_log)
+
+    # Under --wal, --periods is the run's total horizon: a recovered
+    # invocation runs only the boundaries the crash cut short, so
+    # crash + re-run converges to the same final state as one
+    # uninterrupted run.
+    remaining = (max(0, args.periods - driver.period)
+                 if wal_log is not None else args.periods)
     started = time.perf_counter()
     rows = []
     try:
-        for _ in range(args.periods):
+        for _ in range(remaining):
             report = driver.run(1)[0]
             rows.append(_sim_report_row(report))
             if args.checkpoint:
@@ -453,7 +501,50 @@ def _cmd_sim(args: argparse.Namespace) -> int:
         print(f"trace written to {args.record}")
     if args.checkpoint:
         print(f"checkpoint written to {args.checkpoint}")
+    if wal_log is not None:
+        wal_log.sync()
+        final = _write_wal_final_report(driver, args.wal)
+        stats = wal_log.stats_snapshot()
+        wal_log.close()
+        print(f"wal: {stats['records']} record(s), "
+              f"{stats['compactions']} compaction(s), "
+              f"{stats['fsyncs']} fsync(s), "
+              f"final report {final}")
     return 0
+
+
+def _write_wal_final_report(driver, wal_dir: str) -> str:
+    """Write the convergence artifact the kill-matrix diffs.
+
+    Everything durability promises to preserve, in one deterministic
+    JSON document: the per-period report rows, the cumulative totals,
+    and the complete billing ledger — a crashed-and-recovered run must
+    produce this file byte-identical to the uninterrupted run's.
+    """
+    import json
+    from pathlib import Path
+
+    from repro.io import _atomic_write_text
+
+    document = {
+        "schema": "repro/wal-final-report",
+        "version": 1,
+        "periods": driver.period,
+        "events_processed": driver.events_processed,
+        "total_revenue": driver.total_revenue(),
+        "rows": [_sim_report_row(report) for report in driver.reports],
+        "invoices": [
+            {"shard": index,
+             "invoices": [[invoice.period, invoice.query_id,
+                           invoice.owner, invoice.amount,
+                           invoice.mechanism]
+                          for invoice in service.ledger.invoices]}
+            for index, service in enumerate(driver.host.services)],
+    }
+    path = Path(wal_dir) / "final_report.json"
+    _atomic_write_text(
+        path, json.dumps(document, sort_keys=True, indent=1) + "\n")
+    return str(path)
 
 
 def _apply_auction_tuning(host, args: argparse.Namespace) -> None:
@@ -698,6 +789,9 @@ def _serve_target_and_config(args: argparse.Namespace):
         tick_interval=args.tick_interval,
         log_path=args.log,
         quiet=args.quiet,
+        wal_dir=args.wal,
+        wal_fsync=args.wal_fsync,
+        compact_every=args.compact_every,
     )
     return target, config
 
@@ -896,6 +990,22 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--resume", default=None,
                      help="resume from a simulation checkpoint "
                           "instead of starting fresh")
+    sim.add_argument("--wal", default=None, metavar="DIR",
+                     help="write-ahead log directory: every settle "
+                          "window is logged before the run moves on, "
+                          "and re-running the same command after a "
+                          "crash recovers and converges to the "
+                          "uninterrupted result (--periods is the "
+                          "total horizon)")
+    sim.add_argument("--wal-fsync", default="batch:256",
+                     metavar="POLICY",
+                     help="WAL fsync policy: never, always, or "
+                          "batch:N (default batch:256)")
+    sim.add_argument("--compact-every", type=int, default=64,
+                     metavar="PERIODS",
+                     help="fold the WAL into a fresh snapshot and "
+                          "truncate recovered segments every this "
+                          "many periods (default 64; 0 disables)")
     sim.set_defaults(handler=_cmd_sim)
 
     cluster = commands.add_parser(
@@ -1020,6 +1130,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="append structured JSONL request logs here")
     serve.add_argument("--quiet", action="store_true",
                        help="suppress the human-readable stderr log")
+    serve.add_argument("--wal", default=None, metavar="DIR",
+                       help="write-ahead log directory: acknowledged "
+                            "submissions and settles are logged "
+                            "before the response goes out, and a "
+                            "restarted gateway replays its log tail "
+                            "(503 + /healthz recovery=replaying "
+                            "until caught up)")
+    serve.add_argument("--wal-fsync", default="batch:256",
+                       metavar="POLICY",
+                       help="WAL fsync policy: never, always, or "
+                            "batch:N (default batch:256)")
+    serve.add_argument("--compact-every", type=int, default=64,
+                       metavar="PERIODS",
+                       help="fold the WAL into a fresh snapshot "
+                            "every this many settled periods "
+                            "(default 64; 0 disables)")
     serve.set_defaults(handler=_cmd_serve)
 
     generate = commands.add_parser(

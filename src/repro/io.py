@@ -37,13 +37,21 @@ formats live here:
 from __future__ import annotations
 
 import json
+import os
 import pickle
+import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.core.model import AuctionInstance, Operator, Query
 from repro.core.result import AuctionOutcome
 from repro.utils.validation import ValidationError
+from repro.wal.crashpoints import crashpoint, register
+
+#: Fault-injection point between writing the temp file and the
+#: ``os.replace`` that publishes it — a crash here must leave the old
+#: file intact and only a stray ``*.tmp`` behind.
+CP_IO_SAVE_AFTER_TMP = register("io.save.after-tmp")
 
 #: Schema tags + versions of the formats written by this module.
 PERIOD_REPORT_SCHEMA = "repro/period-report"
@@ -63,6 +71,67 @@ SERVE_REQUEST_SCHEMA = "repro/serve-request"
 SERVE_REQUEST_VERSION = 1
 SERVE_RESPONSE_SCHEMA = "repro/serve-response"
 SERVE_RESPONSE_VERSION = 1
+
+
+def _atomic_write(path: "str | Path", data: bytes) -> None:
+    """Publish *data* at *path* all-or-nothing.
+
+    Writes to a same-directory temp file, fsyncs it, then
+    ``os.replace``s it over *path* — a crash at any instant leaves
+    either the previous complete file or the new complete file, never
+    a truncated hybrid.  The directory entry is fsynced best-effort
+    (not every filesystem supports opening a directory).
+    """
+    target = Path(path)
+    directory = target.parent if str(target.parent) else Path(".")
+    handle, tmp_name = tempfile.mkstemp(
+        prefix=target.name + ".", suffix=".tmp", dir=str(directory))
+    try:
+        with os.fdopen(handle, "wb") as stream:
+            stream.write(data)
+            stream.flush()
+            os.fsync(stream.fileno())
+        crashpoint(CP_IO_SAVE_AFTER_TMP)
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    try:
+        dir_fd = os.open(str(directory), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        pass
+    finally:
+        os.close(dir_fd)
+
+
+def _atomic_write_text(path: "str | Path", text: str) -> None:
+    _atomic_write(path, text.encode("utf-8"))
+
+
+def _read_json(path: "str | Path", what: str) -> object:
+    """Load a JSON file, naming *path* in any corruption error."""
+    raw = Path(path).read_bytes()
+    try:
+        return json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ValidationError(
+            f"malformed {what} file {str(path)!r}: {exc!r}") from exc
+
+
+#: What a corrupt or truncated pickle can raise: the unpickler's own
+#: errors plus whatever a garbage stream makes it do — resolve a
+#: missing global, index past the memo, build with wrong arguments.
+_PICKLE_ERRORS = (
+    pickle.UnpicklingError, EOFError, AttributeError, ImportError,
+    IndexError, KeyError, ValueError, TypeError,
+)
 
 
 def instance_to_dict(instance: AuctionInstance) -> dict:
@@ -118,14 +187,14 @@ def instance_from_dict(payload: dict) -> AuctionInstance:
 
 
 def save_instance(instance: AuctionInstance, path: "str | Path") -> None:
-    """Write *instance* as JSON to *path*."""
-    Path(path).write_text(
-        json.dumps(instance_to_dict(instance), indent=2) + "\n")
+    """Write *instance* as JSON to *path* (atomically)."""
+    _atomic_write_text(
+        path, json.dumps(instance_to_dict(instance), indent=2) + "\n")
 
 
 def load_instance(path: "str | Path") -> AuctionInstance:
     """Read an instance JSON document from *path*."""
-    return instance_from_dict(json.loads(Path(path).read_text()))
+    return instance_from_dict(_read_json(path, "instance"))
 
 
 def outcome_to_dict(outcome: AuctionOutcome) -> dict:
@@ -139,9 +208,9 @@ def outcome_to_dict(outcome: AuctionOutcome) -> dict:
 
 
 def save_outcome(outcome: AuctionOutcome, path: "str | Path") -> None:
-    """Write *outcome*'s audit record as JSON to *path*."""
-    Path(path).write_text(
-        json.dumps(outcome_to_dict(outcome), indent=2) + "\n")
+    """Write *outcome*'s audit record as JSON to *path* (atomically)."""
+    _atomic_write_text(
+        path, json.dumps(outcome_to_dict(outcome), indent=2) + "\n")
 
 
 def _jsonable(value: object) -> object:
@@ -278,26 +347,28 @@ def report_from_dict(payload: dict) -> object:
 
 def save_report(report: object, path: "str | Path") -> None:
     """Write one period report as versioned JSON to *path*."""
-    Path(path).write_text(
+    _atomic_write_text(
+        path,
         json.dumps(report_to_dict(report), indent=2, sort_keys=True)
         + "\n")
 
 
 def load_report(path: "str | Path") -> object:
     """Read a period report written by :func:`save_report`."""
-    return report_from_dict(json.loads(Path(path).read_text()))
+    return report_from_dict(_read_json(path, "period report"))
 
 
 def save_reports(reports: "list | tuple", path: "str | Path") -> None:
     """Write a run's reports as one JSON array (period history)."""
-    Path(path).write_text(
+    _atomic_write_text(
+        path,
         json.dumps([report_to_dict(r) for r in reports],
                    indent=2, sort_keys=True) + "\n")
 
 
 def load_reports(path: "str | Path") -> list:
     """Read a period history written by :func:`save_reports`."""
-    payload = json.loads(Path(path).read_text())
+    payload = _read_json(path, "report history")
     if not isinstance(payload, list):
         raise ValidationError(
             "malformed report history: expected a JSON array")
@@ -385,14 +456,15 @@ def cluster_report_from_dict(payload: dict) -> object:
 
 def save_cluster_report(report: object, path: "str | Path") -> None:
     """Write one cluster report as versioned JSON to *path*."""
-    Path(path).write_text(
+    _atomic_write_text(
+        path,
         json.dumps(cluster_report_to_dict(report), indent=2,
                    sort_keys=True) + "\n")
 
 
 def load_cluster_report(path: "str | Path") -> object:
     """Read a cluster report written by :func:`save_cluster_report`."""
-    return cluster_report_from_dict(json.loads(Path(path).read_text()))
+    return cluster_report_from_dict(_read_json(path, "cluster report"))
 
 
 # ----------------------------------------------------------------------
@@ -435,7 +507,7 @@ def save_snapshot(snapshot: object, path: "str | Path") -> None:
     picklable: module-level functions in operator predicates and
     stream payloads are, lambdas and closures are not.
     """
-    Path(path).write_bytes(pickle.dumps(
+    _atomic_write(path, pickle.dumps(
         _snapshot_envelope(snapshot), protocol=pickle.HIGHEST_PROTOCOL))
 
 
@@ -446,7 +518,7 @@ def load_snapshot(path: "str | Path") -> object:
     """
     try:
         envelope = pickle.loads(Path(path).read_bytes())
-    except (pickle.UnpicklingError, EOFError) as exc:
+    except _PICKLE_ERRORS as exc:
         raise ValidationError(
             f"malformed snapshot file {str(path)!r}: {exc!r}") from exc
     return _unwrap_snapshot_envelope(envelope, str(path))
@@ -509,24 +581,26 @@ def sim_trace_from_dict(payload: dict) -> object:
 
 
 def _intern_column(values: list) -> tuple:
-    """(codes int32, table U-strings) for a column of str-or-None."""
+    """(codes int32, table U-strings) for a column of str-or-None.
+
+    Table order is an implementation detail of the writer — codes are
+    only ever resolved through the table stored next to them, so the
+    sorted (numpy) and first-appearance (dict) paths interoperate.
+    """
     import numpy as np
 
+    if values and None not in values:
+        # All-string column: sort-based interning entirely in C.
+        table, codes = np.unique(np.asarray(values, dtype="U"),
+                                 return_inverse=True)
+        return codes.astype(np.int32), table
+    # setdefault assigns first-appearance codes in one pass; dict
+    # insertion order IS the table.
     index: dict[str, int] = {}
-    table: list[str] = []
-    codes = []
-    for value in values:
-        if value is None:
-            codes.append(-1)
-            continue
-        code = index.get(value)
-        if code is None:
-            code = len(table)
-            index[value] = code
-            table.append(value)
-        codes.append(code)
+    codes = [-1 if value is None else index.setdefault(value, len(index))
+             for value in values]
     return (np.asarray(codes, dtype=np.int32),
-            np.asarray(table, dtype="U") if table
+            np.asarray(list(index), dtype="U") if index
             else np.empty(0, dtype="U1"))
 
 
@@ -567,10 +641,15 @@ def sim_trace_to_arrays(trace: object) -> dict:
     rows["cost"] = columns.costs
     rows["selectivity"] = columns.selectivities
     rows["bid"] = columns.bids
-    rows["valuation"] = [0.0 if value is None else value
-                         for value in columns.valuations]
-    rows["has_valuation"] = [value is not None
-                             for value in columns.valuations]
+    valuations = columns.valuations
+    if None in valuations:
+        rows["valuation"] = [0.0 if value is None else value
+                             for value in valuations]
+        rows["has_valuation"] = [value is not None
+                                 for value in valuations]
+    else:
+        rows["valuation"] = valuations
+        rows["has_valuation"] = 1
     owner_codes, owner_table = _intern_column(columns.owners)
     category_codes, category_table = _intern_column(columns.categories)
     input_codes, input_table = _intern_column(columns.inputs)
@@ -673,16 +752,20 @@ def save_sim_trace(trace: object, path: "str | Path",
     if format is None:
         format = ("binary" if str(path).endswith(".npz") else "json")
     if format == "binary":
+        import io as _io
+
         import numpy as np
 
-        with open(path, "wb") as handle:
-            np.savez(handle, **sim_trace_to_arrays(trace))
+        buffer = _io.BytesIO()
+        np.savez(buffer, **sim_trace_to_arrays(trace))
+        _atomic_write(path, buffer.getvalue())
         return
     if format != "json":
         raise ValidationError(
             f"unknown trace format {format!r}; this build writes "
             f"'json' and 'binary'")
-    Path(path).write_text(
+    _atomic_write_text(
+        path,
         json.dumps(sim_trace_to_dict(trace), indent=2, sort_keys=True)
         + "\n")
 
@@ -700,13 +783,15 @@ def load_sim_trace(path: "str | Path") -> object:
     raw = Path(path).read_bytes()
     if raw[:2] == b"PK":
         import io as _io
+        import zipfile
 
         import numpy as np
 
         try:
             with np.load(_io.BytesIO(raw), allow_pickle=False) as data:
                 return sim_trace_from_arrays(data)
-        except (ValueError, OSError) as exc:
+        except (ValueError, OSError, KeyError,
+                zipfile.BadZipFile) as exc:
             raise ValidationError(
                 f"malformed binary trace file {str(path)!r}: "
                 f"{exc!r}") from exc
@@ -732,7 +817,7 @@ def save_sim_snapshot(snapshot: object, path: "str | Path") -> None:
     the host service/cluster snapshot.  The usual pickle rules apply —
     module-level functions only, and only load files you trust.
     """
-    Path(path).write_bytes(pickle.dumps({
+    _atomic_write(path, pickle.dumps({
         "schema": SIM_SNAPSHOT_SCHEMA,
         "version": SIM_SNAPSHOT_VERSION,
         "snapshot": snapshot,
@@ -743,7 +828,7 @@ def load_sim_snapshot(path: "str | Path") -> object:
     """Read a snapshot envelope written by :func:`save_sim_snapshot`."""
     try:
         envelope = pickle.loads(Path(path).read_bytes())
-    except (pickle.UnpicklingError, EOFError) as exc:
+    except _PICKLE_ERRORS as exc:
         raise ValidationError(
             f"malformed simulation snapshot file {str(path)!r}: "
             f"{exc!r}") from exc
@@ -791,8 +876,8 @@ def save_cluster_snapshot(snapshot: object, path: "str | Path") -> None:
         },
         "shards": [_snapshot_envelope(shard) for shard in snapshot.shards],
     }
-    Path(path).write_bytes(
-        pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL))
+    _atomic_write(
+        path, pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL))
 
 
 def load_cluster_snapshot(path: "str | Path") -> object:
@@ -806,7 +891,7 @@ def load_cluster_snapshot(path: "str | Path") -> object:
 
     try:
         envelope = pickle.loads(Path(path).read_bytes())
-    except (pickle.UnpicklingError, EOFError) as exc:
+    except _PICKLE_ERRORS as exc:
         raise ValidationError(
             f"malformed cluster snapshot file {str(path)!r}: "
             f"{exc!r}") from exc

@@ -61,6 +61,10 @@ from repro.serve.logs import StructuredLog
 from repro.sim.events import ArrivalEvent
 from repro.sim.hosts import wrap_host
 from repro.utils.validation import ValidationError, require
+from repro.wal.crashpoints import crashpoint, register
+
+CP_TICK_BEFORE_PERIOD = register("gateway.tick.before-period-record")
+CP_TICK_AFTER_PERIOD = register("gateway.tick.after-period-record")
 
 
 def report_document(report: object) -> "dict | None":
@@ -319,6 +323,16 @@ class GatewayConfig:
     log_path: "str | None" = None
     #: Suppress the human-readable stderr log line.
     quiet: bool = False
+    #: Write-ahead log directory (None disables durability).  Every
+    #: acknowledged mutation is appended before its response goes
+    #: out; a restarted gateway replays the log tail (reporting
+    #: ``recovery: replaying`` on /healthz until caught up).
+    wal_dir: "str | None" = None
+    #: WAL fsync policy: ``never``, ``always``, or ``batch:N``.
+    wal_fsync: str = "batch:256"
+    #: Compact the WAL into a fresh snapshot every this many settled
+    #: periods (0 disables compaction).
+    compact_every: int = 64
 
     def __post_init__(self) -> None:
         require(self.max_inflight >= 1, "max_inflight must be >= 1")
@@ -370,6 +384,10 @@ class AdmissionGateway:
         self._tick_task: "asyncio.Task | None" = None
         self._connections: set = set()
         self._backend_cache: "dict | None" = None
+        self._wal = None
+        self._recovering = False
+        self._recovered_from_wal = False
+        self._replayed_records = 0
         self.counters: Counter = Counter()
         self._latency: dict[str, deque] = {
             "fast": deque(maxlen=4096), "slow": deque(maxlen=512)}
@@ -378,18 +396,77 @@ class AdmissionGateway:
     # -- lifecycle -----------------------------------------------------
 
     async def start(self) -> "AdmissionGateway":
-        """Bind and start serving; resolves the ephemeral port."""
+        """Bind and start serving; resolves the ephemeral port.
+
+        With a WAL configured, a fresh directory is initialised with a
+        genesis checkpoint before the first request can be accepted; an
+        existing one triggers background replay — the socket answers
+        immediately, but mutating requests see 503 (and ``/healthz``
+        says ``recovery: replaying``) until the tail is re-applied.
+        """
         require(self._server is None, "the gateway is already started")
+        recover = False
+        if self.config.wal_dir:
+            from repro.wal import WriteAheadLog, wal_exists
+            from repro.wal.recovery import gateway_wal_state
+
+            recover = wal_exists(self.config.wal_dir)
+            if not recover:
+                self._wal = WriteAheadLog.create(
+                    self.config.wal_dir,
+                    gateway_wal_state(self.backend),
+                    fsync=self.config.wal_fsync,
+                    compact_every=self.config.compact_every)
         self._backend_stats()       # prime the open-tier snapshot
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port)
         self.port = self._server.sockets[0].getsockname()[1]
         self._started_at = time.monotonic()
+        if recover:
+            # Replay runs in a worker thread with the service lock
+            # held; the done-callback releases it, exactly like a
+            # settle.  Probes stay answerable off the primed cache.
+            self._recovering = True
+            await self._lock.acquire()
+            loop = asyncio.get_running_loop()
+            future = loop.run_in_executor(None, self._recover_wal)
+            future.add_done_callback(self._recovery_done)
         if self.config.tick_interval:
             self._tick_task = asyncio.create_task(self._auto_tick())
         self.log.log("listening", host=self.config.host, port=self.port,
-                     backend=type(self.backend).__name__)
+                     backend=type(self.backend).__name__,
+                     wal=self.config.wal_dir,
+                     recovering=self._recovering or None)
         return self
+
+    def _recover_wal(self):
+        from repro.wal.recovery import recover_gateway_backend
+
+        return recover_gateway_backend(
+            self.config.wal_dir, self.backend,
+            fsync=self.config.wal_fsync,
+            compact_every=self.config.compact_every)
+
+    def _recovery_done(self, future) -> None:
+        self._lock.release()
+        self._recovering = False
+        exc = None if future.cancelled() else future.exception()
+        if exc is not None:
+            # Fail closed: a gateway that could not re-apply its own
+            # acknowledged log must not take new mutations on top of
+            # half-recovered state.
+            self._draining = True
+            self.log.log("wal_recovery_failed", level="error",
+                         error=repr(exc))
+            return
+        self._wal = future.result()
+        self._recovered_from_wal = True
+        self._replayed_records = self._wal.stats.get("replayed", 0)
+        self._backend_cache = None
+        self._backend_stats()
+        self.log.log("wal_recovered", period=self.backend.period,
+                     replayed=self._replayed_records,
+                     torn=self._wal.stats["torn_tail"])
 
     @property
     def address(self) -> tuple[str, int]:
@@ -428,6 +505,10 @@ class AdmissionGateway:
                 self.log.log("final_settle_failed", level="error",
                              pending=self.backend.pending_count(),
                              error=repr(exc))
+        if self._wal is not None:
+            # Durability before availability teardown: everything the
+            # gateway acknowledged is on disk before the sockets go.
+            self._wal.sync()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -437,6 +518,8 @@ class AdmissionGateway:
             writer.close()
         while self._connections:
             await asyncio.sleep(0.005)
+        if self._wal is not None:
+            self._wal.close()
         self._stopped = True
         self.log.log("stopped", requests=self._budget.requests,
                      retries=self._budget.retries,
@@ -613,6 +696,11 @@ class AdmissionGateway:
             raise HttpError(
                 503, "gateway is draining; resubmit elsewhere",
                 retry_after=self.config.drain_timeout)
+        if self._recovering:
+            raise HttpError(
+                503, "gateway is replaying its write-ahead log; "
+                     "retry shortly",
+                retry_after=self.config.lock_patience)
         if self._inflight >= self.config.max_inflight:
             self.counters["shed"] += 1
             raise HttpError(
@@ -683,9 +771,34 @@ class AdmissionGateway:
         """
         await self._acquire_service_lock(request_id, "tick")
         loop = asyncio.get_running_loop()
-        future = loop.run_in_executor(None, self.backend.tick)
+        future = loop.run_in_executor(None, self._tick_and_log)
         future.add_done_callback(self._tick_done)
         return await asyncio.shield(future)
+
+    def _tick_and_log(self):
+        """One settle plus its durability record (worker thread).
+
+        Runs under the service lock, so the backend is quiescent
+        between the tick and the WAL append — the logged receipt is
+        exactly the post-settle state a replay must reproduce.
+        """
+        report = self.backend.tick()
+        wal = self._wal
+        if wal is not None and not wal.suspended:
+            crashpoint(CP_TICK_BEFORE_PERIOD)
+            wal.append_period(
+                period=self.backend.period,
+                events=getattr(getattr(self.backend, "driver", None),
+                               "events_processed", 0),
+                revenue=self.backend.total_revenue(),
+                arrivals=0)
+            crashpoint(CP_TICK_AFTER_PERIOD)
+            if wal.due_for_compaction(self.backend.period):
+                from repro.wal.recovery import gateway_wal_state
+
+                wal.compact(gateway_wal_state(self.backend),
+                            self.backend.period)
+        return report
 
     def _tick_done(self, future) -> None:
         self._lock.release()
@@ -702,6 +815,18 @@ class AdmissionGateway:
             request.json(),
             allow_pickle=self.config.allow_pickle_plans)
 
+    def _wal_append_op(self, parsed) -> None:
+        """Log an acknowledged mutation (called under the service lock).
+
+        The append happens *before* the 200 goes out, so every response
+        the client sees is durable to the configured fsync policy.
+        """
+        if self._wal is None:
+            return
+        from repro.io import serve_request_to_dict
+
+        self._wal.append_op(serve_request_to_dict(parsed))
+
     async def _handle_submit(self, request: HttpRequest,
                              request_id: str) -> dict:
         parsed = self._parse_request(request)
@@ -711,6 +836,7 @@ class AdmissionGateway:
         async with self._service_lock(request_id, "submit"):
             shard = self.backend.submit(parsed.query,
                                         category=parsed.category)
+            self._wal_append_op(parsed)
         return {"query_id": parsed.query.query_id, "shard": shard,
                 "period": self.backend.period,
                 "pending": self.backend.pending_count()}
@@ -728,6 +854,7 @@ class AdmissionGateway:
                      "subscriptions enabled")
         async with self._service_lock(request_id, "subscribe"):
             self.backend.submit(parsed.query, category=parsed.category)
+            self._wal_append_op(parsed)
         return {"query_id": parsed.query.query_id,
                 "category": parsed.category,
                 "period": self.backend.period,
@@ -744,6 +871,7 @@ class AdmissionGateway:
                 self.backend.withdraw(parsed.query_id)
             except ValidationError as exc:
                 raise HttpError(404, str(exc)) from exc
+            self._wal_append_op(parsed)
         return {"query_id": parsed.query_id, "withdrawn": True,
                 "pending": self.backend.pending_count()}
 
@@ -800,6 +928,9 @@ class AdmissionGateway:
         stats = self._backend_stats()
         return {
             "status": "draining" if self._draining else "ok",
+            "recovery": "replaying" if self._recovering else "clean",
+            "recovered_from_wal": self._recovered_from_wal,
+            "replayed_records": self._replayed_records,
             "period": stats["period"],
             "pending": stats["pending"],
             "inflight": self._inflight,
@@ -811,7 +942,7 @@ class AdmissionGateway:
         backend's queue depths, shard states, and (when the backend
         drives latency probes) the shared
         :func:`~repro.sim.metrics.metrics_snapshot` summary."""
-        from repro.sim.metrics import percentile_dict
+        from repro.sim.metrics import percentile_dict, wal_snapshot
 
         stats = self._backend_stats()
         document = {
@@ -836,6 +967,7 @@ class AdmissionGateway:
                     [seconds * 1000.0 for seconds in samples])
                 for tier, samples in self._latency.items()},
             "shards": stats["shards"],
+            "wal": wal_snapshot(self._wal),
         }
         if stats["probe"] is not None:
             document["probe"] = stats["probe"]

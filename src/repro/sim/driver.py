@@ -76,8 +76,15 @@ from repro.sim.subscriptions import (
     SubscriptionOptions,
     SubscriptionPeriodResult,
 )
+from repro.sim.metrics import wal_snapshot as _wal_snapshot
 from repro.sim.trace import SimTrace, TraceRecorder
 from repro.utils.validation import ValidationError, require
+from repro.wal.crashpoints import crashpoint, register
+
+CP_SETTLE_BEFORE_PERIOD = register(
+    "driver.settle.before-period-record")
+CP_SETTLE_AFTER_PERIOD = register(
+    "driver.settle.after-period-record")
 
 #: Version of the in-memory simulation snapshot layout below.
 #: v2 added the columnar-pump state (pump / blocks / pump_stats);
@@ -364,6 +371,10 @@ class SimulationDriver:
 
         self.recorder: "TraceRecorder | None" = (
             TraceRecorder() if record else None)
+        #: Attached write-ahead log (see :meth:`attach_wal`) and the
+        #: per-settle-window arrival buffer it drains at boundaries.
+        self.wal = None
+        self._wal_buffer: "TraceRecorder | None" = None
         self.queue = EventQueue()
         self._period = self.host.period
         self.clock = float(self._period * self.host.ticks_per_period)
@@ -435,12 +446,62 @@ class SimulationDriver:
         snapshot = _metrics_snapshot(self.tick_metrics(), samples,
                                      percentiles)
         snapshot["pump"] = {"enabled": self.pump, **self._pump_stats}
+        snapshot["wal"] = _wal_snapshot(self.wal)
         return snapshot
 
     def total_revenue(self) -> float:
         """Revenue billed across all shards so far."""
         return sum(service.total_revenue()
                    for service in self.host.services)
+
+    # ------------------------------------------------------------------
+    # The write-ahead log
+    # ------------------------------------------------------------------
+
+    def attach_wal(self, log) -> None:
+        """Log this run into *log* (a :class:`~repro.wal.WriteAheadLog`).
+
+        From here on every settle window appends its arrivals and a
+        period receipt to the log before the run moves past the
+        boundary, and compaction fires on the log's schedule.  Pass
+        ``None`` to detach.
+        """
+        self.wal = log
+        self._wal_buffer = None if log is None else TraceRecorder()
+
+    def _arrival_sinks(self) -> tuple:
+        """The recorders every admitted arrival is appended to."""
+        if self._wal_buffer is None:
+            return (self.recorder,) if self.recorder is not None else ()
+        if self.recorder is None:
+            return (self._wal_buffer,)
+        return (self.recorder, self._wal_buffer)
+
+    def _log_period(self) -> None:
+        """Append this boundary's window to the WAL (buffer hand-off).
+
+        The buffer swap happens even while the log is suspended during
+        recovery replay — the replayed window's arrivals must not leak
+        into the first live window's record.
+        """
+        wal = self.wal
+        buffer = self._wal_buffer
+        self._wal_buffer = TraceRecorder()
+        if wal.suspended:
+            wal.verify_replay(
+                period=self._period, revenue=self.total_revenue(),
+                queue=self.queue.kind_counts(), origin="sim replay")
+            return
+        wal.append_arrivals(SimTrace(columns=buffer._columns))
+        crashpoint(CP_SETTLE_BEFORE_PERIOD)
+        wal.append_period(
+            period=self._period, events=self.events_processed,
+            revenue=self.total_revenue(),
+            arrivals=len(buffer._columns),
+            queue=self.queue.kind_counts())
+        crashpoint(CP_SETTLE_AFTER_PERIOD)
+        if wal.due_for_compaction(self._period):
+            wal.compact(self.snapshot(), self._period)
 
     # ------------------------------------------------------------------
     # The event loop
@@ -665,10 +726,21 @@ class SimulationDriver:
         """
         route_stream = self.route == "stream"
         shards = len(self.host.services)
-        recorder = self.recorder
+        sinks = self._arrival_sinks()
         stats = self._pump_stats
         if self.managers is None:
             submit = self.host.submit
+            if sinks:
+                # Whole-slice capture: rows byte-identical to the
+                # per-row record() calls, without 11 list appends per
+                # arrival on the admission hot path.
+                categories = block.categories
+                categories = (list(categories[start:stop])
+                              if categories is not None
+                              else [None] * (stop - start))
+                for sink in sinks:
+                    sink.record_rows(block, start, stop, categories,
+                                     source)
             for row in range(start, stop):
                 plan = block.plan(row)
                 pinned = None
@@ -679,10 +751,6 @@ class SimulationDriver:
                             f"arrival {plan.query_id!r} is pinned to "
                             f"stream {pinned}, but the host has only "
                             f"{shards} shard(s)")
-                if recorder is not None:
-                    recorder.record(float(block.times[row]), plan,
-                                    block.category_at(row),
-                                    block.stream_at(row, source))
                 submit(plan.materialize(), shard=pinned)
                 stats["winners"] += 1
             return
@@ -728,10 +796,10 @@ class SimulationDriver:
                     category = manager.assign_category(plan)
                 else:
                     manager.category(category)
-                if recorder is not None:
-                    recorder.record(float(block.times[row]), plan,
-                                    category,
-                                    block.stream_at(row, source))
+                for sink in sinks:
+                    sink.record(float(block.times[row]), plan,
+                                category,
+                                block.stream_at(row, source))
                 self.pending[row_shard].append((plan, category))
             return
 
@@ -752,8 +820,8 @@ class SimulationDriver:
             for name in requested[start:stop]:
                 if name is not None:
                     manager.category(name)
-        if recorder is not None:
-            recorder.record_rows(block, start, stop, categories, source)
+        for sink in sinks:
+            sink.record_rows(block, start, stop, categories, source)
         self.pending[shard].append(
             RowChunk(block, start, stop, categories))
 
@@ -772,14 +840,14 @@ class SimulationDriver:
             category = (event.category
                         or manager.assign_category(event.query))
             manager.category(category)  # validate requested names too
-            if self.recorder is not None:
-                self.recorder.record(event.time, event.query, category,
-                                     event.stream)
+            for sink in self._arrival_sinks():
+                sink.record(event.time, event.query, category,
+                            event.stream)
             self.pending[shard].append((event.query, category))
         else:
-            if self.recorder is not None:
-                self.recorder.record(event.time, event.query,
-                                     event.category, event.stream)
+            for sink in self._arrival_sinks():
+                sink.record(event.time, event.query,
+                            event.category, event.stream)
             self.host.submit(as_continuous_query(event.query),
                              shard=pinned)
         if event.source is not None and event.final:
@@ -817,13 +885,14 @@ class SimulationDriver:
         """One vectorized admission pass over a run of arrivals."""
         route_stream = self.route == "stream"
         shards = len(self.host.services)
-        recorder = self.recorder
+        sinks = self._arrival_sinks()
         if self.managers is None:
+            if sinks:
+                categories = [event.category for event in events]
+                for sink in sinks:
+                    sink.record_events(events, categories)
             for event in events:
                 pinned = self._pinned_shard(event, route_stream, shards)
-                if recorder is not None:
-                    recorder.record(event.time, event.query,
-                                    event.category, event.stream)
                 self.host.submit(as_continuous_query(event.query),
                                  shard=pinned)
             return
@@ -851,13 +920,12 @@ class SimulationDriver:
                 if events[position].category is not None:
                     # validate requested names too
                     manager.category(events[position].category)
+        for sink in sinks:
+            sink.record_events(events, category_of)
         pending = self.pending
         for position, event in enumerate(events):
-            category = category_of[position]
-            if recorder is not None:
-                recorder.record(event.time, event.query, category,
-                                event.stream)
-            pending[shard_of[position]].append((event.query, category))
+            pending[shard_of[position]].append(
+                (event.query, category_of[position]))
 
     def _pinned_shard(self, event: ArrivalEvent, route_stream: bool,
                       shards: int) -> "int | None":
@@ -932,6 +1000,8 @@ class SimulationDriver:
             time=event.time + ticks_per_period, period=period + 1))
         if self.probes:
             self._sync_probes()
+        if self.wal is not None:
+            self._log_period()
 
     def _run_subscription_period(self, period: int) -> SimPeriodReport:
         services = self.host.services
@@ -1112,6 +1182,11 @@ class SimulationDriver:
         driver._blocks = dict(state.get("blocks") or {})
         driver._pump_stats = dict(state.get("pump_stats")
                                   or _fresh_pump_stats())
+        # The WAL is a process resource, not simulation state: a
+        # restored driver starts detached (recovery re-attaches the
+        # live log after replay).
+        driver.wal = None
+        driver._wal_buffer = None
         return driver
 
     def save_checkpoint(self, path: object) -> None:

@@ -194,3 +194,19 @@ class EventQueue:
     def events(self) -> list[Event]:
         """All queued events in pop order (non-destructive)."""
         return [entry[4] for entry in sorted(self._heap)]
+
+    def kind_counts(self) -> dict[str, int]:
+        """Queued events tallied by ``kind``, sorted by kind name.
+
+        A cheap structural fingerprint of the queue: two queues with
+        different compositions cannot produce the same schedule, so
+        the WAL logs these counts in every period record and recovery
+        checks them — a replay whose queue drifted from the original
+        run fails loudly at the first boundary instead of producing a
+        silently different report.
+        """
+        counts: dict[str, int] = {}
+        for entry in self._heap:
+            kind = entry[4].kind
+            counts[kind] = counts.get(kind, 0) + 1
+        return dict(sorted(counts.items()))

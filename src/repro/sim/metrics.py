@@ -73,3 +73,15 @@ def metrics_snapshot(
         "max_queue": int(max(queued, default=0)),
         "latency": percentile_dict(latency_samples or [], percentiles),
     }
+
+
+def wal_snapshot(log) -> dict:
+    """The ``"wal"`` section of a metrics snapshot.
+
+    *log* is a :class:`~repro.wal.WriteAheadLog` or ``None``; the
+    disabled shape keeps the key present so dashboards can key on
+    ``wal.enabled`` without existence checks.
+    """
+    if log is None:
+        return {"enabled": False}
+    return {"enabled": True, **log.stats_snapshot()}

@@ -1,0 +1,133 @@
+"""Named crashpoints: deterministic fault injection for durability.
+
+A *crashpoint* is a named spot in a durability-critical code path —
+just before a WAL frame hits the file, between a compaction snapshot
+and its checkpoint record, after a temp file is written but before the
+atomic rename.  In production the calls are no-ops costing one global
+read.  Armed, the named point invokes the crash handler — by default
+``SIGKILL`` to the current process, i.e. a real ``kill -9`` at a
+byte-exact, reproducible place — after a configurable number of hits,
+so the fault-injection matrix can murder a live run at *every*
+registered point and assert that recovery converges byte-identically.
+
+Arming is process-wide and comes from either :func:`arm` (in-process
+tests, usually with a counting handler via :func:`set_crash_handler`)
+or the ``REPRO_CRASHPOINT`` environment variable (subprocess
+kill-matrix)::
+
+    REPRO_CRASHPOINT=driver.settle.before-period-record      # 1st hit
+    REPRO_CRASHPOINT=wal.append.after-frame:7                # 7th hit
+
+Registration happens at import time via :func:`register`, so
+:func:`registered_crashpoints` is the matrix's ground truth: a
+crashpoint that silently stops being reachable fails the reachability
+test instead of quietly passing the matrix.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from collections.abc import Callable
+
+from repro.utils.validation import ValidationError
+
+#: Environment variable that arms one crashpoint for this process.
+CRASHPOINT_ENV = "REPRO_CRASHPOINT"
+
+_registry: set[str] = set()
+_armed_name: "str | None" = None
+_armed_hits = 1
+_hit_count = 0
+_handler: "Callable[[str], None] | None" = None
+
+
+def _default_handler(name: str) -> None:  # pragma: no cover - dies
+    """The production crash: SIGKILL ourselves, no cleanup, no flush."""
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def register(name: str) -> str:
+    """Register *name* at import time; returns it for use as a constant."""
+    if not name or not isinstance(name, str):
+        raise ValidationError(f"crashpoint name must be a non-empty "
+                              f"string, got {name!r}")
+    _registry.add(name)
+    return name
+
+
+def registered_crashpoints() -> tuple[str, ...]:
+    """Every registered crashpoint name, sorted (the matrix's menu)."""
+    return tuple(sorted(_registry))
+
+
+def crashpoint(name: str) -> None:
+    """Fire *name* if it is the armed crashpoint (else: near-free)."""
+    global _hit_count
+    if _armed_name is None or name != _armed_name:
+        return
+    _hit_count += 1
+    if _hit_count < _armed_hits:
+        return
+    handler = _handler or _default_handler
+    handler(name)
+
+
+def arm(name: str, hits: int = 1) -> None:
+    """Arm *name* to fire on its *hits*-th execution."""
+    global _armed_name, _armed_hits, _hit_count
+    if int(hits) < 1:
+        raise ValidationError(f"crashpoint hits must be >= 1, "
+                              f"got {hits!r}")
+    _armed_name = str(name)
+    _armed_hits = int(hits)
+    _hit_count = 0
+
+
+def disarm() -> None:
+    """Disarm whatever crashpoint is armed (safe when none is)."""
+    global _armed_name, _hit_count
+    _armed_name = None
+    _hit_count = 0
+
+
+def armed() -> "str | None":
+    """The armed crashpoint name, or ``None``."""
+    return _armed_name
+
+
+def set_crash_handler(handler: "Callable[[str], None] | None") -> None:
+    """Replace the SIGKILL handler (tests pass a counting callable);
+    ``None`` restores the default."""
+    global _handler
+    _handler = handler
+
+
+def arm_from_env(environ: "dict | None" = None) -> "str | None":
+    """Arm from ``REPRO_CRASHPOINT`` (``name`` or ``name:hits``).
+
+    Returns the armed name, or ``None`` when the variable is unset.
+    Called once at import, so a subprocess is armed before any WAL
+    code runs; harnesses may call it again after mutating ``environ``.
+    """
+    source = os.environ if environ is None else environ
+    value = source.get(CRASHPOINT_ENV)
+    if not value:
+        return None
+    name, _, hits = value.partition(":")
+    name = name.strip()
+    if not name:
+        raise ValidationError(
+            f"{CRASHPOINT_ENV}={value!r}: expected 'name' or "
+            f"'name:hits'")
+    try:
+        count = int(hits) if hits else 1
+    except ValueError:
+        raise ValidationError(
+            f"{CRASHPOINT_ENV}={value!r}: hits must be an integer"
+        ) from None
+    arm(name, count)
+    return name
+
+
+arm_from_env()

@@ -1,0 +1,201 @@
+"""Crash recovery: latest snapshot + log-tail replay, verified.
+
+Both recovery paths follow the same shape — scan the WAL, truncate the
+torn tail, load the snapshot the newest surviving checkpoint names,
+then replay the tail records *through the same deterministic machinery
+that produced them*:
+
+* the sim driver regenerates every arrival from its snapshotted RNG
+  streams, so a ``PERIOD`` record replays as one ``driver.run(1)``
+  call — the record's receipt (period index, cumulative revenue, queue
+  composition) is then *checked* against the re-run, and any mismatch
+  is a hard :class:`~repro.utils.validation.ValidationError` rather
+  than a silently different result;
+* the gateway's mutations are externally driven, so its ``OP`` records
+  replay by re-applying each acknowledged submit/withdraw to the
+  restored backend, and its ``PERIOD`` records by re-running the
+  settle, with the same receipt checks.
+
+While a replay is running the log is ``suspended``: the driver and
+gateway code paths still call their append hooks, but nothing is
+re-logged — replaying must not grow the log it replays.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.utils.validation import ValidationError
+from repro.wal import records as rec
+from repro.wal.log import (
+    WriteAheadLog,
+    check_receipt,
+    list_snapshots,
+    scan_wal,
+)
+
+
+def _checkpoint_state(directory, scan, log):
+    """Load the state object recovery starts from.
+
+    Prefers the snapshot named by the newest checkpoint record; a log
+    whose genesis checkpoint was torn away falls back to the newest
+    snapshot file on disk (saved atomically, so it is complete if it
+    exists at all).
+    """
+    from repro.io import load_sim_snapshot
+
+    directory = Path(directory)
+    checkpoint = scan.checkpoint()
+    if checkpoint is not None:
+        document = rec.decode_json(checkpoint.body, "checkpoint")
+        path = directory / str(document.get("snapshot", ""))
+        if not path.is_file():
+            raise ValidationError(
+                f"WAL checkpoint names missing snapshot {path}")
+        return load_sim_snapshot(path)
+    snapshots = list_snapshots(directory)
+    if not snapshots:
+        raise ValidationError(
+            f"WAL {directory} has no checkpoint record and no "
+            f"snapshot files; nothing to recover from")
+    period, path = snapshots[-1]
+    log.checkpoint_period = period
+    return load_sim_snapshot(path)
+
+
+def recover_sim_driver(directory, *, fsync="batch:256",
+                       segment_bytes=None, compact_every=0):
+    """Rebuild a :class:`~repro.sim.SimulationDriver` from its WAL.
+
+    Returns ``(driver, log)`` with the log attached to the driver and
+    open for append — the caller just keeps calling ``driver.run``.
+    """
+    from repro.sim.driver import SimulationDriver
+    from repro.wal import log as wal_log
+
+    scan = scan_wal(directory)
+    log, scan = WriteAheadLog.resume(
+        directory, scan, keep_kinds=(rec.RECORD_PERIOD,),
+        fsync=fsync, compact_every=compact_every,
+        segment_bytes=(segment_bytes
+                       or wal_log.DEFAULT_SEGMENT_BYTES))
+    snapshot = _checkpoint_state(directory, scan, log)
+    driver = SimulationDriver.restore(snapshot)
+    driver.attach_wal(log)
+    tail = scan.tail(keep_kinds=(rec.RECORD_PERIOD,))
+    documents = [rec.decode_json(record.body, "period")
+                 for record in tail]
+    log.suspended = True
+    log.expect_replay(documents)
+    try:
+        for _ in documents:
+            driver.run(1)
+    finally:
+        log.suspended = False
+    if log.pending_replays():
+        raise ValidationError(
+            f"WAL replay of {directory} stopped with "
+            f"{log.pending_replays()} period record(s) unverified")
+    log.stats["replayed"] = len(tail)
+    return driver, log
+
+
+def recover_gateway_backend(directory, backend, *, fsync="batch:256",
+                            segment_bytes=None, compact_every=0):
+    """Rebuild a gateway *backend*'s state from its WAL, in place.
+
+    *backend* is the freshly constructed
+    :class:`~repro.serve.gateway.DriverBackend` /
+    :class:`~repro.serve.gateway.HostBackend` the gateway was started
+    with; its driver/host is replaced by the recovered one, then the
+    tail of acknowledged ops and settles is re-applied.  Returns the
+    open :class:`WriteAheadLog`.
+    """
+    from repro.io import serve_request_from_dict
+    from repro.sim.driver import SimulationDriver
+    from repro.sim.hosts import restore_host
+    from repro.wal import log as wal_log
+
+    scan = scan_wal(directory)
+    log, scan = WriteAheadLog.resume(
+        directory, scan, keep_kinds=(rec.RECORD_OP, rec.RECORD_PERIOD),
+        fsync=fsync, compact_every=compact_every,
+        segment_bytes=(segment_bytes
+                       or wal_log.DEFAULT_SEGMENT_BYTES))
+    state = _checkpoint_state(directory, scan, log)
+    if not isinstance(state, dict) or "kind" not in state:
+        raise ValidationError(
+            f"WAL {directory} holds a {type(state).__name__} "
+            f"snapshot, not a gateway state document")
+    kind = state["kind"]
+    if kind == "driver":
+        if not hasattr(backend, "driver"):
+            raise ValidationError(
+                f"WAL {directory} was written by a driver-backed "
+                f"gateway; this backend is "
+                f"{type(backend).__name__}")
+        backend.driver = SimulationDriver.restore(state["snapshot"])
+        backend._inbox.clear()
+    elif kind == "host":
+        if not hasattr(backend, "host"):
+            raise ValidationError(
+                f"WAL {directory} was written by a host-backed "
+                f"gateway; this backend is {type(backend).__name__}")
+        backend.host = restore_host(
+            state["host_kind"], state["host"],
+            batch=bool(state.get("batch", False)))
+    else:
+        raise ValidationError(
+            f"unknown gateway WAL state kind {kind!r}")
+    backend.last_report = None
+    tail = scan.tail(keep_kinds=(rec.RECORD_OP, rec.RECORD_PERIOD))
+    log.suspended = True
+    try:
+        for record in tail:
+            if record.kind == rec.RECORD_OP:
+                document = rec.decode_json(record.body, "op")
+                # The pickle here is the gateway's own acknowledged
+                # log, not an untrusted socket — same trust domain as
+                # the snapshot pickle itself.
+                request = serve_request_from_dict(
+                    document, allow_pickle=True)
+                if request.op in ("submit", "subscribe"):
+                    backend.submit(request.query,
+                                   category=request.category)
+                else:
+                    backend.withdraw(request.query_id)
+            else:
+                document = rec.decode_json(record.body, "period")
+                backend.tick()
+                check_receipt(
+                    document, period=backend.period,
+                    revenue=backend.total_revenue(), queue=None,
+                    origin="gateway replay")
+    finally:
+        log.suspended = False
+    log.stats["replayed"] = len(tail)
+    return log
+
+
+def gateway_wal_state(backend) -> dict:
+    """The state document a gateway WAL snapshots at checkpoints.
+
+    Called only when the backend's inbox is settled (gateways compact
+    immediately after a tick), so pending submissions never need to
+    ride the snapshot — they are either in the driver state already or
+    replayed from ``OP`` records.
+    """
+    if hasattr(backend, "driver"):
+        if getattr(backend, "_inbox", None):
+            raise ValidationError(
+                "cannot checkpoint a gateway backend with queued "
+                "submissions; settle the inbox first")
+        return {"kind": "driver", "snapshot": backend.driver.snapshot()}
+    host = backend.host
+    return {
+        "kind": "host",
+        "host_kind": host.kind,
+        "host": host.snapshot(),
+        "batch": bool(getattr(host, "batch", False)),
+    }

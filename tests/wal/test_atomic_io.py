@@ -1,0 +1,159 @@
+"""Atomic save paths and clean failure on corrupt artifacts."""
+
+import pytest
+
+import repro.io as io
+from repro.utils.validation import ValidationError
+from repro.wal import crashpoints
+from tests.wal.workloads import build_service
+
+
+def sample_instance():
+    from repro.core.model import AuctionInstance, Operator, Query
+
+    return AuctionInstance(
+        {"A": Operator("A", 4.0), "B": Operator("B", 1.0)},
+        (Query("q1", ("A", "B"), 55.0, valuation=60.0, owner="alice"),),
+        10.0)
+
+
+def sample_report():
+    from tests.strategies import select_query
+
+    service = build_service()
+    service.submit(select_query("q1", "alice", bid=5.0, cost=1.0))
+    return service.run_period()
+
+
+pytestmark = pytest.mark.wal
+
+
+class TestInterruptedWrites:
+    """A crash mid-save must leave the previous file byte-intact."""
+
+    @pytest.fixture
+    def crash_between_tmp_and_replace(self):
+        class Interrupted(Exception):
+            pass
+
+        def interrupt(name):
+            raise Interrupted(name)
+
+        crashpoints.set_crash_handler(interrupt)
+        yield Interrupted
+        crashpoints.disarm()
+        crashpoints.set_crash_handler(None)
+
+    def check_save(self, tmp_path, save, first, second, interrupted):
+        target = tmp_path / "artifact"
+        save(first, target)
+        before = target.read_bytes()
+        crashpoints.arm("io.save.after-tmp")
+        with pytest.raises(interrupted):
+            save(second, target)
+        assert target.read_bytes() == before
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_save_instance(self, tmp_path, crash_between_tmp_and_replace):
+        a = sample_instance()
+        self.check_save(tmp_path, io.save_instance, a, a,
+                        crash_between_tmp_and_replace)
+
+    def test_save_report(self, tmp_path, crash_between_tmp_and_replace):
+        report = sample_report()
+        self.check_save(tmp_path, io.save_report, report, report,
+                        crash_between_tmp_and_replace)
+
+    def test_save_snapshot(self, tmp_path, crash_between_tmp_and_replace):
+        service = build_service()
+        self.check_save(tmp_path, io.save_snapshot,
+                        service.snapshot(), service.snapshot(),
+                        crash_between_tmp_and_replace)
+
+    def test_save_sim_snapshot(self, tmp_path,
+                               crash_between_tmp_and_replace):
+        from tests.wal.workloads import build_driver
+
+        driver = build_driver()
+        driver.run(1)
+        self.check_save(tmp_path, io.save_sim_snapshot,
+                        driver.snapshot(), driver.snapshot(),
+                        crash_between_tmp_and_replace)
+
+    def test_save_sim_trace_binary(self, tmp_path,
+                                   crash_between_tmp_and_replace):
+        from tests.wal.workloads import build_driver
+
+        driver = build_driver(record=True)
+        driver.run(2)
+        target = tmp_path / "trace.npz"
+        io.save_sim_trace(driver.trace(), target)
+        before = target.read_bytes()
+        crashpoints.arm("io.save.after-tmp")
+        with pytest.raises(crash_between_tmp_and_replace):
+            io.save_sim_trace(driver.trace(), target)
+        assert target.read_bytes() == before
+        assert len(io.load_sim_trace(target)) == len(driver.trace())
+
+
+class TestCorruptArtifactsFailCleanly:
+    """Damaged files raise ValidationError naming the path — never a
+    raw ``JSONDecodeError``/``UnpicklingError``/``BadZipFile``."""
+
+    @pytest.mark.parametrize("loader", [
+        io.load_instance, io.load_report, io.load_reports,
+        io.load_cluster_report,
+    ])
+    def test_garbage_json(self, tmp_path, loader):
+        path = tmp_path / "broken.json"
+        path.write_text('{"truncated": [1, 2')
+        with pytest.raises(ValidationError) as excinfo:
+            loader(path)
+        assert str(path) in str(excinfo.value)
+
+    @pytest.mark.parametrize("loader", [
+        io.load_snapshot, io.load_sim_snapshot,
+        io.load_cluster_snapshot,
+    ])
+    def test_garbage_pickle(self, tmp_path, loader):
+        path = tmp_path / "broken.ckpt"
+        path.write_bytes(b"\x80\x05not really a pickle stream")
+        with pytest.raises(ValidationError) as excinfo:
+            loader(path)
+        assert str(path) in str(excinfo.value)
+
+    @pytest.mark.parametrize("loader", [
+        io.load_snapshot, io.load_sim_snapshot,
+        io.load_cluster_snapshot,
+    ])
+    def test_truncated_pickle(self, tmp_path, loader):
+        source = tmp_path / "whole.ckpt"
+        service = build_service()
+        io.save_snapshot(service.snapshot(), source)
+        path = tmp_path / "cut.ckpt"
+        whole = source.read_bytes()
+        path.write_bytes(whole[:len(whole) // 2])
+        with pytest.raises(ValidationError) as excinfo:
+            loader(path)
+        assert str(path) in str(excinfo.value)
+
+    def test_truncated_binary_trace(self, tmp_path):
+        from tests.wal.workloads import build_driver
+
+        driver = build_driver(record=True)
+        driver.run(2)
+        source = tmp_path / "trace.npz"
+        io.save_sim_trace(driver.trace(), source)
+        cut = tmp_path / "cut.npz"
+        whole = source.read_bytes()
+        cut.write_bytes(whole[:len(whole) - len(whole) // 3])
+        with pytest.raises(ValidationError) as excinfo:
+            io.load_sim_trace(cut)
+        assert str(cut) in str(excinfo.value)
+
+    def test_garbage_json_trace(self, tmp_path):
+        path = tmp_path / "trace.json"
+        path.write_text("{definitely not json")
+        with pytest.raises(ValidationError) as excinfo:
+            io.load_sim_trace(path)
+        assert str(path) in str(excinfo.value)
