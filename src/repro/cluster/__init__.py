@@ -38,6 +38,7 @@ Quickstart::
     print(report.total_revenue, report.migrated)
 """
 
+from repro.cluster.affinity import ShardAffinityMap, affinity_key
 from repro.cluster.federation import (
     CLUSTER_STATE_VERSION,
     ClusterSnapshot,
@@ -69,7 +70,9 @@ __all__ = [
     "PlacementPolicy",
     "Rebalancer",
     "RoundRobinPlacement",
+    "ShardAffinityMap",
     "ShardStatus",
+    "affinity_key",
     "register_placement",
     "registered_placements",
     "resolve_placement",

@@ -1,0 +1,121 @@
+"""Shard-affinity maps: client key → shard → front-end worker.
+
+The multi-process gateway front-end (:mod:`repro.serve.frontend`)
+routes every mutating request to the worker that *owns* the client's
+shard, so per-shard submission order is decided by exactly one process
+and no cross-process lock guards the hot path.  That only works if the
+front-end can predict, without touching the federation, which shard
+:class:`~repro.cluster.placement.ConsistentHashPlacement` will choose —
+so :class:`ShardAffinityMap` reproduces the placement's ring walk
+bit-for-bit from the same ``(seed, replicas, shard count)`` triple and
+then partitions the shards contiguously across workers.
+
+Determinism matters twice over: every worker computes the same map
+independently (they only share fork-time configuration), and a
+respawned worker must agree with the survivors about who owns what.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from repro.cluster.placement import ConsistentHashPlacement, _hash64
+from repro.utils.validation import ValidationError, require
+
+
+def affinity_key(query) -> str:
+    """The routing key for *query*: its owner, or the query id.
+
+    Mirrors :meth:`ConsistentHashPlacement.client_key` — the two must
+    never diverge, or a front-end worker would buffer a submission the
+    federation's placement routes to a shard someone else owns.
+    """
+    owner = getattr(query, "owner", None)
+    return owner if owner is not None else query.query_id
+
+
+class ShardAffinityMap:
+    """A deterministic ``client key → shard → worker`` router.
+
+    ``num_shards`` shards are split into ``num_workers`` contiguous
+    groups (earlier groups take the remainder), and a client key walks
+    the same seeded 64-bit hash ring
+    :class:`~repro.cluster.placement.ConsistentHashPlacement` uses —
+    :meth:`shard_of` is pinned equal to ``placement.choose`` by
+    ``tests/serve/test_frontend.py``.
+    """
+
+    def __init__(self, num_shards: int, num_workers: int,
+                 *, seed: int = 0, replicas: int = 64) -> None:
+        require(int(num_shards) >= 1, "num_shards must be >= 1")
+        require(int(num_workers) >= 1, "num_workers must be >= 1")
+        self.num_shards = int(num_shards)
+        self.num_workers = int(num_workers)
+        self.seed = int(seed)
+        self.replicas = int(replicas)
+        placement = ConsistentHashPlacement(
+            seed=self.seed, replicas=self.replicas)
+        self._points, self._owners = placement._ring(self.num_shards)
+        # Contiguous shard → worker partition: worker w owns
+        # [starts[w], starts[w+1]).  Workers beyond the shard count own
+        # nothing and act as pure forwarders.
+        base, extra = divmod(self.num_shards, self.num_workers)
+        starts = [0]
+        for worker in range(self.num_workers):
+            starts.append(starts[-1] + base + (1 if worker < extra else 0))
+        self._starts = starts
+        self._shard_worker = [
+            bisect.bisect_right(starts, shard) - 1
+            for shard in range(self.num_shards)]
+
+    @classmethod
+    def for_cluster(cls, cluster, num_workers: int) -> "ShardAffinityMap":
+        """The map for a live federation (validates its placement)."""
+        placement = cluster.placement
+        if not isinstance(placement, ConsistentHashPlacement):
+            raise ValidationError(
+                f"shard-affinity routing needs consistent-hash "
+                f"placement; this federation uses "
+                f"{placement.name!r}")
+        return cls(cluster.num_shards, num_workers,
+                   seed=placement.seed, replicas=placement.replicas)
+
+    def shard_of(self, key: str) -> int:
+        """The shard the federation's placement will choose for *key*."""
+        point = _hash64(f"client:{key}", self.seed)
+        position = bisect.bisect_right(self._points, point) \
+            % len(self._points)
+        return self._owners[position]
+
+    def worker_of_shard(self, shard: int) -> int:
+        """The front-end worker owning *shard*."""
+        if not 0 <= int(shard) < self.num_shards:
+            raise ValidationError(
+                f"shard {shard} out of range 0..{self.num_shards - 1}")
+        return self._shard_worker[int(shard)]
+
+    def worker_of(self, key: str) -> int:
+        """The front-end worker owning *key*'s shard."""
+        return self._shard_worker[self.shard_of(key)]
+
+    def shards_of_worker(self, worker: int) -> range:
+        """The contiguous shard range worker *worker* owns."""
+        if not 0 <= int(worker) < self.num_workers:
+            raise ValidationError(
+                f"worker {worker} out of range "
+                f"0..{self.num_workers - 1}")
+        worker = int(worker)
+        return range(self._starts[worker], self._starts[worker + 1])
+
+    def worker_groups(self) -> "list[range]":
+        """Every worker's shard range, in worker order."""
+        return [self.shards_of_worker(worker)
+                for worker in range(self.num_workers)]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        groups = ",".join(
+            f"{group.start}..{group.stop - 1}" if len(group) else "-"
+            for group in self.worker_groups())
+        return (f"<ShardAffinityMap shards={self.num_shards} "
+                f"workers={self.num_workers} seed={self.seed} "
+                f"groups=[{groups}]>")

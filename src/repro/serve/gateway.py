@@ -272,6 +272,33 @@ def make_backend(target: object):
     return HostBackend(target)
 
 
+class RawBody:
+    """A handler result that is already rendered response bytes.
+
+    Handlers normally return envelope fields; returning a ``RawBody``
+    instead short-circuits JSON encoding entirely — the cached
+    ``/v1/report`` body and a front-end worker relaying a forwarded
+    response both use it.
+    """
+
+    __slots__ = ("body", "status", "headers")
+
+    def __init__(self, body: bytes, status: int = 200,
+                 headers: "dict[str, str] | None" = None) -> None:
+        self.body = body
+        self.status = status
+        self.headers = headers or {}
+
+
+#: The request-id placeholder baked into cached response bodies; its
+#: JSON encoding (``rid``) cannot collide with real data
+#: because the splice searches for the full ``"request_id":"..."``
+#: pattern, whose bare quotes cannot occur inside a JSON string value.
+_RID_SENTINEL = "\x01rid\x01"
+_RID_TOKEN = b'"request_id":"\\u0001rid\\u0001"'
+_RID_PREFIX = b'"request_id":"'
+
+
 # ----------------------------------------------------------------------
 # The gateway
 # ----------------------------------------------------------------------
@@ -333,6 +360,15 @@ class GatewayConfig:
     #: Compact the WAL into a fresh snapshot every this many settled
     #: periods (0 disables compaction).
     compact_every: int = 64
+    #: Group-commit acknowledged mutations: appends happen in request
+    #: order, but concurrent requests share one fsync per bounded
+    #: flush window instead of paying ``wal_fsync`` each.  Durability
+    #: per acknowledged response is *stronger* than ``batch:N`` — every
+    #: 200 means "on disk" — at a fraction of the fsyncs.
+    wal_group_commit: bool = False
+    #: Group-commit flush-wait window, seconds (the most extra latency
+    #: a lone mutation pays to wait for batch-mates).
+    wal_group_window: float = 0.002
 
     def __post_init__(self) -> None:
         require(self.max_inflight >= 1, "max_inflight must be >= 1")
@@ -342,6 +378,8 @@ class GatewayConfig:
         require(self.slow_timeout > 0, "slow_timeout must be positive")
         require(self.lock_patience > 0, "lock_patience must be positive")
         require(self.drain_timeout >= 0, "drain_timeout must be >= 0")
+        require(self.wal_group_window >= 0,
+                "wal_group_window must be >= 0")
 
 
 class AdmissionGateway:
@@ -385,6 +423,13 @@ class AdmissionGateway:
         self._connections: set = set()
         self._backend_cache: "dict | None" = None
         self._wal = None
+        self._committer = None
+        #: Bumped after every settle (and recovery); the rendered
+        #: /v1/report and /metrics body caches key on it.
+        self._settle_generation = 0
+        self._mutations_acked = 0
+        self._report_cache: "tuple[int, bytes, bytes] | None" = None
+        self._metrics_cache: "tuple[tuple, float, bytes] | None" = None
         self._recovering = False
         self._recovered_from_wal = False
         self._replayed_records = 0
@@ -415,8 +460,9 @@ class AdmissionGateway:
                 self._wal = WriteAheadLog.create(
                     self.config.wal_dir,
                     gateway_wal_state(self.backend),
-                    fsync=self.config.wal_fsync,
+                    fsync=self._wal_fsync_policy(),
                     compact_every=self.config.compact_every)
+                self._attach_committer()
         self._backend_stats()       # prime the open-tier snapshot
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port)
@@ -439,12 +485,25 @@ class AdmissionGateway:
                      recovering=self._recovering or None)
         return self
 
+    def _wal_fsync_policy(self) -> str:
+        """The underlying log's policy (``never`` under group commit —
+        the committer owns every fsync)."""
+        return ("never" if self.config.wal_group_commit
+                else self.config.wal_fsync)
+
+    def _attach_committer(self) -> None:
+        if self._wal is not None and self.config.wal_group_commit:
+            from repro.wal.groupcommit import GroupCommitter
+
+            self._committer = GroupCommitter(
+                self._wal, window=self.config.wal_group_window)
+
     def _recover_wal(self):
         from repro.wal.recovery import recover_gateway_backend
 
         return recover_gateway_backend(
             self.config.wal_dir, self.backend,
-            fsync=self.config.wal_fsync,
+            fsync=self._wal_fsync_policy(),
             compact_every=self.config.compact_every)
 
     def _recovery_done(self, future) -> None:
@@ -460,9 +519,11 @@ class AdmissionGateway:
                          error=repr(exc))
             return
         self._wal = future.result()
+        self._attach_committer()
         self._recovered_from_wal = True
         self._replayed_records = self._wal.stats.get("replayed", 0)
         self._backend_cache = None
+        self._settle_generation += 1
         self._backend_stats()
         self.log.log("wal_recovered", period=self.backend.period,
                      replayed=self._replayed_records,
@@ -505,6 +566,9 @@ class AdmissionGateway:
                 self.log.log("final_settle_failed", level="error",
                              pending=self.backend.pending_count(),
                              error=repr(exc))
+        if self._committer is not None:
+            with contextlib.suppress(Exception):
+                await self._committer.close()
         if self._wal is not None:
             # Durability before availability teardown: everything the
             # gateway acknowledged is on disk before the sockets go.
@@ -589,20 +653,25 @@ class AdmissionGateway:
                                     keep_alive=keep_alive)
 
     async def _respond(
-        self, request: HttpRequest, client_host: str
+        self, request: HttpRequest, client_host: str, *,
+        gate: bool = True,
     ) -> tuple[bytes, bool]:
         request_id = f"r{next(self._ids):06d}"
         client = request.headers.get("x-client-id", client_host)
         started = time.monotonic()
         headers: dict[str, str] = {}
         tier = None
+        raw: "bytes | None" = None
         try:
             handler, tier = self._route(request)
             if tier == "open":
                 document = handler()
+                if isinstance(document, (bytes, bytearray)):
+                    raw, document = bytes(document), None
                 status = 200
             else:
-                self._gate(client, client_host)
+                if gate:
+                    self._gate(client, client_host)
                 self._budget.record_request()
                 self._inflight += 1
                 timeout = (self.config.slow_timeout if tier == "slow"
@@ -617,9 +686,14 @@ class AdmissionGateway:
                              f"{timeout:g}s") from None
                 finally:
                     self._inflight -= 1
-                document = serve_response_to_dict(
-                    "ok", request_id, **fields)
-                status = 200
+                if isinstance(fields, RawBody):
+                    raw, document = fields.body, None
+                    status = fields.status
+                    headers.update(fields.headers)
+                else:
+                    document = serve_response_to_dict(
+                        "ok", request_id, **fields)
+                    status = 200
         except HttpError as exc:
             status = exc.status
             document = serve_response_to_dict(
@@ -648,14 +722,15 @@ class AdmissionGateway:
             ms=round(elapsed * 1000.0, 3),
             params=dict(request.params) or None)
         keep_alive = request.keep_alive
+        body = raw if raw is not None else http.json_body(document)
         return (http.render_response(
-            status, http.json_body(document), headers=headers,
+            status, body, headers=headers,
             keep_alive=keep_alive), keep_alive)
 
     def _route(self, request: HttpRequest):
         routes = {
             "/healthz": ("GET", self.health_document, "open"),
-            "/metrics": ("GET", self.metrics_document, "open"),
+            "/metrics": ("GET", self._metrics_body, "open"),
             "/v1/submit": ("POST", self._handle_submit, "fast"),
             "/v1/subscribe": ("POST", self._handle_subscribe, "fast"),
             "/v1/withdraw": ("POST", self._handle_withdraw, "fast"),
@@ -792,6 +867,10 @@ class AdmissionGateway:
                                "events_processed", 0),
                 revenue=self.backend.total_revenue(),
                 arrivals=0)
+            if self._committer is not None:
+                # The log's own policy is "never" under group commit;
+                # the period receipt is rare enough to sync in place.
+                wal.sync()
             crashpoint(CP_TICK_AFTER_PERIOD)
             if wal.due_for_compaction(self.backend.period):
                 from repro.wal.recovery import gateway_wal_state
@@ -802,6 +881,7 @@ class AdmissionGateway:
 
     def _tick_done(self, future) -> None:
         self._lock.release()
+        self._settle_generation += 1
         if future.cancelled():
             return
         exc = future.exception()
@@ -815,17 +895,27 @@ class AdmissionGateway:
             request.json(),
             allow_pickle=self.config.allow_pickle_plans)
 
-    def _wal_append_op(self, parsed) -> None:
+    def _wal_append_op(self, parsed) -> "asyncio.Future | None":
         """Log an acknowledged mutation (called under the service lock).
 
         The append happens *before* the 200 goes out, so every response
         the client sees is durable to the configured fsync policy.
+        Under group commit the append still happens here — in request
+        order, under the lock — but the fsync is deferred: the caller
+        awaits the returned future *after* releasing the lock, so
+        concurrent mutations share one fsync instead of queueing on
+        the window.
         """
+        self._mutations_acked += 1
         if self._wal is None:
-            return
+            return None
         from repro.io import serve_request_to_dict
 
-        self._wal.append_op(serve_request_to_dict(parsed))
+        document = serve_request_to_dict(parsed)
+        if self._committer is not None:
+            return self._committer.enqueue(self._wal.append_op, document)
+        self._wal.append_op(document)
+        return None
 
     async def _handle_submit(self, request: HttpRequest,
                              request_id: str) -> dict:
@@ -836,10 +926,13 @@ class AdmissionGateway:
         async with self._service_lock(request_id, "submit"):
             shard = self.backend.submit(parsed.query,
                                         category=parsed.category)
-            self._wal_append_op(parsed)
+            receipt = self._wal_append_op(parsed)
+            period = self.backend.period
+            pending = self.backend.pending_count()
+        if receipt is not None:
+            await receipt
         return {"query_id": parsed.query.query_id, "shard": shard,
-                "period": self.backend.period,
-                "pending": self.backend.pending_count()}
+                "period": period, "pending": pending}
 
     async def _handle_subscribe(self, request: HttpRequest,
                                 request_id: str) -> dict:
@@ -854,11 +947,14 @@ class AdmissionGateway:
                      "subscriptions enabled")
         async with self._service_lock(request_id, "subscribe"):
             self.backend.submit(parsed.query, category=parsed.category)
-            self._wal_append_op(parsed)
+            receipt = self._wal_append_op(parsed)
+            period = self.backend.period
+            pending = self.backend.pending_count()
+        if receipt is not None:
+            await receipt
         return {"query_id": parsed.query.query_id,
                 "category": parsed.category,
-                "period": self.backend.period,
-                "pending": self.backend.pending_count()}
+                "period": period, "pending": pending}
 
     async def _handle_withdraw(self, request: HttpRequest,
                                request_id: str) -> dict:
@@ -871,17 +967,41 @@ class AdmissionGateway:
                 self.backend.withdraw(parsed.query_id)
             except ValidationError as exc:
                 raise HttpError(404, str(exc)) from exc
-            self._wal_append_op(parsed)
+            receipt = self._wal_append_op(parsed)
+            pending = self.backend.pending_count()
+        if receipt is not None:
+            await receipt
         return {"query_id": parsed.query_id, "withdrawn": True,
-                "pending": self.backend.pending_count()}
+                "pending": pending}
 
     async def _handle_report(self, request: HttpRequest,
-                             request_id: str) -> dict:
+                             request_id: str) -> RawBody:
         async with self._service_lock(request_id, "report"):
-            report = self.backend.last_report
-            return {"period": self.backend.period,
-                    "revenue": self.backend.total_revenue(),
-                    "report": report_document(report)}
+            cache = self._report_cache
+            if cache is None or cache[0] != self._settle_generation:
+                cache = self._render_report_cache()
+        prefix, suffix = cache[1], cache[2]
+        return RawBody(b"".join(
+            (prefix, request_id.encode("ascii"), suffix)))
+
+    def _render_report_cache(self) -> "tuple[int, bytes, bytes]":
+        """Render /v1/report once per settle generation.
+
+        The response envelope embeds a per-request id, so the cache
+        holds the rendered body split around a sentinel request id;
+        serving a request is then two slices and a join instead of a
+        full report→dict→JSON encode.
+        """
+        body = http.json_body(serve_response_to_dict(
+            "ok", _RID_SENTINEL,
+            period=self.backend.period,
+            revenue=self.backend.total_revenue(),
+            report=report_document(self.backend.last_report)))
+        at = body.index(_RID_TOKEN)
+        prefix = body[:at] + _RID_PREFIX
+        suffix = body[at + len(_RID_TOKEN) - 1:]
+        self._report_cache = (self._settle_generation, prefix, suffix)
+        return self._report_cache
 
     async def _handle_tick(self, request: HttpRequest,
                            request_id: str) -> dict:
@@ -937,6 +1057,28 @@ class AdmissionGateway:
             "uptime_s": round(uptime, 3),
         }
 
+    #: How long a rendered /metrics body may be re-served unchanged
+    #: (its own request counters go that stale; settles and mutations
+    #: invalidate immediately via the cache key).
+    METRICS_TTL = 0.25
+
+    def _metrics_body(self) -> bytes:
+        """The rendered ``/metrics`` bytes, cached briefly.
+
+        The cache key is ``(settle generation, acked mutations)`` so a
+        settle or an acknowledged mutation invalidates instantly; the
+        short TTL only lets the gateway's own request/latency counters
+        lag, sparing the full snapshot+encode on every poll.
+        """
+        key = (self._settle_generation, self._mutations_acked)
+        now = time.monotonic()
+        cache = self._metrics_cache
+        if cache is not None and cache[0] == key and now < cache[1]:
+            return cache[2]
+        body = http.json_body(self.metrics_document())
+        self._metrics_cache = (key, now + self.METRICS_TTL, body)
+        return body
+
     def metrics_document(self) -> dict:
         """The ``/metrics`` body: the gateway's own vitals plus the
         backend's queue depths, shard states, and (when the backend
@@ -969,6 +1111,9 @@ class AdmissionGateway:
             "shards": stats["shards"],
             "wal": wal_snapshot(self._wal),
         }
+        if self._committer is not None:
+            document["wal"]["group_commit"] = (
+                self._committer.stats_snapshot())
         if stats["probe"] is not None:
             document["probe"] = stats["probe"]
         return document

@@ -96,6 +96,10 @@ class StructuredLog:
         if level not in _LEVELS:
             raise ValueError(
                 f"unknown log level {level!r}; use one of {_LEVELS}")
+        if self.stream is None and self._handle is None:
+            # No sink: skip building and redacting the record entirely
+            # (a quiet gateway logs every request on the hot path).
+            return {}
         record = {"ts": round(float(self._clock()), 6), "level": level,
                   "event": event, **redact(fields)}
         with self._lock:

@@ -50,15 +50,19 @@ from repro.wal.records import (
     decode_frame,
     encode_frame,
 )
+from repro.wal.groupcommit import GroupCommitter
 from repro.wal.recovery import (
     gateway_wal_state,
     recover_gateway_backend,
     recover_sim_driver,
+    recover_striped_gateway,
+    resume_stripe,
 )
 
 __all__ = [
     "DEFAULT_SEGMENT_BYTES",
     "FrameError",
+    "GroupCommitter",
     "RECORD_ARRIVALS",
     "RECORD_CHECKPOINT",
     "RECORD_OP",
@@ -77,6 +81,8 @@ __all__ = [
     "list_snapshots",
     "recover_gateway_backend",
     "recover_sim_driver",
+    "recover_striped_gateway",
+    "resume_stripe",
     "registered_crashpoints",
     "scan_wal",
     "segment_name",

@@ -413,13 +413,23 @@ class WriteAheadLog:
                             rec.encode_arrivals(trace))
 
     def append_period(self, *, period, events, revenue,
-                      arrivals, queue=None) -> bool:
-        """Log the settle receipt that makes *period* replay-checkable."""
+                      arrivals, queue=None, consumed=None) -> bool:
+        """Log the settle receipt that makes *period* replay-checkable.
+
+        *consumed*, when given, maps WAL stripe index → highest op
+        sequence number this settle consumed from that stripe — the
+        merge cursor striped recovery advances per period (see
+        :func:`~repro.wal.recovery.recover_striped_gateway`).
+        """
         document = {"period": int(period), "events": int(events),
                     "revenue": float(revenue),
                     "arrivals": int(arrivals)}
         if queue is not None:
             document["queue"] = queue
+        if consumed is not None:
+            document["consumed"] = {
+                str(stripe): int(seq)
+                for stripe, seq in sorted(consumed.items())}
         return self._append(rec.RECORD_PERIOD,
                             rec.encode_json(document))
 
@@ -532,4 +542,7 @@ class WriteAheadLog:
         snapshot["checkpoint_period"] = self.checkpoint_period
         snapshot["compact_every"] = self.compact_every
         snapshot["suspended"] = self.suspended
+        records = snapshot["records"]
+        snapshot["fsyncs_per_record"] = (
+            round(snapshot["fsyncs"] / records, 6) if records else 0.0)
         return snapshot
